@@ -1,0 +1,82 @@
+// Shared plumbing for the paper-table bench binaries.
+//
+// Every bench accepts the same model/workload flags so runs are
+// reproducible and the cluster model is stated explicitly in the output
+// header.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "retra/game/awari_level.hpp"
+#include "retra/para/parallel_solver.hpp"
+#include "retra/para/sim_build.hpp"
+#include "retra/sim/cluster_model.hpp"
+#include "retra/sim/projection.hpp"
+#include "retra/support/cli.hpp"
+#include "retra/support/format.hpp"
+#include "retra/support/table.hpp"
+
+namespace retra::bench {
+
+/// Registers the flags shared by all bench binaries.
+inline void add_model_flags(support::Cli& cli) {
+  cli.flag("cpu-mops", "10", "modelled CPU rate, million ops/s");
+  cli.flag("send-overhead-us", "1000", "per-message sender overhead, us");
+  cli.flag("recv-overhead-us", "1000", "per-message receiver overhead, us");
+  cli.flag("bandwidth-mbps", "10", "Ethernet segment bandwidth, Mbit/s");
+  cli.flag("segments", "4", "bridged Ethernet segments");
+}
+
+inline sim::ClusterModel model_from(const support::Cli& cli) {
+  sim::ClusterModel model;
+  model.machine.cpu_ops_per_second = cli.number("cpu-mops") * 1e6;
+  model.machine.send_overhead_s = cli.number("send-overhead-us") * 1e-6;
+  model.machine.recv_overhead_s = cli.number("recv-overhead-us") * 1e-6;
+  model.net.bandwidth_bps = cli.number("bandwidth-mbps") * 1e6;
+  model.net.segments = static_cast<int>(cli.integer("segments"));
+  return model;
+}
+
+inline void print_model(const sim::ClusterModel& model) {
+  std::printf(
+      "cluster model: %.0f Mops/s CPU, %.2f ms send / %.2f ms recv "
+      "overhead, %d x %.0f Mbit/s Ethernet segments\n",
+      model.machine.cpu_ops_per_second / 1e6,
+      model.machine.send_overhead_s * 1e3,
+      model.machine.recv_overhead_s * 1e3, model.net.segments,
+      model.net.bandwidth_bps / 1e6);
+}
+
+/// One simulated awari build up to `level` on `ranks` processors.
+inline para::SimBuildResult simulate_build(int level, int ranks,
+                                           std::size_t combine_bytes,
+                                           const sim::ClusterModel& model,
+                                           para::PartitionScheme scheme =
+                                               para::PartitionScheme::kCyclic,
+                                           bool replicate_lower = false) {
+  para::ParallelConfig config;
+  config.ranks = ranks;
+  config.combine_bytes = combine_bytes;
+  config.scheme = scheme;
+  config.replicate_lower = replicate_lower;
+  return para::build_parallel_simulated(game::AwariFamily{}, level, config,
+                                        model);
+}
+
+/// The measured awari workload profile of the top level of a build.
+inline sim::LevelProfile measured_profile(const para::SimBuildResult& run) {
+  return para::profile_of(run.levels.back());
+}
+
+/// Paper-scale what-if: the measured level profile rescaled to a target
+/// awari level's position count, with rounds tracking the value bound.
+inline sim::LevelProfile paper_scale_profile(const sim::LevelProfile& base,
+                                             int measured_level,
+                                             int target_level) {
+  const double bound_ratio =
+      static_cast<double>(target_level) / measured_level;
+  return base.scaled(idx::level_size(target_level), bound_ratio);
+}
+
+}  // namespace retra::bench

@@ -1,0 +1,62 @@
+// F3 — Where the time goes: compute / send / receive / idle / barrier
+// shares per processor count, from the discrete-event run.  This is the
+// figure that explains the bend of the speedup curve: compute shrinks
+// with P while barriers and (with combining off) message overheads grow.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace retra;
+  using namespace retra::bench;
+  support::Cli cli;
+  add_model_flags(cli);
+  cli.flag("level", "9", "awari level built under the simulator");
+  cli.flag("combine-bytes", "4096", "combining buffer size");
+  cli.parse(argc, argv);
+  const int level = static_cast<int>(cli.integer("level"));
+  const auto combine = static_cast<std::size_t>(cli.integer("combine-bytes"));
+  const sim::ClusterModel model = model_from(cli);
+
+  std::printf("F3: time breakdown of the level-%d build (%zu-byte "
+              "combining)\n",
+              level, combine);
+  print_model(model);
+  std::printf("\n");
+
+  support::Table table({"P", "wall", "compute", "send", "recv", "idle",
+                        "barrier", "net busy"});
+  for (const int ranks : {1, 2, 4, 8, 16, 32, 64}) {
+    const auto run = simulate_build(level, ranks, combine, model);
+    double wall = 0, compute = 0, send = 0, recv = 0, idle = 0, barrier = 0,
+           net = 0;
+    for (const auto& timing : run.timings) {
+      wall += timing.time_s;
+      barrier += timing.barrier_s;
+      net += timing.network_busy_s;
+      for (const auto& rank : timing.per_rank) {
+        compute += rank.compute_s;
+        send += rank.send_s;
+        recv += rank.recv_s;
+        idle += rank.idle_s;
+      }
+    }
+    // Per-rank shares of the wall clock (averaged over ranks).
+    const double denom = wall * ranks;
+    table.row()
+        .add(ranks)
+        .add(support::human_seconds(wall))
+        .add(support::percent(compute / denom))
+        .add(support::percent(send / denom))
+        .add(support::percent(recv / denom))
+        .add(support::percent(idle / denom))
+        .add(support::percent(barrier / wall))
+        .add(support::percent(net / wall));
+  }
+  table.print();
+  std::printf(
+      "\ncolumns compute/send/recv/idle are the average rank's share of "
+      "the wall clock; barrier and network-busy are global shares.\n");
+  return 0;
+}

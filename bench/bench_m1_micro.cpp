@@ -1,0 +1,97 @@
+// M1 — Microbenchmarks (google-benchmark).
+//
+// Per-operation costs of the building blocks: indexing, move and unmove
+// generation, and whole-level sequential solves.  These are the measured
+// counterparts of the abstract work units priced by the cluster model.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "retra/game/awari.hpp"
+#include "retra/game/awari_level.hpp"
+#include "retra/index/board_index.hpp"
+#include "retra/ra/builder.hpp"
+#include "retra/ra/sweep_solver.hpp"
+
+namespace {
+
+using namespace retra;
+
+void BM_Rank(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  const idx::Board board = idx::unrank(level, idx::level_size(level) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx::rank(board));
+  }
+}
+BENCHMARK(BM_Rank)->Arg(6)->Arg(12)->Arg(20);
+
+void BM_Unrank(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  const idx::Index index = idx::level_size(level) / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx::unrank(level, index));
+  }
+}
+BENCHMARK(BM_Unrank)->Arg(6)->Arg(12)->Arg(20);
+
+void BM_NextBoard(benchmark::State& state) {
+  idx::Board board = idx::first_board(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    idx::next_board(board);
+    benchmark::DoNotOptimize(board);
+  }
+}
+BENCHMARK(BM_NextBoard)->Arg(12);
+
+void BM_LegalMoves(benchmark::State& state) {
+  const game::Board board =
+      game::board_from_string("4 4 4 4 4 4  4 4 4 4 4 4");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game::legal_moves(board));
+  }
+}
+BENCHMARK(BM_LegalMoves);
+
+void BM_Predecessors(benchmark::State& state) {
+  const game::Board board =
+      game::board_from_string("1 2 0 3 1 0  2 0 1 1 0 1");
+  std::vector<game::Board> out;
+  for (auto _ : state) {
+    game::predecessors(board, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["preds"] = static_cast<double>(out.size());
+}
+BENCHMARK(BM_Predecessors);
+
+void BM_SolveLevel(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  const db::Database lower =
+      ra::build_database(game::AwariFamily{}, level - 1);
+  const game::AwariLevel game(level);
+  auto lookup = [&lower](int l, idx::Index i) { return lower.value(l, i); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ra::solve_level(game, lookup));
+  }
+  state.counters["positions/s"] = benchmark::Counter(
+      static_cast<double>(idx::level_size(level)),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SolveLevel)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_FullBuild(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ra::build_database(game::AwariFamily{}, level));
+  }
+  state.counters["positions/s"] = benchmark::Counter(
+      static_cast<double>(idx::cumulative_size(level)),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_FullBuild)->Arg(7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

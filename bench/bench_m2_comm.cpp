@@ -1,0 +1,94 @@
+// M2 — Communication-layer microbenchmarks (google-benchmark).
+//
+// Per-operation costs of the message substrate: mailbox transfer, record
+// serialisation, combining, and partition arithmetic.  With combining, a
+// 10-byte update costs one append (~nanoseconds) instead of one message —
+// the modern-hardware echo of the paper's argument.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "retra/msg/combiner.hpp"
+#include "retra/msg/mailbox.hpp"
+#include "retra/msg/thread_comm.hpp"
+#include "retra/para/partition.hpp"
+#include "retra/para/records.hpp"
+
+namespace {
+
+using namespace retra;
+
+void BM_MailboxPushPop(benchmark::State& state) {
+  msg::Mailbox box;
+  msg::Message out;
+  std::vector<std::byte> payload(64);
+  for (auto _ : state) {
+    box.push(msg::Message{0, 1, payload});
+    benchmark::DoNotOptimize(box.try_pop(out));
+  }
+}
+BENCHMARK(BM_MailboxPushPop);
+
+void BM_UpdateRecordEncodeDecode(benchmark::State& state) {
+  para::UpdateRecord record;
+  record.target = 123456789;
+  record.contribution = -7;
+  std::byte buffer[para::UpdateRecord::kWireSize];
+  for (auto _ : state) {
+    record.encode(buffer);
+    msg::WireReader reader(buffer);
+    benchmark::DoNotOptimize(para::UpdateRecord::decode(reader));
+  }
+}
+BENCHMARK(BM_UpdateRecordEncodeDecode);
+
+void BM_CombinerAppend(benchmark::State& state) {
+  const std::size_t flush_bytes = static_cast<std::size_t>(state.range(0));
+  msg::ThreadWorld world(2);
+  msg::Combiner combiner(world.endpoint(0), 3, flush_bytes);
+  para::UpdateRecord record;
+  record.target = 42;
+  record.contribution = 1;
+  std::byte buffer[para::UpdateRecord::kWireSize];
+  record.encode(buffer);
+  msg::Message sink;
+  std::uint64_t appended = 0;
+  for (auto _ : state) {
+    combiner.append(1, buffer, para::UpdateRecord::kWireSize);
+    if (++appended % 4096 == 0) {
+      // Drain so mailboxes don't grow without bound.
+      while (world.endpoint(1).try_recv(sink)) {
+      }
+    }
+  }
+  state.counters["msgs/record"] =
+      static_cast<double>(combiner.stats().messages) /
+      static_cast<double>(combiner.stats().records);
+}
+BENCHMARK(BM_CombinerAppend)->Arg(1)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_ThreadWorldRoundTrip(benchmark::State& state) {
+  msg::ThreadWorld world(2);
+  msg::Message out;
+  for (auto _ : state) {
+    world.endpoint(0).send(1, 1, std::vector<std::byte>(10));
+    benchmark::DoNotOptimize(world.endpoint(1).try_recv(out));
+  }
+}
+BENCHMARK(BM_ThreadWorldRoundTrip);
+
+void BM_PartitionOwner(benchmark::State& state) {
+  const para::Partition partition(
+      static_cast<para::PartitionScheme>(state.range(0)), 84'672'315, 64,
+      1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition.owner(i));
+    i = (i + 997) % 84'672'315;
+  }
+}
+BENCHMARK(BM_PartitionOwner)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

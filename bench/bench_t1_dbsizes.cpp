@@ -1,0 +1,67 @@
+// T1 — Database sizes and uniprocessor memory requirements.
+//
+// Reproduces the paper's database-statistics table: positions per level,
+// cumulative positions, bytes of the final database (1 byte per position)
+// and of the retrograde working set (values + best + counters), with the
+// uniprocessor total that motivates distribution.  The abstract's ">600
+// MByte of internal memory on a uniprocessor" database is flagged where
+// the working set first crosses that line.
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "retra/index/board_index.hpp"
+
+namespace {
+
+// Bytes per position during construction: value (int16) + best option
+// (int16) + successor counter (uint16), as in para::RankEngine.
+constexpr std::uint64_t kWorkingBytes = 6;
+// Bytes per position in the persisted database (values narrow to int8).
+constexpr std::uint64_t kFinalBytes = 1;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace retra;
+  support::Cli cli;
+  cli.flag("max-level", "24", "largest level to tabulate");
+  cli.parse(argc, argv);
+  const int max_level = static_cast<int>(cli.integer("max-level"));
+
+  std::printf(
+      "T1: awari endgame database sizes (working set = %" PRIu64
+      " B/position during construction, %" PRIu64 " B/position final)\n\n",
+      kWorkingBytes, kFinalBytes);
+
+  support::Table table({"level", "positions", "cumulative", "final DB",
+                        "level working set", "uniproc total", ""});
+  bool crossed = false;
+  for (int level = 0; level <= max_level; ++level) {
+    const std::uint64_t positions = idx::level_size(level);
+    const std::uint64_t cumulative = idx::cumulative_size(level);
+    // Building level n on one machine needs the level's working set plus
+    // all lower levels' final values for exit lookups.
+    const std::uint64_t uniprocessor =
+        positions * kWorkingBytes +
+        (cumulative - positions) * kFinalBytes;
+    const bool crosses =
+        !crossed && uniprocessor > 600ull * 1024 * 1024;
+    crossed = crossed || crosses;
+    table.row()
+        .add(level)
+        .add(positions)
+        .add(cumulative)
+        .add(support::human_bytes(cumulative * kFinalBytes))
+        .add(support::human_bytes(positions * kWorkingBytes))
+        .add(support::human_bytes(uniprocessor))
+        .add(crosses ? "<- exceeds 600 MB (the abstract's database)" : "");
+  }
+  table.print();
+
+  std::printf(
+      "\nThe paper computed one database in 50 min on 64 processors that "
+      "took 40 h on one machine,\nand a larger one (20 h on 64) needing "
+      ">600 MB on a uniprocessor — see bench_t2_runtime.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// T2 — Execution times: database level × processor count.
+//
+// The measured panel runs the real build under the cluster simulator; the
+// projected panel extends the table to the paper-scale databases the
+// abstract describes (40 h on one machine vs 50 min on 64; a larger one
+// in 20 h on 64 that needs >600 MB on a uniprocessor).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace retra;
+  using namespace retra::bench;
+  support::Cli cli;
+  add_model_flags(cli);
+  cli.flag("max-level", "10", "largest level built under the simulator");
+  cli.flag("combine-bytes", "4096", "combining buffer size");
+  cli.parse(argc, argv);
+  const int max_level = static_cast<int>(cli.integer("max-level"));
+  const auto combine = static_cast<std::size_t>(cli.integer("combine-bytes"));
+  const sim::ClusterModel model = model_from(cli);
+
+  std::printf("T2: execution time per database build (levels 0..n)\n");
+  print_model(model);
+
+  const std::vector<int> rank_counts{1, 4, 16, 64};
+
+  std::printf("\n(a) measured under the cluster simulator\n\n");
+  std::vector<std::string> headers{"n", "positions"};
+  for (const int ranks : rank_counts) {
+    headers.push_back("P=" + std::to_string(ranks));
+  }
+  headers.push_back("speedup@64");
+  support::Table measured(headers);
+
+  sim::LevelProfile top_profile{};
+  std::uint64_t top_rounds = 1;
+  for (int level = 6; level <= max_level; ++level) {
+    measured.row().add(level).add(idx::cumulative_size(level));
+    double t1 = 0, t_last = 0;
+    for (const int ranks : rank_counts) {
+      const auto run = simulate_build(level, ranks, combine, model);
+      t_last = run.total_time_s();
+      if (ranks == 1) t1 = t_last;
+      measured.add(support::human_seconds(t_last));
+      if (level == max_level && ranks == rank_counts.back()) {
+        top_profile = measured_profile(run);
+        top_rounds = run.levels.back().rounds;
+      }
+    }
+    measured.add(t1 / t_last, 1);
+  }
+  measured.print();
+
+  std::printf(
+      "\n(b) projected at paper scale (densities measured at level %d; "
+      "single level, all lower levels assumed built)\n\n",
+      max_level);
+  support::Table projected({"n", "positions", "P=1", "P=64", "speedup",
+                            "P=1 working set", ""});
+  for (const int level : {16, 18, 20, 21, 22, 24}) {
+    sim::LevelProfile profile =
+        paper_scale_profile(top_profile, max_level, level);
+    profile.rounds = top_rounds * level / max_level;
+    const auto p1 = sim::project_level(profile, 1, model, combine);
+    const auto p64 = sim::project_level(profile, 64, model, combine);
+    const std::uint64_t uniproc_bytes =
+        idx::level_size(level) * 6 +
+        (idx::cumulative_size(level) - idx::level_size(level));
+    projected.row()
+        .add(level)
+        .add(idx::level_size(level))
+        .add(support::human_seconds(p1.time_s))
+        .add(support::human_seconds(p64.time_s))
+        .add(p1.time_s / p64.time_s, 1)
+        .add(support::human_bytes(uniproc_bytes))
+        .add(uniproc_bytes > 600ull << 20 ? "> 600 MB: uniprocessor infeasible"
+                                          : "");
+  }
+  projected.print();
+  std::printf(
+      "\npaper reference: one database 40 h on P=1 vs 50 min on P=64 "
+      "(speedup 48); a larger one 20 h on P=64, >600 MB on P=1.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// T3 — Communication statistics per level.
+//
+// For every level of the build: retrograde updates split into local and
+// remote, exit lookups and replies, combined messages and the combining
+// factor actually achieved.  This is the table that substantiates the
+// combining claim with raw counts rather than times.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace retra;
+  using namespace retra::bench;
+  support::Cli cli;
+  add_model_flags(cli);
+  cli.flag("max-level", "10", "largest level built");
+  cli.flag("ranks", "16", "processors");
+  cli.flag("combine-bytes", "4096", "combining buffer size");
+  cli.parse(argc, argv);
+  const int max_level = static_cast<int>(cli.integer("max-level"));
+  const int ranks = static_cast<int>(cli.integer("ranks"));
+  const auto combine = static_cast<std::size_t>(cli.integer("combine-bytes"));
+  const sim::ClusterModel model = model_from(cli);
+
+  std::printf(
+      "T3: communication statistics per level, P=%d, %zu-byte combining\n\n",
+      ranks, combine);
+
+  const auto run = simulate_build(max_level, ranks, combine, model);
+
+  support::Table table({"level", "positions", "updates local",
+                        "updates remote", "lookups remote", "replies",
+                        "messages", "records/msg", "payload"});
+  for (const auto& info : run.levels) {
+    const std::uint64_t records = info.total.updates_remote +
+                                  info.total.lookups_remote +
+                                  info.total.replies_sent;
+    table.row()
+        .add(info.level)
+        .add(info.size)
+        .add(info.total.updates_local)
+        .add(info.total.updates_remote)
+        .add(info.total.lookups_remote)
+        .add(info.total.replies_sent)
+        .add(info.total.messages_sent)
+        .add(info.total.messages_sent
+                 ? static_cast<double>(records) /
+                       static_cast<double>(info.total.messages_sent)
+                 : 0.0,
+             1)
+        .add(support::human_bytes(info.total.payload_bytes));
+  }
+  table.print();
+
+  std::printf(
+      "\nremote updates approach (P-1)/P of all updates as the cyclic "
+      "partition scatters predecessors; combining packs hundreds of "
+      "10-byte records per message once levels are large enough to fill "
+      "buffers between supersteps.\n");
+  return 0;
+}

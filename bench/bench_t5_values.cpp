@@ -1,0 +1,62 @@
+// T5 — Database content statistics.
+//
+// What the computed databases actually say: per level, how many positions
+// the player to move wins / draws / loses on net future captures, and the
+// value extremes.  These are real (not simulated) numbers from the
+// sequential solver with full self-verification enabled.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "retra/db/db_stats.hpp"
+#include "retra/ra/builder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace retra;
+  support::Cli cli;
+  cli.flag("max-level", "10", "largest level to build and verify");
+  cli.parse(argc, argv);
+  const int max_level = static_cast<int>(cli.integer("max-level"));
+
+  ra::BuildOptions options;
+  options.verify = true;
+  const db::Database database =
+      ra::build_database(game::AwariFamily{}, max_level, options);
+
+  std::printf(
+      "T5: awari database content, levels 0..%d (every level passed the "
+      "local-consistency + well-foundedness verifier)\n\n",
+      max_level);
+
+  support::Table table({"level", "positions", "mover wins", "draws",
+                        "mover loses", "win%", "min", "max", "mean"});
+  for (int level = 0; level <= max_level; ++level) {
+    const db::LevelStats stats = db::level_stats(database, level);
+    table.row()
+        .add(level)
+        .add(stats.positions)
+        .add(stats.wins)
+        .add(stats.draws)
+        .add(stats.losses)
+        .add(support::percent(static_cast<double>(stats.wins) /
+                              static_cast<double>(stats.positions)))
+        .add(static_cast<int>(stats.min_value))
+        .add(static_cast<int>(stats.max_value))
+        .add(stats.mean_value, 3);
+  }
+  table.print();
+
+  // Value histogram of the top level.
+  std::printf("\nvalue histogram of level %d:\n\n", max_level);
+  const auto histogram = db::level_histogram(database, max_level, max_level);
+  support::Table hist({"value", "positions", "share"});
+  for (int v = -max_level; v <= max_level; ++v) {
+    if (histogram.count_at(v) == 0) continue;
+    hist.row()
+        .add(v)
+        .add(histogram.count_at(v))
+        .add(support::percent(static_cast<double>(histogram.count_at(v)) /
+                              static_cast<double>(histogram.total())));
+  }
+  hist.print();
+  return 0;
+}

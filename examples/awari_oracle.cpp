@@ -1,0 +1,87 @@
+// Awari endgame oracle: answer value/best-move queries from a database.
+//
+// Boards are given as twelve pit counts, mover's pits first:
+//
+//   $ awari_oracle --level=8 "1 2 0 0 1 0  0 1 0 2 0 1"
+//   $ awari_oracle --db=/tmp/awari10.db --line "0 0 2 1 0 0  1 0 0 0 1 1"
+//
+// With no positional arguments, reads one board per line from stdin.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "retra/db/db_io.hpp"
+#include "retra/game/awari_level.hpp"
+#include "retra/ra/builder.hpp"
+#include "retra/ra/oracle.hpp"
+#include "retra/support/cli.hpp"
+
+namespace {
+
+using namespace retra;
+
+void answer(const db::Database& database, const game::Board& board,
+            bool with_line) {
+  std::printf("%s\n", game::board_to_string(board).c_str());
+  if (game::is_terminal(board)) {
+    std::printf("  terminal: mover nets %d\n",
+                game::terminal_reward(board));
+    return;
+  }
+  std::printf("  value: %+d stones net for the player to move\n",
+              static_cast<int>(ra::position_value(database, board)));
+  for (const auto& eval : ra::evaluate_moves(database, board)) {
+    std::printf("  pit %d -> %+d%s\n", eval.pit,
+                static_cast<int>(eval.value),
+                eval.captured
+                    ? (" (captures " + std::to_string(eval.captured) + ")")
+                          .c_str()
+                    : "");
+  }
+  if (with_line) {
+    std::printf("  optimal line:\n");
+    for (const std::string& ply : ra::optimal_line(database, board, 16)) {
+      std::printf("    %s\n", ply.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Cli cli;
+  cli.flag("db", "", "load this database file instead of building");
+  cli.flag("level", "8", "build levels 0..n when no --db is given");
+  cli.flag("line", "false", "also print the optimal line");
+  cli.parse(argc, argv);
+
+  db::Database database;
+  if (const std::string path = cli.str("db"); !path.empty()) {
+    db::LoadResult loaded = db::load(path);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                   loaded.error.c_str());
+      return 1;
+    }
+    database = std::move(loaded.database);
+  } else {
+    database = ra::build_database(game::AwariFamily{},
+                                  static_cast<int>(cli.integer("level")));
+  }
+
+  if (!cli.positional().empty()) {
+    for (const std::string& text : cli.positional()) {
+      answer(database, game::board_from_string(text.c_str()),
+             cli.boolean("line"));
+    }
+    return 0;
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    answer(database, game::board_from_string(line.c_str()),
+           cli.boolean("line"));
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a small awari endgame database, query a position,
+// save it to disk and load it back.
+//
+//   $ quickstart [--level=7]
+#include <cstdio>
+
+#include "retra/db/db_io.hpp"
+#include "retra/game/awari_level.hpp"
+#include "retra/ra/builder.hpp"
+#include "retra/ra/oracle.hpp"
+#include "retra/support/cli.hpp"
+#include "retra/support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace retra;
+  support::Cli cli;
+  cli.flag("level", "7", "largest stone count to solve");
+  cli.flag("out", "/tmp/awari_quickstart.db", "database file");
+  cli.parse(argc, argv);
+  const int level = static_cast<int>(cli.integer("level"));
+
+  // 1. Build every database level up to `level`, with self-verification.
+  support::Timer timer;
+  ra::BuildOptions options;
+  options.verify = true;
+  const db::Database database =
+      ra::build_database(game::AwariFamily{}, level, options);
+  std::printf("built and verified levels 0..%d (%llu positions) in %.2fs\n",
+              level,
+              static_cast<unsigned long long>(database.total_positions()),
+              timer.seconds());
+
+  // 2. Query a position: the mover's pits are 0-5, the opponent's 6-11.
+  const game::Board board =
+      game::board_from_string("2 0 1 0 0 1  1 0 0 2 0 0");
+  std::printf("\nposition %s\n", game::board_to_string(board).c_str());
+  std::printf("value for the player to move: %d stones net\n",
+              static_cast<int>(ra::position_value(database, board)));
+  for (const auto& eval : ra::evaluate_moves(database, board)) {
+    std::printf("  pit %d: captures %d, guarantees %+d\n", eval.pit,
+                eval.captured, static_cast<int>(eval.value));
+  }
+
+  // 3. Follow the optimal line for a few plies.
+  std::printf("\noptimal play:\n");
+  for (const std::string& ply : ra::optimal_line(database, board, 10)) {
+    std::printf("  %s\n", ply.c_str());
+  }
+
+  // 4. Persist and reload.
+  const std::string path = cli.str("out");
+  db::save(database, path);
+  const db::LoadResult loaded = db::load(path);
+  std::printf("\nsaved to %s and reloaded: %s\n", path.c_str(),
+              loaded.ok && loaded.database == database ? "identical"
+                                                       : "MISMATCH");
+  return loaded.ok && loaded.database == database ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+// In-memory endgame databases: one dense value vector per level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retra/game/level_game.hpp"
+#include "retra/index/board_index.hpp"
+
+namespace retra::db {
+
+using game::Value;
+
+/// Sentinel for not-yet-assigned entries inside solvers; never present in a
+/// finished database.
+inline constexpr Value kUnknown = INT16_MIN;
+
+/// A solved database: levels 0..N, each a dense vector indexed by the
+/// level's perfect position index.  Levels must be added bottom-up but may
+/// be queried in any order.
+class Database {
+ public:
+  /// Appends the next level; `values` must cover the whole level and the
+  /// level id must be num_levels() (levels are contiguous from 0).
+  void push_level(int level, std::vector<Value> values);
+
+  /// Number of stored levels; stored level ids are 0..num_levels()-1.
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  bool has_level(int level) const {
+    return level >= 0 && level < num_levels();
+  }
+
+  const std::vector<Value>& level(int l) const;
+  Value value(int level, idx::Index index) const;
+
+  /// Total entries across levels.
+  std::uint64_t total_positions() const;
+
+  bool operator==(const Database& other) const = default;
+
+ private:
+  std::vector<std::vector<Value>> levels_;
+};
+
+}  // namespace retra::db

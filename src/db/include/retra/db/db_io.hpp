@@ -1,0 +1,33 @@
+// Database persistence.
+//
+// Compact little-endian format with a per-level FNV-1a checksum; values are
+// narrowed to one byte when the level's range allows (always true for
+// awari), mirroring the storage the paper's memory figures assume.
+//
+//   magic "RTRADB01" | u32 level count
+//   per level: u64 size | u8 width (1 or 2) | payload | u64 checksum
+#pragma once
+
+#include <string>
+
+#include "retra/db/database.hpp"
+
+namespace retra::db {
+
+/// Writes the database; aborts on I/O failure (callers are CLI tools).
+void save(const Database& database, const std::string& path);
+
+/// Result of load(): either a database or a diagnosis of why the file was
+/// rejected (missing, malformed, checksum mismatch).
+struct LoadResult {
+  bool ok = false;
+  std::string error;
+  Database database;
+};
+
+LoadResult load(const std::string& path);
+
+/// FNV-1a over a byte range; exposed for tests.
+std::uint64_t fnv1a(const void* data, std::size_t size);
+
+}  // namespace retra::db

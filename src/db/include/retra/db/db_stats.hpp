@@ -1,0 +1,30 @@
+// Database content statistics — the raw material of the paper-style
+// "database characteristics" tables (wins / draws / losses, value spread).
+#pragma once
+
+#include <cstdint>
+
+#include "retra/db/database.hpp"
+#include "retra/support/stats.hpp"
+
+namespace retra::db {
+
+struct LevelStats {
+  int level = 0;
+  std::uint64_t positions = 0;
+  /// Positions the mover wins / draws / loses on net future captures.
+  std::uint64_t wins = 0;
+  std::uint64_t draws = 0;
+  std::uint64_t losses = 0;
+  Value min_value = 0;
+  Value max_value = 0;
+  double mean_value = 0.0;
+};
+
+LevelStats level_stats(const Database& database, int level);
+
+/// Full value histogram of a level over [-bound, bound].
+support::IntHistogram level_histogram(const Database& database, int level,
+                                      int bound);
+
+}  // namespace retra::db

@@ -1,0 +1,109 @@
+#include "retra/db/compact.hpp"
+
+#include <algorithm>
+
+#include "retra/support/check.hpp"
+
+namespace retra::db {
+
+CompactLevel::CompactLevel(const std::vector<Value>& values) {
+  size_ = values.size();
+  Value lo = 0, hi = 0;
+  if (!values.empty()) {
+    const auto [min_it, max_it] =
+        std::minmax_element(values.begin(), values.end());
+    lo = *min_it;
+    hi = *max_it;
+  }
+  offset_ = lo;
+  const std::uint32_t span = static_cast<std::uint32_t>(hi - lo);
+  if (span < (1u << 4)) {
+    bits_ = 4;
+  } else if (span < (1u << 8)) {
+    bits_ = 8;
+  } else {
+    bits_ = 16;
+  }
+
+  packed_.assign((size_ * bits_ + 7) / 8, 0);
+  for (std::uint64_t i = 0; i < size_; ++i) {
+    const auto coded = static_cast<std::uint32_t>(values[i] - offset_);
+    switch (bits_) {
+      case 4: {
+        const std::uint64_t byte = i / 2;
+        if (i % 2 == 0) {
+          packed_[byte] |= static_cast<std::uint8_t>(coded);
+        } else {
+          packed_[byte] |= static_cast<std::uint8_t>(coded << 4);
+        }
+        break;
+      }
+      case 8:
+        packed_[i] = static_cast<std::uint8_t>(coded);
+        break;
+      default:
+        packed_[2 * i] = static_cast<std::uint8_t>(coded & 0xff);
+        packed_[2 * i + 1] = static_cast<std::uint8_t>(coded >> 8);
+        break;
+    }
+  }
+}
+
+Value CompactLevel::get(idx::Index index) const {
+  RETRA_DCHECK(index < size_);
+  std::uint32_t coded = 0;
+  switch (bits_) {
+    case 4: {
+      const std::uint8_t byte = packed_[index / 2];
+      coded = index % 2 == 0 ? (byte & 0x0f) : (byte >> 4);
+      break;
+    }
+    case 8:
+      coded = packed_[index];
+      break;
+    default:
+      coded = static_cast<std::uint32_t>(packed_[2 * index]) |
+              (static_cast<std::uint32_t>(packed_[2 * index + 1]) << 8);
+      break;
+  }
+  return static_cast<Value>(coded + offset_);
+}
+
+std::vector<Value> CompactLevel::expand() const {
+  std::vector<Value> out(size_);
+  for (std::uint64_t i = 0; i < size_; ++i) out[i] = get(i);
+  return out;
+}
+
+CompactDatabase::CompactDatabase(const Database& database) {
+  levels_.reserve(database.num_levels());
+  for (int level = 0; level < database.num_levels(); ++level) {
+    levels_.emplace_back(database.level(level));
+  }
+}
+
+Value CompactDatabase::value(int level, idx::Index index) const {
+  RETRA_CHECK(has_level(level));
+  return levels_[level].get(index);
+}
+
+const CompactLevel& CompactDatabase::level(int l) const {
+  RETRA_CHECK(has_level(l));
+  return levels_[l];
+}
+
+std::uint64_t CompactDatabase::memory_bytes() const {
+  std::uint64_t total = 0;
+  for (const CompactLevel& level : levels_) total += level.memory_bytes();
+  return total;
+}
+
+Database CompactDatabase::expand() const {
+  Database out;
+  for (int level = 0; level < num_levels(); ++level) {
+    out.push_level(level, levels_[level].expand());
+  }
+  return out;
+}
+
+}  // namespace retra::db

@@ -1,0 +1,33 @@
+#include "retra/db/database.hpp"
+
+#include "retra/support/check.hpp"
+
+namespace retra::db {
+
+void Database::push_level(int level, std::vector<Value> values) {
+  RETRA_CHECK_MSG(level == num_levels(), "levels must be added bottom-up");
+  for (const Value v : values) {
+    RETRA_CHECK_MSG(v != kUnknown, "database level contains unknown values");
+  }
+  levels_.push_back(std::move(values));
+}
+
+const std::vector<Value>& Database::level(int l) const {
+  RETRA_CHECK(has_level(l));
+  return levels_[l];
+}
+
+Value Database::value(int level, idx::Index index) const {
+  RETRA_CHECK(has_level(level));
+  const auto& values = levels_[level];
+  RETRA_CHECK(index < values.size());
+  return values[index];
+}
+
+std::uint64_t Database::total_positions() const {
+  std::uint64_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+}  // namespace retra::db

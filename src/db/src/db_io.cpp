@@ -1,0 +1,148 @@
+#include "retra/db/db_io.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "retra/support/check.hpp"
+
+namespace retra::db {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'T', 'R', 'A', 'D', 'B', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* data, std::size_t size) {
+  RETRA_CHECK_MSG(std::fwrite(data, 1, size, f) == size, "short write");
+}
+
+template <typename T>
+void write_pod(std::FILE* f, T value) {
+  write_bytes(f, &value, sizeof value);
+}
+
+bool read_bytes(std::FILE* f, void* data, std::size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+
+template <typename T>
+bool read_pod(std::FILE* f, T& value) {
+  return read_bytes(f, &value, sizeof value);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void save(const Database& database, const std::string& path) {
+  File file(std::fopen(path.c_str(), "wb"));
+  RETRA_CHECK_MSG(file != nullptr, "cannot open for writing: " + path);
+  std::FILE* f = file.get();
+
+  write_bytes(f, kMagic, sizeof kMagic);
+  write_pod(f, static_cast<std::uint32_t>(database.num_levels()));
+
+  for (int l = 0; l < database.num_levels(); ++l) {
+    const auto& values = database.level(l);
+    bool narrow = true;
+    for (const Value v : values) {
+      if (v < INT8_MIN || v > INT8_MAX) {
+        narrow = false;
+        break;
+      }
+    }
+    write_pod(f, static_cast<std::uint64_t>(values.size()));
+    write_pod(f, static_cast<std::uint8_t>(narrow ? 1 : 2));
+    std::uint64_t checksum;
+    if (narrow) {
+      std::vector<std::int8_t> packed(values.begin(), values.end());
+      checksum = fnv1a(packed.data(), packed.size());
+      write_bytes(f, packed.data(), packed.size());
+    } else {
+      checksum = fnv1a(values.data(), values.size() * sizeof(Value));
+      write_bytes(f, values.data(), values.size() * sizeof(Value));
+    }
+    write_pod(f, checksum);
+  }
+  RETRA_CHECK_MSG(std::fflush(f) == 0, "flush failed: " + path);
+}
+
+LoadResult load(const std::string& path) {
+  LoadResult result;
+  File file(std::fopen(path.c_str(), "rb"));
+  if (!file) {
+    result.error = "cannot open: " + path;
+    return result;
+  }
+  std::FILE* f = file.get();
+
+  char magic[8];
+  if (!read_bytes(f, magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    result.error = "bad magic";
+    return result;
+  }
+  std::uint32_t level_count = 0;
+  if (!read_pod(f, level_count) || level_count > 4096) {
+    result.error = "bad level count";
+    return result;
+  }
+
+  for (std::uint32_t l = 0; l < level_count; ++l) {
+    std::uint64_t size = 0;
+    std::uint8_t width = 0;
+    if (!read_pod(f, size) || !read_pod(f, width) ||
+        (width != 1 && width != 2)) {
+      result.error = "bad level header";
+      return result;
+    }
+    std::vector<Value> values;
+    std::uint64_t checksum = 0;
+    if (width == 1) {
+      std::vector<std::int8_t> packed(size);
+      if (!read_bytes(f, packed.data(), size)) {
+        result.error = "truncated level payload";
+        return result;
+      }
+      checksum = fnv1a(packed.data(), packed.size());
+      values.assign(packed.begin(), packed.end());
+    } else {
+      values.resize(size);
+      if (!read_bytes(f, values.data(), size * sizeof(Value))) {
+        result.error = "truncated level payload";
+        return result;
+      }
+      checksum = fnv1a(values.data(), size * sizeof(Value));
+    }
+    std::uint64_t stored = 0;
+    if (!read_pod(f, stored)) {
+      result.error = "missing checksum";
+      return result;
+    }
+    if (stored != checksum) {
+      result.error = "checksum mismatch in level " + std::to_string(l);
+      return result;
+    }
+    result.database.push_level(static_cast<int>(l), std::move(values));
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace retra::db

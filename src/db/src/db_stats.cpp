@@ -1,0 +1,41 @@
+#include "retra/db/db_stats.hpp"
+
+#include <algorithm>
+
+namespace retra::db {
+
+LevelStats level_stats(const Database& database, int level) {
+  const auto& values = database.level(level);
+  LevelStats stats;
+  stats.level = level;
+  stats.positions = values.size();
+  if (values.empty()) return stats;
+  stats.min_value = values.front();
+  stats.max_value = values.front();
+  double sum = 0.0;
+  for (const Value v : values) {
+    if (v > 0) {
+      ++stats.wins;
+    } else if (v == 0) {
+      ++stats.draws;
+    } else {
+      ++stats.losses;
+    }
+    stats.min_value = std::min(stats.min_value, v);
+    stats.max_value = std::max(stats.max_value, v);
+    sum += v;
+  }
+  stats.mean_value = sum / static_cast<double>(values.size());
+  return stats;
+}
+
+support::IntHistogram level_histogram(const Database& database, int level,
+                                      int bound) {
+  support::IntHistogram histogram(-bound, bound);
+  for (const Value v : database.level(level)) {
+    histogram.add(v);
+  }
+  return histogram;
+}
+
+}  // namespace retra::db

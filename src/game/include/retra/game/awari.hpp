@@ -1,0 +1,80 @@
+// Awari (oware) rules, Computer-Olympiad variant.
+//
+// Boards are 12 pits; pits 0–5 belong to the player to move, 6–11 to the
+// opponent.  Every position is normalised to the player to move, so applying
+// a move rotates the result by six pits.  The rules implemented here (and
+// their interaction with retrograde analysis) are spelled out in DESIGN.md:
+//
+//  * sowing counter-clockwise, skipping the origin pit on every lap;
+//  * capture of trailing chains of 2s and 3s in the opponent's row;
+//  * grand slam: a move that would capture all opponent stones is legal but
+//    captures nothing;
+//  * must feed: if the opponent's row is empty the move must reach it; if no
+//    move does, the game ends and the mover takes every stone on the board;
+//  * a player with an empty row (no move at all) loses the remaining stones
+//    to the opponent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "retra/index/board_index.hpp"
+
+namespace retra::game {
+
+using idx::Board;
+using idx::kPits;
+
+/// Result of applying one move.
+struct AppliedMove {
+  /// False when the pit is empty or the move violates the must-feed rule.
+  bool legal = false;
+  /// Stones captured by the mover (0 for plain sowing and for forfeited
+  /// grand slams).
+  int captured = 0;
+  /// Successor board, already rotated so the *new* player to move owns
+  /// pits 0–5.  Only meaningful when legal.
+  Board after{};
+};
+
+/// Applies the move from `pit` (0–5) with full legality checking.
+AppliedMove apply_move(const Board& board, int pit);
+
+/// All legal moves of a position.  A position has at most six.
+struct MoveList {
+  struct Entry {
+    int pit;
+    int captured;
+    Board after;
+  };
+  Entry items[6];
+  int count = 0;
+
+  const Entry* begin() const { return items; }
+  const Entry* end() const { return items + count; }
+};
+MoveList legal_moves(const Board& board);
+
+/// True when the player to move has no legal move (the game is over).
+bool is_terminal(const Board& board);
+
+/// Net future capture for the mover of a terminal position: −(stones on the
+/// board) when the mover's row is empty, +(stones) when the mover cannot
+/// feed a starving opponent.  Only meaningful when is_terminal().
+int terminal_reward(const Board& board);
+
+/// Same-level predecessors: every board `q` (normalised to *its* mover)
+/// from which some legal non-capturing move produces `board`.  Each element
+/// is one predecessor *edge*; a board reaching `board` through two distinct
+/// pits appears twice, which is exactly what the retrograde counters need.
+/// `out` is cleared first and reused by callers to avoid allocation.
+void predecessors(const Board& board, std::vector<Board>& out);
+
+/// Parses "4 4 4 4 4 4 4 4 4 4 4 4"-style pit lists; aborts on malformed
+/// input (test/example helper).
+Board board_from_string(const char* text);
+
+/// "[4 4 4 4 4 4 | 4 4 4 4 4 4]" rendering, mover's row first.
+std::string board_to_string(const Board& board);
+
+}  // namespace retra::game

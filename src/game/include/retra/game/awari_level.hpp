@@ -1,0 +1,89 @@
+// LevelGame adapter for awari: one instance per stone count.
+#pragma once
+
+#include <vector>
+
+#include "retra/game/awari.hpp"
+#include "retra/game/level_game.hpp"
+
+namespace retra::game {
+
+class AwariLevel {
+ public:
+  explicit AwariLevel(int stones)
+      : stones_(stones), size_(idx::level_size(stones)) {}
+
+  int level() const { return stones_; }
+  std::uint64_t size() const { return size_; }
+  /// A level-n value is a net capture of at most all n stones.
+  int max_value() const { return stones_; }
+
+  /// Board-based option visitation; engines that scan a whole level keep a
+  /// running board (idx::next_board) and avoid unranking.
+  template <typename ExitFn, typename SuccFn>
+  void visit_options_board(const Board& board, ExitFn&& on_exit,
+                           SuccFn&& on_succ) const {
+    const MoveList moves = legal_moves(board);
+    if (moves.count == 0) {
+      on_exit(Exit{static_cast<std::int16_t>(terminal_reward(board)),
+                   Exit::kTerminal, 0});
+      return;
+    }
+    for (const auto& m : moves) {
+      if (m.captured > 0) {
+        on_exit(Exit{static_cast<std::int16_t>(m.captured),
+                     static_cast<std::int16_t>(stones_ - m.captured),
+                     idx::rank(m.after)});
+      } else {
+        on_succ(idx::rank(m.after));
+      }
+    }
+  }
+
+  template <typename ExitFn, typename SuccFn>
+  void visit_options(idx::Index index, ExitFn&& on_exit,
+                     SuccFn&& on_succ) const {
+    visit_options_board(idx::unrank(stones_, index),
+                        static_cast<ExitFn&&>(on_exit),
+                        static_cast<SuccFn&&>(on_succ));
+  }
+
+  /// Bulk scan used by solver initialisation: fn(index, visit) for every
+  /// position in rank order, where visit(on_exit, on_succ) enumerates the
+  /// position's options.  Walks the level with next_board(), so no
+  /// per-position unranking happens.
+  template <typename Fn>
+  void scan(Fn&& fn) const {
+    Board board = idx::first_board(stones_);
+    for (std::uint64_t i = 0; i < size_; ++i) {
+      fn(static_cast<idx::Index>(i), [&](auto&& on_exit, auto&& on_succ) {
+        visit_options_board(board, on_exit, on_succ);
+      });
+      if (i + 1 < size_) idx::next_board(board);
+    }
+  }
+
+  template <typename PredFn>
+  void visit_predecessors_board(const Board& board, PredFn&& on_pred) const {
+    static thread_local std::vector<Board> scratch;
+    game::predecessors(board, scratch);
+    for (const Board& q : scratch) on_pred(idx::rank(q));
+  }
+
+  template <typename PredFn>
+  void visit_predecessors(idx::Index index, PredFn&& on_pred) const {
+    visit_predecessors_board(idx::unrank(stones_, index),
+                             static_cast<PredFn&&>(on_pred));
+  }
+
+ private:
+  int stones_;
+  std::uint64_t size_;
+};
+
+/// Game-family adapter: level(l) is the l-stone awari level.
+struct AwariFamily {
+  AwariLevel level(int stones) const { return AwariLevel(stones); }
+};
+
+}  // namespace retra::game

@@ -1,0 +1,109 @@
+// Synthetic multi-level graph games.
+//
+// Random instances of the level-game structure with the same shape as awari
+// (zero-reward edges inside a level, rewarded exits to lower levels,
+// terminal options) but arbitrary topology — including dense cycles and
+// degenerate nodes.  The property-test suite solves thousands of these with
+// three independent algorithms and demands identical values; they are also
+// small enough to exercise every corner of the distributed engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retra/game/level_game.hpp"
+
+namespace retra::game {
+
+struct GraphGameConfig {
+  /// Levels 0..levels-1; level 0 has terminal-only nodes.
+  int levels = 4;
+  /// Size of level 0; level l has about size0 * growth^l nodes.
+  std::uint64_t size0 = 16;
+  double growth = 2.0;
+  /// Mean number of same-level successor edges per node (Poisson-ish).
+  double edge_mean = 2.5;
+  /// Mean number of exits per node.
+  double exit_mean = 1.0;
+  /// Probability that a node keeps a terminal exit (in addition to or
+  /// instead of lookups); nodes that would end up with no option at all
+  /// always receive one so the game is well-formed.
+  double terminal_chance = 0.15;
+  /// Probability that a lookup exit keeps the same player to move
+  /// (kalah-style extra turn): option value reward + v instead of
+  /// reward − v.
+  double same_mover_chance = 0.2;
+  /// Exit rewards are drawn uniformly from [-reward_range, reward_range].
+  int reward_range = 3;
+  std::uint64_t seed = 1;
+};
+
+class GraphLevel {
+ public:
+  int level() const { return level_; }
+  std::uint64_t size() const { return succs_.size(); }
+  int max_value() const { return max_value_; }
+
+  template <typename ExitFn, typename SuccFn>
+  void visit_options(idx::Index index, ExitFn&& on_exit,
+                     SuccFn&& on_succ) const {
+    for (const Exit& e : exits_[index]) on_exit(e);
+    for (const std::uint32_t s : succs_[index]) {
+      on_succ(static_cast<idx::Index>(s));
+    }
+  }
+
+  /// Bulk scan counterpart of AwariLevel::scan.
+  template <typename Fn>
+  void scan(Fn&& fn) const {
+    for (std::uint64_t i = 0; i < size(); ++i) {
+      fn(static_cast<idx::Index>(i), [&](auto&& on_exit, auto&& on_succ) {
+        visit_options(i, on_exit, on_succ);
+      });
+    }
+  }
+
+  template <typename PredFn>
+  void visit_predecessors(idx::Index index, PredFn&& on_pred) const {
+    for (const std::uint32_t p : preds_[index]) {
+      on_pred(static_cast<idx::Index>(p));
+    }
+  }
+
+  const std::vector<Exit>& exits_of(idx::Index index) const {
+    return exits_[index];
+  }
+  const std::vector<std::uint32_t>& succs_of(idx::Index index) const {
+    return succs_[index];
+  }
+
+  /// Hand-built level for tests: explicit successor lists and exits; the
+  /// predecessor lists and the value bound are derived.  `lower_bounds[l]`
+  /// must bound |value| of level l for every referenced lower level.
+  static GraphLevel custom(int level,
+                           std::vector<std::vector<std::uint32_t>> succs,
+                           std::vector<std::vector<Exit>> exits,
+                           const std::vector<int>& lower_bounds = {});
+
+ private:
+  friend class GraphGame;
+
+  int level_ = 0;
+  int max_value_ = 0;
+  std::vector<std::vector<std::uint32_t>> succs_;
+  std::vector<std::vector<std::uint32_t>> preds_;
+  std::vector<std::vector<Exit>> exits_;
+};
+
+class GraphGame {
+ public:
+  explicit GraphGame(const GraphGameConfig& config);
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  const GraphLevel& level(int l) const { return levels_[l]; }
+
+ private:
+  std::vector<GraphLevel> levels_;
+};
+
+}  // namespace retra::game

@@ -1,0 +1,72 @@
+// Kalah (six-pit), the second mancala family shipped with the library.
+//
+// Kalah differs from awari in every way that stresses the engine's
+// generality: sowing passes through the mover's store (each pass banks a
+// stone, so the move leaves the level), landing in the store grants an
+// extra turn (a same-mover exit), and captures take the opposite pit.
+// Rules implemented (documented variant):
+//
+//  * pits 0–5 mover, 6–11 opponent, positions normalised to the mover;
+//    stores are score, not state — exactly like captured stones in awari;
+//  * sowing is counter-clockwise over own pits, own store, opponent pits
+//    (the opponent's store is skipped; the origin pit is resown on later
+//    laps);
+//  * every stone sown into the own store is banked (+1 reward) and
+//    removed from the board;
+//  * last stone in the own store: the same player moves again;
+//  * last stone in an own pit that was empty, with a non-empty opposite
+//    pit (own pit i faces opponent pit 11 − i): both pits are banked;
+//  * a player whose row is empty at their turn loses every stone on the
+//    board to the opponent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "retra/index/board_index.hpp"
+
+namespace retra::game::kalah {
+
+using idx::Board;
+using idx::kPits;
+
+struct AppliedMove {
+  bool legal = false;
+  /// Stones banked by the mover: store sows plus any capture.
+  int banked = 0;
+  /// The same player moves again (last stone fell into the store).
+  bool extra_turn = false;
+  /// Successor board; rotated to the next mover unless extra_turn.
+  Board after{};
+};
+
+/// Applies the move from `pit` (0–5).
+AppliedMove apply_move(const Board& board, int pit);
+
+struct MoveList {
+  struct Entry {
+    int pit;
+    int banked;
+    bool extra_turn;
+    Board after;
+  };
+  Entry items[6];
+  int count = 0;
+
+  const Entry* begin() const { return items; }
+  const Entry* end() const { return items + count; }
+};
+MoveList legal_moves(const Board& board);
+
+/// True when the mover's row is empty (the game is over).
+bool is_terminal(const Board& board);
+
+/// Terminal reward: the opponent sweeps the board, so −(stones on board).
+int terminal_reward(const Board& board);
+
+/// Same-level predecessor edges: boards from which a legal move that
+/// banks nothing (never touches the store, captures nothing) reaches
+/// `board`.  Cleared and reused like awari's.
+void predecessors(const Board& board, std::vector<Board>& out);
+
+}  // namespace retra::game::kalah

@@ -1,0 +1,88 @@
+// LevelGame adapter for kalah: one instance per stone count.
+//
+// Every banking move (store sow, capture, extra turn) leaves the level,
+// so exits dominate; the same-level graph is the sparse set of in-row
+// sows.  Extra turns surface as same-mover exits (Exit::same_mover).
+#pragma once
+
+#include <vector>
+
+#include "retra/game/kalah.hpp"
+#include "retra/game/level_game.hpp"
+
+namespace retra::game {
+
+class KalahLevel {
+ public:
+  explicit KalahLevel(int stones)
+      : stones_(stones), size_(idx::level_size(stones)) {}
+
+  int level() const { return stones_; }
+  std::uint64_t size() const { return size_; }
+  int max_value() const { return stones_; }
+
+  template <typename ExitFn, typename SuccFn>
+  void visit_options_board(const Board& board, ExitFn&& on_exit,
+                           SuccFn&& on_succ) const {
+    if (kalah::is_terminal(board)) {
+      on_exit(Exit{static_cast<std::int16_t>(kalah::terminal_reward(board)),
+                   Exit::kTerminal, 0, false});
+      return;
+    }
+    for (const auto& m : kalah::legal_moves(board)) {
+      if (m.banked == 0 && !m.extra_turn) {
+        on_succ(idx::rank(m.after));
+        continue;
+      }
+      Exit exit;
+      exit.reward = static_cast<std::int16_t>(m.banked);
+      exit.lower_level = static_cast<std::int16_t>(stones_ - m.banked);
+      exit.lower_index = idx::rank(m.after);
+      exit.same_mover = m.extra_turn;
+      on_exit(exit);
+    }
+  }
+
+  template <typename ExitFn, typename SuccFn>
+  void visit_options(idx::Index index, ExitFn&& on_exit,
+                     SuccFn&& on_succ) const {
+    visit_options_board(idx::unrank(stones_, index),
+                        static_cast<ExitFn&&>(on_exit),
+                        static_cast<SuccFn&&>(on_succ));
+  }
+
+  template <typename Fn>
+  void scan(Fn&& fn) const {
+    Board board = idx::first_board(stones_);
+    for (std::uint64_t i = 0; i < size_; ++i) {
+      fn(static_cast<idx::Index>(i), [&](auto&& on_exit, auto&& on_succ) {
+        visit_options_board(board, on_exit, on_succ);
+      });
+      if (i + 1 < size_) idx::next_board(board);
+    }
+  }
+
+  template <typename PredFn>
+  void visit_predecessors_board(const Board& board, PredFn&& on_pred) const {
+    static thread_local std::vector<Board> scratch;
+    kalah::predecessors(board, scratch);
+    for (const Board& q : scratch) on_pred(idx::rank(q));
+  }
+
+  template <typename PredFn>
+  void visit_predecessors(idx::Index index, PredFn&& on_pred) const {
+    visit_predecessors_board(idx::unrank(stones_, index),
+                             static_cast<PredFn&&>(on_pred));
+  }
+
+ private:
+  int stones_;
+  std::uint64_t size_;
+};
+
+/// Game-family adapter: level(l) is the l-stone kalah level.
+struct KalahFamily {
+  KalahLevel level(int stones) const { return KalahLevel(stones); }
+};
+
+}  // namespace retra::game

@@ -1,0 +1,66 @@
+// The level-game abstraction consumed by the retrograde-analysis engines.
+//
+// A *level* is a set of positions closed under non-rewarding moves: moves
+// either stay inside the level with reward 0 (awari: sowing without
+// capture) or leave it with a known reward towards an already-solved lower
+// level (awari: captures and game-end rules).  Retrograde analysis solves
+// one level at a time, bottom up.
+//
+// A LevelGame type provides:
+//   int level() const;                    — the level id (awari: stones)
+//   std::uint64_t size() const;           — number of positions
+//   int max_value() const;                — bound on |game value| in the level
+//   template <E, S> void visit_options(Index, E on_exit, S on_succ) const;
+//       on_exit(Exit) for every option leaving the level,
+//       on_succ(Index) for every same-level successor edge;
+//   template <P> void visit_predecessors(Index, P on_pred) const;
+//       on_pred(Index) once per same-level predecessor *edge*.
+//
+// visit_options/visit_predecessors are templates, so the contract is
+// documented rather than expressed as a C++ concept; the engines are
+// templates over the game type and fail to instantiate on mismatch.
+#pragma once
+
+#include <cstdint>
+
+#include "retra/index/board_index.hpp"
+
+namespace retra::game {
+
+/// An option that leaves the level.
+struct Exit {
+  /// Stones captured by the mover (terminal rules may make it negative).
+  std::int16_t reward = 0;
+  /// Level holding the successor, or kTerminal when the option ends the
+  /// game and its value is `reward` outright.
+  std::int16_t lower_level = kTerminal;
+  /// Position index within lower_level (meaningless for terminal exits).
+  idx::Index lower_index = 0;
+  /// True when the *same* player moves again in the successor (kalah's
+  /// extra turn): the option is then worth reward + v(successor) instead
+  /// of reward − v(successor).  Only exits may keep the mover — a
+  /// same-level same-mover edge would break the alternation the engines
+  /// rely on, and no supported game produces one.
+  bool same_mover = false;
+
+  static constexpr std::int16_t kTerminal = -1;
+
+  bool is_terminal() const { return lower_level == kTerminal; }
+};
+
+/// Game values.  int16 accommodates the synthetic graph games; awari values
+/// fit in a byte and are narrowed when databases are persisted.
+using Value = std::int16_t;
+
+/// Value of an exit option given a lower-level value oracle
+/// `lower(level, index)` — the single place the reward/sign convention
+/// lives.
+template <typename LowerFn>
+Value exit_value(const Exit& exit, LowerFn&& lower) {
+  if (exit.is_terminal()) return exit.reward;
+  const Value successor = lower(exit.lower_level, exit.lower_index);
+  return static_cast<Value>(exit.same_mover ? exit.reward + successor
+                                            : exit.reward - successor);
+}
+
+}  // namespace retra::game

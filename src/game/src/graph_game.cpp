@@ -1,0 +1,126 @@
+#include "retra/game/graph_game.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "retra/support/check.hpp"
+#include "retra/support/rng.hpp"
+
+namespace retra::game {
+
+namespace {
+
+/// Small non-negative integer with the given mean: uniform on
+/// [0, 2*mean], which keeps degenerate zero-degree nodes common.
+std::uint64_t small_count(support::Xoshiro256& rng, double mean) {
+  const std::uint64_t bound = static_cast<std::uint64_t>(2.0 * mean) + 1;
+  return rng.below(bound);
+}
+
+}  // namespace
+
+GraphLevel GraphLevel::custom(int level,
+                              std::vector<std::vector<std::uint32_t>> succs,
+                              std::vector<std::vector<Exit>> exits,
+                              const std::vector<int>& lower_bounds) {
+  RETRA_CHECK(succs.size() == exits.size());
+  GraphLevel out;
+  out.level_ = level;
+  out.succs_ = std::move(succs);
+  out.exits_ = std::move(exits);
+  out.preds_.resize(out.succs_.size());
+  int bound = 0;
+  for (std::uint64_t node = 0; node < out.succs_.size(); ++node) {
+    RETRA_CHECK_MSG(!out.succs_[node].empty() || !out.exits_[node].empty(),
+                    "custom graph node without options");
+    for (const std::uint32_t s : out.succs_[node]) {
+      RETRA_CHECK(s < out.succs_.size());
+      out.preds_[s].push_back(static_cast<std::uint32_t>(node));
+    }
+    for (const Exit& exit : out.exits_[node]) {
+      const int lower =
+          exit.is_terminal() ? 0 : lower_bounds.at(exit.lower_level);
+      bound = std::max(bound, std::abs(exit.reward) + lower);
+    }
+  }
+  out.max_value_ = bound;
+  return out;
+}
+
+GraphGame::GraphGame(const GraphGameConfig& config) {
+  RETRA_CHECK(config.levels >= 1);
+  RETRA_CHECK(config.size0 >= 1);
+  support::Xoshiro256 rng(config.seed);
+
+  std::vector<int> bounds;  // max |value| per level, for exit-value bounds
+  levels_.resize(config.levels);
+
+  for (int l = 0; l < config.levels; ++l) {
+    GraphLevel& level = levels_[l];
+    level.level_ = l;
+    const auto size = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(config.size0) * std::pow(config.growth, l)));
+    level.succs_.resize(size);
+    level.preds_.resize(size);
+    level.exits_.resize(size);
+
+    const auto reward_span =
+        static_cast<std::uint64_t>(2 * config.reward_range + 1);
+    auto random_reward = [&]() {
+      return static_cast<std::int16_t>(
+          static_cast<int>(rng.below(reward_span)) - config.reward_range);
+    };
+
+    int max_exit_magnitude = 0;
+    for (std::uint64_t node = 0; node < size; ++node) {
+      // Same-level edges (absent at level 0 with probability shaped by the
+      // same distribution; duplicates and self-loops are allowed — the
+      // engines must treat predecessor notifications per *edge*).
+      const std::uint64_t degree = small_count(rng, config.edge_mean);
+      for (std::uint64_t e = 0; e < degree; ++e) {
+        level.succs_[node].push_back(
+            static_cast<std::uint32_t>(rng.below(size)));
+      }
+
+      // Exits: lookups into lower levels plus optional terminals.
+      if (l > 0) {
+        const std::uint64_t exits = small_count(rng, config.exit_mean);
+        for (std::uint64_t e = 0; e < exits; ++e) {
+          const int lower = static_cast<int>(rng.below(l));
+          const std::uint64_t lower_size = levels_[lower].size();
+          Exit exit;
+          exit.reward = random_reward();
+          exit.lower_level = static_cast<std::int16_t>(lower);
+          exit.lower_index = rng.below(lower_size);
+          exit.same_mover = rng.chance(config.same_mover_chance);
+          level.exits_[node].push_back(exit);
+        }
+      }
+      if (rng.chance(config.terminal_chance) ||
+          (level.succs_[node].empty() && level.exits_[node].empty())) {
+        level.exits_[node].push_back(
+            Exit{random_reward(), Exit::kTerminal, 0});
+      }
+
+      for (const Exit& exit : level.exits_[node]) {
+        const int lower_bound =
+            exit.is_terminal() ? 0 : bounds[exit.lower_level];
+        max_exit_magnitude = std::max(
+            max_exit_magnitude, std::abs(exit.reward) + lower_bound);
+      }
+    }
+
+    // Invert the successor multigraph.
+    for (std::uint64_t node = 0; node < size; ++node) {
+      for (const std::uint32_t succ : level.succs_[node]) {
+        level.preds_[succ].push_back(static_cast<std::uint32_t>(node));
+      }
+    }
+
+    level.max_value_ = max_exit_magnitude;
+    RETRA_CHECK_MSG(level.max_value_ <= 0x7fff, "value bound overflows int16");
+    bounds.push_back(level.max_value_);
+  }
+}
+
+}  // namespace retra::game

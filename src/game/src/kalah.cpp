@@ -1,0 +1,119 @@
+#include "retra/game/kalah.hpp"
+
+#include "retra/support/check.hpp"
+
+namespace retra::game::kalah {
+
+namespace {
+
+// Sowing walks a 13-slot cycle: slots 0–5 the mover's pits, slot 6 the
+// mover's store, slots 7–12 the opponent's pits 6–11.  The opponent's
+// store is simply absent from the cycle.
+constexpr int kStoreSlot = 6;
+constexpr int kCycle = 13;
+
+int slot_to_pit(int slot) { return slot < kStoreSlot ? slot : slot - 1; }
+
+int row_sum(const Board& board, int first) {
+  int sum = 0;
+  for (int i = first; i < first + 6; ++i) sum += board[i];
+  return sum;
+}
+
+}  // namespace
+
+AppliedMove apply_move(const Board& board, int pit) {
+  AppliedMove result;
+  if (pit < 0 || pit >= 6 || board[pit] == 0) return result;
+
+  Board b = board;
+  int stones = b[pit];
+  b[pit] = 0;
+  int slot = pit;
+  int banked = 0;
+  int last_slot = -1;
+  while (stones > 0) {
+    slot = (slot + 1) % kCycle;
+    if (slot == kStoreSlot) {
+      ++banked;
+    } else {
+      const int p = slot_to_pit(slot);
+      b[p] = static_cast<std::uint8_t>(b[p] + 1);
+    }
+    --stones;
+    last_slot = slot;
+  }
+
+  const bool extra_turn = last_slot == kStoreSlot;
+  if (!extra_turn && last_slot < kStoreSlot) {
+    // Last stone in an own pit: capture if the pit was empty (now holds
+    // exactly the one stone) and the opposite pit is occupied.
+    const int own = last_slot;
+    const int opposite = 11 - own;
+    if (b[own] == 1 && b[opposite] > 0) {
+      banked += 1 + b[opposite];
+      b[own] = 0;
+      b[opposite] = 0;
+    }
+  }
+
+  result.legal = true;
+  result.banked = banked;
+  result.extra_turn = extra_turn;
+  if (extra_turn) {
+    result.after = b;  // same player: no rotation
+  } else {
+    for (int i = 0; i < kPits; ++i) {
+      result.after[i] = b[(i + 6) % kPits];
+    }
+  }
+  return result;
+}
+
+MoveList legal_moves(const Board& board) {
+  MoveList list;
+  for (int pit = 0; pit < 6; ++pit) {
+    AppliedMove m = apply_move(board, pit);
+    if (!m.legal) continue;
+    list.items[list.count++] = {pit, m.banked, m.extra_turn, m.after};
+  }
+  return list;
+}
+
+bool is_terminal(const Board& board) { return row_sum(board, 0) == 0; }
+
+int terminal_reward(const Board& board) {
+  RETRA_DCHECK(is_terminal(board));
+  return -idx::stones_on(board);
+}
+
+void predecessors(const Board& board, std::vector<Board>& out) {
+  out.clear();
+  // Same-level moves bank nothing: they sow entirely inside the previous
+  // mover's own row (reaching the store or the opponent means a stone
+  // passed the store and left the level) and capture nothing.
+  Board pp;
+  for (int i = 0; i < kPits; ++i) pp[i] = board[(i + 6) % kPits];
+
+  for (int origin = 0; origin < 6; ++origin) {
+    if (pp[origin] != 0) continue;
+    for (int length = 1; origin + length <= 5; ++length) {
+      const int sown_pit = origin + length;
+      if (pp[sown_pit] == 0) break;  // longer sows also need this pit
+
+      Board candidate = pp;
+      for (int i = origin + 1; i <= origin + length; ++i) {
+        candidate[i] = static_cast<std::uint8_t>(candidate[i] - 1);
+      }
+      candidate[origin] = static_cast<std::uint8_t>(length);
+
+      const AppliedMove forward = apply_move(candidate, origin);
+      if (forward.legal && forward.banked == 0 && !forward.extra_turn &&
+          forward.after == board) {
+        out.push_back(candidate);
+      }
+    }
+  }
+}
+
+}  // namespace retra::game::kalah

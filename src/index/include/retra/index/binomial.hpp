@@ -1,0 +1,22 @@
+// Binomial coefficient tables.
+//
+// Retrograde analysis indexes the n-stone level of awari through the
+// combinatorial number system; every rank/unrank operation is a handful of
+// table lookups, so the table is precomputed once at static-init time.
+#pragma once
+
+#include <cstdint>
+
+namespace retra::idx {
+
+/// Largest n for which binomial(n, k) is tabulated.  Covers boards with up
+/// to kMaxN − 12 stones, far beyond anything this library computes.
+inline constexpr int kMaxN = 80;
+/// Largest k tabulated (we only ever need k ≤ 12 + 1).
+inline constexpr int kMaxK = 14;
+
+/// C(n, k); 0 outside the valid triangle (including negative arguments),
+/// which lets the ranking formulas avoid edge-case branches.
+std::uint64_t binomial(int n, int k);
+
+}  // namespace retra::idx

@@ -1,0 +1,64 @@
+// Perfect indexing of awari boards.
+//
+// A level groups all boards with the same total number of stones; the
+// n-stone level contains C(n + 11, 11) boards.  Within a level, boards are
+// ranked lexicographically on (pit 0, pit 1, …, pit 11) through the
+// combinatorial number system, giving a dense, gap-free index — exactly what
+// the retrograde-analysis value arrays are addressed by.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "retra/index/binomial.hpp"
+
+namespace retra::idx {
+
+/// Number of pits on an awari board.  Pits 0–5 belong to the player to
+/// move, 6–11 to the opponent; positions are always normalised to the
+/// player to move.
+inline constexpr int kPits = 12;
+
+/// Dense rank of a board within its level.
+using Index = std::uint64_t;
+
+/// Pit occupancy vector.  uint8_t per pit: a pit can hold at most all the
+/// stones of its level, and the library tops out far below 255 stones.
+using Board = std::array<std::uint8_t, kPits>;
+
+/// Total stones on the board (== the board's level).
+int stones_on(const Board& board);
+
+/// Number of boards in the n-stone level: C(n + 11, 11).
+std::uint64_t level_size(int stones);
+
+/// Number of boards in all levels 0..n inclusive: C(n + 12, 12).
+std::uint64_t cumulative_size(int stones);
+
+/// Rank of `board` within its level; inverse of unrank().
+Index rank(const Board& board);
+
+/// The board of the given level with the given rank.
+Board unrank(int stones, Index index);
+
+/// In-place advance of `board` to the next board of the same level in rank
+/// order.  Returns false (leaving the board at the level's first element)
+/// when called on the last board.  Enumerating with next_board() is much
+/// faster than unranking successive indices.
+bool next_board(Board& board);
+
+/// First board of the level in rank order: all stones in pit 11.
+Board first_board(int stones);
+
+/// Calls fn(board, index) for every board of the level, in rank order.
+template <typename Fn>
+void for_each_board(int stones, Fn&& fn) {
+  Board board = first_board(stones);
+  const std::uint64_t size = level_size(stones);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    fn(static_cast<const Board&>(board), static_cast<Index>(i));
+    if (i + 1 < size) next_board(board);
+  }
+}
+
+}  // namespace retra::idx

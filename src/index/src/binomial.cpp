@@ -1,0 +1,44 @@
+#include "retra/index/binomial.hpp"
+
+#include <array>
+
+#include "retra/support/check.hpp"
+
+namespace retra::idx {
+
+namespace {
+
+struct Tables {
+  // binom[n][k] for 0 <= n <= kMaxN, 0 <= k <= kMaxK.
+  std::array<std::array<std::uint64_t, kMaxK + 1>, kMaxN + 1> binom{};
+
+  Tables() {
+    for (int n = 0; n <= kMaxN; ++n) {
+      binom[n][0] = 1;
+      for (int k = 1; k <= kMaxK; ++k) {
+        if (k > n) {
+          binom[n][k] = 0;
+        } else if (k == n) {
+          binom[n][k] = 1;
+        } else {
+          binom[n][k] = binom[n - 1][k - 1] + binom[n - 1][k];
+        }
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint64_t binomial(int n, int k) {
+  if (k < 0 || n < 0 || k > n) return 0;
+  RETRA_CHECK_MSG(n <= kMaxN && k <= kMaxK, "binomial table exceeded");
+  return tables().binom[n][k];
+}
+
+}  // namespace retra::idx

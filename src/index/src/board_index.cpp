@@ -1,0 +1,91 @@
+#include "retra/index/board_index.hpp"
+
+#include "retra/support/check.hpp"
+
+namespace retra::idx {
+
+int stones_on(const Board& board) {
+  int sum = 0;
+  for (const auto pit : board) sum += pit;
+  return sum;
+}
+
+std::uint64_t level_size(int stones) {
+  RETRA_CHECK(stones >= 0);
+  return binomial(stones + kPits - 1, kPits - 1);
+}
+
+std::uint64_t cumulative_size(int stones) {
+  RETRA_CHECK(stones >= 0);
+  return binomial(stones + kPits, kPits);
+}
+
+Index rank(const Board& board) {
+  // Lexicographic rank on (pit 0, …, pit 11) via the combinatorial number
+  // system.  With r stones still unplaced at pit i, the boards whose pit i
+  // holds fewer than b_i stones number
+  //   C(r + 11 − i, 11 − i) − C(r − b_i + 11 − i, 11 − i)
+  // (a telescoped hockey-stick sum), so the rank is 11 pairs of table
+  // lookups.  Pit 11 is determined by the rest and contributes nothing.
+  Index index = 0;
+  int remaining = stones_on(board);
+  for (int i = 0; i + 1 < kPits; ++i) {
+    const int d = kPits - 1 - i;  // pits after pit i
+    index += binomial(remaining + d, d) -
+             binomial(remaining - board[i] + d, d);
+    remaining -= board[i];
+  }
+  return index;
+}
+
+Board unrank(int stones, Index index) {
+  RETRA_CHECK(index < level_size(stones));
+  Board board{};
+  int remaining = stones;
+  for (int i = 0; i + 1 < kPits; ++i) {
+    const int d = kPits - 1 - i;
+    // Walk pit values upward, peeling off the block of boards whose pit i
+    // holds v stones: C(remaining − v + d − 1, d − 1) boards each.
+    int v = 0;
+    while (true) {
+      const std::uint64_t block = binomial(remaining - v + d - 1, d - 1);
+      if (index < block) break;
+      index -= block;
+      ++v;
+      RETRA_DCHECK(v <= remaining);
+    }
+    board[i] = static_cast<std::uint8_t>(v);
+    remaining -= v;
+  }
+  board[kPits - 1] = static_cast<std::uint8_t>(remaining);
+  return board;
+}
+
+Board first_board(int stones) {
+  RETRA_CHECK(stones >= 0 && stones < 256);
+  Board board{};
+  board[kPits - 1] = static_cast<std::uint8_t>(stones);
+  return board;
+}
+
+bool next_board(Board& board) {
+  // Lexicographic successor of a fixed-sum composition: increment the
+  // rightmost pit j that has at least one stone somewhere to its right, and
+  // push everything after j into the last pit.
+  int tail = board[kPits - 1];
+  for (int j = kPits - 2; j >= 0; --j) {
+    if (tail > 0) {
+      board[j] = static_cast<std::uint8_t>(board[j] + 1);
+      for (int k = j + 1; k + 1 < kPits; ++k) board[k] = 0;
+      board[kPits - 1] = static_cast<std::uint8_t>(tail - 1);
+      return true;
+    }
+    tail += board[j];
+  }
+  // The board was the last of its level; wrap to the first.
+  const int stones = tail;
+  board = first_board(stones);
+  return false;
+}
+
+}  // namespace retra::idx

@@ -1,0 +1,50 @@
+// Per-rank communication endpoint.
+//
+// The distributed engine talks to a Comm only; implementations are the
+// real multi-threaded world (retra/msg/thread_comm.hpp) and the simulated
+// Ethernet cluster (retra/sim/sim_comm.hpp).  Only non-blocking primitives
+// exist: the engine is written as bulk-synchronous supersteps and a driver
+// supplies barriers and reductions between steps, which is what lets the
+// discrete-event simulator run the identical engine code single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retra/msg/message.hpp"
+#include "retra/msg/work_meter.hpp"
+
+namespace retra::msg {
+
+/// Cumulative transport-level statistics of one endpoint.
+struct TransportStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Enqueues a message; never blocks.  Self-sends are permitted.
+  virtual void send(int dest, std::uint8_t tag,
+                    std::vector<std::byte> payload) = 0;
+
+  /// Pops one inbound message if available.
+  virtual bool try_recv(Message& out) = 0;
+
+  WorkMeter& meter() { return meter_; }
+  const WorkMeter& meter() const { return meter_; }
+  const TransportStats& transport_stats() const { return stats_; }
+
+ protected:
+  WorkMeter meter_;
+  TransportStats stats_;
+};
+
+}  // namespace retra::msg

@@ -1,0 +1,24 @@
+// Multi-producer single-consumer message queue backing the thread world.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "retra/msg/message.hpp"
+
+namespace retra::msg {
+
+class Mailbox {
+ public:
+  void push(Message message);
+  bool try_pop(Message& out);
+  /// Number of queued messages (racy snapshot; used by tests and idle
+  /// detection heuristics only).
+  std::size_t approximate_size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace retra::msg

@@ -1,0 +1,19 @@
+// Wire-level message representation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace retra::msg {
+
+/// A point-to-point message: a tag describing the record type of the
+/// payload plus a flat byte payload holding zero or more fixed-size
+/// records (see retra/msg/wire.hpp).
+struct Message {
+  int source = -1;
+  std::uint8_t tag = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace retra::msg

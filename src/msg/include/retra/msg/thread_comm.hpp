@@ -1,0 +1,30 @@
+// The real message-passing world: one mailbox per rank, shared by
+// reference between endpoint objects.  Rank code must only communicate
+// through its endpoint — engines hold no shared state, so running each
+// rank on its own OS thread is a faithful stand-in for the paper's
+// distributed processes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "retra/msg/comm.hpp"
+#include "retra/msg/mailbox.hpp"
+
+namespace retra::msg {
+
+class ThreadWorld {
+ public:
+  explicit ThreadWorld(int ranks);
+  ~ThreadWorld();  // out of line: Endpoint is an implementation detail
+
+  int size() const { return static_cast<int>(endpoints_.size()); }
+  Comm& endpoint(int rank);
+
+ private:
+  class Endpoint;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace retra::msg

@@ -1,0 +1,60 @@
+// Fixed-size record serialisation.
+//
+// Combined messages are flat arrays of fixed-size records; records are
+// encoded field-by-field with memcpy so the format is independent of
+// struct padding (and would be portable across nodes of a real cluster).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace retra::msg {
+
+class WireWriter {
+ public:
+  explicit WireWriter(std::byte* out) : out_(out) {}
+
+  void u64(std::uint64_t v) { put(v); }
+  void u32(std::uint32_t v) { put(v); }
+  void i16(std::int16_t v) { put(v); }
+  void u8(std::uint8_t v) { put(v); }
+
+  std::size_t written() const { return offset_; }
+
+ private:
+  template <typename T>
+  void put(T v) {
+    std::memcpy(out_ + offset_, &v, sizeof v);
+    offset_ += sizeof v;
+  }
+
+  std::byte* out_;
+  std::size_t offset_ = 0;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const std::byte* in) : in_(in) {}
+
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::int16_t i16() { return get<std::int16_t>(); }
+  std::uint8_t u8() { return get<std::uint8_t>(); }
+
+  std::size_t consumed() const { return offset_; }
+
+ private:
+  template <typename T>
+  T get() {
+    T v;
+    std::memcpy(&v, in_ + offset_, sizeof v);
+    offset_ += sizeof v;
+    return v;
+  }
+
+  const std::byte* in_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace retra::msg

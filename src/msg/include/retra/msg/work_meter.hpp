@@ -1,0 +1,48 @@
+// Abstract work accounting.
+//
+// Engines charge every unit of algorithmic work to a WorkMeter.  Under the
+// real thread transport the counters feed the run statistics (table T3);
+// under the simulated cluster they are converted into virtual CPU time by
+// the machine cost model, which is how the discrete-event runs price
+// computation without 1995 hardware.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace retra::msg {
+
+enum class WorkKind : int {
+  kScanPosition = 0,  // one position visited during a level scan
+  kExitOption,        // one exit evaluated
+  kLevelEdge,         // one same-level edge counted
+  kAssign,            // one position finalised
+  kPredEdge,          // one predecessor edge generated (unmove)
+  kUpdateApply,       // one contribution applied to an open position
+  kRecordPack,        // one record serialised into a combining buffer
+  kRecordUnpack,      // one record decoded from an inbound message
+  kCount
+};
+
+inline constexpr int kWorkKinds = static_cast<int>(WorkKind::kCount);
+
+const char* work_kind_name(WorkKind kind);
+
+struct WorkMeter {
+  std::array<std::uint64_t, kWorkKinds> counts{};
+
+  void charge(WorkKind kind, std::uint64_t n = 1) {
+    counts[static_cast<int>(kind)] += n;
+  }
+  std::uint64_t count(WorkKind kind) const {
+    return counts[static_cast<int>(kind)];
+  }
+  void clear() { counts.fill(0); }
+
+  WorkMeter& operator+=(const WorkMeter& other) {
+    for (int i = 0; i < kWorkKinds; ++i) counts[i] += other.counts[i];
+    return *this;
+  }
+};
+
+}  // namespace retra::msg

@@ -1,0 +1,44 @@
+#include "retra/msg/combiner.hpp"
+
+#include <cstring>
+
+#include "retra/support/check.hpp"
+
+namespace retra::msg {
+
+Combiner::Combiner(Comm& comm, std::uint8_t tag, std::size_t flush_bytes)
+    : comm_(comm),
+      tag_(tag),
+      flush_bytes_(flush_bytes == 0 ? 1 : flush_bytes),
+      buffers_(comm.size()) {}
+
+void Combiner::append(int dest, const void* record, std::size_t record_size) {
+  RETRA_DCHECK(dest >= 0 && dest < static_cast<int>(buffers_.size()));
+  auto& buffer = buffers_[dest];
+  if (!buffer.empty() && buffer.size() + record_size > flush_bytes_) {
+    flush(dest);
+  }
+  const std::size_t offset = buffer.size();
+  buffer.resize(offset + record_size);
+  std::memcpy(buffer.data() + offset, record, record_size);
+  ++stats_.records;
+  comm_.meter().charge(WorkKind::kRecordPack);
+}
+
+void Combiner::flush(int dest) {
+  auto& buffer = buffers_[dest];
+  if (buffer.empty()) return;
+  ++stats_.messages;
+  stats_.payload_bytes += buffer.size();
+  std::vector<std::byte> payload;
+  payload.swap(buffer);
+  comm_.send(dest, tag_, std::move(payload));
+}
+
+void Combiner::flush_all() {
+  for (int dest = 0; dest < static_cast<int>(buffers_.size()); ++dest) {
+    flush(dest);
+  }
+}
+
+}  // namespace retra::msg

@@ -1,0 +1,23 @@
+#include "retra/msg/mailbox.hpp"
+
+namespace retra::msg {
+
+void Mailbox::push(Message message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.push_back(std::move(message));
+}
+
+bool Mailbox::try_pop(Message& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return false;
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+std::size_t Mailbox::approximate_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace retra::msg

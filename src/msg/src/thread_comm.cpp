@@ -1,0 +1,49 @@
+#include "retra/msg/thread_comm.hpp"
+
+#include "retra/support/check.hpp"
+
+namespace retra::msg {
+
+class ThreadWorld::Endpoint : public Comm {
+ public:
+  Endpoint(int rank, ThreadWorld& world) : rank_(rank), world_(world) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return world_.size(); }
+
+  void send(int dest, std::uint8_t tag,
+            std::vector<std::byte> payload) override {
+    RETRA_CHECK(dest >= 0 && dest < size());
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload.size();
+    world_.mailboxes_[dest].push(Message{rank_, tag, std::move(payload)});
+  }
+
+  bool try_recv(Message& out) override {
+    if (!world_.mailboxes_[rank_].try_pop(out)) return false;
+    ++stats_.messages_received;
+    stats_.bytes_received += out.payload.size();
+    return true;
+  }
+
+ private:
+  int rank_;
+  ThreadWorld& world_;
+};
+
+ThreadWorld::~ThreadWorld() = default;
+
+ThreadWorld::ThreadWorld(int ranks) : mailboxes_(ranks) {
+  RETRA_CHECK(ranks >= 1);
+  endpoints_.reserve(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    endpoints_.push_back(std::make_unique<Endpoint>(r, *this));
+  }
+}
+
+Comm& ThreadWorld::endpoint(int rank) {
+  RETRA_CHECK(rank >= 0 && rank < size());
+  return *endpoints_[rank];
+}
+
+}  // namespace retra::msg

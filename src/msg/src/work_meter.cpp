@@ -1,0 +1,29 @@
+#include "retra/msg/work_meter.hpp"
+
+namespace retra::msg {
+
+const char* work_kind_name(WorkKind kind) {
+  switch (kind) {
+    case WorkKind::kScanPosition:
+      return "scan-position";
+    case WorkKind::kExitOption:
+      return "exit-option";
+    case WorkKind::kLevelEdge:
+      return "level-edge";
+    case WorkKind::kAssign:
+      return "assign";
+    case WorkKind::kPredEdge:
+      return "pred-edge";
+    case WorkKind::kUpdateApply:
+      return "update-apply";
+    case WorkKind::kRecordPack:
+      return "record-pack";
+    case WorkKind::kRecordUnpack:
+      return "record-unpack";
+    case WorkKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace retra::msg

@@ -1,0 +1,55 @@
+// Checkpoint/restart for distributed builds.
+//
+// The paper's production runs were multi-day affairs on 64 workstations;
+// a build that cannot resume after a crash is not usable at that scale.
+// A checkpoint directory holds
+//
+//   manifest.txt     configuration + number of completed levels
+//   level_<n>.ck     every rank's storage for level n, checksummed
+//
+// build_parallel() with ParallelConfig::checkpoint_dir set writes a
+// checkpoint after every completed level and, on start, resumes from
+// whatever a previous run left behind — provided the configuration
+// (ranks, partition scheme, replication mode) matches; a mismatched or
+// corrupted checkpoint is reported and ignored, never silently adopted.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "retra/para/dist_db.hpp"
+
+namespace retra::para {
+
+struct CheckpointMeta {
+  int ranks = 0;
+  PartitionScheme scheme = PartitionScheme::kCyclic;
+  std::uint64_t block_size = 0;
+  bool replicated = false;
+  int levels = 0;  // completed levels (0..levels-1 are on disk)
+};
+
+/// Writes level `level` of `ddb` (which must already contain it) plus a
+/// refreshed manifest.  Creates the directory if needed.  Aborts on I/O
+/// failure — a checkpoint that cannot be written must not be ignored.
+void checkpoint_save_level(const DistributedDatabase& ddb, int level,
+                           const std::string& directory);
+
+struct CheckpointLoad {
+  bool ok = false;
+  std::string error;
+  CheckpointMeta meta;
+  std::unique_ptr<DistributedDatabase> database;
+};
+
+/// Loads a checkpoint directory; `ok == false` (with a diagnosis) for a
+/// missing, malformed, corrupted or internally inconsistent checkpoint.
+CheckpointLoad checkpoint_load(const std::string& directory);
+
+/// True when the checkpoint's configuration matches, i.e. the loaded
+/// database can seamlessly continue a build with these parameters.
+bool checkpoint_compatible(const CheckpointMeta& meta, int ranks,
+                           PartitionScheme scheme, std::uint64_t block_size,
+                           bool replicated);
+
+}  // namespace retra::para

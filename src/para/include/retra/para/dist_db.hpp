@@ -1,0 +1,94 @@
+// Distributed databases: solved levels kept as per-rank shards.
+//
+// Exactly what the paper's memory argument is about — the working set of a
+// level build is divided by P, so databases too large for one node's
+// memory fit the aggregate memory of the cluster.  In replicated mode
+// every rank instead holds a full copy of each solved level (cheaper exit
+// lookups, P× the memory): ablation A3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retra/db/database.hpp"
+#include "retra/index/board_index.hpp"
+#include "retra/para/partition.hpp"
+#include "retra/support/check.hpp"
+
+namespace retra::para {
+
+class DistributedDatabase {
+ public:
+  DistributedDatabase(PartitionScheme scheme, std::uint64_t block_size,
+                      int ranks, bool replicated)
+      : scheme_(scheme),
+        block_size_(block_size),
+        ranks_(ranks),
+        replicated_(replicated) {}
+
+  int ranks() const { return ranks_; }
+  bool replicated() const { return replicated_; }
+  PartitionScheme scheme() const { return scheme_; }
+  std::uint64_t block_size() const { return block_size_; }
+  int num_levels() const { return static_cast<int>(partitions_.size()); }
+
+  /// Partition layout for a level of the given size (also used for the
+  /// level currently being built).
+  Partition make_partition(std::uint64_t size) const {
+    return Partition(scheme_, size, ranks_, block_size_);
+  }
+  const Partition& partition(int level) const {
+    RETRA_CHECK(level >= 0 && level < num_levels());
+    return partitions_[level];
+  }
+
+  /// Stores a solved level from per-rank shards, shards[r][local] laid out
+  /// by the level's partition (partitioned mode).
+  void push_level_shards(int level, std::uint64_t size,
+                         std::vector<std::vector<db::Value>> shards);
+
+  /// Stores a solved level as one full copy per rank (replicated mode,
+  /// produced by the shard-exchange phase).
+  void push_level_full(int level,
+                       std::vector<std::vector<db::Value>> per_rank_full);
+
+  /// May `rank` read this position without communicating?
+  bool is_local(int rank, int level, idx::Index global) const {
+    RETRA_CHECK(level >= 0 && level < num_levels());
+    return replicated_ || partitions_[level].owner(global) == rank;
+  }
+
+  /// Value of a lower-level position; callable by `rank` only when
+  /// is_local() — the distributed-memory discipline the engine respects.
+  db::Value value_local(int rank, int level, idx::Index global) const;
+
+  /// Owner rank of a position (lookup routing).
+  int owner(int level, idx::Index global) const {
+    RETRA_CHECK(level >= 0 && level < num_levels());
+    return partitions_[level].owner(global);
+  }
+
+  /// Assembles the full database (tests, persistence, oracle queries).
+  db::Database gather() const;
+
+  /// Bytes of value storage held by one rank across all stored levels.
+  std::uint64_t bytes_on_rank(int rank) const;
+
+  /// Raw per-rank storage of a level — shards in partitioned mode, full
+  /// copies in replicated mode (checkpointing, tests).
+  const std::vector<std::vector<db::Value>>& rank_storage(int level) const {
+    RETRA_CHECK(level >= 0 && level < num_levels());
+    return store_[level];
+  }
+
+ private:
+  PartitionScheme scheme_;
+  std::uint64_t block_size_;
+  int ranks_;
+  bool replicated_;
+  std::vector<Partition> partitions_;
+  /// store_[level][rank]: shard (partitioned) or full copy (replicated).
+  std::vector<std::vector<std::vector<db::Value>>> store_;
+};
+
+}  // namespace retra::para

@@ -1,0 +1,241 @@
+// Bulk-synchronous drivers.
+//
+// Engines expose three calls — superstep(), advance(), done() — and never
+// block, so the same engine code runs under
+//   * run_bsp_sequential: one thread executes all ranks round-robin;
+//     deterministic, and the skeleton the cluster simulator extends with
+//     a timing model;
+//   * run_bsp_threads: one OS thread per rank with a std::barrier per
+//     round — the "real" distributed execution.
+//
+// Phase-quiescence rule (both drivers): a round in which every rank is
+// ready, nobody did local work, nobody appended a record, and the
+// cumulative record counts balance (nothing in flight) ends the phase;
+// the driver then calls advance() on every engine, or stops when they all
+// report done().
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "retra/para/rank_engine.hpp"
+#include "retra/support/check.hpp"
+
+namespace retra::para {
+
+/// Ceiling on rounds per level; hitting it means a termination-detection
+/// bug, not a big workload.
+inline constexpr std::uint64_t kRoundLimit = 100'000'000;
+
+template <typename Engine>
+std::uint64_t run_bsp_sequential(std::vector<std::unique_ptr<Engine>>& engines) {
+  std::uint64_t cum_sent = 0;
+  std::uint64_t cum_received = 0;
+  std::uint64_t rounds = 0;
+  while (true) {
+    ++rounds;
+    RETRA_CHECK_MSG(rounds < kRoundLimit, "BSP round limit exceeded");
+    StepReport global;
+    global.ready = true;
+    for (auto& engine : engines) global += engine->superstep();
+    cum_sent += global.records_sent;
+    cum_received += global.records_received;
+    const bool quiescent = global.ready && global.work == 0 &&
+                           global.records_sent == 0 &&
+                           cum_sent == cum_received;
+    if (!quiescent) continue;
+    if (engines.front()->done()) break;
+    for (auto& engine : engines) engine->advance();
+  }
+  return rounds;
+}
+
+template <typename Engine>
+std::uint64_t run_bsp_threads(std::vector<std::unique_ptr<Engine>>& engines) {
+  const int ranks = static_cast<int>(engines.size());
+  std::vector<StepReport> reports(ranks);
+  std::uint64_t cum_sent = 0;
+  std::uint64_t cum_received = 0;
+  std::uint64_t rounds = 0;
+  enum class Decision { kContinue, kAdvance, kStop };
+  Decision decision = Decision::kContinue;
+
+  auto on_round_complete = [&]() noexcept {
+    ++rounds;
+    StepReport global;
+    global.ready = true;
+    for (const StepReport& report : reports) global += report;
+    cum_sent += global.records_sent;
+    cum_received += global.records_received;
+    const bool quiescent = global.ready && global.work == 0 &&
+                           global.records_sent == 0 &&
+                           cum_sent == cum_received;
+    if (!quiescent) {
+      decision = Decision::kContinue;
+    } else if (engines.front()->done()) {
+      decision = Decision::kStop;
+    } else {
+      decision = Decision::kAdvance;
+    }
+  };
+
+  std::barrier sync(ranks, on_round_complete);
+
+  auto body = [&](int rank) {
+    while (true) {
+      RETRA_CHECK_MSG(rounds < kRoundLimit, "BSP round limit exceeded");
+      reports[rank] = engines[rank]->superstep();
+      sync.arrive_and_wait();
+      // All ranks read the same decision; it is only rewritten by the next
+      // round's completion step, after every rank has re-arrived.
+      if (decision == Decision::kStop) return;
+      if (decision == Decision::kAdvance) engines[rank]->advance();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(ranks);
+  for (int rank = 0; rank < ranks; ++rank) threads.emplace_back(body, rank);
+  for (std::thread& thread : threads) thread.join();
+  return rounds;
+}
+
+/// Asynchronous driver (ablation A2): ranks run supersteps continuously
+/// with no barrier — messages are processed whenever they arrive, as in a
+/// message-driven implementation.  Phase boundaries still need global
+/// agreement; rank 0 doubles as the coordinator and detects quiescence
+/// with a two-snapshot protocol:
+///
+///   snapshot A of (records sent, received, per-rank activity counters)
+///   with sent == received; wait until every rank has since completed two
+///   further whole supersteps (each drains the entire inbox); snapshot B.
+///   If nothing changed, no record is in flight and no rank has work, so
+///   the phase is over — the coordinator bumps the epoch and every rank
+///   advances its engine when it observes the bump.
+///
+/// Returns the total number of supersteps executed across all ranks.
+template <typename Engine>
+std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
+  const int ranks = static_cast<int>(engines.size());
+  std::atomic<std::uint64_t> total_sent{0};
+  std::atomic<std::uint64_t> total_received{0};
+  std::atomic<std::uint64_t> total_steps{0};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> epoch{0};
+  struct alignas(64) RankState {
+    std::atomic<std::uint64_t> steps{0};
+    std::atomic<std::uint64_t> activity{0};
+    std::atomic<std::uint64_t> applied_epoch{0};
+    std::atomic<bool> ready{false};
+  };
+  std::vector<RankState> state(ranks);
+
+  auto body = [&](int rank) {
+    std::uint64_t local_steps = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      // Apply any pending phase transition first.
+      const std::uint64_t e = epoch.load(std::memory_order_acquire);
+      if (state[rank].applied_epoch.load(std::memory_order_relaxed) < e) {
+        engines[rank]->advance();
+        state[rank].applied_epoch.store(e, std::memory_order_release);
+        continue;
+      }
+      const auto step = engines[rank]->superstep();
+      ++local_steps;
+      total_steps.fetch_add(1, std::memory_order_relaxed);
+      if (step.records_sent) {
+        total_sent.fetch_add(step.records_sent, std::memory_order_acq_rel);
+      }
+      if (step.records_received) {
+        total_received.fetch_add(step.records_received,
+                                 std::memory_order_acq_rel);
+      }
+      if (step.records_sent || step.records_received || step.work) {
+        state[rank].activity.fetch_add(1, std::memory_order_acq_rel);
+      }
+      state[rank].ready.store(step.ready, std::memory_order_release);
+      state[rank].steps.store(local_steps, std::memory_order_release);
+      RETRA_CHECK_MSG(local_steps < kRoundLimit,
+                      "async superstep limit exceeded");
+      if (rank != 0) {
+        std::this_thread::yield();
+        continue;
+      }
+
+      // Coordinator: two-snapshot quiescence detection.
+      const std::uint64_t sent_a = total_sent.load();
+      const std::uint64_t received_a = total_received.load();
+      if (sent_a != received_a) continue;
+      bool all_ready = true;
+      std::vector<std::uint64_t> steps_a(ranks), activity_a(ranks);
+      for (int r = 0; r < ranks; ++r) {
+        all_ready = all_ready && state[r].ready.load();
+        steps_a[r] = state[r].steps.load();
+        activity_a[r] = state[r].activity.load();
+      }
+      if (!all_ready) continue;
+      // Wait for two fresh supersteps everywhere (the first may have been
+      // in progress during snapshot A).
+      for (int r = 0; r < ranks; ++r) {
+        while (state[r].steps.load(std::memory_order_acquire) <
+                   steps_a[r] + 2 &&
+               !stop.load(std::memory_order_relaxed)) {
+          if (r == 0) {
+            // The coordinator must keep stepping its own engine.
+            const auto own = engines[0]->superstep();
+            ++local_steps;
+            total_steps.fetch_add(1, std::memory_order_relaxed);
+            if (own.records_sent) total_sent.fetch_add(own.records_sent);
+            if (own.records_received) {
+              total_received.fetch_add(own.records_received);
+            }
+            if (own.records_sent || own.records_received || own.work) {
+              state[0].activity.fetch_add(1);
+            }
+            state[0].ready.store(own.ready);
+            state[0].steps.store(local_steps, std::memory_order_release);
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      }
+      bool unchanged = total_sent.load() == sent_a &&
+                       total_received.load() == received_a;
+      for (int r = 0; unchanged && r < ranks; ++r) {
+        unchanged = state[r].activity.load() == activity_a[r] &&
+                    state[r].ready.load();
+      }
+      if (!unchanged) continue;
+
+      // Phase is globally quiescent.
+      if (engines[0]->done()) {
+        stop.store(true, std::memory_order_release);
+        break;
+      }
+      const std::uint64_t next = epoch.load() + 1;
+      epoch.store(next, std::memory_order_release);
+      engines[0]->advance();
+      state[0].applied_epoch.store(next, std::memory_order_release);
+      // Wait until every rank has advanced before resuming detection, so
+      // the next phase starts from a consistent state.
+      for (int r = 1; r < ranks; ++r) {
+        while (state[r].applied_epoch.load(std::memory_order_acquire) <
+               next) {
+          std::this_thread::yield();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(ranks);
+  for (int rank = 0; rank < ranks; ++rank) threads.emplace_back(body, rank);
+  for (std::thread& thread : threads) thread.join();
+  return total_steps.load();
+}
+
+}  // namespace retra::para

@@ -1,0 +1,189 @@
+// Top-level parallel database construction.
+//
+// build_parallel() is the distributed counterpart of ra::build_database():
+// it solves levels bottom-up across P ranks, keeping every solved level
+// partitioned (or replicated) and collecting per-level run statistics —
+// rounds, record and message counts, communication volume, per-rank work —
+// that the paper-style tables are printed from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "retra/msg/thread_comm.hpp"
+#include "retra/para/checkpoint.hpp"
+#include "retra/para/dist_db.hpp"
+#include "retra/para/drivers.hpp"
+#include "retra/para/rank_engine.hpp"
+#include "retra/para/shard_exchange.hpp"
+#include "retra/support/log.hpp"
+
+namespace retra::para {
+
+struct ParallelConfig {
+  int ranks = 4;
+  PartitionScheme scheme = PartitionScheme::kCyclic;
+  std::uint64_t block_size = 1024;  // block-cyclic block width
+  /// Combining buffer size in bytes; 1 disables combining.
+  std::size_t combine_bytes = 4096;
+  /// Replicate solved levels on every rank instead of partitioning them.
+  bool replicate_lower = false;
+  /// Execute ranks on real OS threads (otherwise deterministic
+  /// round-robin in the calling thread).
+  bool use_threads = false;
+  /// With use_threads: drop the per-round barrier and run fully
+  /// asynchronously (message-driven, coordinator-based termination
+  /// detection) — ablation A2.
+  bool async = false;
+  /// When set, a checkpoint is written after every completed level and a
+  /// compatible existing checkpoint is resumed from (see
+  /// retra/para/checkpoint.hpp).
+  std::string checkpoint_dir;
+};
+
+/// Statistics of one level build across all ranks.
+struct LevelRunInfo {
+  int level = 0;
+  std::uint64_t size = 0;
+  std::uint64_t rounds = 0;
+  EngineStats total;                     // summed over ranks
+  std::vector<EngineStats> per_rank;     // for load-balance analysis
+  msg::WorkMeter work_total;             // summed abstract work
+  std::vector<msg::WorkMeter> work_per_rank;
+  std::vector<std::uint64_t> working_bytes;  // per-rank build working set
+};
+
+struct ParallelResult {
+  std::unique_ptr<DistributedDatabase> database;
+  std::vector<LevelRunInfo> levels;
+
+  /// Total combined messages / payload across all levels.
+  std::uint64_t total_messages() const {
+    std::uint64_t sum = 0;
+    for (const auto& info : levels) sum += info.total.messages_sent;
+    return sum;
+  }
+  std::uint64_t total_payload_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& info : levels) sum += info.total.payload_bytes;
+    return sum;
+  }
+};
+
+template <typename Family>
+ParallelResult build_parallel(const Family& family, int max_level,
+                              const ParallelConfig& config) {
+  ParallelResult result;
+  int first_level = 0;
+  if (!config.checkpoint_dir.empty()) {
+    CheckpointLoad loaded = checkpoint_load(config.checkpoint_dir);
+    if (loaded.ok &&
+        checkpoint_compatible(loaded.meta, config.ranks, config.scheme,
+                              config.block_size, config.replicate_lower)) {
+      result.database = std::move(loaded.database);
+      first_level = loaded.meta.levels;
+      support::log_info("resuming from checkpoint: levels 0..%d done",
+                        first_level - 1);
+    } else if (loaded.ok) {
+      support::log_info(
+          "checkpoint in %s has a different configuration; starting fresh",
+          config.checkpoint_dir.c_str());
+    }
+  }
+  if (!result.database) {
+    result.database = std::make_unique<DistributedDatabase>(
+        config.scheme, config.block_size, config.ranks,
+        config.replicate_lower);
+  }
+  DistributedDatabase& ddb = *result.database;
+  msg::ThreadWorld world(config.ranks);
+
+  for (int level = first_level; level <= max_level; ++level) {
+    decltype(auto) game = family.level(level);
+    using Game = std::remove_cvref_t<decltype(game)>;
+    const Partition partition = ddb.make_partition(game.size());
+
+    EngineConfig engine_config;
+    engine_config.combine_bytes = config.combine_bytes;
+
+    std::vector<std::unique_ptr<RankEngine<Game>>> engines;
+    engines.reserve(config.ranks);
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      engines.push_back(std::make_unique<RankEngine<Game>>(
+          game, partition, world.endpoint(rank), ddb, engine_config));
+    }
+
+    // Meters accumulate across levels on the shared endpoints; keep the
+    // pre-level snapshot so the level's work is reported as a delta.
+    std::vector<msg::WorkMeter> meters_before;
+    meters_before.reserve(config.ranks);
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      meters_before.push_back(world.endpoint(rank).meter());
+    }
+
+    LevelRunInfo info;
+    info.level = level;
+    info.size = game.size();
+    info.rounds = config.use_threads
+                      ? (config.async ? run_async_threads(engines)
+                                      : run_bsp_threads(engines))
+                      : run_bsp_sequential(engines);
+
+    std::vector<std::vector<db::Value>> shards;
+    shards.reserve(config.ranks);
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      info.per_rank.push_back(engines[rank]->stats());
+      info.working_bytes.push_back(engines[rank]->working_bytes());
+      shards.push_back(std::move(engines[rank]->shard()));
+    }
+    engines.clear();
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      msg::WorkMeter delta = world.endpoint(rank).meter();
+      for (int k = 0; k < msg::kWorkKinds; ++k) {
+        delta.counts[k] -= meters_before[rank].counts[k];
+      }
+      info.work_per_rank.push_back(delta);
+    }
+    for (const EngineStats& stats : info.per_rank) {
+      info.total.updates_remote += stats.updates_remote;
+      info.total.updates_local += stats.updates_local;
+      info.total.lookups_remote += stats.lookups_remote;
+      info.total.lookups_local += stats.lookups_local;
+      info.total.replies_sent += stats.replies_sent;
+      info.total.assignments += stats.assignments;
+      info.total.zero_filled += stats.zero_filled;
+      info.total.messages_sent += stats.messages_sent;
+      info.total.payload_bytes += stats.payload_bytes;
+    }
+    for (const msg::WorkMeter& meter : info.work_per_rank) {
+      info.work_total += meter;
+    }
+
+    if (config.replicate_lower) {
+      // Broadcast every shard so each rank holds a private full copy.
+      std::vector<std::vector<db::Value>> full(config.ranks);
+      std::vector<std::unique_ptr<ShardExchange>> exchange;
+      exchange.reserve(config.ranks);
+      for (int rank = 0; rank < config.ranks; ++rank) {
+        exchange.push_back(std::make_unique<ShardExchange>(
+            partition, world.endpoint(rank), shards[rank], full[rank],
+            config.combine_bytes));
+      }
+      info.rounds += config.use_threads
+                         ? (config.async ? run_async_threads(exchange)
+                                         : run_bsp_threads(exchange))
+                         : run_bsp_sequential(exchange);
+      ddb.push_level_full(level, std::move(full));
+    } else {
+      ddb.push_level_shards(level, game.size(), std::move(shards));
+    }
+    if (!config.checkpoint_dir.empty()) {
+      checkpoint_save_level(ddb, level, config.checkpoint_dir);
+    }
+    result.levels.push_back(std::move(info));
+  }
+  return result;
+}
+
+}  // namespace retra::para

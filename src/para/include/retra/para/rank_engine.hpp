@@ -1,0 +1,436 @@
+// The per-rank distributed retrograde-analysis engine.
+//
+// One RankEngine owns one rank's shard of the level being solved and talks
+// to the other ranks exclusively through its msg::Comm endpoint.  The
+// engine is written as bulk-synchronous supersteps (see
+// retra/para/drivers.hpp) so the identical code runs under real threads
+// and under the discrete-event cluster simulator.
+//
+// Life of a level on P ranks:
+//
+//   Init        every rank scans its local positions once: counts
+//               same-level successor edges (cnt), evaluates terminal exits
+//               and locally-resolvable capture exits into `best`, and
+//               ships a combined Lookup batch to the owners of remote
+//               lower-level positions.  Owners answer with combined Reply
+//               batches; replies fold into `best`.  The phase ends at
+//               global quiescence (nothing in flight, nothing to do).
+//   Magnitude u every rank seeds positions with best == u (value +u) and
+//   = bound..1  drains its queue: finalising a position generates its
+//               same-level predecessors (unmoves); local predecessors are
+//               updated in place, remote ones become combined Update
+//               records.  Updates decrement cnt / raise best and may
+//               cascade.  Each magnitude ends at global quiescence; the
+//               first one also finalises positions whose cnt was 0 after
+//               initialisation.
+//   Zero-fill   surviving positions can cycle forever: value 0.
+//
+// This mirrors the sequential sweep solver exactly; tests require the
+// gathered distributed database to be bit-identical to the sequential one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retra/db/database.hpp"
+#include "retra/game/level_game.hpp"
+#include "retra/msg/combiner.hpp"
+#include "retra/msg/comm.hpp"
+#include "retra/para/dist_db.hpp"
+#include "retra/para/partition.hpp"
+#include "retra/para/records.hpp"
+#include "retra/ra/sweep_solver.hpp"
+#include "retra/support/check.hpp"
+
+namespace retra::para {
+
+/// What one superstep did; the driver reduces these across ranks to detect
+/// phase quiescence.
+struct StepReport {
+  std::uint64_t records_sent = 0;
+  std::uint64_t records_received = 0;
+  std::uint64_t work = 0;  // local state transitions this step
+  bool ready = false;      // rank finished its local phase obligations
+
+  StepReport& operator+=(const StepReport& other) {
+    records_sent += other.records_sent;
+    records_received += other.records_received;
+    work += other.work;
+    ready = ready && other.ready;
+    return *this;
+  }
+};
+
+/// Engine tuning knobs.
+struct EngineConfig {
+  /// Combining buffer size in bytes; 1 disables combining (one record per
+  /// message — the paper's naive baseline).
+  std::size_t combine_bytes = 4096;
+};
+
+/// Per-engine cumulative statistics for the communication tables.
+struct EngineStats {
+  std::uint64_t updates_remote = 0;  // update records sent to other ranks
+  std::uint64_t updates_local = 0;   // applied in place, no message
+  std::uint64_t lookups_remote = 0;
+  std::uint64_t lookups_local = 0;   // exits resolved against local shards
+  std::uint64_t replies_sent = 0;
+  std::uint64_t assignments = 0;
+  std::uint64_t zero_filled = 0;
+  std::uint64_t messages_sent = 0;  // combined messages (all tags)
+  std::uint64_t payload_bytes = 0;
+};
+
+template <typename Game>
+class RankEngine {
+ public:
+  RankEngine(const Game& game, const Partition& partition, msg::Comm& comm,
+             const DistributedDatabase& lower, const EngineConfig& config)
+      : game_(game),
+        partition_(partition),
+        comm_(comm),
+        lower_(lower),
+        bound_(game.max_value()),
+        lookup_combiner_(comm, kTagLookup, config.combine_bytes),
+        reply_combiner_(comm, kTagReply, config.combine_bytes),
+        update_combiner_(comm, kTagUpdate, config.combine_bytes) {
+    const std::uint64_t local = partition_.local_size(comm_.rank());
+    values_.assign(local, db::kUnknown);
+    best_.assign(local, ra::kNoOption);
+    cnt_.assign(local, 0);
+  }
+
+  /// One bulk-synchronous superstep; see the file comment for the phase
+  /// structure.  Drains the inbox, performs the phase's local work,
+  /// flushes all combining buffers.
+  StepReport superstep() {
+    StepReport step;
+    drain_inbox(step);
+    switch (phase_) {
+      case Phase::kInit:
+        if (!scan_done_) {
+          scan_local(step);
+          scan_done_ = true;
+        }
+        step.ready = true;
+        break;
+      case Phase::kMagnitude:
+        if (!seeded_) {
+          seed_magnitude(step);
+          seeded_ = true;
+        }
+        process_queue(step);
+        step.ready = true;
+        break;
+      case Phase::kZeroFill:
+        if (!zero_filled_) {
+          zero_fill(step);
+          zero_filled_ = true;
+        }
+        step.ready = true;
+        break;
+      case Phase::kDone:
+        step.ready = true;
+        break;
+    }
+    flush_combiners();
+    return step;
+  }
+
+  /// Global phase transition; the driver calls it on every engine when the
+  /// current phase is quiescent on all ranks.
+  void advance() {
+    switch (phase_) {
+      case Phase::kInit:
+        magnitude_ = bound_;
+        finalize_init_ = true;
+        phase_ = magnitude_ >= 1 ? Phase::kMagnitude : Phase::kZeroFill;
+        seeded_ = false;
+        break;
+      case Phase::kMagnitude:
+        RETRA_CHECK_MSG(queue_.empty(), "advance with unprocessed queue");
+        --magnitude_;
+        seeded_ = false;
+        if (magnitude_ < 1) phase_ = Phase::kZeroFill;
+        break;
+      case Phase::kZeroFill:
+        phase_ = Phase::kDone;
+        break;
+      case Phase::kDone:
+        break;
+    }
+  }
+
+  bool done() const { return phase_ == Phase::kDone; }
+
+  /// The rank's solved shard (valid once done()).
+  std::vector<db::Value>& shard() { return values_; }
+  const EngineStats& stats() const { return stats_; }
+
+  /// Value bytes this rank holds for the level under construction
+  /// (values + best + cnt): the T4 working-set accounting.
+  std::uint64_t working_bytes() const {
+    return values_.size() * (sizeof(db::Value) * 2 + sizeof(std::uint16_t));
+  }
+
+ private:
+  enum class Phase { kInit, kMagnitude, kZeroFill, kDone };
+
+  int rank() const { return comm_.rank(); }
+
+  // ------------------------------------------------------------------
+  // Initialisation scan.
+
+  void scan_local(StepReport& step) {
+    const std::uint64_t local_size = partition_.local_size(rank());
+    for (std::uint64_t local = 0; local < local_size; ++local) {
+      const idx::Index global = partition_.to_global(rank(), local);
+      comm_.meter().charge(msg::WorkKind::kScanPosition);
+      db::Value b = ra::kNoOption;
+      std::uint32_t edges = 0;
+      game_.visit_options(
+          global,
+          [&](const game::Exit& exit) {
+            comm_.meter().charge(msg::WorkKind::kExitOption);
+            if (exit.is_terminal()) {
+              if (exit.reward > b) b = exit.reward;
+              return;
+            }
+            if (lower_.is_local(rank(), exit.lower_level, exit.lower_index)) {
+              ++stats_.lookups_local;
+              const db::Value value = game::exit_value(
+                  exit, [&](int level, idx::Index index) {
+                    return lower_.value_local(rank(), level, index);
+                  });
+              if (value > b) b = value;
+              return;
+            }
+            // Remote lower-level position: ship a combined lookup to its
+            // owner; the reply folds into best_ when it arrives.
+            ++stats_.lookups_remote;
+            LookupRecord record;
+            record.target = exit.lower_index;
+            record.requester = global;
+            record.reward = exit.reward;
+            record.level = static_cast<std::uint8_t>(exit.lower_level);
+            record.same_mover = exit.same_mover ? 1 : 0;
+            append(lookup_combiner_,
+                   lower_.owner(exit.lower_level, exit.lower_index), record,
+                   step);
+          },
+          [&](idx::Index) {
+            comm_.meter().charge(msg::WorkKind::kLevelEdge);
+            ++edges;
+          });
+      RETRA_CHECK_MSG(edges <= UINT16_MAX, "successor edge count overflow");
+      best_[local] = b;
+      cnt_[local] = static_cast<std::uint16_t>(edges);
+      ++step.work;
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Message handling.
+
+  void drain_inbox(StepReport& step) {
+    msg::Message message;
+    while (comm_.try_recv(message)) {
+      switch (message.tag) {
+        case kTagLookup:
+          handle_lookups(message, step);
+          break;
+        case kTagReply:
+          handle_replies(message, step);
+          break;
+        case kTagUpdate:
+          handle_updates(message, step);
+          break;
+        default:
+          RETRA_CHECK_MSG(false, "unexpected message tag");
+      }
+    }
+  }
+
+  void handle_lookups(const msg::Message& message, StepReport& step) {
+    msg::WireReader reader(message.payload.data());
+    const std::size_t count = message.payload.size() / LookupRecord::kWireSize;
+    RETRA_CHECK(count * LookupRecord::kWireSize == message.payload.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      const LookupRecord lookup = LookupRecord::decode(reader);
+      comm_.meter().charge(msg::WorkKind::kRecordUnpack);
+      ++step.records_received;
+      const db::Value target_value =
+          lower_.value_local(rank(), lookup.level, lookup.target);
+      ReplyRecord reply;
+      reply.requester = lookup.requester;
+      reply.value = static_cast<db::Value>(
+          lookup.same_mover ? lookup.reward + target_value
+                            : lookup.reward - target_value);
+      ++stats_.replies_sent;
+      append(reply_combiner_, message.source, reply, step);
+      ++step.work;
+    }
+  }
+
+  void handle_replies(const msg::Message& message, StepReport& step) {
+    msg::WireReader reader(message.payload.data());
+    const std::size_t count = message.payload.size() / ReplyRecord::kWireSize;
+    RETRA_CHECK(count * ReplyRecord::kWireSize == message.payload.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      const ReplyRecord reply = ReplyRecord::decode(reader);
+      comm_.meter().charge(msg::WorkKind::kRecordUnpack);
+      ++step.records_received;
+      const std::uint64_t local = partition_.to_local(reply.requester);
+      RETRA_CHECK(partition_.owner(reply.requester) == rank());
+      if (reply.value > best_[local]) best_[local] = reply.value;
+      ++step.work;
+    }
+  }
+
+  void handle_updates(const msg::Message& message, StepReport& step) {
+    msg::WireReader reader(message.payload.data());
+    const std::size_t count = message.payload.size() / UpdateRecord::kWireSize;
+    RETRA_CHECK(count * UpdateRecord::kWireSize == message.payload.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      const UpdateRecord update = UpdateRecord::decode(reader);
+      comm_.meter().charge(msg::WorkKind::kRecordUnpack);
+      ++step.records_received;
+      apply_update(partition_.to_local(update.target), update.contribution,
+                   step);
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Propagation.
+
+  void seed_magnitude(StepReport& step) {
+    const auto mag = static_cast<db::Value>(magnitude_);
+    const std::uint64_t local_size = values_.size();
+    for (std::uint64_t local = 0; local < local_size; ++local) {
+      if (values_[local] != db::kUnknown) continue;
+      if (finalize_init_ && cnt_[local] == 0) {
+        // All options were exits; the position is exact already.
+        RETRA_CHECK(best_[local] != ra::kNoOption);
+        assign(local, best_[local], step);
+        continue;
+      }
+      RETRA_DCHECK(best_[local] <= mag);
+      if (best_[local] == mag) assign(local, mag, step);
+    }
+    finalize_init_ = false;
+  }
+
+  void assign(std::uint64_t local, db::Value value, StepReport& step) {
+    RETRA_DCHECK(values_[local] == db::kUnknown);
+    values_[local] = value;
+    queue_.push_back(local);
+    ++stats_.assignments;
+    ++step.work;
+    comm_.meter().charge(msg::WorkKind::kAssign);
+  }
+
+  void apply_update(std::uint64_t local, db::Value contribution,
+                    StepReport& step) {
+    RETRA_CHECK_MSG(phase_ == Phase::kMagnitude,
+                    "update outside a magnitude phase");
+    comm_.meter().charge(msg::WorkKind::kUpdateApply);
+    if (values_[local] != db::kUnknown) return;
+    ++step.work;
+    RETRA_CHECK_MSG(cnt_[local] > 0, "more contributions than counted edges");
+    --cnt_[local];
+    if (contribution > best_[local]) best_[local] = contribution;
+    const auto mag = static_cast<db::Value>(magnitude_);
+    RETRA_CHECK_MSG(best_[local] <= mag,
+                    "contribution above the current magnitude");
+    if (best_[local] == mag) {
+      assign(local, mag, step);
+    } else if (cnt_[local] == 0) {
+      RETRA_CHECK(best_[local] != ra::kNoOption);
+      assign(local, best_[local], step);
+    }
+  }
+
+  void process_queue(StepReport& step) {
+    while (!queue_.empty()) {
+      const std::uint64_t local = queue_.back();
+      queue_.pop_back();
+      const auto contribution = static_cast<db::Value>(-values_[local]);
+      const idx::Index global = partition_.to_global(rank(), local);
+      game_.visit_predecessors(global, [&](idx::Index pred) {
+        comm_.meter().charge(msg::WorkKind::kPredEdge);
+        const int owner = partition_.owner(pred);
+        if (owner == rank()) {
+          ++stats_.updates_local;
+          apply_update(partition_.to_local(pred), contribution, step);
+        } else {
+          ++stats_.updates_remote;
+          UpdateRecord record;
+          record.target = pred;
+          record.contribution = contribution;
+          append(update_combiner_, owner, record, step);
+        }
+      });
+    }
+  }
+
+  void zero_fill(StepReport& step) {
+    for (std::uint64_t local = 0; local < values_.size(); ++local) {
+      if (values_[local] == db::kUnknown) {
+        values_[local] = 0;
+        ++stats_.zero_filled;
+        ++step.work;
+        comm_.meter().charge(msg::WorkKind::kAssign);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Combining.
+
+  template <typename Record>
+  void append(msg::Combiner& combiner, int dest, const Record& record,
+              StepReport& step) {
+    std::byte buffer[32];
+    static_assert(Record::kWireSize <= sizeof(buffer));
+    record.encode(buffer);
+    combiner.append(dest, buffer, Record::kWireSize);
+    ++step.records_sent;
+  }
+
+  void flush_combiners() {
+    lookup_combiner_.flush_all();
+    reply_combiner_.flush_all();
+    update_combiner_.flush_all();
+    stats_.messages_sent = lookup_combiner_.stats().messages +
+                           reply_combiner_.stats().messages +
+                           update_combiner_.stats().messages;
+    stats_.payload_bytes = lookup_combiner_.stats().payload_bytes +
+                           reply_combiner_.stats().payload_bytes +
+                           update_combiner_.stats().payload_bytes;
+  }
+
+  const Game& game_;
+  const Partition& partition_;
+  msg::Comm& comm_;
+  const DistributedDatabase& lower_;
+  const int bound_;
+
+  Phase phase_ = Phase::kInit;
+  bool scan_done_ = false;
+  bool seeded_ = false;
+  bool finalize_init_ = false;
+  bool zero_filled_ = false;
+  int magnitude_ = 0;
+
+  std::vector<db::Value> values_;
+  std::vector<db::Value> best_;
+  std::vector<std::uint16_t> cnt_;
+  std::vector<std::uint64_t> queue_;  // local offsets awaiting propagation
+
+  msg::Combiner lookup_combiner_;
+  msg::Combiner reply_combiner_;
+  msg::Combiner update_combiner_;
+  EngineStats stats_;
+};
+
+}  // namespace retra::para

@@ -1,0 +1,114 @@
+// Wire records exchanged by the distributed engine.
+//
+// Three record types flow during a level build:
+//   Lookup  — during initialisation, a rank asks the owner of a
+//             lower-level position for the value of one capture exit;
+//   Reply   — the owner answers with the computed option value;
+//   Update  — during propagation, a finalised position notifies a
+//             remotely-owned predecessor of its contribution.
+// All three are a few bytes; they only become affordable on a network
+// through the Combiner.
+#pragma once
+
+#include <cstdint>
+
+#include "retra/db/database.hpp"
+#include "retra/index/board_index.hpp"
+#include "retra/msg/wire.hpp"
+
+namespace retra::para {
+
+/// Message tags used by the engine.
+inline constexpr std::uint8_t kTagLookup = 1;
+inline constexpr std::uint8_t kTagReply = 2;
+inline constexpr std::uint8_t kTagUpdate = 3;
+inline constexpr std::uint8_t kTagShard = 4;
+
+struct LookupRecord {
+  std::uint64_t target = 0;     // lower-level position, global index
+  std::uint64_t requester = 0;  // requesting position, global index
+  std::int16_t reward = 0;      // stones captured by the exit move
+  std::uint8_t level = 0;       // lower level holding `target`
+  std::uint8_t same_mover = 0;  // kalah extra turn: value = reward + v
+
+  static constexpr std::size_t kWireSize = 8 + 8 + 2 + 1 + 1;
+
+  void encode(std::byte* out) const {
+    msg::WireWriter w(out);
+    w.u64(target);
+    w.u64(requester);
+    w.i16(reward);
+    w.u8(level);
+    w.u8(same_mover);
+  }
+  static LookupRecord decode(msg::WireReader& r) {
+    LookupRecord rec;
+    rec.target = r.u64();
+    rec.requester = r.u64();
+    rec.reward = r.i16();
+    rec.level = r.u8();
+    rec.same_mover = r.u8();
+    return rec;
+  }
+};
+
+struct ReplyRecord {
+  std::uint64_t requester = 0;  // position whose exit was evaluated
+  std::int16_t value = 0;       // option value: reward − lower value
+
+  static constexpr std::size_t kWireSize = 8 + 2;
+
+  void encode(std::byte* out) const {
+    msg::WireWriter w(out);
+    w.u64(requester);
+    w.i16(value);
+  }
+  static ReplyRecord decode(msg::WireReader& r) {
+    ReplyRecord rec;
+    rec.requester = r.u64();
+    rec.value = r.i16();
+    return rec;
+  }
+};
+
+struct UpdateRecord {
+  std::uint64_t target = 0;      // predecessor position, global index
+  std::int16_t contribution = 0;  // −(value of the finalised successor)
+
+  static constexpr std::size_t kWireSize = 8 + 2;
+
+  void encode(std::byte* out) const {
+    msg::WireWriter w(out);
+    w.u64(target);
+    w.i16(contribution);
+  }
+  static UpdateRecord decode(msg::WireReader& r) {
+    UpdateRecord rec;
+    rec.target = r.u64();
+    rec.contribution = r.i16();
+    return rec;
+  }
+};
+
+/// Shard-replication record: one value at a global index (used by the
+/// replicated-lower-database mode, table A3).
+struct ShardRecord {
+  std::uint64_t index = 0;
+  std::int16_t value = 0;
+
+  static constexpr std::size_t kWireSize = 8 + 2;
+
+  void encode(std::byte* out) const {
+    msg::WireWriter w(out);
+    w.u64(index);
+    w.i16(value);
+  }
+  static ShardRecord decode(msg::WireReader& r) {
+    ShardRecord rec;
+    rec.index = r.u64();
+    rec.value = r.i16();
+    return rec;
+  }
+};
+
+}  // namespace retra::para

@@ -1,0 +1,105 @@
+// Shard replication engine (the A3 ablation's "replicated lower
+// databases" mode).
+//
+// After a level is solved, every rank broadcasts its shard to every other
+// rank through the normal combining path, so each rank ends the phase
+// with a full private copy — at the price of size × (P − 1) records on the
+// wire and P× the storage, which is precisely what the partitioned mode
+// avoids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retra/db/database.hpp"
+#include "retra/msg/combiner.hpp"
+#include "retra/msg/comm.hpp"
+#include "retra/para/partition.hpp"
+#include "retra/para/rank_engine.hpp"
+#include "retra/para/records.hpp"
+#include "retra/support/check.hpp"
+
+namespace retra::para {
+
+class ShardExchange {
+ public:
+  ShardExchange(const Partition& partition, msg::Comm& comm,
+                const std::vector<db::Value>& own_shard,
+                std::vector<db::Value>& full_out, std::size_t combine_bytes)
+      : partition_(partition),
+        comm_(comm),
+        own_shard_(own_shard),
+        full_out_(full_out),
+        combiner_(comm, kTagShard, combine_bytes) {
+    full_out_.assign(partition_.size(), db::kUnknown);
+  }
+
+  StepReport superstep() {
+    StepReport step;
+    drain(step);
+    if (!sent_) {
+      broadcast(step);
+      sent_ = true;
+    }
+    combiner_.flush_all();
+    step.ready = true;
+    return step;
+  }
+
+  void advance() {
+    for (const db::Value v : full_out_) {
+      RETRA_CHECK_MSG(v != db::kUnknown, "replication left holes");
+    }
+    done_ = true;
+  }
+
+  bool done() const { return done_; }
+
+ private:
+  void broadcast(StepReport& step) {
+    const int rank = comm_.rank();
+    for (std::uint64_t local = 0; local < own_shard_.size(); ++local) {
+      const idx::Index global = partition_.to_global(rank, local);
+      full_out_[global] = own_shard_[local];
+      ++step.work;
+      ShardRecord record;
+      record.index = global;
+      record.value = own_shard_[local];
+      std::byte buffer[ShardRecord::kWireSize];
+      record.encode(buffer);
+      for (int dest = 0; dest < comm_.size(); ++dest) {
+        if (dest == rank) continue;
+        combiner_.append(dest, buffer, ShardRecord::kWireSize);
+        ++step.records_sent;
+      }
+    }
+  }
+
+  void drain(StepReport& step) {
+    msg::Message message;
+    while (comm_.try_recv(message)) {
+      RETRA_CHECK(message.tag == kTagShard);
+      msg::WireReader reader(message.payload.data());
+      const std::size_t count =
+          message.payload.size() / ShardRecord::kWireSize;
+      RETRA_CHECK(count * ShardRecord::kWireSize == message.payload.size());
+      for (std::size_t i = 0; i < count; ++i) {
+        const ShardRecord record = ShardRecord::decode(reader);
+        comm_.meter().charge(msg::WorkKind::kRecordUnpack);
+        ++step.records_received;
+        full_out_[record.index] = record.value;
+        ++step.work;
+      }
+    }
+  }
+
+  const Partition& partition_;
+  msg::Comm& comm_;
+  const std::vector<db::Value>& own_shard_;
+  std::vector<db::Value>& full_out_;
+  msg::Combiner combiner_;
+  bool sent_ = false;
+  bool done_ = false;
+};
+
+}  // namespace retra::para

@@ -1,0 +1,154 @@
+// Simulated parallel database construction.
+//
+// Same orchestration as build_parallel(), but the ranks run under the
+// discrete-event cluster (sim::run_bsp_simulated), so the result carries
+// virtual 1995-cluster timings alongside the usual statistics.  The
+// values produced are still real — tests compare them against the
+// sequential solver — only the clock is modelled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "retra/para/dist_db.hpp"
+#include "retra/para/parallel_solver.hpp"
+#include "retra/para/rank_engine.hpp"
+#include "retra/para/shard_exchange.hpp"
+#include "retra/sim/cluster_model.hpp"
+#include "retra/sim/projection.hpp"
+#include "retra/sim/sim_driver.hpp"
+#include "retra/sim/sim_world.hpp"
+
+namespace retra::para {
+
+struct SimBuildResult {
+  std::unique_ptr<DistributedDatabase> database;
+  std::vector<LevelRunInfo> levels;
+  std::vector<sim::SimRunResult> timings;  // one per level
+
+  double total_time_s() const {
+    double total = 0;
+    for (const auto& t : timings) total += t.time_s;
+    return total;
+  }
+};
+
+/// Extracts the per-position workload densities of a finished level run
+/// (the input of paper-scale projections).
+inline sim::LevelProfile profile_of(const LevelRunInfo& info) {
+  sim::LevelProfile profile;
+  profile.positions = info.size;
+  const double positions = static_cast<double>(info.size);
+  if (info.size == 0) return profile;
+  const auto meter_count = [&](msg::WorkKind kind) {
+    return static_cast<double>(info.work_total.count(kind));
+  };
+  profile.exits_pp = meter_count(msg::WorkKind::kExitOption) / positions;
+  profile.edges_pp = meter_count(msg::WorkKind::kLevelEdge) / positions;
+  profile.preds_pp = meter_count(msg::WorkKind::kPredEdge) / positions;
+  profile.updates_pp = meter_count(msg::WorkKind::kUpdateApply) / positions;
+  profile.assigns_pp =
+      static_cast<double>(info.total.assignments) / positions;
+  profile.lookups_pp =
+      static_cast<double>(info.total.lookups_local +
+                          info.total.lookups_remote) /
+      positions;
+  profile.rounds = info.rounds;
+  return profile;
+}
+
+template <typename Family>
+SimBuildResult build_parallel_simulated(const Family& family, int max_level,
+                                        const ParallelConfig& config,
+                                        const sim::ClusterModel& model,
+                                        sim::TraceSink* trace = nullptr) {
+  SimBuildResult result;
+  result.database = std::make_unique<DistributedDatabase>(
+      config.scheme, config.block_size, config.ranks,
+      config.replicate_lower);
+  DistributedDatabase& ddb = *result.database;
+  sim::SimWorld world(config.ranks);
+
+  for (int level = 0; level <= max_level; ++level) {
+    decltype(auto) game = family.level(level);
+    using Game = std::remove_cvref_t<decltype(game)>;
+    const Partition partition = ddb.make_partition(game.size());
+
+    EngineConfig engine_config;
+    engine_config.combine_bytes = config.combine_bytes;
+
+    std::vector<std::unique_ptr<RankEngine<Game>>> engines;
+    engines.reserve(config.ranks);
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      engines.push_back(std::make_unique<RankEngine<Game>>(
+          game, partition, world.endpoint(rank), ddb, engine_config));
+    }
+
+    std::vector<msg::WorkMeter> meters_before;
+    meters_before.reserve(config.ranks);
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      meters_before.push_back(world.endpoint(rank).meter());
+    }
+
+    sim::SimRunResult timing =
+        sim::run_bsp_simulated(engines, world, model, trace);
+
+    LevelRunInfo info;
+    info.level = level;
+    info.size = game.size();
+    info.rounds = timing.rounds;
+
+    std::vector<std::vector<db::Value>> shards;
+    shards.reserve(config.ranks);
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      info.per_rank.push_back(engines[rank]->stats());
+      info.working_bytes.push_back(engines[rank]->working_bytes());
+      shards.push_back(std::move(engines[rank]->shard()));
+    }
+    engines.clear();
+
+    if (config.replicate_lower) {
+      std::vector<std::vector<db::Value>> full(config.ranks);
+      std::vector<std::unique_ptr<ShardExchange>> exchange;
+      exchange.reserve(config.ranks);
+      for (int rank = 0; rank < config.ranks; ++rank) {
+        exchange.push_back(std::make_unique<ShardExchange>(
+            partition, world.endpoint(rank), shards[rank], full[rank],
+            config.combine_bytes));
+      }
+      timing.accumulate(sim::run_bsp_simulated(exchange, world, model));
+      ddb.push_level_full(level, std::move(full));
+    } else {
+      ddb.push_level_shards(level, game.size(), std::move(shards));
+    }
+
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      msg::WorkMeter delta = world.endpoint(rank).meter();
+      for (int k = 0; k < msg::kWorkKinds; ++k) {
+        delta.counts[k] -= meters_before[rank].counts[k];
+      }
+      info.work_per_rank.push_back(delta);
+    }
+    for (const EngineStats& stats : info.per_rank) {
+      info.total.updates_remote += stats.updates_remote;
+      info.total.updates_local += stats.updates_local;
+      info.total.lookups_remote += stats.lookups_remote;
+      info.total.lookups_local += stats.lookups_local;
+      info.total.replies_sent += stats.replies_sent;
+      info.total.assignments += stats.assignments;
+      info.total.zero_filled += stats.zero_filled;
+      info.total.messages_sent += stats.messages_sent;
+      info.total.payload_bytes += stats.payload_bytes;
+    }
+    for (const msg::WorkMeter& meter : info.work_per_rank) {
+      info.work_total += meter;
+    }
+
+    result.levels.push_back(std::move(info));
+    result.timings.push_back(std::move(timing));
+  }
+  return result;
+}
+
+}  // namespace retra::para

@@ -1,0 +1,197 @@
+#include "retra/para/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "retra/db/db_io.hpp"  // fnv1a
+#include "retra/support/check.hpp"
+
+namespace retra::para {
+
+namespace {
+
+constexpr char kManifestName[] = "manifest.txt";
+constexpr std::uint32_t kLevelMagic = 0x52435031;  // "RCP1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+std::string level_path(const std::string& directory, int level) {
+  return directory + "/level_" + std::to_string(level) + ".ck";
+}
+
+const char* scheme_token(PartitionScheme scheme) {
+  return scheme_name(scheme);  // "block" / "cyclic" / "block-cyclic"
+}
+
+bool parse_scheme(const std::string& token, PartitionScheme& out) {
+  if (token == "block") {
+    out = PartitionScheme::kBlock;
+  } else if (token == "cyclic") {
+    out = PartitionScheme::kCyclic;
+  } else if (token == "block-cyclic") {
+    out = PartitionScheme::kBlockCyclic;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void write_bytes(std::FILE* f, const void* data, std::size_t size) {
+  RETRA_CHECK_MSG(std::fwrite(data, 1, size, f) == size,
+                  "checkpoint short write");
+}
+
+template <typename T>
+void write_pod(std::FILE* f, T value) {
+  write_bytes(f, &value, sizeof value);
+}
+
+bool read_bytes(std::FILE* f, void* data, std::size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+
+template <typename T>
+bool read_pod(std::FILE* f, T& value) {
+  return read_bytes(f, &value, sizeof value);
+}
+
+}  // namespace
+
+void checkpoint_save_level(const DistributedDatabase& ddb, int level,
+                           const std::string& directory) {
+  RETRA_CHECK(level >= 0 && level < ddb.num_levels());
+  std::filesystem::create_directories(directory);
+
+  {
+    File file(std::fopen(level_path(directory, level).c_str(), "wb"));
+    RETRA_CHECK_MSG(file != nullptr, "cannot write checkpoint level file");
+    std::FILE* f = file.get();
+    write_pod(f, kLevelMagic);
+    write_pod(f, static_cast<std::uint32_t>(ddb.ranks()));
+    for (const auto& shard : ddb.rank_storage(level)) {
+      write_pod(f, static_cast<std::uint64_t>(shard.size()));
+      const std::size_t bytes = shard.size() * sizeof(db::Value);
+      write_bytes(f, shard.data(), bytes);
+      write_pod(f, db::fnv1a(shard.data(), bytes));
+    }
+    RETRA_CHECK_MSG(std::fflush(f) == 0, "checkpoint flush failed");
+  }
+
+  // Manifest last: a crash between the two leaves the previous manifest,
+  // so a torn level file is never referenced.
+  File manifest(
+      std::fopen((directory + "/" + kManifestName).c_str(), "w"));
+  RETRA_CHECK_MSG(manifest != nullptr, "cannot write checkpoint manifest");
+  std::fprintf(manifest.get(),
+               "retra-checkpoint 1\nranks %d\nscheme %s\nblock %" PRIu64
+               "\nreplicated %d\nlevels %d\n",
+               ddb.ranks(), scheme_token(ddb.scheme()),
+               ddb.block_size(), ddb.replicated() ? 1 : 0, level + 1);
+  RETRA_CHECK(std::fflush(manifest.get()) == 0);
+}
+
+CheckpointLoad checkpoint_load(const std::string& directory) {
+  CheckpointLoad result;
+  File manifest(
+      std::fopen((directory + "/" + kManifestName).c_str(), "r"));
+  if (!manifest) {
+    result.error = "no manifest in " + directory;
+    return result;
+  }
+  char scheme_buf[32] = {};
+  int version = 0, replicated = 0;
+  std::uint64_t block = 0;
+  if (std::fscanf(manifest.get(),
+                  "retra-checkpoint %d\nranks %d\nscheme %31s\nblock "
+                  "%" SCNu64 "\nreplicated %d\nlevels %d\n",
+                  &version, &result.meta.ranks, scheme_buf, &block,
+                  &replicated, &result.meta.levels) != 6 ||
+      version != 1) {
+    result.error = "malformed manifest";
+    return result;
+  }
+  result.meta.block_size = block;
+  result.meta.replicated = replicated != 0;
+  if (!parse_scheme(scheme_buf, result.meta.scheme)) {
+    result.error = "unknown partition scheme in manifest";
+    return result;
+  }
+  if (result.meta.ranks < 1 || result.meta.levels < 0) {
+    result.error = "implausible manifest values";
+    return result;
+  }
+
+  auto database = std::make_unique<DistributedDatabase>(
+      result.meta.scheme, std::max<std::uint64_t>(result.meta.block_size, 1),
+      result.meta.ranks, result.meta.replicated);
+
+  for (int level = 0; level < result.meta.levels; ++level) {
+    File file(std::fopen(level_path(directory, level).c_str(), "rb"));
+    if (!file) {
+      result.error = "missing level file " + std::to_string(level);
+      return result;
+    }
+    std::FILE* f = file.get();
+    std::uint32_t magic = 0, ranks = 0;
+    if (!read_pod(f, magic) || magic != kLevelMagic ||
+        !read_pod(f, ranks) ||
+        ranks != static_cast<std::uint32_t>(result.meta.ranks)) {
+      result.error = "bad level header in level " + std::to_string(level);
+      return result;
+    }
+    std::vector<std::vector<db::Value>> storage(result.meta.ranks);
+    std::uint64_t total = 0;
+    for (auto& shard : storage) {
+      std::uint64_t size = 0;
+      if (!read_pod(f, size)) {
+        result.error = "truncated level " + std::to_string(level);
+        return result;
+      }
+      shard.resize(size);
+      const std::size_t bytes = size * sizeof(db::Value);
+      std::uint64_t checksum = 0;
+      if (!read_bytes(f, shard.data(), bytes) || !read_pod(f, checksum)) {
+        result.error = "truncated level " + std::to_string(level);
+        return result;
+      }
+      if (checksum != db::fnv1a(shard.data(), bytes)) {
+        result.error = "checksum mismatch in level " + std::to_string(level);
+        return result;
+      }
+      total += size;
+    }
+    if (result.meta.replicated) {
+      database->push_level_full(level, std::move(storage));
+    } else {
+      // Shard sizes must reassemble into a consistent level.
+      database->push_level_shards(level, total, std::move(storage));
+    }
+  }
+  result.database = std::move(database);
+  result.ok = true;
+  return result;
+}
+
+bool checkpoint_compatible(const CheckpointMeta& meta, int ranks,
+                           PartitionScheme scheme, std::uint64_t block_size,
+                           bool replicated) {
+  if (meta.ranks != ranks || meta.scheme != scheme ||
+      meta.replicated != replicated) {
+    return false;
+  }
+  // Block size only matters for block-cyclic layouts.
+  if (scheme == PartitionScheme::kBlockCyclic &&
+      meta.block_size != block_size) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace retra::para

@@ -1,0 +1,72 @@
+#include "retra/para/dist_db.hpp"
+
+namespace retra::para {
+
+void DistributedDatabase::push_level_shards(
+    int level, std::uint64_t size, std::vector<std::vector<db::Value>> shards) {
+  RETRA_CHECK_MSG(!replicated_, "use push_level_full in replicated mode");
+  RETRA_CHECK(level == num_levels());
+  RETRA_CHECK(static_cast<int>(shards.size()) == ranks_);
+  Partition partition = make_partition(size);
+  for (int r = 0; r < ranks_; ++r) {
+    RETRA_CHECK(shards[r].size() == partition.local_size(r));
+  }
+  partitions_.push_back(partition);
+  store_.push_back(std::move(shards));
+}
+
+void DistributedDatabase::push_level_full(
+    int level, std::vector<std::vector<db::Value>> per_rank_full) {
+  RETRA_CHECK_MSG(replicated_, "use push_level_shards in partitioned mode");
+  RETRA_CHECK(level == num_levels());
+  RETRA_CHECK(static_cast<int>(per_rank_full.size()) == ranks_);
+  const std::uint64_t size = per_rank_full.front().size();
+  for (const auto& copy : per_rank_full) {
+    RETRA_CHECK_MSG(copy.size() == size, "replica size mismatch");
+  }
+  partitions_.push_back(make_partition(size));
+  store_.push_back(std::move(per_rank_full));
+}
+
+db::Value DistributedDatabase::value_local(int rank, int level,
+                                           idx::Index global) const {
+  RETRA_CHECK(level >= 0 && level < num_levels());
+  if (replicated_) {
+    return store_[level][rank][global];
+  }
+  const Partition& partition = partitions_[level];
+  const int owner_rank = partition.owner(global);
+  RETRA_CHECK_MSG(owner_rank == rank,
+                  "partitioned lower-level read from a non-owner rank");
+  return store_[level][rank][partition.to_local(global)];
+}
+
+db::Database DistributedDatabase::gather() const {
+  db::Database database;
+  for (int level = 0; level < num_levels(); ++level) {
+    const Partition& partition = partitions_[level];
+    if (replicated_) {
+      database.push_level(level, store_[level][0]);
+      continue;
+    }
+    std::vector<db::Value> values(partition.size());
+    for (int r = 0; r < ranks_; ++r) {
+      const auto& shard = store_[level][r];
+      for (std::uint64_t local = 0; local < shard.size(); ++local) {
+        values[partition.to_global(r, local)] = shard[local];
+      }
+    }
+    database.push_level(level, std::move(values));
+  }
+  return database;
+}
+
+std::uint64_t DistributedDatabase::bytes_on_rank(int rank) const {
+  std::uint64_t bytes = 0;
+  for (int level = 0; level < num_levels(); ++level) {
+    bytes += store_[level][rank].size() * sizeof(db::Value);
+  }
+  return bytes;
+}
+
+}  // namespace retra::para

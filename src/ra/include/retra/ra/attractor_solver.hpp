@@ -1,0 +1,106 @@
+// Reference solver: threshold decomposition by alternating attractors.
+//
+// For every threshold k ≥ 0 the sets
+//   W_k = { p : the mover forces net capture > k }
+//   L_k = { p : the mover cannot avoid net capture < −k }
+// are least fixpoints of elementary reachability rules:
+//   p ∈ W_k  ⇐  some exit of p is worth > k, or some successor ∈ L_k
+//   p ∈ L_k  ⇐  every exit of p is worth < −k and every successor ∈ W_k
+// (cycling yields 0, which is neither > k nor < −k, so positions are only
+// captured by the fixpoint when finitely forced — exactly the semantics of
+// DESIGN.md).  The value is recovered as |{k : p ∈ W_k}| − |{k : p ∈ L_k}|.
+//
+// O(bound · iterations · edges): slow, but every step is an elementary
+// argument.  This is the correctness oracle the production sweep solver is
+// cross-checked against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retra/db/database.hpp"
+#include "retra/game/level_game.hpp"
+#include "retra/ra/sweep_solver.hpp"
+#include "retra/support/check.hpp"
+
+namespace retra::ra {
+
+template <typename LevelGame, typename LowerFn>
+std::vector<db::Value> solve_level_attractor(const LevelGame& game,
+                                             LowerFn&& lower) {
+  const std::uint64_t size = game.size();
+  const int bound = game.max_value();
+
+  // Materialise best-exit values and successor lists once.
+  std::vector<db::Value> max_exit(size, kNoOption);
+  std::vector<std::vector<std::uint32_t>> succs(size);
+  game.scan([&](idx::Index i, auto&& visit) {
+    visit(
+        [&](const game::Exit& exit) {
+          const db::Value value = game::exit_value(exit, lower);
+          if (value > max_exit[i]) max_exit[i] = value;
+        },
+        [&](idx::Index s) {
+          RETRA_CHECK_MSG(s < (std::uint64_t{1} << 32),
+                          "attractor reference limited to small levels");
+          succs[i].push_back(static_cast<std::uint32_t>(s));
+        });
+  });
+
+  std::vector<int> value(size, 0);
+  std::vector<char> in_w(size), in_l(size);
+
+  for (int k = 0; k < bound; ++k) {
+    std::fill(in_w.begin(), in_w.end(), char{0});
+    std::fill(in_l.begin(), in_l.end(), char{0});
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::uint64_t p = 0; p < size; ++p) {
+        if (!in_w[p]) {
+          bool wins = max_exit[p] != kNoOption && max_exit[p] > k;
+          if (!wins) {
+            for (const std::uint32_t s : succs[p]) {
+              if (in_l[s]) {
+                wins = true;
+                break;
+              }
+            }
+          }
+          if (wins) {
+            in_w[p] = 1;
+            changed = true;
+          }
+        }
+        if (!in_l[p]) {
+          bool loses = max_exit[p] == kNoOption || max_exit[p] < -k;
+          if (loses) {
+            for (const std::uint32_t s : succs[p]) {
+              if (!in_w[s]) {
+                loses = false;
+                break;
+              }
+            }
+          }
+          if (loses) {
+            in_l[p] = 1;
+            changed = true;
+          }
+        }
+      }
+    }
+    for (std::uint64_t p = 0; p < size; ++p) {
+      RETRA_CHECK_MSG(!(in_w[p] && in_l[p]), "W_k and L_k intersect");
+      if (in_w[p]) ++value[p];
+      if (in_l[p]) --value[p];
+    }
+  }
+
+  std::vector<db::Value> out(size);
+  for (std::uint64_t p = 0; p < size; ++p) {
+    out[p] = static_cast<db::Value>(value[p]);
+  }
+  return out;
+}
+
+}  // namespace retra::ra

@@ -1,0 +1,50 @@
+// Bottom-up database construction over a game family.
+//
+// A *game family* exposes `level(l)` returning the LevelGame for level l
+// (awari: game::AwariFamily; synthetic: game::GraphGame).  Levels are
+// solved in increasing order; each solved level feeds the exits of the
+// next.
+#pragma once
+
+#include <functional>
+
+#include "retra/db/database.hpp"
+#include "retra/ra/sweep_solver.hpp"
+#include "retra/ra/verify.hpp"
+#include "retra/support/check.hpp"
+#include "retra/support/log.hpp"
+
+namespace retra::ra {
+
+struct BuildOptions {
+  /// Run the self-verifier on every solved level (slower; aborts on
+  /// failure).
+  bool verify = false;
+  /// Per-level stats callback, e.g. for progress reporting.
+  std::function<void(int level, const SweepStats&)> on_level;
+};
+
+template <typename Family>
+db::Database build_database(const Family& family, int max_level,
+                            const BuildOptions& options = {}) {
+  db::Database database;
+  for (int l = 0; l <= max_level; ++l) {
+    decltype(auto) game = family.level(l);
+    auto lower = [&database](int level, idx::Index index) {
+      return database.value(level, index);
+    };
+    SweepOptions sweep_options;
+    sweep_options.record_order = options.verify;
+    SweepResult result = solve_level(game, lower, sweep_options);
+    if (options.verify) {
+      const VerifyReport report =
+          verify_level(game, lower, result.values, result.order);
+      RETRA_CHECK_MSG(report.ok, "level verification failed: " + report.error);
+    }
+    if (options.on_level) options.on_level(l, result.stats);
+    database.push_level(l, std::move(result.values));
+  }
+  return database;
+}
+
+}  // namespace retra::ra

@@ -1,0 +1,121 @@
+// Depth to conversion (DTC) — the classic endgame-database companion of
+// the value tables (Thompson-style retrograde analysis).
+//
+// For a solved level, dtc(p) is the number of plies until the game leaves
+// the level (a capture or game-end exit) when both sides play
+// value-optimally and, among value-optimal moves, the favoured side
+// (v > 0) converts as fast as possible while the unfavoured side (v < 0)
+// delays as long as possible:
+//
+//   v(p) > 0:  dtc = min over value-optimal options
+//                    (exit: 1,  successor s: 1 + dtc(s))
+//   v(p) < 0:  dtc = max over value-optimal options (same costs)
+//   v(p) = 0:  kNoConversion — both sides can cycle forever, so no
+//              conversion is forced (a drawn position may still convert
+//              in play, but neither side can force or need it).
+//
+// Every value-optimal option of a nonzero position flips the sign
+// (+u ↔ −u) or exits, and the +u side forces conversion in finitely many
+// plies (that is what makes the value +u), so the min/max recursion is
+// well-founded.  It is computed retrograde, like the values themselves: a
+// bucket queue keyed by dtc plays the role of Dijkstra's priority queue
+// (unit-cost layers), min positions resolve on their first settled
+// optimal successor, max positions on their last (edge counting).
+//
+// Oracles use DTC to play the *shortest* win instead of an arbitrary one
+// (evaluate_moves_dtc).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retra/db/database.hpp"
+#include "retra/game/level_game.hpp"
+#include "retra/ra/sweep_solver.hpp"
+#include "retra/support/check.hpp"
+
+namespace retra::ra {
+
+using Dtc = std::uint32_t;
+inline constexpr Dtc kNoConversion = UINT32_MAX;
+
+template <typename LevelGame, typename LowerFn>
+std::vector<Dtc> compute_dtc(const LevelGame& game, LowerFn&& lower,
+                             const std::vector<db::Value>& values) {
+  const std::uint64_t size = game.size();
+  RETRA_CHECK(values.size() == size);
+
+  std::vector<Dtc> dtc(size, kNoConversion);
+  // For v < 0 positions: optimal successor edges not yet settled, and the
+  // largest settled candidate (1 + dtc(s), or 1 for an optimal exit).
+  std::vector<std::uint32_t> open_edges(size, 0);
+  std::vector<Dtc> max_candidate(size, 0);
+
+  // Bucket queue: settled positions by dtc; processed in increasing dtc
+  // so min-side positions settle on their first (smallest) candidate.
+  std::vector<std::vector<idx::Index>> buckets;
+  auto push = [&](idx::Index p, Dtc d) {
+    RETRA_DCHECK(dtc[p] == kNoConversion);
+    dtc[p] = d;
+    if (buckets.size() <= d) buckets.resize(d + 1);
+    buckets[d].push_back(p);
+  };
+
+  // Initialisation: classify every nonzero position's optimal options.
+  game.scan([&](idx::Index i, auto&& visit) {
+    const db::Value v = values[i];
+    if (v == 0) return;  // draws never convert by force
+    bool exit_optimal = false;
+    std::uint32_t optimal_succs = 0;
+    visit(
+        [&](const game::Exit& exit) {
+          if (game::exit_value(exit, lower) == v) exit_optimal = true;
+        },
+        [&](idx::Index s) {
+          if (static_cast<db::Value>(-values[s]) == v) ++optimal_succs;
+        });
+    RETRA_CHECK_MSG(exit_optimal || optimal_succs > 0,
+                    "no value-optimal option: values are inconsistent");
+    if (v > 0) {
+      // Converting via an exit costs one ply and nothing can beat it.
+      if (exit_optimal) push(i, 1);
+    } else {
+      open_edges[i] = optimal_succs;
+      if (exit_optimal) max_candidate[i] = 1;
+      if (optimal_succs == 0) push(i, max_candidate[i]);
+    }
+  });
+
+  // Retrograde propagation in dtc order.
+  for (Dtc layer = 0; layer < buckets.size(); ++layer) {
+    // buckets may grow while we drain this layer's vector.
+    for (std::size_t k = 0; k < buckets[layer].size(); ++k) {
+      const idx::Index p = buckets[layer][k];
+      const db::Value vp = values[p];
+      game.visit_predecessors(p, [&](idx::Index q) {
+        const db::Value vq = values[q];
+        // The edge q -> p is value-optimal for q iff −v(p) == v(q).
+        if (vq == 0 || static_cast<db::Value>(-vp) != vq) return;
+        if (vq > 0) {
+          if (dtc[q] == kNoConversion) push(q, dtc[p] + 1);
+        } else {
+          RETRA_CHECK_MSG(open_edges[q] > 0, "optimal edge double-counted");
+          --open_edges[q];
+          if (dtc[p] + 1 > max_candidate[q]) max_candidate[q] = dtc[p] + 1;
+          if (open_edges[q] == 0 && dtc[q] == kNoConversion) {
+            push(q, max_candidate[q]);
+          }
+        }
+      });
+    }
+  }
+
+  // Every nonzero position converts under optimal play.
+  for (std::uint64_t i = 0; i < size; ++i) {
+    RETRA_CHECK_MSG(values[i] == 0 || dtc[i] != kNoConversion,
+                    "nonzero value without forced conversion");
+  }
+  return dtc;
+}
+
+}  // namespace retra::ra

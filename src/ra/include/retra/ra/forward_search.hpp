@@ -1,0 +1,57 @@
+// Exhaustive forward search for tiny games (test oracle #3).
+//
+// Computes the value of a single position by depth-first search over play
+// paths, scoring a revisited position as 0 — the path formulation of the
+// "infinite play is worth nothing further" convention.  Exponential: only
+// used on games with a handful of positions per level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retra/db/database.hpp"
+#include "retra/game/level_game.hpp"
+#include "retra/support/check.hpp"
+
+namespace retra::ra {
+
+namespace detail {
+
+template <typename LevelGame, typename LowerFn>
+int forward_value_rec(const LevelGame& game, LowerFn& lower, idx::Index p,
+                      std::vector<char>& on_path, std::uint64_t& budget) {
+  RETRA_CHECK_MSG(budget-- > 0, "forward search budget exhausted");
+  if (on_path[p]) return 0;  // repetition: no further net capture
+  on_path[p] = 1;
+  int best = INT32_MIN;
+  game.visit_options(
+      p,
+      [&](const game::Exit& exit) {
+        const int value = game::exit_value(exit, lower);
+        if (value > best) best = value;
+      },
+      [&](idx::Index s) {
+        const int value =
+            -forward_value_rec(game, lower, s, on_path, budget);
+        if (value > best) best = value;
+      });
+  on_path[p] = 0;
+  RETRA_CHECK_MSG(best != INT32_MIN, "position with no options");
+  return best;
+}
+
+}  // namespace detail
+
+/// Value of position `start`; aborts if the search exceeds `budget` node
+/// expansions (the caller sized the game wrongly for an exhaustive check).
+template <typename LevelGame, typename LowerFn>
+db::Value forward_value(const LevelGame& game, LowerFn&& lower,
+                        idx::Index start,
+                        std::uint64_t budget = 50'000'000) {
+  std::vector<char> on_path(game.size(), 0);
+  const int value =
+      detail::forward_value_rec(game, lower, start, on_path, budget);
+  return static_cast<db::Value>(value);
+}
+
+}  // namespace retra::ra

@@ -1,0 +1,52 @@
+// Querying a solved database: position values and optimal moves.
+//
+// This is what an endgame database is *for*: given any awari position
+// whose stone count is covered, report its game-theoretic value and rank
+// the moves by the value they guarantee.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "retra/db/database.hpp"
+#include "retra/game/awari.hpp"
+
+namespace retra::ra {
+
+struct MoveEval {
+  int pit = 0;       // origin pit of the move (0–5)
+  int captured = 0;  // stones captured immediately
+  db::Value value = 0;  // guaranteed net future capture for the mover
+  game::Board after{};  // successor position (next mover's view)
+};
+
+/// Game-theoretic value of `board`; aborts if the database does not cover
+/// the board's stone count.
+db::Value position_value(const db::Database& database,
+                         const game::Board& board);
+
+/// All legal moves, best first (value, then lower pit index as the tie
+/// break).  Empty for terminal positions.
+std::vector<MoveEval> evaluate_moves(const db::Database& database,
+                                     const game::Board& board);
+
+/// Plays optimal moves from `board` until the game ends or `max_plies` is
+/// reached (cycling positions never end), returning a human-readable
+/// transcript line per ply.
+std::vector<std::string> optimal_line(const db::Database& database,
+                                      game::Board board, int max_plies = 32);
+
+/// Depth-to-conversion tables for every level of an awari database (see
+/// retra/ra/dtc.hpp); index dtc.levels[n][rank].
+struct DtcTables {
+  std::vector<std::vector<std::uint32_t>> levels;
+};
+DtcTables compute_awari_dtc(const db::Database& database);
+
+/// Like evaluate_moves, but value ties are broken by conversion depth:
+/// winning movers convert as fast as possible, losing movers delay.
+std::vector<MoveEval> evaluate_moves_shortest(const db::Database& database,
+                                              const DtcTables& dtc,
+                                              const game::Board& board);
+
+}  // namespace retra::ra

@@ -1,0 +1,159 @@
+// The production sequential retrograde-analysis solver.
+//
+// Solves one level of a level game (see retra/game/level_game.hpp) given
+// the values of all lower levels.  This is the algorithm the paper
+// parallelises, so its structure mirrors the distributed one exactly:
+//
+//  * every position keeps `best` (the best option value proven so far) and
+//    `cnt` (same-level successor edges not yet resolved);
+//  * value magnitudes are processed from the level bound downwards; within
+//    magnitude u, `best == u` finalises a position at +u (no unresolved
+//    successor can offer more) and `cnt == 0` finalises it at exactly
+//    `best`;
+//  * every finalisation notifies the position's same-level predecessors
+//    (retrograde step: unmove generation) with the contribution −value;
+//  * positions never finalised can cycle forever on zero-reward moves and
+//    receive value 0.
+//
+// This is backward induction for deterministic graphical games whose
+// internal cycles are all worth zero (Washburn-style), organised so that
+// every predecessor edge is traversed exactly once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retra/db/database.hpp"
+#include "retra/game/level_game.hpp"
+#include "retra/support/check.hpp"
+
+namespace retra::ra {
+
+/// `best` value meaning "no option value known yet".
+inline constexpr db::Value kNoOption = INT16_MIN + 1;
+
+/// Assignment order of positions resolved only by the final zero-fill.
+inline constexpr std::uint32_t kZeroFillOrder = UINT32_MAX;
+
+struct SweepStats {
+  std::uint64_t positions = 0;
+  std::uint64_t exit_options = 0;   // exits evaluated during initialisation
+  std::uint64_t level_edges = 0;    // same-level successor edges counted
+  std::uint64_t assignments = 0;    // positions finalised before zero-fill
+  std::uint64_t zero_filled = 0;
+  std::uint64_t pred_edges = 0;     // predecessor edges visited
+  std::uint64_t updates = 0;        // contributions applied to open positions
+  int magnitudes = 0;
+};
+
+struct SweepResult {
+  std::vector<db::Value> values;
+  /// Assignment sequence numbers (only when requested): the verifier's
+  /// well-foundedness certificate for positive values.
+  std::vector<std::uint32_t> order;
+  SweepStats stats;
+};
+
+struct SweepOptions {
+  bool record_order = false;
+};
+
+/// Solves one level.  `lower(level, index)` must return the final value of
+/// any lower-level position reachable through an exit.
+template <typename LevelGame, typename LowerFn>
+SweepResult solve_level(const LevelGame& game, LowerFn&& lower,
+                        const SweepOptions& options = {}) {
+  const std::uint64_t size = game.size();
+  const int bound = game.max_value();
+  RETRA_CHECK(bound >= 0);
+
+  SweepResult result;
+  result.stats.positions = size;
+  result.values.assign(size, db::kUnknown);
+  if (options.record_order) result.order.assign(size, kZeroFillOrder);
+
+  std::vector<db::Value> best(size, kNoOption);
+  std::vector<std::uint16_t> cnt(size, 0);
+  std::vector<idx::Index> queue;
+  std::uint32_t sequence = 0;
+
+  auto assign = [&](idx::Index p, db::Value v) {
+    RETRA_DCHECK(result.values[p] == db::kUnknown);
+    result.values[p] = v;
+    if (options.record_order) result.order[p] = sequence++;
+    ++result.stats.assignments;
+    queue.push_back(p);
+  };
+
+  // Initialisation: evaluate every exit against the lower databases and
+  // count same-level successor edges.  Positions with no same-level
+  // successors are exact immediately.
+  game.scan([&](idx::Index i, auto&& visit) {
+    db::Value b = kNoOption;
+    std::uint32_t edges = 0;
+    visit(
+        [&](const game::Exit& exit) {
+          const db::Value value = game::exit_value(exit, lower);
+          if (value > b) b = value;
+          ++result.stats.exit_options;
+        },
+        [&](idx::Index) {
+          ++edges;
+          ++result.stats.level_edges;
+        });
+    RETRA_CHECK_MSG(b != kNoOption || edges > 0,
+                    "position with no options at all");
+    RETRA_CHECK_MSG(edges <= UINT16_MAX, "successor edge count overflow");
+    RETRA_CHECK_MSG(b == kNoOption || (b >= -bound && b <= bound),
+                    "exit value outside the level's value bound");
+    best[i] = b;
+    cnt[i] = static_cast<std::uint16_t>(edges);
+    if (edges == 0) assign(i, b);
+  });
+
+  // Magnitude sweep.  The queue drained at magnitude u only ever carries
+  // positions whose |value| <= u, so contributions never exceed the open
+  // positions' remaining bound.
+  for (int u = bound; u >= 1; --u) {
+    ++result.stats.magnitudes;
+    const auto mag = static_cast<db::Value>(u);
+    for (std::uint64_t i = 0; i < size; ++i) {
+      if (result.values[i] == db::kUnknown && best[i] == mag) {
+        assign(i, mag);
+      }
+      RETRA_DCHECK(result.values[i] != db::kUnknown || best[i] <= mag);
+    }
+    while (!queue.empty()) {
+      const idx::Index p = queue.back();
+      queue.pop_back();
+      const db::Value v = result.values[p];
+      const auto contribution = static_cast<db::Value>(-v);
+      game.visit_predecessors(p, [&](idx::Index q) {
+        ++result.stats.pred_edges;
+        if (result.values[q] != db::kUnknown) return;
+        ++result.stats.updates;
+        RETRA_CHECK_MSG(cnt[q] > 0, "more contributions than counted edges");
+        --cnt[q];
+        if (contribution > best[q]) best[q] = contribution;
+        RETRA_CHECK_MSG(best[q] <= mag, "contribution above current magnitude");
+        if (best[q] == mag) {
+          assign(q, mag);
+        } else if (cnt[q] == 0) {
+          RETRA_CHECK(best[q] != kNoOption);
+          assign(q, best[q]);
+        }
+      });
+    }
+  }
+
+  // Whatever survives every magnitude can cycle forever: value 0.
+  for (std::uint64_t i = 0; i < size; ++i) {
+    if (result.values[i] == db::kUnknown) {
+      result.values[i] = 0;
+      ++result.stats.zero_filled;
+    }
+  }
+  return result;
+}
+
+}  // namespace retra::ra

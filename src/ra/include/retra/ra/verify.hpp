@@ -1,0 +1,82 @@
+// Self-verification of a solved level.
+//
+// Two checks together pin the fixpoint uniquely (see DESIGN.md):
+//
+//  1. Local consistency: v(p) equals the max over all option values —
+//     exits against the lower databases and −v(s) for same-level
+//     successors.  (This holds with equality even for cycling positions:
+//     a zero-filled position always has a zero-filled successor.)
+//  2. Well-foundedness of positive values: v(p) = u > 0 must be realised
+//     by an exit worth u or by a successor with value −u that was
+//     finalised *earlier* (assignment-order certificate).  This rejects
+//     mutually-supporting cycles of nonzero values, the classic failure
+//     mode local consistency alone cannot see.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "retra/db/database.hpp"
+#include "retra/game/level_game.hpp"
+#include "retra/ra/sweep_solver.hpp"
+
+namespace retra::ra {
+
+struct VerifyReport {
+  bool ok = true;
+  std::uint64_t positions_checked = 0;
+  std::string error;  // description of the first failure
+
+  void fail(std::string message) {
+    if (ok) {
+      ok = false;
+      error = std::move(message);
+    }
+  }
+};
+
+/// Verifies one level.  `order` may be empty, which skips check 2.
+template <typename LevelGame, typename LowerFn>
+VerifyReport verify_level(const LevelGame& game, LowerFn&& lower,
+                          const std::vector<db::Value>& values,
+                          const std::vector<std::uint32_t>& order = {}) {
+  VerifyReport report;
+  if (values.size() != game.size()) {
+    report.fail("value array size mismatch");
+    return report;
+  }
+  const bool check_order = order.size() == values.size();
+
+  game.scan([&](idx::Index p, auto&& visit) {
+    ++report.positions_checked;
+    const db::Value v = values[p];
+    db::Value best = kNoOption;
+    bool witnessed = false;
+    visit(
+        [&](const game::Exit& exit) {
+          const db::Value value = game::exit_value(exit, lower);
+          if (value > best) best = value;
+          if (value == v) witnessed = true;  // exits are always well-founded
+        },
+        [&](idx::Index s) {
+          const auto value = static_cast<db::Value>(-values[s]);
+          if (value > best) best = value;
+          if (check_order && value == v && v > 0 && order[s] < order[p]) {
+            witnessed = true;
+          }
+        });
+    if (best != v) {
+      report.fail("local consistency failed at position " +
+                  std::to_string(p) + ": value " + std::to_string(v) +
+                  " vs option max " + std::to_string(best));
+    }
+    if (check_order && v > 0 && !witnessed) {
+      report.fail("positive value without well-founded witness at position " +
+                  std::to_string(p));
+    }
+  });
+  return report;
+}
+
+}  // namespace retra::ra

@@ -1,0 +1,109 @@
+#include "retra/ra/oracle.hpp"
+
+#include <algorithm>
+
+#include "retra/game/awari_level.hpp"
+#include "retra/ra/dtc.hpp"
+#include "retra/support/check.hpp"
+
+namespace retra::ra {
+
+db::Value position_value(const db::Database& database,
+                         const game::Board& board) {
+  const int stones = idx::stones_on(board);
+  RETRA_CHECK_MSG(database.has_level(stones),
+                  "database does not cover this stone count");
+  return database.value(stones, idx::rank(board));
+}
+
+std::vector<MoveEval> evaluate_moves(const db::Database& database,
+                                     const game::Board& board) {
+  std::vector<MoveEval> evals;
+  for (const auto& move : game::legal_moves(board)) {
+    MoveEval eval;
+    eval.pit = move.pit;
+    eval.captured = move.captured;
+    eval.after = move.after;
+    eval.value = static_cast<db::Value>(
+        move.captured - position_value(database, move.after));
+    evals.push_back(eval);
+  }
+  std::sort(evals.begin(), evals.end(),
+            [](const MoveEval& a, const MoveEval& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.pit < b.pit;
+            });
+  return evals;
+}
+
+std::vector<std::string> optimal_line(const db::Database& database,
+                                      game::Board board, int max_plies) {
+  std::vector<std::string> transcript;
+  for (int ply = 0; ply < max_plies; ++ply) {
+    const db::Value value = position_value(database, board);
+    if (game::is_terminal(board)) {
+      transcript.push_back(game::board_to_string(board) +
+                           "  terminal, reward " +
+                           std::to_string(game::terminal_reward(board)));
+      break;
+    }
+    const auto evals = evaluate_moves(database, board);
+    const MoveEval& best = evals.front();
+    RETRA_CHECK_MSG(best.value == value,
+                    "database inconsistent: best move misses the value");
+    transcript.push_back(
+        game::board_to_string(board) + "  value " + std::to_string(value) +
+        ", plays pit " + std::to_string(best.pit) +
+        (best.captured ? " capturing " + std::to_string(best.captured)
+                       : std::string()));
+    board = best.after;
+  }
+  return transcript;
+}
+
+DtcTables compute_awari_dtc(const db::Database& database) {
+  DtcTables tables;
+  tables.levels.reserve(database.num_levels());
+  for (int level = 0; level < database.num_levels(); ++level) {
+    const game::AwariLevel game(level);
+    auto lower = [&database](int l, idx::Index i) {
+      return database.value(l, i);
+    };
+    tables.levels.push_back(
+        compute_dtc(game, lower, database.level(level)));
+  }
+  return tables;
+}
+
+std::vector<MoveEval> evaluate_moves_shortest(const db::Database& database,
+                                              const DtcTables& dtc,
+                                              const game::Board& board) {
+  std::vector<MoveEval> evals = evaluate_moves(database, board);
+  if (evals.empty()) return evals;
+  const db::Value best = evals.front().value;
+
+  // Conversion cost of a move: captures leave the level immediately (one
+  // ply); a sowing move inherits the successor's depth plus one.
+  auto conversion = [&](const MoveEval& eval) -> std::uint64_t {
+    if (eval.captured > 0) return 1;
+    const int level = idx::stones_on(eval.after);
+    const Dtc d = dtc.levels.at(level)[idx::rank(eval.after)];
+    return d == kNoConversion ? kNoConversion
+                              : static_cast<std::uint64_t>(d) + 1;
+  };
+
+  std::stable_sort(evals.begin(), evals.end(),
+                   [&](const MoveEval& a, const MoveEval& b) {
+                     if (a.value != b.value) return a.value > b.value;
+                     if (a.value != best) return false;  // keep order
+                     const auto ca = conversion(a);
+                     const auto cb = conversion(b);
+                     // Winners hurry, losers stall, draws don't care.
+                     if (best > 0) return ca < cb;
+                     if (best < 0) return ca > cb;
+                     return false;
+                   });
+  return evals;
+}
+
+}  // namespace retra::ra

@@ -1,0 +1,36 @@
+// Anchor translation unit for the header-template retra_ra library; also
+// hosts explicit instantiation smoke checks so template errors surface when
+// the library itself is built rather than in downstream targets.
+#include "retra/game/awari_level.hpp"
+#include "retra/game/graph_game.hpp"
+#include "retra/ra/attractor_solver.hpp"
+#include "retra/ra/builder.hpp"
+#include "retra/ra/forward_search.hpp"
+#include "retra/ra/sweep_solver.hpp"
+#include "retra/ra/verify.hpp"
+
+namespace retra::ra {
+
+namespace {
+
+// Force instantiation of the solver stack for both shipped game types.
+[[maybe_unused]] void instantiate_templates() {
+  auto lower = [](int, idx::Index) { return db::Value{0}; };
+
+  const game::AwariLevel awari(2);
+  (void)solve_level(awari, lower);
+  (void)solve_level_attractor(awari, lower);
+  (void)verify_level(awari, lower, {});
+  (void)forward_value(awari, lower, 0);
+
+  const game::GraphGameConfig config;
+  const game::GraphGame graph(config);
+  (void)solve_level(graph.level(1), lower);
+  (void)solve_level_attractor(graph.level(1), lower);
+  (void)verify_level(graph.level(1), lower, {});
+  (void)forward_value(graph.level(1), lower, 0);
+}
+
+}  // namespace
+
+}  // namespace retra::ra

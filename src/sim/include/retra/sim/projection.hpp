@@ -1,0 +1,125 @@
+// Analytic projection of a level build at paper scale.
+//
+// The discrete-event driver replays real engine executions, which is
+// exact but needs the level to fit this container.  The paper's headline
+// databases (40 CPU-hours, >600 MB) do not, so those rows are *projected*:
+// the measured per-position workload densities of a feasible level are
+// combined with the same cluster cost model in closed form.  The formula
+// is the BSP cost model of the simulator with the round structure
+// collapsed: per-rank compute + per-rank message overheads, a shared-
+// medium bandwidth term that does not scale with P, and the barrier term
+// that grows with P.  EXPERIMENTS.md flags every projected row.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "retra/sim/cluster_model.hpp"
+
+namespace retra::sim {
+
+/// Per-position workload densities of one level build, measured from a
+/// real run (para::profile_of) or synthesised for a what-if.
+struct LevelProfile {
+  std::uint64_t positions = 0;
+  double exits_pp = 0;    // exit options per position
+  double edges_pp = 0;    // same-level successor edges per position
+  double preds_pp = 0;    // predecessor edges generated per position
+  double assigns_pp = 0;  // finalisations per position (<= 1)
+  double updates_pp = 0;  // contributions applied per position
+  double lookups_pp = 0;  // capture exits needing a lower-level value
+  /// BSP rounds of the measured run (propagation depth × magnitudes).
+  std::uint64_t rounds = 0;
+
+  /// Scales the profile to a level with `new_positions` positions and a
+  /// value bound `bound_ratio` times larger (rounds track the magnitude
+  /// count); densities are preserved.
+  LevelProfile scaled(std::uint64_t new_positions, double bound_ratio) const {
+    LevelProfile out = *this;
+    out.positions = new_positions;
+    out.rounds = static_cast<std::uint64_t>(
+        static_cast<double>(rounds) * bound_ratio);
+    return out;
+  }
+};
+
+struct Projection {
+  double time_s = 0;
+  double compute_s = 0;   // per-rank compute share
+  double overhead_s = 0;  // per-rank message software overheads
+  double network_s = 0;   // shared-medium occupancy (global)
+  double barrier_s = 0;
+  std::uint64_t records = 0;   // remote records
+  std::uint64_t messages = 0;  // after combining
+};
+
+/// Projects one level build on `ranks` processors with a combining buffer
+/// of `combine_bytes` (1 = combining off).  `record_bytes` is the wire
+/// size of an update record; `remote_fraction` the share of records that
+/// cross rank boundaries (≈ (P−1)/P for scattering partitions).
+inline Projection project_level(const LevelProfile& profile, int ranks,
+                                const ClusterModel& model,
+                                std::size_t combine_bytes,
+                                std::size_t record_bytes = 10,
+                                double remote_fraction = -1.0) {
+  Projection out;
+  const double P = static_cast<double>(ranks);
+  if (remote_fraction < 0) remote_fraction = (P - 1.0) / P;
+  const double positions = static_cast<double>(profile.positions);
+
+  const auto cost = [&](msg::WorkKind kind) {
+    return model.machine.op_cost[static_cast<int>(kind)];
+  };
+
+  // Remote traffic: updates to remote predecessors, lookups to remote
+  // lower-level owners and their replies.
+  const double remote_updates =
+      positions * profile.updates_pp * remote_fraction;
+  const double remote_lookups =
+      positions * profile.lookups_pp * remote_fraction;
+  const double remote_records = remote_updates + 2.0 * remote_lookups;
+  out.records = static_cast<std::uint64_t>(remote_records);
+
+  // Compute: every position is scanned, its options priced, its
+  // predecessors generated on finalisation; remote records additionally
+  // pay pack+unpack.
+  double ops = 0;
+  ops += positions * cost(msg::WorkKind::kScanPosition);
+  ops += positions * profile.exits_pp * cost(msg::WorkKind::kExitOption);
+  ops += positions * profile.edges_pp * cost(msg::WorkKind::kLevelEdge);
+  ops += positions * profile.assigns_pp * cost(msg::WorkKind::kAssign);
+  ops += positions * profile.preds_pp * cost(msg::WorkKind::kPredEdge);
+  ops += positions * profile.updates_pp * cost(msg::WorkKind::kUpdateApply);
+  ops += remote_records * (cost(msg::WorkKind::kRecordPack) +
+                           cost(msg::WorkKind::kRecordUnpack));
+  out.compute_s = ops / model.machine.cpu_ops_per_second / P;
+
+  // Combining: how many records share one message.
+  const double per_message = std::max<double>(
+      1.0, static_cast<double>(combine_bytes / record_bytes));
+  const double messages = remote_records / per_message;
+  out.messages = static_cast<std::uint64_t>(messages);
+  const double payload = per_message * static_cast<double>(record_bytes);
+
+  // Sender + receiver software overheads, divided across ranks.
+  out.overhead_s = messages *
+                   (model.machine.send_overhead_s +
+                    model.machine.recv_overhead_s) /
+                   P;
+  // Bridged segments: aggregate bandwidth scales with segment count (a
+  // fixed wiring property), never with P.
+  out.network_s = messages *
+                  model.net.medium_seconds(
+                      static_cast<std::uint64_t>(payload)) /
+                  model.net.segments;
+  out.barrier_s =
+      static_cast<double>(profile.rounds) * model.barrier_seconds(ranks);
+
+  // A rank overlaps nothing in the BSP model; the medium is the only
+  // shared resource, so the run is bounded by the busier of the two.
+  out.time_s = std::max(out.compute_s + out.overhead_s, out.network_s) +
+               out.barrier_s;
+  return out;
+}
+
+}  // namespace retra::sim

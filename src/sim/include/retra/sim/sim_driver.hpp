@@ -1,0 +1,185 @@
+// Discrete-event bulk-synchronous driver.
+//
+// Runs the identical engine supersteps as the real drivers, but on one
+// thread and against virtual time: each round,
+//   1. every rank's superstep executes; its WorkMeter delta is priced by
+//      the machine model (plus the receive overhead of the messages it
+//      just drained);
+//   2. the round's messages are played over the shared-medium Ethernet
+//      model in send order — the medium serialises, so contention emerges
+//      by construction;
+//   3. the closing barrier/allreduce is priced and the round ends at the
+//      latest of all ranks and deliveries.
+// The result carries the virtual wall-clock plus a per-rank
+// compute / send / receive / idle breakdown (figure F3) — all fully
+// deterministic, which is what lets a single-core container reproduce the
+// shape of a 64-node 1995 cluster run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "retra/msg/work_meter.hpp"
+#include "retra/sim/cluster_model.hpp"
+#include "retra/sim/sim_world.hpp"
+#include "retra/sim/trace.hpp"
+#include "retra/support/check.hpp"
+
+namespace retra::sim {
+
+struct RankBreakdown {
+  double compute_s = 0;  // priced algorithmic work
+  double send_s = 0;     // per-message sender software overhead
+  double recv_s = 0;     // per-message receiver software overhead
+  double idle_s = 0;     // waiting at barriers for stragglers/network
+
+  double busy_s() const { return compute_s + send_s + recv_s; }
+};
+
+struct SimRunResult {
+  double time_s = 0;  // virtual wall clock of the whole run
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bytes = 0;
+  double network_busy_s = 0;  // shared-medium occupancy
+  double barrier_s = 0;       // summed barrier cost
+  std::vector<RankBreakdown> per_rank;
+
+  void accumulate(const SimRunResult& other) {
+    time_s += other.time_s;
+    rounds += other.rounds;
+    messages += other.messages;
+    payload_bytes += other.payload_bytes;
+    network_busy_s += other.network_busy_s;
+    barrier_s += other.barrier_s;
+    if (per_rank.size() < other.per_rank.size()) {
+      per_rank.resize(other.per_rank.size());
+    }
+    for (std::size_t r = 0; r < other.per_rank.size(); ++r) {
+      per_rank[r].compute_s += other.per_rank[r].compute_s;
+      per_rank[r].send_s += other.per_rank[r].send_s;
+      per_rank[r].recv_s += other.per_rank[r].recv_s;
+      per_rank[r].idle_s += other.per_rank[r].idle_s;
+    }
+  }
+};
+
+inline constexpr std::uint64_t kSimRoundLimit = 100'000'000;
+
+template <typename Engine>
+SimRunResult run_bsp_simulated(std::vector<std::unique_ptr<Engine>>& engines,
+                               SimWorld& world, const ClusterModel& model,
+                               TraceSink* trace = nullptr) {
+  const int ranks = static_cast<int>(engines.size());
+  RETRA_CHECK(ranks == world.size());
+  SimRunResult result;
+  result.per_rank.resize(ranks);
+
+  std::vector<double> pending_recv(ranks, 0.0);
+  std::vector<msg::WorkMeter> meter_before(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    meter_before[r] = world.endpoint(r).meter();
+  }
+
+  std::uint64_t cum_sent = 0;
+  std::uint64_t cum_received = 0;
+  double now = 0.0;  // round start, virtual seconds
+  std::uint64_t trace_messages_before = 0;
+  std::uint64_t trace_payload_before = 0;
+  double trace_network_before = 0.0;
+
+  while (true) {
+    ++result.rounds;
+    RETRA_CHECK_MSG(result.rounds < kSimRoundLimit,
+                    "simulated round limit exceeded");
+
+    // 1. Supersteps: price each rank's work.
+    std::vector<double> rank_clock(ranks);  // when each rank goes idle
+    bool all_ready = true;
+    std::uint64_t round_sent = 0, round_received = 0, round_work = 0;
+    for (int r = 0; r < ranks; ++r) {
+      const auto step = engines[r]->superstep();
+      all_ready = all_ready && step.ready;
+      round_sent += step.records_sent;
+      round_received += step.records_received;
+      round_work += step.work;
+
+      msg::WorkMeter delta = world.endpoint(r).meter();
+      for (int k = 0; k < msg::kWorkKinds; ++k) {
+        delta.counts[k] -= meter_before[r].counts[k];
+      }
+      meter_before[r] = world.endpoint(r).meter();
+      const double compute = model.machine.cpu_seconds(delta);
+      result.per_rank[r].compute_s += compute;
+      result.per_rank[r].recv_s += pending_recv[r];
+      rank_clock[r] = now + compute + pending_recv[r];
+      pending_recv[r] = 0.0;
+    }
+    cum_sent += round_sent;
+    cum_received += round_received;
+
+    // 2. Network: bridged shared segments, messages in send order.  The
+    // sender pays its software overhead before the frame can contend for
+    // its segment; the receiver's overhead is charged to its next
+    // superstep.
+    std::vector<double> medium_free(model.net.segments, now);
+    double last_delivery = now;
+    for (auto& out : world.take_outbox()) {
+      const int src = out.source;
+      rank_clock[src] += model.machine.send_overhead_s;
+      result.per_rank[src].send_s += model.machine.send_overhead_s;
+      const double medium_time =
+          model.net.medium_seconds(out.message.payload.size());
+      double& segment_free = medium_free[model.net.segment_of(src)];
+      const double start = std::max(segment_free, rank_clock[src]);
+      segment_free = start + medium_time;
+      result.network_busy_s += medium_time;
+      last_delivery = std::max(last_delivery, segment_free);
+      pending_recv[out.dest] += model.machine.recv_overhead_s;
+      ++result.messages;
+      result.payload_bytes += out.message.payload.size();
+      world.deliver(out.dest, std::move(out.message));
+    }
+
+    // 3. Barrier closes the round.
+    const double barrier = model.barrier_seconds(ranks);
+    result.barrier_s += barrier;
+    double round_end = last_delivery;
+    for (int r = 0; r < ranks; ++r) {
+      round_end = std::max(round_end, rank_clock[r]);
+    }
+    for (int r = 0; r < ranks; ++r) {
+      result.per_rank[r].idle_s += round_end - rank_clock[r];
+    }
+    if (trace) {
+      RoundTrace row;
+      row.round = result.rounds;
+      row.start_s = now;
+      row.end_s = round_end + barrier;
+      row.rank_busy_s.reserve(ranks);
+      for (int r = 0; r < ranks; ++r) {
+        row.rank_busy_s.push_back(rank_clock[r] - now);
+      }
+      row.messages = result.messages - trace_messages_before;
+      row.payload_bytes = result.payload_bytes - trace_payload_before;
+      row.network_busy_s = result.network_busy_s - trace_network_before;
+      trace->add(std::move(row));
+    }
+    trace_messages_before = result.messages;
+    trace_payload_before = result.payload_bytes;
+    trace_network_before = result.network_busy_s;
+    now = round_end + barrier;
+
+    const bool quiescent = all_ready && round_work == 0 &&
+                           round_sent == 0 && cum_sent == cum_received;
+    if (!quiescent) continue;
+    if (engines.front()->done()) break;
+    for (auto& engine : engines) engine->advance();
+  }
+  result.time_s = now;
+  return result;
+}
+
+}  // namespace retra::sim

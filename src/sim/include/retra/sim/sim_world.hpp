@@ -1,0 +1,44 @@
+// Simulated message-passing world.
+//
+// Endpoints implement msg::Comm; the engine code cannot tell it from the
+// thread world.  The difference is who moves the messages: here the
+// discrete-event driver collects each round's outgoing messages, plays
+// them over the shared-medium Ethernet model, and delivers them into the
+// inboxes of the next round, advancing virtual time as it goes.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "retra/msg/comm.hpp"
+
+namespace retra::sim {
+
+class SimWorld {
+ public:
+  struct OutMessage {
+    int source = 0;
+    int dest = 0;
+    msg::Message message;
+  };
+
+  explicit SimWorld(int ranks);
+  ~SimWorld();
+
+  int size() const { return static_cast<int>(endpoints_.size()); }
+  msg::Comm& endpoint(int rank);
+
+  /// Messages sent during the current round, in send order (driver use).
+  std::vector<OutMessage> take_outbox();
+  /// Delivers a message into a rank's inbox for the next round.
+  void deliver(int dest, msg::Message message);
+
+ private:
+  class Endpoint;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::deque<msg::Message>> inboxes_;
+  std::vector<OutMessage> outbox_;
+};
+
+}  // namespace retra::sim

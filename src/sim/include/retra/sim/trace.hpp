@@ -1,0 +1,38 @@
+// Round-level trace of a simulated run.
+//
+// One row per BSP round: virtual start/end, each rank's busy time, the
+// round's message count and medium occupancy.  cluster_run --trace dumps
+// it as CSV — the raw material for a gantt of the 1995 cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace retra::sim {
+
+struct RoundTrace {
+  std::uint64_t round = 0;
+  double start_s = 0;
+  double end_s = 0;
+  std::vector<double> rank_busy_s;  // compute + overheads per rank
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bytes = 0;
+  double network_busy_s = 0;
+};
+
+class TraceSink {
+ public:
+  void add(RoundTrace row) { rows_.push_back(std::move(row)); }
+  const std::vector<RoundTrace>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+
+  /// Writes "round,start,end,messages,payload,network,busy0,busy1,…".
+  /// Aborts on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<RoundTrace> rows_;
+};
+
+}  // namespace retra::sim

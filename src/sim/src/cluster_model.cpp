@@ -1,0 +1,4 @@
+// Anchor translation unit for the header-only cluster model.
+#include "retra/sim/cluster_model.hpp"
+
+namespace retra::sim {}

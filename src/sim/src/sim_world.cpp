@@ -1,0 +1,63 @@
+#include "retra/sim/sim_world.hpp"
+
+#include "retra/support/check.hpp"
+
+namespace retra::sim {
+
+class SimWorld::Endpoint : public msg::Comm {
+ public:
+  Endpoint(int rank, SimWorld& world) : rank_(rank), world_(world) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return world_.size(); }
+
+  void send(int dest, std::uint8_t tag,
+            std::vector<std::byte> payload) override {
+    RETRA_CHECK(dest >= 0 && dest < size());
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload.size();
+    world_.outbox_.push_back(
+        OutMessage{rank_, dest, msg::Message{rank_, tag, std::move(payload)}});
+  }
+
+  bool try_recv(msg::Message& out) override {
+    auto& inbox = world_.inboxes_[rank_];
+    if (inbox.empty()) return false;
+    out = std::move(inbox.front());
+    inbox.pop_front();
+    ++stats_.messages_received;
+    stats_.bytes_received += out.payload.size();
+    return true;
+  }
+
+ private:
+  int rank_;
+  SimWorld& world_;
+};
+
+SimWorld::SimWorld(int ranks) : inboxes_(ranks) {
+  RETRA_CHECK(ranks >= 1);
+  endpoints_.reserve(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    endpoints_.push_back(std::make_unique<Endpoint>(r, *this));
+  }
+}
+
+SimWorld::~SimWorld() = default;
+
+msg::Comm& SimWorld::endpoint(int rank) {
+  RETRA_CHECK(rank >= 0 && rank < size());
+  return *endpoints_[rank];
+}
+
+std::vector<SimWorld::OutMessage> SimWorld::take_outbox() {
+  std::vector<OutMessage> out;
+  out.swap(outbox_);
+  return out;
+}
+
+void SimWorld::deliver(int dest, msg::Message message) {
+  inboxes_[dest].push_back(std::move(message));
+}
+
+}  // namespace retra::sim

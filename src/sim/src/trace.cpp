@@ -1,0 +1,42 @@
+#include "retra/sim/trace.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "retra/support/check.hpp"
+
+namespace retra::sim {
+
+void TraceSink::write_csv(const std::string& path) const {
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> file(
+      std::fopen(path.c_str(), "w"));
+  RETRA_CHECK_MSG(file != nullptr, "cannot write trace: " + path);
+  std::FILE* f = file.get();
+  std::fputs("round,start_s,end_s,messages,payload_bytes,network_busy_s",
+             f);
+  const std::size_t ranks =
+      rows_.empty() ? 0 : rows_.front().rank_busy_s.size();
+  for (std::size_t r = 0; r < ranks; ++r) {
+    std::fprintf(f, ",busy_rank%zu_s", r);
+  }
+  std::fputc('\n', f);
+  for (const RoundTrace& row : rows_) {
+    std::fprintf(f, "%llu,%.9f,%.9f,%llu,%llu,%.9f",
+                 static_cast<unsigned long long>(row.round), row.start_s,
+                 row.end_s, static_cast<unsigned long long>(row.messages),
+                 static_cast<unsigned long long>(row.payload_bytes),
+                 row.network_busy_s);
+    for (const double busy : row.rank_busy_s) {
+      std::fprintf(f, ",%.9f", busy);
+    }
+    std::fputc('\n', f);
+  }
+  RETRA_CHECK(std::fflush(f) == 0);
+}
+
+}  // namespace retra::sim

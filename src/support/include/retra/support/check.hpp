@@ -1,0 +1,39 @@
+// Runtime invariant checking.
+//
+// RETRA_CHECK is always on (it guards algorithmic invariants whose violation
+// would silently corrupt a database); RETRA_DCHECK compiles out in release
+// builds and is used on hot paths.
+#pragma once
+
+#include <string_view>
+
+namespace retra::support {
+
+/// Aborts the process with a diagnostic message.  Out-of-line so the check
+/// macros stay tiny at call sites.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               std::string_view message);
+
+}  // namespace retra::support
+
+#define RETRA_CHECK(expr)                                                    \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      ::retra::support::check_failed(#expr, __FILE__, __LINE__, {});         \
+    }                                                                        \
+  } while (false)
+
+#define RETRA_CHECK_MSG(expr, msg)                                           \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      ::retra::support::check_failed(#expr, __FILE__, __LINE__, (msg));      \
+    }                                                                        \
+  } while (false)
+
+#ifdef NDEBUG
+#define RETRA_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define RETRA_DCHECK(expr) RETRA_CHECK(expr)
+#endif

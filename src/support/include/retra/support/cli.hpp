@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for example and bench binaries.
+//
+// Flags are --name=value or --name value; bare --name sets a bool.  Unknown
+// flags are an error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace retra::support {
+
+class Cli {
+ public:
+  /// Declares a flag with a default and a help string before parse().
+  void flag(const std::string& name, const std::string& default_value,
+            const std::string& help);
+
+  /// Parses argv; exits with usage on error or --help.
+  void parse(int argc, char** argv);
+
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double number(const std::string& name) const;
+  bool boolean(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Entry {
+    std::string value;
+    std::string help;
+  };
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> positional_;
+  std::string program_;
+};
+
+}  // namespace retra::support

@@ -1,0 +1,18 @@
+// Human-readable formatting of byte counts and durations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace retra::support {
+
+/// 1536 -> "1.5 KB"; binary units (KiB-style factors, conventional labels).
+std::string human_bytes(std::uint64_t bytes);
+
+/// 0.00213 -> "2.13 ms", 5025 -> "1h23m45s".
+std::string human_seconds(double seconds);
+
+/// Percentage with one decimal, e.g. 0.4823 -> "48.2%".
+std::string percent(double fraction);
+
+}  // namespace retra::support

@@ -1,0 +1,21 @@
+// Lightweight leveled logging to stderr.
+//
+// Used sparingly: progress lines from long-running builders and warnings
+// from the simulator.  Verbosity is a process-wide setting so examples can
+// expose a --verbose flag.
+#pragma once
+
+#include <string>
+
+namespace retra::support {
+
+enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; compiled calls are cheap when filtered out.
+void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace retra::support

@@ -1,0 +1,77 @@
+// Deterministic, fast pseudo-random generators.
+//
+// All randomised components of the library (synthetic games, partition
+// hashing, property tests) use these generators so that every run is
+// reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+namespace retra::support {
+
+/// SplitMix64: used for seeding and for stateless hashing of indices.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — a small, fast, high-quality PRNG.  Satisfies the
+/// UniformRandomBitGenerator requirements, so it plugs into <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x42ULL) {
+    // Seed the four words through SplitMix64 per the reference
+    // implementation's recommendation; guarantees a nonzero state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias for the bound sizes
+  /// used here (Lemire's multiply-shift reduction).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    const auto x = (*this)();
+    // 128-bit multiply keeps the reduction unbiased enough for our use
+    // (bound << 2^64 everywhere in this codebase).
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(x) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace retra::support

@@ -1,0 +1,73 @@
+// Small statistics accumulators used by benchmarks and run reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace retra::support {
+
+/// Streaming min / max / mean / variance (Welford) over double samples.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  /// Sample variance (n − 1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram over integer values in [lo, hi]; out-of-range
+/// values clamp to the end buckets.  Used for database value distributions.
+class IntHistogram {
+ public:
+  IntHistogram(int lo, int hi);
+
+  void add(int value, std::uint64_t weight = 1);
+
+  int lo() const { return lo_; }
+  int hi() const { return hi_; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count_at(int value) const;
+  /// Sum of counts for values strictly greater than zero, equal, and less.
+  std::uint64_t positive() const;
+  std::uint64_t zero() const { return count_at(0); }
+  std::uint64_t negative() const;
+
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  /// Merges another histogram with identical bounds.
+  void merge(const IntHistogram& other);
+
+ private:
+  int lo_;
+  int hi_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> buckets_;
+};
+
+/// Load-balance summary over per-rank quantities: max/mean ratio etc.
+struct Balance {
+  double mean = 0.0;
+  double max = 0.0;
+  double min = 0.0;
+  /// max / mean; 1.0 is perfect balance.
+  double imbalance = 1.0;
+};
+
+Balance balance_of(const std::vector<double>& per_rank);
+Balance balance_of(const std::vector<std::uint64_t>& per_rank);
+
+}  // namespace retra::support

@@ -1,0 +1,50 @@
+// Plain-text table rendering for benchmark output.
+//
+// The bench binaries print paper-style tables; this formatter keeps them
+// aligned and consistent.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace retra::support {
+
+/// Column-aligned ASCII table.  Cells are strings; convenience overloads
+/// format numerics.  Rendered with a header rule, e.g.:
+///
+///   level  positions   bytes
+///   -----  ----------  --------
+///       8     75 582    75.6 KB
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(const char* cell);
+  Table& add(std::uint64_t v);
+  Table& add(std::int64_t v);
+  Table& add(int v);
+  /// Fixed-precision double.
+  Table& add(double v, int precision = 2);
+
+  std::size_t rows() const { return cells_.size(); }
+
+  /// Renders the table; every column is as wide as its widest cell.
+  std::string render() const;
+  void print(std::ostream& os) const;
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats an integer with thousands separators: 1234567 -> "1 234 567".
+std::string with_thousands(std::uint64_t v);
+
+}  // namespace retra::support

@@ -1,0 +1,47 @@
+// Wall-clock timing helpers for benchmarks and progress reporting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace retra::support {
+
+/// Monotonic stopwatch.  Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t nanoseconds() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals, e.g. to separate
+/// compute time from communication time inside a solver.
+class SplitTimer {
+ public:
+  void start() { timer_.reset(); }
+  void stop() { total_ += timer_.seconds(); }
+  double total_seconds() const { return total_; }
+  void clear() { total_ = 0.0; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace retra::support

@@ -1,0 +1,20 @@
+#include "retra/support/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace retra::support {
+
+void check_failed(const char* expr, const char* file, int line,
+                  std::string_view message) {
+  std::fprintf(stderr, "RETRA_CHECK failed: %s at %s:%d", expr, file, line);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %.*s", static_cast<int>(message.size()),
+                 message.data());
+  }
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace retra::support

@@ -1,0 +1,81 @@
+#include "retra/support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "retra/support/check.hpp"
+
+namespace retra::support {
+
+void Cli::flag(const std::string& name, const std::string& default_value,
+               const std::string& help) {
+  entries_[name] = Entry{default_value, help};
+}
+
+void Cli::parse(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                   usage().c_str());
+      std::exit(2);
+    }
+    if (!has_value) {
+      // Bare --flag means boolean true; values use the --flag=value form
+      // only, so flags never swallow positional arguments.
+      value = "true";
+    }
+    it->second.value = std::move(value);
+  }
+}
+
+std::string Cli::str(const std::string& name) const {
+  auto it = entries_.find(name);
+  RETRA_CHECK_MSG(it != entries_.end(), "flag not declared: " + name);
+  return it->second.value;
+}
+
+std::int64_t Cli::integer(const std::string& name) const {
+  return std::strtoll(str(name).c_str(), nullptr, 10);
+}
+
+double Cli::number(const std::string& name) const {
+  return std::strtod(str(name).c_str(), nullptr);
+}
+
+bool Cli::boolean(const std::string& name) const {
+  const std::string v = str(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Cli::usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_ << " [flags]\n";
+  for (const auto& [name, entry] : entries_) {
+    out << "  --" << name << " (default: "
+        << (entry.value.empty() ? "\"\"" : entry.value) << ")\n      "
+        << entry.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace retra::support

@@ -1,0 +1,57 @@
+#include "retra/support/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace retra::support {
+
+std::string human_bytes(std::uint64_t bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+std::string human_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 0) {
+    return "-" + human_seconds(-seconds);
+  }
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.0f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof buf, "%dm%02ds",
+                  static_cast<int>(seconds) / 60,
+                  static_cast<int>(seconds) % 60);
+  } else {
+    const int total = static_cast<int>(std::llround(seconds));
+    std::snprintf(buf, sizeof buf, "%dh%02dm%02ds", total / 3600,
+                  (total % 3600) / 60, total % 60);
+  }
+  return buf;
+}
+
+std::string percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace retra::support

@@ -1,0 +1,38 @@
+#include "retra/support/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace retra::support {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+void vlog(const char* prefix, const char* fmt, va_list args) {
+  std::fputs(prefix, stderr);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_info(const char* fmt, ...) {
+  if (log_level() < LogLevel::kInfo) return;
+  va_list args;
+  va_start(args, fmt);
+  vlog("[retra] ", fmt, args);
+  va_end(args);
+}
+
+void log_debug(const char* fmt, ...) {
+  if (log_level() < LogLevel::kDebug) return;
+  va_list args;
+  va_start(args, fmt);
+  vlog("[retra:debug] ", fmt, args);
+  va_end(args);
+}
+
+}  // namespace retra::support

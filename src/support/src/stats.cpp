@@ -1,0 +1,97 @@
+#include "retra/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "retra/support/check.hpp"
+
+namespace retra::support {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+IntHistogram::IntHistogram(int lo, int hi) : lo_(lo), hi_(hi) {
+  RETRA_CHECK(lo <= hi);
+  buckets_.assign(static_cast<std::size_t>(hi - lo) + 1, 0);
+}
+
+void IntHistogram::add(int value, std::uint64_t weight) {
+  const int clamped = std::clamp(value, lo_, hi_);
+  buckets_[static_cast<std::size_t>(clamped - lo_)] += weight;
+  total_ += weight;
+}
+
+std::uint64_t IntHistogram::count_at(int value) const {
+  if (value < lo_ || value > hi_) return 0;
+  return buckets_[static_cast<std::size_t>(value - lo_)];
+}
+
+std::uint64_t IntHistogram::positive() const {
+  std::uint64_t sum = 0;
+  for (int v = std::max(1, lo_); v <= hi_; ++v) sum += count_at(v);
+  return sum;
+}
+
+std::uint64_t IntHistogram::negative() const {
+  std::uint64_t sum = 0;
+  for (int v = lo_; v <= std::min(-1, hi_); ++v) sum += count_at(v);
+  return sum;
+}
+
+void IntHistogram::merge(const IntHistogram& other) {
+  RETRA_CHECK(lo_ == other.lo_ && hi_ == other.hi_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+}
+
+namespace {
+
+template <typename T>
+Balance balance_impl(const std::vector<T>& per_rank) {
+  Balance b;
+  if (per_rank.empty()) return b;
+  double sum = 0.0;
+  b.min = static_cast<double>(per_rank.front());
+  b.max = static_cast<double>(per_rank.front());
+  for (const T& v : per_rank) {
+    const double x = static_cast<double>(v);
+    sum += x;
+    b.min = std::min(b.min, x);
+    b.max = std::max(b.max, x);
+  }
+  b.mean = sum / static_cast<double>(per_rank.size());
+  b.imbalance = b.mean > 0.0 ? b.max / b.mean : 1.0;
+  return b;
+}
+
+}  // namespace
+
+Balance balance_of(const std::vector<double>& per_rank) {
+  return balance_impl(per_rank);
+}
+
+Balance balance_of(const std::vector<std::uint64_t>& per_rank) {
+  return balance_impl(per_rank);
+}
+
+}  // namespace retra::support

@@ -1,0 +1,90 @@
+#include "retra/support/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "retra/support/check.hpp"
+
+namespace retra::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RETRA_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  RETRA_CHECK_MSG(!cells_.empty(), "call row() before add()");
+  RETRA_CHECK_MSG(cells_.back().size() < headers_.size(),
+                  "row has more cells than headers");
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(std::uint64_t v) { return add(with_thousands(v)); }
+
+Table& Table::add(std::int64_t v) {
+  if (v < 0) return add("-" + with_thousands(static_cast<std::uint64_t>(-v)));
+  return add(with_thousands(static_cast<std::uint64_t>(v)));
+}
+
+Table& Table::add(int v) { return add(static_cast<std::int64_t>(v)); }
+
+Table& Table::add(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return add(std::string(buf));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      // Right-align everything; benches print mostly numbers.
+      out << std::string(widths[c] - cell.size(), ' ') << cell;
+      out << (c + 1 == headers_.size() ? "\n" : "  ");
+    }
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c], '-')
+        << (c + 1 == headers_.size() ? "\n" : "  ");
+  }
+  for (const auto& row : cells_) emit_row(row);
+  return out.str();
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+void Table::print() const { std::cout << render() << std::flush; }
+
+std::string with_thousands(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out += ' ';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace retra::support

@@ -1,0 +1,4 @@
+#include "retra/support/timer.hpp"
+
+// Header-only for now; this translation unit anchors the library.
+namespace retra::support {}

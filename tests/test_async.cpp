@@ -1,0 +1,94 @@
+// The asynchronous (barrier-free) driver must produce the identical
+// database: neither message arrival order nor superstep interleaving may
+// influence the values, and the two-snapshot termination detector must
+// never advance a phase early (an early advance trips the engine's
+// "update outside a magnitude phase" / contribution-bound checks).
+#include <gtest/gtest.h>
+
+#include "retra/game/awari_level.hpp"
+#include "retra/game/graph_game.hpp"
+#include "retra/game/kalah_level.hpp"
+#include "retra/para/parallel_solver.hpp"
+#include "retra/ra/builder.hpp"
+
+namespace retra::para {
+namespace {
+
+ParallelConfig async_config(int ranks) {
+  ParallelConfig config;
+  config.ranks = ranks;
+  config.use_threads = true;
+  config.async = true;
+  return config;
+}
+
+TEST(Async, AwariMatchesSequential) {
+  const auto result =
+      build_parallel(game::AwariFamily{}, 5, async_config(4));
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 5));
+}
+
+TEST(Async, KalahMatchesSequential) {
+  const auto result =
+      build_parallel(game::KalahFamily{}, 5, async_config(3));
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::KalahFamily{}, 5));
+}
+
+TEST(Async, SingleRank) {
+  const auto result =
+      build_parallel(game::AwariFamily{}, 4, async_config(1));
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 4));
+}
+
+TEST(Async, ManyRanksSmallLevels) {
+  // More ranks than some levels have positions: empty shards must not
+  // confuse the termination detector.
+  const auto result =
+      build_parallel(game::AwariFamily{}, 3, async_config(8));
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 3));
+}
+
+TEST(Async, CombiningOff) {
+  ParallelConfig config = async_config(4);
+  config.combine_bytes = 1;
+  const auto result = build_parallel(game::AwariFamily{}, 4, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 4));
+}
+
+TEST(Async, ReplicatedLower) {
+  ParallelConfig config = async_config(3);
+  config.replicate_lower = true;
+  const auto result = build_parallel(game::AwariFamily{}, 4, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 4));
+}
+
+TEST(Async, RepeatedRunsStayCorrect) {
+  // Interleavings differ run to run; the answer must not.
+  const auto expected = ra::build_database(game::AwariFamily{}, 4);
+  for (int i = 0; i < 5; ++i) {
+    const auto result =
+        build_parallel(game::AwariFamily{}, 4, async_config(4));
+    ASSERT_EQ(result.database->gather(), expected) << "run " << i;
+  }
+}
+
+TEST(Async, GraphGameWithSameMoverExits) {
+  game::GraphGameConfig gconfig;
+  gconfig.levels = 4;
+  gconfig.size0 = 12;
+  gconfig.seed = 99;
+  const game::GraphGame graph(gconfig);
+  const auto result =
+      build_parallel(graph, graph.num_levels() - 1, async_config(4));
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(graph, graph.num_levels() - 1));
+}
+
+}  // namespace
+}  // namespace retra::para

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "retra/game/awari.hpp"
+
+namespace retra::game {
+namespace {
+
+Board B(const char* text) { return board_from_string(text); }
+
+TEST(Sowing, SimpleOwnRow) {
+  // Pit 0 holds 3: sow into pits 1, 2, 3.  No capture (lands in own row).
+  const Board before = B("3 0 0 0 0 0  1 0 0 0 0 0");
+  const AppliedMove m = apply_move(before, 0);
+  ASSERT_TRUE(m.legal);
+  EXPECT_EQ(m.captured, 0);
+  // After rotation the opponent row (old mover's pits) is 0 1 1 1 0 0.
+  EXPECT_EQ(m.after, B("1 0 0 0 0 0  0 1 1 1 0 0"));
+}
+
+TEST(Sowing, WrapsAroundBoard) {
+  // Pit 5 holds 8: sows pits 6..11 then 0,1.
+  const Board before = B("0 0 0 0 0 8  0 0 0 0 0 0");
+  const AppliedMove m = apply_move(before, 5);
+  ASSERT_TRUE(m.legal);
+  EXPECT_EQ(m.captured, 0);
+  EXPECT_EQ(m.after, B("1 1 1 1 1 1  1 1 0 0 0 0"));
+}
+
+TEST(Sowing, SkipsOriginWithTwelveOrMore) {
+  // Pit 0 holds 13: one full lap of the 11 other pits plus pits 1 and 2;
+  // the origin is skipped and stays empty.
+  const Board before = B("13 0 0 0 0 0  1 1 1 1 1 1");
+  const AppliedMove m = apply_move(before, 0);
+  ASSERT_TRUE(m.legal);
+  // Sown: every pit except 0 gets one; pits 1 and 2 get a second.
+  // Pre-rotation board: 0 2 2 1 1 1 | 2 2 2 2 2 2 — last stone in pit 2
+  // (own row), so no capture.
+  EXPECT_EQ(m.captured, 0);
+  EXPECT_EQ(m.after, B("2 2 2 2 2 2  0 2 2 1 1 1"));
+}
+
+TEST(Capture, SingleTwo) {
+  // Pit 5 -> pit 6 making it 2; opponent still has stones elsewhere.
+  const Board before = B("0 0 0 0 0 1  1 0 0 0 0 4");
+  const AppliedMove m = apply_move(before, 5);
+  ASSERT_TRUE(m.legal);
+  EXPECT_EQ(m.captured, 2);
+  EXPECT_EQ(m.after, B("0 0 0 0 0 4  0 0 0 0 0 0"));
+}
+
+TEST(Capture, SingleThree) {
+  const Board before = B("0 0 0 0 0 1  2 0 0 0 0 4");
+  const AppliedMove m = apply_move(before, 5);
+  ASSERT_TRUE(m.legal);
+  EXPECT_EQ(m.captured, 3);
+  EXPECT_EQ(m.after, B("0 0 0 0 0 4  0 0 0 0 0 0"));
+}
+
+TEST(Capture, ChainOfTwosAndThrees) {
+  // Pit 0 holds 9, sowing through pits 1..9; pits 7, 8, 9 end at 2, 3, 2
+  // and are all captured (pit 6 ends at 4, breaking the chain).
+  const Board before = B("9 0 0 0 0 0  3 1 2 1 0 5");
+  const AppliedMove m = apply_move(before, 0);
+  ASSERT_TRUE(m.legal);
+  EXPECT_EQ(m.captured, 2 + 3 + 2);
+  // Pre-rotation: 0 1 1 1 1 1 | 4 0 0 0 0 5.
+  EXPECT_EQ(m.after, B("4 0 0 0 0 5  0 1 1 1 1 1"));
+}
+
+TEST(Capture, ChainStopsAtOwnRow) {
+  // Landing on pit 6 with chain continuing backwards would leave the
+  // opponent row; only pit 6 is captured.
+  const Board before = B("0 0 0 0 0 1  1 0 0 0 2 2");
+  const AppliedMove m = apply_move(before, 5);
+  ASSERT_TRUE(m.legal);
+  EXPECT_EQ(m.captured, 2);
+  EXPECT_EQ(m.after, B("0 0 0 0 2 2  0 0 0 0 0 0"));
+}
+
+TEST(Capture, NoCaptureOnOwnRowLanding) {
+  // Last stone lands in own row even though opponent pits hold 2s.
+  const Board before = B("2 0 0 0 0 0  2 2 2 2 2 2");
+  const AppliedMove m = apply_move(before, 0);
+  ASSERT_TRUE(m.legal);
+  EXPECT_EQ(m.captured, 0);
+}
+
+TEST(Capture, NoCaptureOnFourStones) {
+  // Pit 6 ends at 4: no capture.
+  const Board before = B("0 0 0 0 0 1  3 0 0 0 0 4");
+  const AppliedMove m = apply_move(before, 5);
+  ASSERT_TRUE(m.legal);
+  EXPECT_EQ(m.captured, 0);
+}
+
+TEST(GrandSlam, ForfeitsCaptureButMoveStands) {
+  // Capturing pit 6 (the opponent's only stones) would strip them bare:
+  // the sowing stands, nothing is captured.
+  const Board before = B("0 0 0 0 0 1  1 0 0 0 0 0");
+  const AppliedMove m = apply_move(before, 5);
+  ASSERT_TRUE(m.legal);
+  EXPECT_EQ(m.captured, 0);
+  EXPECT_EQ(m.after, B("2 0 0 0 0 0  0 0 0 0 0 0"));
+}
+
+TEST(GrandSlam, WholeRowChainForfeits) {
+  // Sowing 6 from pit 0 turns the opponent row into all 2s and 3s; the
+  // chain from pit 6 backwards... lands at pit 6?  Build a clean case:
+  // pit 5 holds 6, sowing pits 6..11 turns (1 1 1 2 2 2) into
+  // (2 2 2 3 3 3): the chain from pit 11 captures everything -> forfeit.
+  const Board before = B("0 0 0 0 0 6  1 1 1 2 2 2");
+  const AppliedMove m = apply_move(before, 5);
+  ASSERT_TRUE(m.legal);
+  EXPECT_EQ(m.captured, 0);
+  EXPECT_EQ(m.after, B("2 2 2 3 3 3  0 0 0 0 0 0"));
+}
+
+TEST(MustFeed, NonFeedingMoveIllegalWhenOpponentStarving) {
+  // Opponent empty; pit 0 with 2 stones stays in own row: illegal.
+  // Pit 5 with 1 stone feeds: legal.
+  const Board before = B("2 0 0 0 0 1  0 0 0 0 0 0");
+  EXPECT_FALSE(apply_move(before, 0).legal);
+  EXPECT_TRUE(apply_move(before, 5).legal);
+  const MoveList moves = legal_moves(before);
+  ASSERT_EQ(moves.count, 1);
+  EXPECT_EQ(moves.items[0].pit, 5);
+}
+
+TEST(MustFeed, AllMovesLegalWhenOpponentHasStones) {
+  const Board before = B("2 0 0 0 0 1  1 0 0 0 0 0");
+  EXPECT_TRUE(apply_move(before, 0).legal);
+  EXPECT_TRUE(apply_move(before, 5).legal);
+}
+
+TEST(Terminal, EmptyOwnRowLosesEverything) {
+  const Board board = B("0 0 0 0 0 0  3 1 0 0 0 0");
+  EXPECT_TRUE(is_terminal(board));
+  EXPECT_EQ(terminal_reward(board), -4);
+}
+
+TEST(Terminal, CannotFeedTakesEverything) {
+  // Opponent empty and no move reaches their row.
+  const Board board = B("1 1 0 0 0 0  0 0 0 0 0 0");
+  EXPECT_TRUE(is_terminal(board));
+  EXPECT_EQ(terminal_reward(board), 2);
+}
+
+TEST(Terminal, EmptyBoardIsWorthZero) {
+  const Board board = B("0 0 0 0 0 0  0 0 0 0 0 0");
+  EXPECT_TRUE(is_terminal(board));
+  EXPECT_EQ(terminal_reward(board), 0);
+}
+
+TEST(Terminal, FeedingMoveMeansNotTerminal) {
+  const Board board = B("0 0 0 0 0 2  0 0 0 0 0 0");
+  EXPECT_FALSE(is_terminal(board));
+}
+
+TEST(Moves, EmptyPitIsIllegal) {
+  const Board board = B("0 1 0 0 0 0  1 0 0 0 0 0");
+  EXPECT_FALSE(apply_move(board, 0).legal);
+  EXPECT_FALSE(apply_move(board, 7).legal);   // out of mover's range
+  EXPECT_FALSE(apply_move(board, -1).legal);
+}
+
+TEST(Moves, StoneConservation) {
+  // Stones on board + captured stones == stones before, for every legal
+  // move of a bag of positions.
+  const Board boards[] = {
+      B("4 4 4 4 4 4  4 4 4 4 4 4"), B("1 0 3 0 5 0  2 2 2 0 0 1"),
+      B("0 0 0 0 0 12  1 1 1 1 1 1"), B("13 1 0 0 0 0  0 0 2 3 0 0"),
+  };
+  for (const Board& board : boards) {
+    const int before = idx::stones_on(board);
+    for (const auto& m : legal_moves(board)) {
+      EXPECT_EQ(idx::stones_on(m.after) + m.captured, before);
+    }
+  }
+}
+
+TEST(Moves, RotationIsConsistent) {
+  // The pit opposite the origin (origin + 6 in the rotated frame) is the
+  // origin itself and must be empty after any move.
+  const Board board = B("4 4 4 4 4 4  4 4 4 4 4 4");
+  for (const auto& m : legal_moves(board)) {
+    EXPECT_EQ(m.after[(m.pit + 6) % kPits], 0);
+  }
+}
+
+TEST(Strings, RoundTrip) {
+  const Board board = B("1 2 3 4 5 6  7 8 9 10 11 12");
+  EXPECT_EQ(board_to_string(board), "[1 2 3 4 5 6 | 7 8 9 10 11 12]");
+}
+
+}  // namespace
+}  // namespace retra::game

@@ -1,0 +1,104 @@
+// The retrograde step lives or dies on move/unmove duality: the multiset of
+// predecessor edges reported by predecessors() must be exactly the inverse
+// of the multiset of same-level (non-capturing) forward edges.  These tests
+// verify that exhaustively for every position of the small levels.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "retra/game/awari.hpp"
+#include "retra/index/board_index.hpp"
+
+namespace retra::game {
+namespace {
+
+using Edge = std::pair<idx::Index, idx::Index>;  // (from, to), same level
+
+std::map<Edge, int> forward_edges(int level) {
+  std::map<Edge, int> edges;
+  idx::for_each_board(level, [&](const Board& board, idx::Index i) {
+    for (const auto& m : legal_moves(board)) {
+      if (m.captured == 0) {
+        ++edges[{i, idx::rank(m.after)}];
+      }
+    }
+  });
+  return edges;
+}
+
+std::map<Edge, int> backward_edges(int level) {
+  std::map<Edge, int> edges;
+  std::vector<Board> preds;
+  idx::for_each_board(level, [&](const Board& board, idx::Index i) {
+    predecessors(board, preds);
+    for (const Board& q : preds) {
+      ++edges[{idx::rank(q), i}];
+    }
+  });
+  return edges;
+}
+
+class UnmoveDuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnmoveDuality, PredecessorsInvertNonCaptureMoves) {
+  const int level = GetParam();
+  const auto forward = forward_edges(level);
+  const auto backward = backward_edges(level);
+  EXPECT_EQ(forward, backward) << "level " << level;
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, UnmoveDuality,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+TEST(Unmoves, PredecessorBoardsAreSameLevelAndDistinctOrigins) {
+  std::vector<Board> preds;
+  idx::for_each_board(5, [&](const Board& board, idx::Index) {
+    predecessors(board, preds);
+    for (const Board& q : preds) {
+      ASSERT_EQ(idx::stones_on(q), 5);
+      ASSERT_NE(q, board);  // sowing always moves stones: no self-loops
+    }
+  });
+}
+
+TEST(Unmoves, KnownSimpleCase) {
+  // [1 0 0 0 0 0 | 0...] (one stone in the mover's pit 0, terminal for the
+  // mover).  Its predecessors must be positions where the previous mover
+  // sowed a final stone into what is now pit 0 — i.e. pit 6 of the
+  // predecessor's frame... enumerated by hand for level 1: the only
+  // level-1 boards with a legal non-capturing move are those with the
+  // stone in the previous mover's pit 5 (sowing it into pit 6 feeds the
+  // starving opponent).
+  const Board target = board_from_string("1 0 0 0 0 0  0 0 0 0 0 0");
+  std::vector<Board> preds;
+  predecessors(target, preds);
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0], board_from_string("0 0 0 0 0 1  0 0 0 0 0 0"));
+}
+
+TEST(Unmoves, TerminalBoardsStillHavePredecessors) {
+  // The empty board has no predecessors (no non-capturing move yields it).
+  const Board empty{};
+  std::vector<Board> preds;
+  predecessors(empty, preds);
+  EXPECT_TRUE(preds.empty());
+}
+
+TEST(Unmoves, GrandSlamSowingIsAPredecessorEdge) {
+  // [2 0 0 0 0 0 | 0...] arises from [0 0 0 0 0 1 | 1 0 0 0 0 0] via the
+  // forfeited grand slam in GrandSlam.ForfeitsCaptureButMoveStands.
+  const Board target = board_from_string("2 0 0 0 0 0  0 0 0 0 0 0");
+  std::vector<Board> preds;
+  predecessors(target, preds);
+  const Board slam = board_from_string("0 0 0 0 0 1  1 0 0 0 0 0");
+  bool found = false;
+  for (const Board& q : preds) {
+    if (q == slam) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace retra::game

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "retra/game/awari_level.hpp"
+#include "retra/para/checkpoint.hpp"
+#include "retra/para/parallel_solver.hpp"
+#include "retra/ra/builder.hpp"
+
+namespace retra::para {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("retra_ckpt_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, SaveAndLoadRoundTrip) {
+  ParallelConfig config;
+  config.ranks = 3;
+  config.checkpoint_dir = dir_;
+  const auto result = build_parallel(game::AwariFamily{}, 4, config);
+
+  const CheckpointLoad loaded = checkpoint_load(dir_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.meta.ranks, 3);
+  EXPECT_EQ(loaded.meta.levels, 5);
+  EXPECT_EQ(loaded.database->gather(), result.database->gather());
+}
+
+TEST_F(CheckpointTest, ResumeContinuesWhereItStopped) {
+  // First run builds to level 3; the "resumed" run asks for level 6 and
+  // must produce the same database as a from-scratch build.
+  ParallelConfig config;
+  config.ranks = 4;
+  config.checkpoint_dir = dir_;
+  build_parallel(game::AwariFamily{}, 3, config);
+
+  const auto resumed = build_parallel(game::AwariFamily{}, 6, config);
+  // Only levels 4..6 were built this time.
+  EXPECT_EQ(resumed.levels.size(), 3u);
+  EXPECT_EQ(resumed.levels.front().level, 4);
+  EXPECT_EQ(resumed.database->gather(),
+            ra::build_database(game::AwariFamily{}, 6));
+}
+
+TEST_F(CheckpointTest, FullyCheckpointedBuildIsANoOp) {
+  ParallelConfig config;
+  config.ranks = 2;
+  config.checkpoint_dir = dir_;
+  build_parallel(game::AwariFamily{}, 4, config);
+  const auto again = build_parallel(game::AwariFamily{}, 4, config);
+  EXPECT_TRUE(again.levels.empty());
+  EXPECT_EQ(again.database->gather(),
+            ra::build_database(game::AwariFamily{}, 4));
+}
+
+TEST_F(CheckpointTest, IncompatibleConfigurationStartsFresh) {
+  ParallelConfig config;
+  config.ranks = 3;
+  config.checkpoint_dir = dir_;
+  build_parallel(game::AwariFamily{}, 3, config);
+
+  ParallelConfig other = config;
+  other.ranks = 5;  // different layout: checkpoint must be ignored
+  const auto result = build_parallel(game::AwariFamily{}, 3, other);
+  EXPECT_EQ(result.levels.size(), 4u);  // rebuilt everything
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 3));
+}
+
+TEST_F(CheckpointTest, CorruptedLevelFileIsRejected) {
+  ParallelConfig config;
+  config.ranks = 2;
+  config.checkpoint_dir = dir_;
+  build_parallel(game::AwariFamily{}, 3, config);
+
+  // Flip a byte in level 2's payload.
+  const std::string victim = dir_ + "/level_2.ck";
+  std::fstream file(victim, std::ios::in | std::ios::out | std::ios::binary);
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<long>(file.tellg());
+  file.seekg(size / 2);
+  char byte;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(size / 2);
+  file.write(&byte, 1);
+  file.close();
+
+  const CheckpointLoad loaded = checkpoint_load(dir_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_NE(loaded.error.find("level"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, MissingDirectoryReportsCleanly) {
+  const CheckpointLoad loaded = checkpoint_load(dir_ + "/nonexistent");
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_FALSE(loaded.error.empty());
+}
+
+TEST_F(CheckpointTest, MalformedManifestRejected) {
+  fs::create_directories(dir_);
+  std::ofstream(dir_ + "/manifest.txt") << "not a manifest";
+  const CheckpointLoad loaded = checkpoint_load(dir_);
+  EXPECT_FALSE(loaded.ok);
+}
+
+TEST_F(CheckpointTest, ReplicatedModeRoundTrips) {
+  ParallelConfig config;
+  config.ranks = 3;
+  config.replicate_lower = true;
+  config.checkpoint_dir = dir_;
+  build_parallel(game::AwariFamily{}, 3, config);
+  const CheckpointLoad loaded = checkpoint_load(dir_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_TRUE(loaded.meta.replicated);
+  EXPECT_EQ(loaded.database->gather(),
+            ra::build_database(game::AwariFamily{}, 3));
+}
+
+TEST(CheckpointCompat, MatchRules) {
+  CheckpointMeta meta;
+  meta.ranks = 4;
+  meta.scheme = PartitionScheme::kCyclic;
+  meta.block_size = 64;
+  meta.replicated = false;
+  EXPECT_TRUE(checkpoint_compatible(meta, 4, PartitionScheme::kCyclic, 999,
+                                    false));  // block irrelevant for cyclic
+  EXPECT_FALSE(checkpoint_compatible(meta, 8, PartitionScheme::kCyclic, 64,
+                                     false));
+  EXPECT_FALSE(checkpoint_compatible(meta, 4, PartitionScheme::kBlock, 64,
+                                     false));
+  EXPECT_FALSE(checkpoint_compatible(meta, 4, PartitionScheme::kCyclic, 64,
+                                     true));
+  meta.scheme = PartitionScheme::kBlockCyclic;
+  EXPECT_TRUE(checkpoint_compatible(meta, 4, PartitionScheme::kBlockCyclic,
+                                    64, false));
+  EXPECT_FALSE(checkpoint_compatible(meta, 4, PartitionScheme::kBlockCyclic,
+                                     128, false));
+}
+
+}  // namespace
+}  // namespace retra::para

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "retra/db/database.hpp"
+#include "retra/db/db_io.hpp"
+#include "retra/db/db_stats.hpp"
+#include "retra/game/awari_level.hpp"
+#include "retra/ra/builder.hpp"
+
+namespace retra::db {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Database, PushAndQuery) {
+  Database database;
+  database.push_level(0, {0});
+  database.push_level(1, {1, -1, 0});
+  EXPECT_EQ(database.num_levels(), 2);
+  EXPECT_TRUE(database.has_level(1));
+  EXPECT_FALSE(database.has_level(2));
+  EXPECT_EQ(database.value(1, 0), 1);
+  EXPECT_EQ(database.value(1, 1), -1);
+  EXPECT_EQ(database.total_positions(), 4u);
+}
+
+TEST(Database, EqualityIsDeep) {
+  Database a, b;
+  a.push_level(0, {1});
+  b.push_level(0, {1});
+  EXPECT_EQ(a, b);
+  Database c;
+  c.push_level(0, {2});
+  EXPECT_NE(a, c);
+}
+
+TEST(DbIo, RoundTripNarrowValues) {
+  Database database;
+  database.push_level(0, {0});
+  database.push_level(1, {5, -5, 0, 127, -128});
+  const std::string path = temp_path("retra_narrow.db");
+  save(database, path);
+  const LoadResult loaded = load(path);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.database, database);
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, RoundTripWideValues) {
+  Database database;
+  database.push_level(0, {1000, -1000, 0});
+  const std::string path = temp_path("retra_wide.db");
+  save(database, path);
+  const LoadResult loaded = load(path);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.database, database);
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, DetectsCorruption) {
+  Database database;
+  database.push_level(0, {7, -7, 7, -7});
+  const std::string path = temp_path("retra_corrupt.db");
+  save(database, path);
+  {
+    // Flip one payload byte.
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(24);
+    char byte;
+    file.seekg(24);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    file.seekp(24);
+    file.write(&byte, 1);
+  }
+  const LoadResult loaded = load(path);
+  EXPECT_FALSE(loaded.ok);
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, RejectsMissingFile) {
+  const LoadResult loaded = load(temp_path("retra_nonexistent.db"));
+  EXPECT_FALSE(loaded.ok);
+}
+
+TEST(DbIo, RejectsBadMagic) {
+  const std::string path = temp_path("retra_badmagic.db");
+  {
+    std::ofstream file(path, std::ios::binary);
+    file << "NOTADB00garbage";
+  }
+  const LoadResult loaded = load(path);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_NE(loaded.error.find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, ChecksumIsStable) {
+  const char data[] = "retrograde";
+  EXPECT_EQ(fnv1a(data, 10), fnv1a(data, 10));
+  EXPECT_NE(fnv1a(data, 10), fnv1a(data, 9));
+}
+
+TEST(DbStats, CountsSigns) {
+  Database database;
+  database.push_level(0, {2, 0, 0, -1, 3});
+  const LevelStats stats = level_stats(database, 0);
+  EXPECT_EQ(stats.positions, 5u);
+  EXPECT_EQ(stats.wins, 2u);
+  EXPECT_EQ(stats.draws, 2u);
+  EXPECT_EQ(stats.losses, 1u);
+  EXPECT_EQ(stats.min_value, -1);
+  EXPECT_EQ(stats.max_value, 3);
+  EXPECT_DOUBLE_EQ(stats.mean_value, 0.8);
+}
+
+TEST(DbStats, HistogramMatchesStats) {
+  Database database;
+  database.push_level(0, {2, 0, 0, -1, 3});
+  const auto histogram = level_histogram(database, 0, 3);
+  EXPECT_EQ(histogram.total(), 5u);
+  EXPECT_EQ(histogram.positive(), 2u);
+  EXPECT_EQ(histogram.zero(), 2u);
+  EXPECT_EQ(histogram.negative(), 1u);
+  EXPECT_EQ(histogram.count_at(3), 1u);
+}
+
+TEST(DbIo, AwariDatabaseSurvivesRoundTrip) {
+  const auto database = ra::build_database(game::AwariFamily{}, 4);
+  const std::string path = temp_path("retra_awari.db");
+  save(database, path);
+  const LoadResult loaded = load(path);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.database, database);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace retra::db

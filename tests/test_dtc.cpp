@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "retra/game/awari_level.hpp"
+#include "retra/game/graph_game.hpp"
+#include "retra/ra/builder.hpp"
+#include "retra/ra/dtc.hpp"
+#include "retra/ra/oracle.hpp"
+#include "retra/ra/sweep_solver.hpp"
+
+namespace retra::ra {
+namespace {
+
+using game::Exit;
+using game::GraphLevel;
+
+db::Value no_lower(int, idx::Index) {
+  ADD_FAILURE() << "unexpected lower lookup";
+  return 0;
+}
+
+std::vector<Dtc> solve_dtc(const GraphLevel& level) {
+  const SweepResult result = solve_level(level, no_lower);
+  return compute_dtc(level, no_lower, result.values);
+}
+
+TEST(Dtc, ExitConvertsInOnePly) {
+  const GraphLevel level =
+      GraphLevel::custom(0, {{}}, {{Exit{2, Exit::kTerminal, 0}}});
+  EXPECT_EQ(solve_dtc(level), (std::vector<Dtc>{1}));
+}
+
+TEST(Dtc, ChainCountsPlies) {
+  // 0 -> 1 -> 2 -> exit(+1).  Values 1, -1, 1; conversions 3, 2, 1.
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1}, {2}, {}}, {{}, {}, {Exit{1, Exit::kTerminal, 0}}});
+  EXPECT_EQ(solve_dtc(level), (std::vector<Dtc>{3, 2, 1}));
+}
+
+TEST(Dtc, LoserDelaysAlongTheLongestOptimalBranch) {
+  // Node 0 (value -1) may move to node 1 or node 3, both value +1; node 1
+  // exits immediately, node 3 forces a longer line 3 -> 4 -> exit.
+  // 4: exit +1 (dtc 1); 3 -> 4: value -1?? careful: we need both succs of
+  // node 0 worth +1:
+  //   1: exit +1            -> v=+1, dtc 1
+  //   3 -> 4, 4 -> 5, 5: exit +1 -> v(5)=+1 dtc 1, v(4)=-1 dtc 2,
+  //                                 v(3)=+1 dtc 3
+  // 0 -> {1, 3}: options -1 and -1 -> v(0) = -1, delay: dtc = 1+3 = 4.
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1, 3}, {}, {}, {4}, {5}, {}},
+      {{},
+       {Exit{1, Exit::kTerminal, 0}},
+       {Exit{0, Exit::kTerminal, 0}},  // filler node 2 (unused, draw-ish)
+       {},
+       {},
+       {Exit{1, Exit::kTerminal, 0}}});
+  const auto dtc = solve_dtc(level);
+  EXPECT_EQ(dtc[1], 1u);
+  EXPECT_EQ(dtc[5], 1u);
+  EXPECT_EQ(dtc[4], 2u);
+  EXPECT_EQ(dtc[3], 3u);
+  EXPECT_EQ(dtc[0], 4u);
+}
+
+TEST(Dtc, WinnerTakesTheShortestOptimalBranch) {
+  // Node 0 (value +1) chooses between succ 1 (v=-1, dtc 2) and an
+  // immediate exit worth +1: converting now wins.
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1}, {2}, {}},
+      {{Exit{1, Exit::kTerminal, 0}},
+       {},
+       {Exit{1, Exit::kTerminal, 0}}});
+  const auto dtc = solve_dtc(level);
+  EXPECT_EQ(dtc[0], 1u);
+}
+
+TEST(Dtc, DrawsNeverConvert) {
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1}, {0}},
+      {{Exit{-5, Exit::kTerminal, 0}}, {Exit{-5, Exit::kTerminal, 0}}});
+  const auto dtc = solve_dtc(level);
+  EXPECT_EQ(dtc[0], kNoConversion);
+  EXPECT_EQ(dtc[1], kNoConversion);
+}
+
+// Reference implementation: Bellman iteration on the dtc equations until
+// fixpoint (exponentially slower, elementary).
+std::vector<Dtc> dtc_bellman(const GraphLevel& level,
+                             const std::vector<db::Value>& values) {
+  const std::uint64_t size = level.size();
+  std::vector<Dtc> dtc(size, kNoConversion);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint64_t p = 0; p < size; ++p) {
+      const db::Value v = values[p];
+      if (v == 0) continue;
+      std::uint64_t best = v > 0 ? kNoConversion : 0;
+      bool all_known = true;
+      for (const Exit& exit : level.exits_of(p)) {
+        if (game::exit_value(exit, no_lower) != v) continue;
+        best = v > 0 ? std::min<std::uint64_t>(best, 1)
+                     : std::max<std::uint64_t>(best, 1);
+      }
+      for (const std::uint32_t s : level.succs_of(p)) {
+        if (static_cast<db::Value>(-values[s]) != v) continue;
+        if (dtc[s] == kNoConversion) {
+          all_known = false;
+          continue;
+        }
+        const std::uint64_t cost = static_cast<std::uint64_t>(dtc[s]) + 1;
+        best = v > 0 ? std::min(best, cost) : std::max(best, cost);
+      }
+      // min side may settle early; max side needs every branch known.
+      const bool settled = v > 0 ? best != kNoConversion
+                                 : (all_known && best != 0);
+      if (settled && dtc[p] > best) {
+        dtc[p] = static_cast<Dtc>(best);
+        changed = true;
+      }
+    }
+  }
+  return dtc;
+}
+
+class DtcRandomGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DtcRandomGraphs, MatchesBellmanReference) {
+  game::GraphGameConfig config;
+  config.levels = 1;
+  config.size0 = 40;
+  config.edge_mean = 2.0;
+  config.terminal_chance = 0.5;
+  config.reward_range = 2;
+  config.seed = GetParam();
+  const game::GraphGame graph(config);
+  const GraphLevel& level = graph.level(0);
+  const SweepResult result = solve_level(level, no_lower);
+  EXPECT_EQ(compute_dtc(level, no_lower, result.values),
+            dtc_bellman(level, result.values));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DtcRandomGraphs,
+                         ::testing::Range<std::uint64_t>(700, 740));
+
+// ---------------------------------------------------------------------
+// Awari: dtc-optimal play converts in exactly dtc plies.
+
+TEST(AwariDtc, PlayoutMatchesPredictedDepth) {
+  const int max_level = 6;
+  const db::Database database =
+      ra::build_database(game::AwariFamily{}, max_level);
+  const DtcTables tables = compute_awari_dtc(database);
+
+  for (int level = 1; level <= max_level; ++level) {
+    idx::for_each_board(level, [&](const game::Board& start, idx::Index i) {
+      const db::Value v = database.value(level, i);
+      if (v == 0) return;
+      const Dtc predicted = tables.levels[level][i];
+      ASSERT_NE(predicted, kNoConversion);
+
+      // Both sides play value-optimal, depth-optimal moves; conversion
+      // (a capture or the game ending) must occur at exactly ply
+      // `predicted`.
+      game::Board board = start;
+      for (Dtc ply = 1;; ++ply) {
+        ASSERT_LE(ply, predicted);
+        if (game::is_terminal(board)) {
+          ASSERT_EQ(ply, predicted) << game::board_to_string(start);
+          break;
+        }
+        const auto evals =
+            evaluate_moves_shortest(database, tables, board);
+        const auto& move = evals.front();
+        if (move.captured > 0) {
+          ASSERT_EQ(ply, predicted) << game::board_to_string(start);
+          break;
+        }
+        board = move.after;
+      }
+    });
+  }
+}
+
+TEST(AwariDtc, ShortestOracleNeverSacrificesValue) {
+  const db::Database database = ra::build_database(game::AwariFamily{}, 6);
+  const DtcTables tables = compute_awari_dtc(database);
+  idx::for_each_board(6, [&](const game::Board& board, idx::Index i) {
+    if (game::is_terminal(board)) return;
+    const auto plain = evaluate_moves(database, board);
+    const auto shortest = evaluate_moves_shortest(database, tables, board);
+    ASSERT_EQ(shortest.front().value, plain.front().value);
+    ASSERT_EQ(shortest.front().value, database.value(6, i));
+  });
+}
+
+}  // namespace
+}  // namespace retra::ra

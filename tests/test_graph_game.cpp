@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "retra/game/graph_game.hpp"
+
+namespace retra::game {
+namespace {
+
+GraphGameConfig small_config(std::uint64_t seed) {
+  GraphGameConfig config;
+  config.levels = 4;
+  config.size0 = 10;
+  config.growth = 1.7;
+  config.seed = seed;
+  return config;
+}
+
+TEST(GraphGame, DeterministicBySeed) {
+  const GraphGame a(small_config(42)), b(small_config(42));
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  for (int l = 0; l < a.num_levels(); ++l) {
+    ASSERT_EQ(a.level(l).size(), b.level(l).size());
+    for (std::uint64_t n = 0; n < a.level(l).size(); ++n) {
+      EXPECT_EQ(a.level(l).succs_of(n), b.level(l).succs_of(n));
+    }
+  }
+}
+
+TEST(GraphGame, EveryNodeHasAnOption) {
+  const GraphGame game(small_config(7));
+  for (int l = 0; l < game.num_levels(); ++l) {
+    const GraphLevel& level = game.level(l);
+    for (std::uint64_t n = 0; n < level.size(); ++n) {
+      EXPECT_TRUE(!level.succs_of(n).empty() || !level.exits_of(n).empty());
+    }
+  }
+}
+
+TEST(GraphGame, ExitsPointStrictlyDownward) {
+  const GraphGame game(small_config(9));
+  for (int l = 0; l < game.num_levels(); ++l) {
+    const GraphLevel& level = game.level(l);
+    for (std::uint64_t n = 0; n < level.size(); ++n) {
+      for (const Exit& exit : level.exits_of(n)) {
+        if (exit.is_terminal()) continue;
+        ASSERT_LT(exit.lower_level, l);
+        ASSERT_LT(exit.lower_index, game.level(exit.lower_level).size());
+      }
+    }
+  }
+}
+
+TEST(GraphGame, LevelZeroHasOnlyTerminalExits) {
+  const GraphGame game(small_config(13));
+  const GraphLevel& level = game.level(0);
+  for (std::uint64_t n = 0; n < level.size(); ++n) {
+    for (const Exit& exit : level.exits_of(n)) {
+      EXPECT_TRUE(exit.is_terminal());
+    }
+  }
+}
+
+TEST(GraphGame, PredecessorsInvertSuccessors) {
+  const GraphGame game(small_config(21));
+  for (int l = 0; l < game.num_levels(); ++l) {
+    const GraphLevel& level = game.level(l);
+    std::map<std::pair<std::uint64_t, std::uint64_t>, int> fwd, bwd;
+    for (std::uint64_t n = 0; n < level.size(); ++n) {
+      level.visit_options(
+          n, [](const Exit&) {},
+          [&](idx::Index s) { ++fwd[{n, s}]; });
+      level.visit_predecessors(n, [&](idx::Index p) { ++bwd[{p, n}]; });
+    }
+    EXPECT_EQ(fwd, bwd) << "level " << l;
+  }
+}
+
+TEST(GraphGame, MaxValueBoundsExitMagnitudes) {
+  const GraphGame game(small_config(33));
+  for (int l = 0; l < game.num_levels(); ++l) {
+    const GraphLevel& level = game.level(l);
+    for (std::uint64_t n = 0; n < level.size(); ++n) {
+      for (const Exit& exit : level.exits_of(n)) {
+        const int lower_bound =
+            exit.is_terminal() ? 0 : game.level(exit.lower_level).max_value();
+        EXPECT_LE(std::abs(exit.reward) + lower_bound, level.max_value());
+      }
+    }
+  }
+}
+
+TEST(GraphLevel, CustomBuilderDerivesPredsAndBound) {
+  // Node 0 -> node 1 -> node 0 cycle; node 1 also has a terminal exit -2.
+  GraphLevel level = GraphLevel::custom(
+      /*level=*/0, {{1}, {0}},
+      {{}, {Exit{-2, Exit::kTerminal, 0}}});
+  EXPECT_EQ(level.size(), 2u);
+  EXPECT_EQ(level.max_value(), 2);
+  int pred_count = 0;
+  level.visit_predecessors(0, [&](idx::Index p) {
+    EXPECT_EQ(p, 1u);
+    ++pred_count;
+  });
+  EXPECT_EQ(pred_count, 1);
+}
+
+}  // namespace
+}  // namespace retra::game

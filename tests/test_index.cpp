@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "retra/index/binomial.hpp"
+#include "retra/index/board_index.hpp"
+
+namespace retra::idx {
+namespace {
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(12, 12), 1u);
+  EXPECT_EQ(binomial(23, 11), 1352078u);
+  EXPECT_EQ(binomial(24, 11), 2496144u);
+  EXPECT_EQ(binomial(60, 12), 1399358844975u);
+}
+
+TEST(Binomial, OutsideTriangleIsZero) {
+  EXPECT_EQ(binomial(-1, 0), 0u);
+  EXPECT_EQ(binomial(3, -1), 0u);
+  EXPECT_EQ(binomial(3, 4), 0u);
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (int n = 1; n <= 40; ++n) {
+    for (int k = 1; k <= 12; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(LevelSize, KnownValues) {
+  EXPECT_EQ(level_size(0), 1u);
+  EXPECT_EQ(level_size(1), 12u);
+  EXPECT_EQ(level_size(2), 78u);
+  EXPECT_EQ(level_size(12), 1352078u);  // C(23, 11)
+  EXPECT_EQ(level_size(13), 2496144u);  // C(24, 11)
+}
+
+TEST(LevelSize, CumulativeIsHockeyStick) {
+  std::uint64_t running = 0;
+  for (int n = 0; n <= 24; ++n) {
+    running += level_size(n);
+    EXPECT_EQ(cumulative_size(n), running) << "level " << n;
+  }
+}
+
+TEST(BoardIndex, FirstBoardHasRankZero) {
+  for (int n = 0; n <= 10; ++n) {
+    const Board first = first_board(n);
+    EXPECT_EQ(stones_on(first), n);
+    EXPECT_EQ(rank(first), 0u);
+  }
+}
+
+TEST(BoardIndex, AllStonesInPitZeroIsLastRank) {
+  for (int n = 1; n <= 10; ++n) {
+    Board board{};
+    board[0] = static_cast<std::uint8_t>(n);
+    EXPECT_EQ(rank(board), level_size(n) - 1) << "level " << n;
+  }
+}
+
+class RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTrip, UnrankThenRankIsIdentity) {
+  const int level = GetParam();
+  const std::uint64_t size = level_size(level);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    const Board board = unrank(level, i);
+    ASSERT_EQ(stones_on(board), level);
+    ASSERT_EQ(rank(board), i) << "level " << level << " index " << i;
+  }
+}
+
+TEST_P(RoundTrip, NextBoardEnumeratesInRankOrder) {
+  const int level = GetParam();
+  const std::uint64_t size = level_size(level);
+  Board board = first_board(level);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    ASSERT_EQ(board, unrank(level, i)) << "level " << level << " step " << i;
+    const bool more = next_board(board);
+    ASSERT_EQ(more, i + 1 < size);
+  }
+  // After wrapping, the board is back at the level's first element.
+  EXPECT_EQ(board, first_board(level));
+}
+
+TEST_P(RoundTrip, RanksAreDenseAndUnique) {
+  const int level = GetParam();
+  std::map<std::uint64_t, int> seen;
+  for_each_board(level, [&](const Board& board, Index i) {
+    ASSERT_EQ(rank(board), i);
+    ++seen[i];
+  });
+  ASSERT_EQ(seen.size(), level_size(level));
+  EXPECT_EQ(seen.begin()->first, 0u);
+  EXPECT_EQ(seen.rbegin()->first, level_size(level) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, RoundTrip, ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+TEST(BoardIndex, SpotCheckLargeLevel) {
+  // Round-trip sampled indices of a level too big to enumerate in a test.
+  const int level = 16;
+  const std::uint64_t size = level_size(level);
+  for (std::uint64_t i = 0; i < size; i += size / 1000 + 1) {
+    const Board board = unrank(level, i);
+    ASSERT_EQ(stones_on(board), level);
+    ASSERT_EQ(rank(board), i);
+  }
+}
+
+TEST(BoardIndex, LexicographicOrderOnPitZero) {
+  // Boards are ranked lexicographically: raising pit 0 raises the rank.
+  Board a{}, b{};
+  a[0] = 1;
+  a[11] = 3;
+  b[0] = 2;
+  b[11] = 2;
+  EXPECT_LT(rank(a), rank(b));
+}
+
+}  // namespace
+}  // namespace retra::idx

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "retra/game/awari_level.hpp"
+#include "retra/ra/builder.hpp"
+#include "retra/ra/oracle.hpp"
+
+namespace retra::ra {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    database_ = new db::Database(build_database(game::AwariFamily{}, 7));
+  }
+  static void TearDownTestSuite() {
+    delete database_;
+    database_ = nullptr;
+  }
+  static const db::Database& database() { return *database_; }
+
+ private:
+  static db::Database* database_;
+};
+
+db::Database* OracleTest::database_ = nullptr;
+
+TEST_F(OracleTest, ValueMatchesDatabase) {
+  const game::Board board =
+      game::board_from_string("2 0 1 0 0 1  1 0 0 2 0 0");
+  EXPECT_EQ(position_value(database(), board),
+            database().value(7, idx::rank(board)));
+}
+
+TEST_F(OracleTest, BestMoveRealisesTheValue) {
+  // For every non-terminal position of levels 2..6, the top-ranked move's
+  // guaranteed value equals the position value (the Bellman equation the
+  // database satisfies).
+  for (int level = 2; level <= 6; ++level) {
+    idx::for_each_board(level, [&](const game::Board& board, idx::Index i) {
+      if (game::is_terminal(board)) return;
+      const auto evals = evaluate_moves(database(), board);
+      ASSERT_FALSE(evals.empty());
+      ASSERT_EQ(evals.front().value, database().value(level, i))
+          << game::board_to_string(board);
+    });
+  }
+}
+
+TEST_F(OracleTest, MovesAreSortedBestFirst) {
+  const game::Board board =
+      game::board_from_string("1 1 1 0 0 1  1 0 1 1 0 0");
+  const auto evals = evaluate_moves(database(), board);
+  for (std::size_t i = 1; i < evals.size(); ++i) {
+    EXPECT_GE(evals[i - 1].value, evals[i].value);
+  }
+}
+
+TEST_F(OracleTest, TerminalPositionsHaveNoMoves) {
+  const game::Board board =
+      game::board_from_string("0 0 0 0 0 0  1 2 0 0 0 0");
+  EXPECT_TRUE(evaluate_moves(database(), board).empty());
+  EXPECT_EQ(position_value(database(), board), -3);
+}
+
+TEST_F(OracleTest, OptimalLineEndsAtTerminalForDecisiveValues) {
+  // A +7 position from the quickstart: optimal play must cash stones, so
+  // within a bounded number of plies the line reaches a terminal or at
+  // least captures something; check the transcript is consistent and
+  // nonempty.
+  const game::Board board =
+      game::board_from_string("2 0 1 0 0 1  1 0 0 2 0 0");
+  const auto line = optimal_line(database(), board, 32);
+  ASSERT_FALSE(line.empty());
+  EXPECT_NE(line.back().find("terminal"), std::string::npos);
+}
+
+TEST_F(OracleTest, DrawPositionsCanCycleForever) {
+  // Find a zero-valued, non-terminal level-6 position and confirm the
+  // optimal line neither crashes nor terminates early with a capture
+  // that would contradict the draw value.
+  game::Board draw{};
+  bool found = false;
+  idx::for_each_board(6, [&](const game::Board& board, idx::Index i) {
+    if (found || game::is_terminal(board)) return;
+    if (database().value(6, i) == 0) {
+      draw = board;
+      found = true;
+    }
+  });
+  ASSERT_TRUE(found);
+  const auto line = optimal_line(database(), draw, 12);
+  EXPECT_EQ(line.size(), 12u);  // never terminal: both sides hold the draw
+}
+
+TEST_F(OracleTest, ValueEquationHoldsEverywhere) {
+  // v(p) = max over moves of (captured − v(after)) for non-terminal p —
+  // the full-database Bellman check through the public oracle API.
+  for (int level = 1; level <= 5; ++level) {
+    idx::for_each_board(level, [&](const game::Board& board, idx::Index i) {
+      if (game::is_terminal(board)) {
+        ASSERT_EQ(database().value(level, i),
+                  game::terminal_reward(board));
+        return;
+      }
+      db::Value best = INT16_MIN;
+      for (const auto& eval : evaluate_moves(database(), board)) {
+        best = std::max(best, eval.value);
+      }
+      ASSERT_EQ(best, database().value(level, i))
+          << game::board_to_string(board);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace retra::ra

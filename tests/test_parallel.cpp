@@ -1,0 +1,222 @@
+// The distributed engine's contract: for any rank count, partition scheme,
+// combining buffer size, lower-database mode and driver, the gathered
+// distributed database is bit-identical to the sequential solver's.
+#include <gtest/gtest.h>
+
+#include "retra/game/awari_level.hpp"
+#include "retra/game/graph_game.hpp"
+#include "retra/para/parallel_solver.hpp"
+#include "retra/ra/builder.hpp"
+
+namespace retra::para {
+namespace {
+
+game::GraphGame test_graph(std::uint64_t seed) {
+  game::GraphGameConfig config;
+  config.levels = 4;
+  config.size0 = 14;
+  config.growth = 2.2;
+  config.edge_mean = 2.5;
+  config.exit_mean = 1.2;
+  config.seed = seed;
+  return game::GraphGame(config);
+}
+
+TEST(Parallel, SingleRankMatchesSequentialAwari) {
+  ParallelConfig config;
+  config.ranks = 1;
+  const ParallelResult result =
+      build_parallel(game::AwariFamily{}, 5, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 5));
+}
+
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, AwariMatchesSequential) {
+  ParallelConfig config;
+  config.ranks = GetParam();
+  const ParallelResult result =
+      build_parallel(game::AwariFamily{}, 5, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 5));
+}
+
+TEST_P(RankSweep, GraphGameMatchesSequential) {
+  const game::GraphGame graph = test_graph(77);
+  ParallelConfig config;
+  config.ranks = GetParam();
+  const ParallelResult result =
+      build_parallel(graph, graph.num_levels() - 1, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(graph, graph.num_levels() - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16));
+
+class SchemeSweep : public ::testing::TestWithParam<PartitionScheme> {};
+
+TEST_P(SchemeSweep, AwariMatchesSequentialUnderEveryPartition) {
+  ParallelConfig config;
+  config.ranks = 6;
+  config.scheme = GetParam();
+  config.block_size = 32;
+  const ParallelResult result =
+      build_parallel(game::AwariFamily{}, 5, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeSweep,
+                         ::testing::Values(PartitionScheme::kBlock,
+                                           PartitionScheme::kCyclic,
+                                           PartitionScheme::kBlockCyclic));
+
+class CombineSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CombineSweep, CombiningBufferSizeNeverChangesTheAnswer) {
+  ParallelConfig config;
+  config.ranks = 4;
+  config.combine_bytes = GetParam();
+  const ParallelResult result =
+      build_parallel(game::AwariFamily{}, 4, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, CombineSweep,
+                         ::testing::Values(1, 10, 64, 256, 4096, 65536));
+
+TEST(Parallel, ReplicatedLowerMatchesSequential) {
+  ParallelConfig config;
+  config.ranks = 5;
+  config.replicate_lower = true;
+  const ParallelResult result =
+      build_parallel(game::AwariFamily{}, 5, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 5));
+}
+
+TEST(Parallel, ReplicatedNeverSendsLookups) {
+  ParallelConfig config;
+  config.ranks = 4;
+  config.replicate_lower = true;
+  const ParallelResult result =
+      build_parallel(game::AwariFamily{}, 4, config);
+  for (const LevelRunInfo& info : result.levels) {
+    EXPECT_EQ(info.total.lookups_remote, 0u);
+    EXPECT_EQ(info.total.replies_sent, 0u);
+  }
+}
+
+TEST(Parallel, ThreadDriverMatchesSequentialDriver) {
+  ParallelConfig sequential;
+  sequential.ranks = 4;
+  ParallelConfig threaded = sequential;
+  threaded.use_threads = true;
+  const auto a = build_parallel(game::AwariFamily{}, 5, sequential);
+  const auto b = build_parallel(game::AwariFamily{}, 5, threaded);
+  EXPECT_EQ(a.database->gather(), b.database->gather());
+}
+
+TEST(Parallel, ThreadDriverGraphGame) {
+  const game::GraphGame graph = test_graph(123);
+  ParallelConfig config;
+  config.ranks = 8;
+  config.use_threads = true;
+  config.combine_bytes = 64;
+  const ParallelResult result =
+      build_parallel(graph, graph.num_levels() - 1, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(graph, graph.num_levels() - 1));
+}
+
+TEST(Parallel, ManyRandomGraphsAcrossConfigs) {
+  for (std::uint64_t seed = 300; seed < 312; ++seed) {
+    const game::GraphGame graph = test_graph(seed);
+    const auto expected =
+        ra::build_database(graph, graph.num_levels() - 1);
+    ParallelConfig config;
+    config.ranks = 3 + static_cast<int>(seed % 4);
+    config.scheme = seed % 2 ? PartitionScheme::kCyclic
+                             : PartitionScheme::kBlock;
+    config.combine_bytes = seed % 3 == 0 ? 1 : 128;
+    config.replicate_lower = seed % 5 == 0;
+    const ParallelResult result =
+        build_parallel(graph, graph.num_levels() - 1, config);
+    ASSERT_EQ(result.database->gather(), expected) << "seed " << seed;
+  }
+}
+
+TEST(Parallel, StatsAccountForEveryAssignment) {
+  ParallelConfig config;
+  config.ranks = 4;
+  const ParallelResult result =
+      build_parallel(game::AwariFamily{}, 5, config);
+  for (const LevelRunInfo& info : result.levels) {
+    EXPECT_EQ(info.total.assignments + info.total.zero_filled, info.size)
+        << "level " << info.level;
+  }
+}
+
+TEST(Parallel, CombiningReducesMessagesNotRecords) {
+  ParallelConfig combined;
+  combined.ranks = 6;
+  combined.combine_bytes = 4096;
+  ParallelConfig naive = combined;
+  naive.combine_bytes = 1;
+  const auto with = build_parallel(game::AwariFamily{}, 6, combined);
+  const auto without = build_parallel(game::AwariFamily{}, 6, naive);
+  // Identical record traffic...
+  std::uint64_t records_with = 0, records_without = 0;
+  for (const auto& info : with.levels) {
+    records_with += info.total.updates_remote + info.total.lookups_remote +
+                    info.total.replies_sent;
+  }
+  for (const auto& info : without.levels) {
+    records_without += info.total.updates_remote +
+                       info.total.lookups_remote + info.total.replies_sent;
+  }
+  EXPECT_EQ(records_with, records_without);
+  // ...but far fewer messages.
+  EXPECT_LT(with.total_messages() * 10, without.total_messages());
+}
+
+TEST(Parallel, MemoryDividesAcrossRanks) {
+  ParallelConfig small;
+  small.ranks = 2;
+  ParallelConfig large = small;
+  large.ranks = 8;
+  const auto a = build_parallel(game::AwariFamily{}, 6, small);
+  const auto b = build_parallel(game::AwariFamily{}, 6, large);
+  const auto max_bytes = [](const ParallelResult& r) {
+    std::uint64_t best = 0;
+    for (const auto& info : r.levels) {
+      for (const std::uint64_t bytes : info.working_bytes) {
+        best = std::max(best, bytes);
+      }
+    }
+    return best;
+  };
+  // 4x the ranks -> roughly a quarter of the per-rank working set.
+  EXPECT_LT(max_bytes(b) * 3, max_bytes(a));
+}
+
+TEST(DistributedDatabase, GatherReassemblesShards) {
+  DistributedDatabase ddb(PartitionScheme::kCyclic, 1, 3, false);
+  // Level of size 7, cyclic over 3 ranks.
+  std::vector<std::vector<db::Value>> shards(3);
+  const Partition partition = ddb.make_partition(7);
+  std::vector<db::Value> values{10, -1, 2, 3, -4, 5, 6};
+  for (int r = 0; r < 3; ++r) shards[r].resize(partition.local_size(r));
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    shards[partition.owner(i)][partition.to_local(i)] = values[i];
+  }
+  ddb.push_level_shards(0, 7, std::move(shards));
+  const db::Database gathered = ddb.gather();
+  EXPECT_EQ(gathered.level(0), values);
+}
+
+}  // namespace
+}  // namespace retra::para

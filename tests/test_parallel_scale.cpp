@@ -1,0 +1,89 @@
+// Paper-scale rank counts on small workloads: 64 ranks must work (most
+// shards tiny or empty), and every configuration axis must compose.
+#include <gtest/gtest.h>
+
+#include "retra/game/awari_level.hpp"
+#include "retra/game/kalah_level.hpp"
+#include "retra/para/parallel_solver.hpp"
+#include "retra/para/sim_build.hpp"
+#include "retra/ra/builder.hpp"
+
+namespace retra::para {
+namespace {
+
+TEST(ParallelScale, SixtyFourRanksAwari) {
+  ParallelConfig config;
+  config.ranks = 64;
+  const auto result = build_parallel(game::AwariFamily{}, 6, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 6));
+}
+
+TEST(ParallelScale, SixtyFourRanksSimulated) {
+  ParallelConfig config;
+  config.ranks = 64;
+  const auto result = build_parallel_simulated(
+      game::AwariFamily{}, 6, config, sim::ClusterModel{});
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 6));
+  EXPECT_GT(result.total_time_s(), 0.0);
+}
+
+class KalahSchemes : public ::testing::TestWithParam<PartitionScheme> {};
+
+TEST_P(KalahSchemes, DistributedMatchesSequential) {
+  ParallelConfig config;
+  config.ranks = 7;
+  config.scheme = GetParam();
+  config.block_size = 16;
+  const auto result = build_parallel(game::KalahFamily{}, 6, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::KalahFamily{}, 6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, KalahSchemes,
+                         ::testing::Values(PartitionScheme::kBlock,
+                                           PartitionScheme::kCyclic,
+                                           PartitionScheme::kBlockCyclic));
+
+TEST(ParallelScale, EverythingOnAtOnce) {
+  // Threads + async + replication + tiny combining + block-cyclic: the
+  // kitchen sink must still be bit-identical.
+  ParallelConfig config;
+  config.ranks = 6;
+  config.use_threads = true;
+  config.async = true;
+  config.replicate_lower = true;
+  config.combine_bytes = 16;
+  config.scheme = PartitionScheme::kBlockCyclic;
+  config.block_size = 8;
+  const auto result = build_parallel(game::AwariFamily{}, 5, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 5));
+}
+
+TEST(ParallelScale, MessagesScaleWithRemoteFraction) {
+  // Remote update share should grow towards (P-1)/P with cyclic
+  // partitioning as P grows.
+  auto remote_share = [](int ranks) {
+    ParallelConfig config;
+    config.ranks = ranks;
+    const auto result = build_parallel(game::AwariFamily{}, 7, config);
+    std::uint64_t local = 0, remote = 0;
+    for (const auto& info : result.levels) {
+      local += info.total.updates_local;
+      remote += info.total.updates_remote;
+    }
+    return static_cast<double>(remote) / static_cast<double>(local + remote);
+  };
+  const double p2 = remote_share(2);
+  const double p8 = remote_share(8);
+  const double p32 = remote_share(32);
+  EXPECT_LT(p2, p8);
+  EXPECT_LT(p8, p32);
+  EXPECT_NEAR(p2, 0.5, 0.1);
+  EXPECT_NEAR(p32, 31.0 / 32.0, 0.05);
+}
+
+}  // namespace
+}  // namespace retra::para

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "retra/para/partition.hpp"
+
+namespace retra::para {
+namespace {
+
+struct Case {
+  PartitionScheme scheme;
+  std::uint64_t size;
+  int ranks;
+  std::uint64_t block;
+};
+
+class PartitionInvariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PartitionInvariants, OwnerLocalGlobalAreConsistent) {
+  const Case c = GetParam();
+  const Partition partition(c.scheme, c.size, c.ranks, c.block);
+  std::vector<std::uint64_t> counted(c.ranks, 0);
+  for (std::uint64_t i = 0; i < c.size; ++i) {
+    const int owner = partition.owner(i);
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, c.ranks);
+    const std::uint64_t local = partition.to_local(i);
+    ASSERT_EQ(partition.to_global(owner, local), i);
+    ASSERT_LT(local, partition.local_size(owner));
+    ++counted[owner];
+  }
+  for (int r = 0; r < c.ranks; ++r) {
+    EXPECT_EQ(counted[r], partition.local_size(r)) << "rank " << r;
+  }
+}
+
+TEST_P(PartitionInvariants, LocalSizesSumToTotal) {
+  const Case c = GetParam();
+  const Partition partition(c.scheme, c.size, c.ranks, c.block);
+  std::uint64_t total = 0;
+  for (int r = 0; r < c.ranks; ++r) total += partition.local_size(r);
+  EXPECT_EQ(total, c.size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionInvariants,
+    ::testing::Values(
+        Case{PartitionScheme::kBlock, 100, 7, 1},
+        Case{PartitionScheme::kBlock, 1, 4, 1},
+        Case{PartitionScheme::kBlock, 4096, 64, 1},
+        Case{PartitionScheme::kCyclic, 100, 7, 1},
+        Case{PartitionScheme::kCyclic, 3, 8, 1},
+        Case{PartitionScheme::kCyclic, 4096, 64, 1},
+        Case{PartitionScheme::kBlockCyclic, 100, 7, 4},
+        Case{PartitionScheme::kBlockCyclic, 1000, 3, 16},
+        Case{PartitionScheme::kBlockCyclic, 4097, 64, 32},
+        Case{PartitionScheme::kBlockCyclic, 5, 2, 64}));
+
+TEST(Partition, BlockIsContiguous) {
+  const Partition partition(PartitionScheme::kBlock, 100, 4);
+  EXPECT_EQ(partition.owner(0), 0);
+  EXPECT_EQ(partition.owner(24), 0);
+  EXPECT_EQ(partition.owner(25), 1);
+  EXPECT_EQ(partition.owner(99), 3);
+}
+
+TEST(Partition, CyclicDealsRoundRobin) {
+  const Partition partition(PartitionScheme::kCyclic, 100, 4);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(partition.owner(i), static_cast<int>(i % 4));
+  }
+}
+
+TEST(Partition, BlockCyclicDealsBlocks) {
+  const Partition partition(PartitionScheme::kBlockCyclic, 100, 2, 8);
+  EXPECT_EQ(partition.owner(0), 0);
+  EXPECT_EQ(partition.owner(7), 0);
+  EXPECT_EQ(partition.owner(8), 1);
+  EXPECT_EQ(partition.owner(15), 1);
+  EXPECT_EQ(partition.owner(16), 0);
+}
+
+TEST(Partition, MoreRanksThanPositions) {
+  const Partition partition(PartitionScheme::kBlock, 2, 8);
+  std::uint64_t total = 0;
+  for (int r = 0; r < 8; ++r) total += partition.local_size(r);
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(Partition, SchemeNames) {
+  EXPECT_STREQ(scheme_name(PartitionScheme::kBlock), "block");
+  EXPECT_STREQ(scheme_name(PartitionScheme::kCyclic), "cyclic");
+  EXPECT_STREQ(scheme_name(PartitionScheme::kBlockCyclic), "block-cyclic");
+}
+
+}  // namespace
+}  // namespace retra::para

@@ -1,0 +1,142 @@
+// Randomised deep-playout fuzzing of both rule sets.
+//
+// Thousands of random games are played to the end (or a ply cap), with
+// every invariant checked at every ply: stone conservation, legality of
+// reported moves, normalisation (origin empty after the move), row
+// bounds, terminal classification, and — against the databases — that no
+// reachable position ever contradicts its solved value's Bellman
+// equation.
+#include <gtest/gtest.h>
+
+#include "retra/game/awari.hpp"
+#include "retra/game/awari_level.hpp"
+#include "retra/game/kalah.hpp"
+#include "retra/ra/builder.hpp"
+#include "retra/ra/oracle.hpp"
+#include "retra/support/rng.hpp"
+
+namespace retra::game {
+namespace {
+
+Board random_board(int stones, support::Xoshiro256& rng) {
+  Board board{};
+  for (int s = 0; s < stones; ++s) {
+    const auto pit = static_cast<int>(rng.below(kPits));
+    board[pit] = static_cast<std::uint8_t>(board[pit] + 1);
+  }
+  return board;
+}
+
+TEST(AwariFuzz, RandomPlayoutsKeepInvariants) {
+  support::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 400; ++trial) {
+    const int stones = 1 + static_cast<int>(rng.below(24));
+    Board board = random_board(stones, rng);
+    int on_board = stones;
+    for (int ply = 0; ply < 120; ++ply) {
+      const MoveList moves = legal_moves(board);
+      if (moves.count == 0) {
+        ASSERT_TRUE(is_terminal(board));
+        ASSERT_EQ(std::abs(terminal_reward(board)), on_board);
+        break;
+      }
+      ASSERT_FALSE(is_terminal(board));
+      const auto& move = moves.items[rng.below(moves.count)];
+      // Conservation and normalisation.
+      ASSERT_EQ(idx::stones_on(move.after) + move.captured, on_board);
+      ASSERT_EQ(move.after[(move.pit + 6) % kPits], 0);
+      ASSERT_GE(move.captured, 0);
+      // A capture never strips the opponent bare (grand slam forfeits);
+      // in the rotated frame the *mover's* new row is the old opponent's.
+      if (move.captured > 0) {
+        int new_mover_row = 0;
+        for (int i = 0; i < 6; ++i) new_mover_row += move.after[i];
+        ASSERT_GT(new_mover_row, 0);
+      }
+      on_board -= move.captured;
+      board = move.after;
+    }
+  }
+}
+
+TEST(KalahFuzz, RandomPlayoutsKeepInvariants) {
+  support::Xoshiro256 rng(13);
+  for (int trial = 0; trial < 400; ++trial) {
+    const int stones = 1 + static_cast<int>(rng.below(24));
+    Board board = random_board(stones, rng);
+    int on_board = stones;
+    for (int ply = 0; ply < 200; ++ply) {
+      if (kalah::is_terminal(board)) {
+        ASSERT_EQ(kalah::terminal_reward(board), -on_board);
+        break;
+      }
+      const kalah::MoveList moves = kalah::legal_moves(board);
+      ASSERT_GT(moves.count, 0);
+      const auto& move = moves.items[rng.below(moves.count)];
+      ASSERT_EQ(idx::stones_on(move.after) + move.banked, on_board);
+      ASSERT_GE(move.banked, 0);
+      if (move.extra_turn) {
+        // Extra turns always bank the landing stone.
+        ASSERT_GE(move.banked, 1);
+      }
+      on_board -= move.banked;
+      board = move.after;
+    }
+  }
+}
+
+TEST(AwariFuzz, PlayoutsNeverContradictTheDatabase) {
+  // Random playouts through solved levels: at every reachable position
+  // the realised (capture, successor-value) pair must satisfy
+  // v(p) >= captured − v(after), with equality for some legal move.
+  const int max_level = 7;
+  const db::Database database =
+      ra::build_database(AwariFamily{}, max_level);
+  support::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    Board board =
+        random_board(1 + static_cast<int>(rng.below(max_level)), rng);
+    for (int ply = 0; ply < 60; ++ply) {
+      if (is_terminal(board)) break;
+      const int level = idx::stones_on(board);
+      const db::Value v = database.value(level, idx::rank(board));
+      db::Value best = INT16_MIN;
+      const MoveList moves = legal_moves(board);
+      for (const auto& move : moves) {
+        const db::Value option = static_cast<db::Value>(
+            move.captured -
+            database.value(idx::stones_on(move.after),
+                           idx::rank(move.after)));
+        ASSERT_LE(option, v);
+        best = std::max(best, option);
+      }
+      ASSERT_EQ(best, v);
+      board = moves.items[rng.below(moves.count)].after;
+    }
+  }
+}
+
+TEST(AwariFuzz, MoveListMatchesApplyMove) {
+  // legal_moves must be exactly the pits whose apply_move is legal, with
+  // identical outcomes.
+  support::Xoshiro256 rng(19);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Board board =
+        random_board(1 + static_cast<int>(rng.below(30)), rng);
+    const MoveList moves = legal_moves(board);
+    int found = 0;
+    for (int pit = 0; pit < 6; ++pit) {
+      const AppliedMove m = apply_move(board, pit);
+      if (!m.legal) continue;
+      ASSERT_LT(found, moves.count);
+      ASSERT_EQ(moves.items[found].pit, pit);
+      ASSERT_EQ(moves.items[found].captured, m.captured);
+      ASSERT_EQ(moves.items[found].after, m.after);
+      ++found;
+    }
+    ASSERT_EQ(found, moves.count);
+  }
+}
+
+}  // namespace
+}  // namespace retra::game

@@ -1,0 +1,157 @@
+// Three independent solvers, one answer.
+//
+// The production sweep solver, the threshold-attractor reference and (for
+// tiny instances) exhaustive forward search implement the same semantics
+// three different ways; this suite demands bit-identical values across
+// hundreds of random graph games and the small awari levels, plus a clean
+// bill from the self-verifier.
+#include <gtest/gtest.h>
+
+#include "retra/game/awari_level.hpp"
+#include "retra/game/graph_game.hpp"
+#include "retra/ra/attractor_solver.hpp"
+#include "retra/ra/builder.hpp"
+#include "retra/ra/forward_search.hpp"
+#include "retra/ra/sweep_solver.hpp"
+#include "retra/ra/verify.hpp"
+
+namespace retra::ra {
+namespace {
+
+/// Solves a whole graph game with both solvers, verifying and comparing
+/// every level.
+void crosscheck_game(const game::GraphGame& graph, bool with_forward) {
+  db::Database database;
+  for (int l = 0; l < graph.num_levels(); ++l) {
+    const game::GraphLevel& level = graph.level(l);
+    auto lower = [&database](int lv, idx::Index i) {
+      return database.value(lv, i);
+    };
+
+    SweepOptions options;
+    options.record_order = true;
+    const SweepResult sweep = solve_level(level, lower, options);
+    const std::vector<db::Value> reference =
+        solve_level_attractor(level, lower);
+    ASSERT_EQ(sweep.values, reference) << "level " << l;
+
+    const VerifyReport report =
+        verify_level(level, lower, sweep.values, sweep.order);
+    ASSERT_TRUE(report.ok) << report.error;
+
+    if (with_forward) {
+      for (std::uint64_t n = 0; n < level.size(); ++n) {
+        ASSERT_EQ(forward_value(level, lower, n), sweep.values[n])
+            << "level " << l << " node " << n;
+      }
+    }
+    database.push_level(l, sweep.values);
+  }
+}
+
+class RandomGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphs, SweepMatchesAttractorAndVerifies) {
+  game::GraphGameConfig config;
+  config.levels = 4;
+  config.size0 = 12;
+  config.growth = 2.0;
+  config.edge_mean = 2.0;
+  config.exit_mean = 1.2;
+  config.reward_range = 3;
+  config.seed = GetParam();
+  crosscheck_game(game::GraphGame(config), /*with_forward=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphs,
+                         ::testing::Range<std::uint64_t>(1, 61));
+
+class TinyGraphsWithForwardSearch
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TinyGraphsWithForwardSearch, AllThreeSolversAgree) {
+  game::GraphGameConfig config;
+  config.levels = 2;
+  config.size0 = 5;
+  config.growth = 1.6;
+  config.edge_mean = 1.5;
+  config.exit_mean = 1.0;
+  config.terminal_chance = 0.3;
+  config.reward_range = 2;
+  config.seed = GetParam();
+  crosscheck_game(game::GraphGame(config), /*with_forward=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TinyGraphsWithForwardSearch,
+                         ::testing::Range<std::uint64_t>(100, 160));
+
+class DenseGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DenseGraphs, HeavyCyclesStillAgree) {
+  // Dense same-level connectivity and few exits: the regime where almost
+  // everything cycles and zero-fill carries the level.
+  game::GraphGameConfig config;
+  config.levels = 3;
+  config.size0 = 20;
+  config.growth = 1.5;
+  config.edge_mean = 5.0;
+  config.exit_mean = 0.4;
+  config.terminal_chance = 0.05;
+  config.reward_range = 5;
+  config.seed = GetParam();
+  crosscheck_game(game::GraphGame(config), /*with_forward=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseGraphs,
+                         ::testing::Range<std::uint64_t>(500, 530));
+
+class AwariLevels : public ::testing::TestWithParam<int> {};
+
+TEST_P(AwariLevels, SweepMatchesAttractorAndVerifies) {
+  const int max_level = GetParam();
+  db::Database database;
+  for (int l = 0; l <= max_level; ++l) {
+    const game::AwariLevel level(l);
+    auto lower = [&database](int lv, idx::Index i) {
+      return database.value(lv, i);
+    };
+    SweepOptions options;
+    options.record_order = true;
+    const SweepResult sweep = solve_level(level, lower, options);
+    ASSERT_EQ(sweep.values, solve_level_attractor(level, lower))
+        << "awari level " << l;
+    const VerifyReport report =
+        verify_level(level, lower, sweep.values, sweep.order);
+    ASSERT_TRUE(report.ok) << report.error;
+    database.push_level(l, sweep.values);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, AwariLevels, ::testing::Values(4, 6, 7));
+
+TEST(AwariDatabase, ValueBoundsRespectLevel) {
+  const auto database = build_database(game::AwariFamily{}, 6);
+  for (int l = 0; l <= 6; ++l) {
+    for (const db::Value v : database.level(l)) {
+      ASSERT_LE(std::abs(v), l);
+    }
+  }
+}
+
+TEST(AwariDatabase, ValueParityMatchesStoneCount) {
+  // Every stone eventually lands in someone's store or stays cycling; net
+  // capture difference has the parity of... no such invariant in awari
+  // (stones can remain on the board in cycles).  Instead check a weaker
+  // structural fact: level 2's all-known values include both signs.
+  const auto database = build_database(game::AwariFamily{}, 2);
+  bool has_positive = false, has_negative = false;
+  for (const db::Value v : database.level(2)) {
+    has_positive |= v > 0;
+    has_negative |= v < 0;
+  }
+  EXPECT_TRUE(has_positive);
+  EXPECT_TRUE(has_negative);
+}
+
+}  // namespace
+}  // namespace retra::ra

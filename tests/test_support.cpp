@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "retra/support/cli.hpp"
+#include "retra/support/format.hpp"
+#include "retra/support/rng.hpp"
+#include "retra/support/stats.hpp"
+#include "retra/support/table.hpp"
+
+namespace retra::support {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Xoshiro256 a(12345), b(12345), c(54321);
+  bool any_differ = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a();
+    EXPECT_EQ(x, b());
+    if (x != c()) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(11);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 5000; ++i) seen[rng.below(5)]++;
+  for (const int count : seen) EXPECT_GT(count, 500);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SplitmixIsConstexprAndMixes) {
+  static_assert(splitmix64(1) != splitmix64(2));
+  EXPECT_NE(splitmix64(0), 0u);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(IntHistogram, CountsAndSigns) {
+  IntHistogram h(-3, 3);
+  h.add(-2);
+  h.add(0, 5);
+  h.add(1);
+  h.add(3);
+  h.add(7);  // clamps to +3
+  EXPECT_EQ(h.total(), 9u);
+  EXPECT_EQ(h.count_at(0), 5u);
+  EXPECT_EQ(h.count_at(3), 2u);
+  EXPECT_EQ(h.positive(), 3u);
+  EXPECT_EQ(h.negative(), 1u);
+  EXPECT_EQ(h.zero(), 5u);
+}
+
+TEST(IntHistogram, Merge) {
+  IntHistogram a(-1, 1), b(-1, 1);
+  a.add(1);
+  b.add(-1, 2);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count_at(-1), 2u);
+}
+
+TEST(Balance, PerfectAndSkewed) {
+  EXPECT_DOUBLE_EQ(balance_of(std::vector<double>{2, 2, 2}).imbalance, 1.0);
+  const Balance b = balance_of(std::vector<std::uint64_t>{1, 3});
+  EXPECT_DOUBLE_EQ(b.mean, 2.0);
+  EXPECT_DOUBLE_EQ(b.imbalance, 1.5);
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"a", "bb"});
+  t.row().add(std::uint64_t{1234}).add("x");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1 234"), std::string::npos);
+  EXPECT_NE(out.find("--"), std::string::npos);
+}
+
+TEST(Table, Thousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1 000");
+  EXPECT_EQ(with_thousands(1234567890), "1 234 567 890");
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1536), "1.5 KB");
+  EXPECT_EQ(human_bytes(600ull << 20), "600.0 MB");
+}
+
+TEST(Format, HumanSeconds) {
+  EXPECT_EQ(human_seconds(0.00213), "2.13 ms");
+  EXPECT_EQ(human_seconds(3.5), "3.50 s");
+  EXPECT_EQ(human_seconds(3600 + 23 * 60 + 45), "1h23m45s");
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  Cli cli;
+  cli.flag("level", "5", "level");
+  cli.flag("verbose", "false", "verbosity");
+  cli.flag("name", "x", "name");
+  const char* argv[] = {"prog", "--level=9", "--verbose", "pos1",
+                        "--name=abc"};
+  cli.parse(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.integer("level"), 9);
+  EXPECT_TRUE(cli.boolean("verbose"));
+  EXPECT_EQ(cli.str("name"), "abc");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+}  // namespace
+}  // namespace retra::support

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "retra/game/awari_level.hpp"
+#include "retra/game/graph_game.hpp"
+#include "retra/ra/builder.hpp"
+#include "retra/ra/sweep_solver.hpp"
+#include "retra/ra/verify.hpp"
+
+namespace retra::ra {
+namespace {
+
+using game::Exit;
+using game::GraphLevel;
+
+db::Value no_lower(int, idx::Index) {
+  ADD_FAILURE() << "unexpected lower-level lookup";
+  return 0;
+}
+
+/// Solves a single hand-built level with no lower databases.
+std::vector<db::Value> solve(const GraphLevel& level) {
+  SweepResult result = solve_level(level, no_lower);
+  return result.values;
+}
+
+TEST(Sweep, SingleTerminalNode) {
+  const GraphLevel level =
+      GraphLevel::custom(0, {{}}, {{Exit{3, Exit::kTerminal, 0}}});
+  EXPECT_EQ(solve(level), (std::vector<db::Value>{3}));
+}
+
+TEST(Sweep, PicksBestExit) {
+  const GraphLevel level = GraphLevel::custom(
+      0, {{}},
+      {{Exit{-1, Exit::kTerminal, 0}, Exit{2, Exit::kTerminal, 0},
+        Exit{1, Exit::kTerminal, 0}}});
+  EXPECT_EQ(solve(level), (std::vector<db::Value>{2}));
+}
+
+TEST(Sweep, NegatesThroughEdges) {
+  // 0 -> 1; node 1 exits at +2.  Node 1 takes +2; node 0's only option is
+  // -v(1) = -2.
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1}, {}}, {{}, {Exit{2, Exit::kTerminal, 0}}});
+  EXPECT_EQ(solve(level), (std::vector<db::Value>{-2, 2}));
+}
+
+TEST(Sweep, PureCycleIsZero) {
+  // 0 <-> 1 with no exits anywhere reachable... every node needs at least
+  // one option; give both a terrible exit they will never take.
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1}, {0}},
+      {{Exit{-5, Exit::kTerminal, 0}}, {Exit{-5, Exit::kTerminal, 0}}});
+  // Both prefer cycling (0) to surrendering 5.
+  EXPECT_EQ(solve(level), (std::vector<db::Value>{0, 0}));
+}
+
+TEST(Sweep, ForcedThroughCyclePartner) {
+  // The counterexample to naive zero-filling: 0 has exit +2 and edge to 1;
+  // 1's only move is back to 0.  Node 0 cashes +2 (cycling would give 0,
+  // the exit is better); node 1 is forced to hand 0 the +2, so v(1) = -2.
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1}, {0}}, {{Exit{2, Exit::kTerminal, 0}}, {}});
+  EXPECT_EQ(solve(level), (std::vector<db::Value>{2, -2}));
+}
+
+TEST(Sweep, PrefersCycleOverBadExit) {
+  // 0 has exit -2 and edge to 1; 1's only move is back to 0.  If 0 took
+  // the exit, 1 would enjoy +2; but 0 cycles instead, so both are 0.
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1}, {0}}, {{Exit{-2, Exit::kTerminal, 0}}, {}});
+  EXPECT_EQ(solve(level), (std::vector<db::Value>{0, 0}));
+}
+
+TEST(Sweep, SelfLoopGuaranteesNonNegative) {
+  // A self-loop lets the mover repeat forever: value max(best exit, 0).
+  const GraphLevel bad_exit = GraphLevel::custom(
+      0, {{0}}, {{Exit{-4, Exit::kTerminal, 0}}});
+  EXPECT_EQ(solve(bad_exit), (std::vector<db::Value>{0}));
+  const GraphLevel good_exit = GraphLevel::custom(
+      0, {{0}}, {{Exit{4, Exit::kTerminal, 0}}});
+  EXPECT_EQ(solve(good_exit), (std::vector<db::Value>{4}));
+}
+
+TEST(Sweep, ChainAlternatesSigns) {
+  // 0 -> 1 -> 2 -> exit +1: values -1, +1, ... wait: v(2)=1, v(1)=-1,
+  // v(0)=+1.
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1}, {2}, {}}, {{}, {}, {Exit{1, Exit::kTerminal, 0}}});
+  EXPECT_EQ(solve(level), (std::vector<db::Value>{1, -1, 1}));
+}
+
+TEST(Sweep, ChoosesCycleBranchOverLosingBranch) {
+  // 0 can move to 1 (which exits at +3, so worth -3 to 0) or to 2, which
+  // moves back to 0 (a cycle worth 0).  0 must also not be forced: its
+  // value is 0 via the cycle.  2's value: only move to 0, so -v(0) = 0.
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1, 2}, {}, {0}},
+      {{}, {Exit{3, Exit::kTerminal, 0}}, {}});
+  EXPECT_EQ(solve(level), (std::vector<db::Value>{0, 3, 0}));
+}
+
+TEST(Sweep, MultiEdgesCountPerEdge) {
+  // Duplicate edge 0 -> 1, 0 -> 1.  cnt must be 2 and both contributions
+  // must be deliverable without tripping the edge-count checks.
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1, 1}, {}}, {{}, {Exit{1, Exit::kTerminal, 0}}});
+  EXPECT_EQ(solve(level), (std::vector<db::Value>{-1, 1}));
+}
+
+TEST(Sweep, UsesLowerLevelValues) {
+  // One node whose exit looks up value 2 in "level 0" with reward 1:
+  // option value 1 - 2 = -1.
+  const GraphLevel level = GraphLevel::custom(
+      1, {{}}, {{Exit{1, 0, 5}}}, /*lower_bounds=*/{4});
+  auto lower = [](int l, idx::Index i) {
+    EXPECT_EQ(l, 0);
+    EXPECT_EQ(i, 5u);
+    return db::Value{2};
+  };
+  const SweepResult result = solve_level(level, lower);
+  EXPECT_EQ(result.values, (std::vector<db::Value>{-1}));
+}
+
+TEST(Sweep, StatsAreCoherent) {
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1}, {0}}, {{Exit{2, Exit::kTerminal, 0}}, {}});
+  const SweepResult result = solve_level(level, no_lower);
+  EXPECT_EQ(result.stats.positions, 2u);
+  EXPECT_EQ(result.stats.exit_options, 1u);
+  EXPECT_EQ(result.stats.level_edges, 2u);
+  EXPECT_EQ(result.stats.assignments + result.stats.zero_filled, 2u);
+}
+
+TEST(Sweep, OrderIsRecordedWhenRequested) {
+  const GraphLevel level = GraphLevel::custom(
+      0, {{1}, {0}}, {{Exit{2, Exit::kTerminal, 0}}, {}});
+  SweepOptions options;
+  options.record_order = true;
+  const SweepResult result = solve_level(level, no_lower, options);
+  ASSERT_EQ(result.order.size(), 2u);
+  // Node 0 (value +2) is seeded first; node 1 follows from its update.
+  EXPECT_LT(result.order[0], result.order[1]);
+}
+
+// ---------------------------------------------------------------------
+// Awari: hand-solved small levels.
+
+TEST(AwariSweep, LevelZero) {
+  const game::AwariLevel level(0);
+  auto lower = [](int, idx::Index) -> db::Value {
+    ADD_FAILURE();
+    return 0;
+  };
+  const SweepResult result = solve_level(level, lower);
+  EXPECT_EQ(result.values, (std::vector<db::Value>{0}));
+}
+
+TEST(AwariSweep, LevelOneHandValues) {
+  // One stone on the board.  In the mover's pits 0-4 the only move stays
+  // in the own row, failing must-feed: terminal, mover sweeps (+1).  In
+  // pit 5 the forced feeding move hands the opponent that same +1 position
+  // (value -1).  In the opponent's row the mover has no move at all (-1).
+  db::Database database;
+  database.push_level(0, {0});
+  auto lower = [&](int l, idx::Index i) { return database.value(l, i); };
+  const SweepResult result = solve_level(game::AwariLevel(1), lower);
+  ASSERT_EQ(result.values.size(), 12u);
+  for (int pit = 0; pit < 12; ++pit) {
+    game::Board board{};
+    board[pit] = 1;
+    const db::Value expected = (pit <= 4) ? 1 : -1;
+    EXPECT_EQ(result.values[idx::rank(board)], expected) << "pit " << pit;
+  }
+}
+
+TEST(AwariSweep, CaptureFeedsExitThroughLowerLevel) {
+  // [0 0 0 0 0 1 | 1 0 0 0 0 1]: sowing pit 5 captures 2 (pit 6 becomes
+  // 2, not a grand slam because pit 11 still holds a stone).  The
+  // successor is the level-1 board with one stone in the new mover's pit 5
+  // (old pit 11), worth -1 -> option value 2 - (-1) = 3... but the level
+  // bound is 3 and other moves may do better/worse; just check the exact
+  // value through a real two-level build.
+  const auto database = build_database(game::AwariFamily{}, 3);
+  const game::Board board =
+      game::board_from_string("0 0 0 0 0 1  1 0 0 0 0 1");
+  const db::Value v = database.value(3, idx::rank(board));
+  // Captures 2, opponent left with [0 ... 0 1] from their side: stone in
+  // their pit 5 -> their value -1 -> option 2 - (-1) = 3.
+  EXPECT_EQ(v, 3);
+}
+
+TEST(AwariSweep, InitialFourStonePositionSymmetricValue) {
+  // The 2-stones-per-pit-total-2 mirror: any board equal to its own
+  // rotation has value 0 only if the game is symmetric; spot-check the
+  // fully symmetric 12-stone board [1...1|1...1] after a full build.
+  const auto database = build_database(game::AwariFamily{}, 4);
+  // Check a symmetric level-4 board: one stone in each of pits 2,3 and
+  // 8,9 (the rotation maps the position to itself).
+  game::Board board{};
+  board[2] = board[3] = board[8] = board[9] = 1;
+  const db::Value v = database.value(4, idx::rank(board));
+  // A self-rotation-symmetric position need not be 0 in awari (the mover
+  // often has an edge), but its value must be realisable: |v| <= 4.
+  EXPECT_LE(std::abs(v), 4);
+}
+
+TEST(AwariBuilder, VerifiedBuildSucceeds) {
+  BuildOptions options;
+  options.verify = true;
+  const auto database = build_database(game::AwariFamily{}, 5, options);
+  EXPECT_EQ(database.num_levels(), 6);
+  EXPECT_EQ(database.total_positions(), idx::cumulative_size(5));
+}
+
+}  // namespace
+}  // namespace retra::ra
