@@ -4,14 +4,88 @@
 //
 //   $ cluster_run --level=10 --ranks=64
 //   $ cluster_run --level=9 --ranks=16 --combine-bytes=1   # no combining
+//
+// With any fault flag set the run switches from the 1995 timing simulation
+// to a real threaded build over a fault-injecting transport (a chaos run):
+//
+//   $ cluster_run --level=6 --ranks=8 --fault-seed=42 --drop=0.2
+//   $ cluster_run --level=6 --ranks=8 --crash-rank=3 --crash-level=4 \
+//                 --checkpoint=/tmp/ck     # dies mid-build ...
+//   $ cluster_run --level=6 --ranks=8 --checkpoint=/tmp/ck  # ... resumes
 #include <cstdio>
 
 #include "retra/game/awari_level.hpp"
+#include "retra/para/parallel_solver.hpp"
 #include "retra/para/sim_build.hpp"
 #include "retra/support/cli.hpp"
 #include "retra/support/format.hpp"
 #include "retra/support/table.hpp"
 #include "retra/support/timer.hpp"
+
+namespace {
+
+// A chaos run: the same build as the simulation solves, but executed on
+// real threads over the fault-injecting transport, reporting the injected
+// faults and the reliability-protocol work per level.
+int run_chaos(int level, const retra::para::ParallelConfig& config) {
+  using namespace retra;
+  const auto& plan = config.fault_plan;
+  std::printf(
+      "chaos run: %d ranks, seed %llu, drop %.2f dup %.2f reorder %.2f "
+      "delay %.2f corrupt %.2f",
+      config.ranks, static_cast<unsigned long long>(plan.seed), plan.drop,
+      plan.duplicate, plan.reorder, plan.delay, plan.corrupt);
+  if (plan.crash_rank >= 0) {
+    std::printf(", rank %d crashes at level %d", plan.crash_rank,
+                plan.crash_level);
+  }
+  std::printf("\n\n");
+
+  support::Timer real;
+  const auto run = para::build_parallel(game::AwariFamily{}, level, config);
+
+  support::Table table({"level", "positions", "rounds", "dropped", "dup",
+                        "reord", "delayed", "corrupt", "retries",
+                        "delivered"});
+  for (const auto& info : run.levels) {
+    table.row()
+        .add(info.level)
+        .add(info.size)
+        .add(info.rounds)
+        .add(info.faults.dropped)
+        .add(info.faults.duplicated)
+        .add(info.faults.reordered)
+        .add(info.faults.delayed)
+        .add(info.faults.corrupted)
+        .add(info.reliability.retries)
+        .add(info.reliability.delivered);
+  }
+  table.print();
+
+  if (!run.completed()) {
+    std::printf(
+        "\nrank %d crashed while building level %d (%.2fs in).\n",
+        run.crashed_rank, run.aborted_level, real.seconds());
+    if (!config.checkpoint_dir.empty()) {
+      std::printf(
+          "levels 0..%d are checkpointed in %s; rerun without the crash "
+          "flags to resume.\n",
+          run.aborted_level - 1, config.checkpoint_dir.c_str());
+    } else {
+      std::printf("no --checkpoint directory was set; nothing to resume.\n");
+    }
+    return 1;
+  }
+  std::printf(
+      "\nchaos build finished in %.2fs: %llu positions survived the faulty "
+      "transport intact.\n",
+      real.seconds(),
+      static_cast<unsigned long long>(
+          run.database->gather().total_positions()));
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace retra;
@@ -21,6 +95,16 @@ int main(int argc, char** argv) {
   cli.flag("combine-bytes", "4096", "combining buffer size (1 = off)");
   cli.flag("segments", "4", "bridged Ethernet segments");
   cli.flag("trace", "", "write a per-round CSV trace to this file");
+  cli.flag("fault-seed", "0", "fault-plan seed (0 keeps the default)");
+  cli.flag("drop", "0", "frame drop probability");
+  cli.flag("dup", "0", "frame duplication probability");
+  cli.flag("reorder", "0", "frame reorder probability");
+  cli.flag("delay", "0", "frame delay probability");
+  cli.flag("corrupt", "0", "frame corruption probability");
+  cli.flag("crash-rank", "-1", "rank that dies mid-build (-1: nobody)");
+  cli.flag("crash-level", "0", "level at which the scheduled crash fires");
+  cli.flag("crash-after", "20", "sends of the crash level before dying");
+  cli.flag("checkpoint", "", "checkpoint directory (written + resumed)");
   cli.parse(argc, argv);
   const int level = static_cast<int>(cli.integer("level"));
   const int ranks = static_cast<int>(cli.integer("ranks"));
@@ -29,6 +113,34 @@ int main(int argc, char** argv) {
   config.ranks = ranks;
   config.combine_bytes =
       static_cast<std::size_t>(cli.integer("combine-bytes"));
+  config.checkpoint_dir = cli.str("checkpoint");
+
+  msg::FaultPlan plan;
+  if (cli.integer("fault-seed") != 0) {
+    plan.seed = static_cast<std::uint64_t>(cli.integer("fault-seed"));
+  }
+  plan.drop = cli.number("drop");
+  plan.duplicate = cli.number("dup");
+  plan.reorder = cli.number("reorder");
+  plan.delay = cli.number("delay");
+  plan.corrupt = cli.number("corrupt");
+  plan.crash_rank = static_cast<int>(cli.integer("crash-rank"));
+  plan.crash_level = static_cast<int>(cli.integer("crash-level"));
+  plan.crash_after_sends =
+      static_cast<std::uint64_t>(cli.integer("crash-after"));
+  if (plan.active() || (!config.checkpoint_dir.empty() &&
+                        cli.integer("fault-seed") != 0)) {
+    config.fault_plan = plan;
+    config.use_threads = true;
+    return run_chaos(level, config);
+  }
+  if (!config.checkpoint_dir.empty()) {
+    // A plain resume of an aborted chaos run: same real-threaded path,
+    // fault-free transport.
+    config.use_threads = true;
+    return run_chaos(level, config);
+  }
+
   sim::ClusterModel model;
   model.net.segments = static_cast<int>(cli.integer("segments"));
 

@@ -27,13 +27,20 @@ struct CheckpointMeta {
   std::uint64_t block_size = 0;
   bool replicated = false;
   int levels = 0;  // completed levels (0..levels-1 are on disk)
+  /// Combining buffer size of the run that wrote the checkpoint.
+  /// Recorded for diagnostics only: it does not affect the on-disk layout,
+  /// so checkpoint_compatible() deliberately ignores it — resuming with a
+  /// different combining buffer is legal.
+  std::uint64_t combine_bytes = 0;
 };
 
 /// Writes level `level` of `ddb` (which must already contain it) plus a
 /// refreshed manifest.  Creates the directory if needed.  Aborts on I/O
 /// failure — a checkpoint that cannot be written must not be ignored.
+/// `combine_bytes` is recorded in the manifest for diagnostics.
 void checkpoint_save_level(const DistributedDatabase& ddb, int level,
-                           const std::string& directory);
+                           const std::string& directory,
+                           std::size_t combine_bytes = 0);
 
 struct CheckpointLoad {
   bool ok = false;
@@ -47,7 +54,10 @@ struct CheckpointLoad {
 CheckpointLoad checkpoint_load(const std::string& directory);
 
 /// True when the checkpoint's configuration matches, i.e. the loaded
-/// database can seamlessly continue a build with these parameters.
+/// database can seamlessly continue a build with these parameters.  Only
+/// layout-determining fields are compared (ranks, scheme, block size where
+/// it matters, replication mode); tuning knobs such as the combining
+/// buffer size are layout-independent and never block a resume.
 bool checkpoint_compatible(const CheckpointMeta& meta, int ranks,
                            PartitionScheme scheme, std::uint64_t block_size,
                            bool replicated);

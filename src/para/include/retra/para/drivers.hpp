@@ -18,10 +18,13 @@
 #include <atomic>
 #include <barrier>
 #include <cstdint>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "retra/msg/fault_comm.hpp"
 #include "retra/para/rank_engine.hpp"
 #include "retra/support/check.hpp"
 
@@ -30,6 +33,12 @@ namespace retra::para {
 /// Ceiling on rounds per level; hitting it means a termination-detection
 /// bug, not a big workload.
 inline constexpr std::uint64_t kRoundLimit = 100'000'000;
+
+// Crash semantics (fault injection): a scheduled rank crash surfaces as a
+// msg::RankCrash exception out of superstep().  The sequential driver lets
+// it propagate directly; the threaded drivers capture it, stop every other
+// rank at the next synchronisation point, join, and rethrow — so the
+// caller always observes a clean single exception with all threads gone.
 
 template <typename Engine>
 std::uint64_t run_bsp_sequential(std::vector<std::unique_ptr<Engine>>& engines) {
@@ -63,9 +72,16 @@ std::uint64_t run_bsp_threads(std::vector<std::unique_ptr<Engine>>& engines) {
   std::uint64_t rounds = 0;
   enum class Decision { kContinue, kAdvance, kStop };
   Decision decision = Decision::kContinue;
+  std::atomic<bool> crashed{false};
+  std::exception_ptr crash;
+  std::mutex crash_mutex;
 
   auto on_round_complete = [&]() noexcept {
     ++rounds;
+    if (crashed.load(std::memory_order_acquire)) {
+      decision = Decision::kStop;
+      return;
+    }
     StepReport global;
     global.ready = true;
     for (const StepReport& report : reports) global += report;
@@ -88,7 +104,19 @@ std::uint64_t run_bsp_threads(std::vector<std::unique_ptr<Engine>>& engines) {
   auto body = [&](int rank) {
     while (true) {
       RETRA_CHECK_MSG(rounds < kRoundLimit, "BSP round limit exceeded");
-      reports[rank] = engines[rank]->superstep();
+      try {
+        reports[rank] = engines[rank]->superstep();
+      } catch (const msg::RankCrash&) {
+        {
+          const std::lock_guard<std::mutex> lock(crash_mutex);
+          if (!crash) crash = std::current_exception();
+        }
+        crashed.store(true, std::memory_order_release);
+        // Leave the barrier so the surviving ranks can complete the round
+        // and observe the kStop decision.
+        sync.arrive_and_drop();
+        return;
+      }
       sync.arrive_and_wait();
       // All ranks read the same decision; it is only rewritten by the next
       // round's completion step, after every rank has re-arrived.
@@ -101,6 +129,7 @@ std::uint64_t run_bsp_threads(std::vector<std::unique_ptr<Engine>>& engines) {
   threads.reserve(ranks);
   for (int rank = 0; rank < ranks; ++rank) threads.emplace_back(body, rank);
   for (std::thread& thread : threads) thread.join();
+  if (crash) std::rethrow_exception(crash);
   return rounds;
 }
 
@@ -133,8 +162,10 @@ std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
     std::atomic<bool> ready{false};
   };
   std::vector<RankState> state(ranks);
+  std::exception_ptr crash;
+  std::mutex crash_mutex;
 
-  auto body = [&](int rank) {
+  auto loop = [&](int rank) {
     std::uint64_t local_steps = 0;
     while (!stop.load(std::memory_order_acquire)) {
       // Apply any pending phase transition first.
@@ -224,10 +255,23 @@ std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
       // the next phase starts from a consistent state.
       for (int r = 1; r < ranks; ++r) {
         while (state[r].applied_epoch.load(std::memory_order_acquire) <
-               next) {
+                   next &&
+               !stop.load(std::memory_order_relaxed)) {
           std::this_thread::yield();
         }
       }
+    }
+  };
+
+  auto body = [&](int rank) {
+    try {
+      loop(rank);
+    } catch (const msg::RankCrash&) {
+      {
+        const std::lock_guard<std::mutex> lock(crash_mutex);
+        if (!crash) crash = std::current_exception();
+      }
+      stop.store(true, std::memory_order_release);
     }
   };
 
@@ -235,6 +279,7 @@ std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
   threads.reserve(ranks);
   for (int rank = 0; rank < ranks; ++rank) threads.emplace_back(body, rank);
   for (std::thread& thread : threads) thread.join();
+  if (crash) std::rethrow_exception(crash);
   return total_steps.load();
 }
 

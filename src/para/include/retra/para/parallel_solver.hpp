@@ -11,6 +11,8 @@
 #include <memory>
 #include <vector>
 
+#include "retra/msg/fault_comm.hpp"
+#include "retra/msg/reliable_comm.hpp"
 #include "retra/msg/thread_comm.hpp"
 #include "retra/para/checkpoint.hpp"
 #include "retra/para/dist_db.hpp"
@@ -40,6 +42,15 @@ struct ParallelConfig {
   /// compatible existing checkpoint is resumed from (see
   /// retra/para/checkpoint.hpp).
   std::string checkpoint_dir;
+  /// When active, every endpoint is wrapped in a fault-injecting transport
+  /// plus the reliability sublayer (see retra/msg/fault_comm.hpp): frames
+  /// are dropped/duplicated/reordered/delayed/corrupted per the seeded
+  /// plan, and a scheduled rank crash aborts the build cleanly so it can
+  /// be resumed from `checkpoint_dir`.
+  msg::FaultPlan fault_plan;
+  /// Retry/backoff tuning of the reliability sublayer (used only when
+  /// `fault_plan` is active).
+  msg::ReliableConfig reliable;
 };
 
 /// Statistics of one level build across all ranks.
@@ -52,11 +63,23 @@ struct LevelRunInfo {
   msg::WorkMeter work_total;             // summed abstract work
   std::vector<msg::WorkMeter> work_per_rank;
   std::vector<std::uint64_t> working_bytes;  // per-rank build working set
+  /// Faults injected / reliability-protocol work while building this
+  /// level, summed over ranks.  All zeros in a fault-free run.
+  msg::FaultStats faults;
+  msg::ReliableStats reliability;
 };
 
 struct ParallelResult {
   std::unique_ptr<DistributedDatabase> database;
   std::vector<LevelRunInfo> levels;
+  /// A scheduled rank crash aborted the build while this level was being
+  /// built (-1: the build ran to completion).  Levels before it are
+  /// checkpointed (when checkpoint_dir is set) and a follow-up invocation
+  /// resumes from them.
+  int aborted_level = -1;
+  int crashed_rank = -1;
+
+  bool completed() const { return aborted_level < 0; }
 
   /// Total combined messages / payload across all levels.
   std::uint64_t total_messages() const {
@@ -89,6 +112,13 @@ ParallelResult build_parallel(const Family& family, int max_level,
       support::log_info(
           "checkpoint in %s has a different configuration; starting fresh",
           config.checkpoint_dir.c_str());
+    } else if (loaded.error.rfind("no manifest", 0) != 0) {
+      // An absent checkpoint is the normal first run; anything else (a
+      // corrupted or truncated one) must be diagnosed, never silently
+      // discarded.
+      support::log_info("checkpoint in %s is unusable (%s); starting fresh",
+                        config.checkpoint_dir.c_str(),
+                        loaded.error.c_str());
     }
   }
   if (!result.database) {
@@ -99,10 +129,24 @@ ParallelResult build_parallel(const Family& family, int max_level,
   DistributedDatabase& ddb = *result.database;
   msg::ThreadWorld world(config.ranks);
 
+  // With an active fault plan the engines run on FaultyComm + ReliableComm
+  // stacks.  The stacks live for the whole build (not per level) so that
+  // late acknowledgements and retransmissions crossing a level boundary
+  // stay consistent with the sequence-number state.
+  std::unique_ptr<msg::FaultWorld> faults;
+  if (config.fault_plan.active()) {
+    faults = std::make_unique<msg::FaultWorld>(world, config.fault_plan,
+                                               config.reliable);
+  }
+  auto endpoint = [&](int rank) -> msg::Comm& {
+    return faults ? faults->endpoint(rank) : world.endpoint(rank);
+  };
+
   for (int level = first_level; level <= max_level; ++level) {
     decltype(auto) game = family.level(level);
     using Game = std::remove_cvref_t<decltype(game)>;
     const Partition partition = ddb.make_partition(game.size());
+    if (faults) faults->set_level(level);
 
     EngineConfig engine_config;
     engine_config.combine_bytes = config.combine_bytes;
@@ -111,24 +155,48 @@ ParallelResult build_parallel(const Family& family, int max_level,
     engines.reserve(config.ranks);
     for (int rank = 0; rank < config.ranks; ++rank) {
       engines.push_back(std::make_unique<RankEngine<Game>>(
-          game, partition, world.endpoint(rank), ddb, engine_config));
+          game, partition, endpoint(rank), ddb, engine_config));
     }
 
-    // Meters accumulate across levels on the shared endpoints; keep the
-    // pre-level snapshot so the level's work is reported as a delta.
+    // Meters and fault counters accumulate across levels on the shared
+    // endpoints; keep pre-level snapshots so the level's work is reported
+    // as a delta.
     std::vector<msg::WorkMeter> meters_before;
     meters_before.reserve(config.ranks);
     for (int rank = 0; rank < config.ranks; ++rank) {
-      meters_before.push_back(world.endpoint(rank).meter());
+      meters_before.push_back(endpoint(rank).meter());
+    }
+    std::vector<msg::FaultStats> faults_before(config.ranks);
+    std::vector<msg::ReliableStats> reliability_before(config.ranks);
+    if (faults) {
+      for (int rank = 0; rank < config.ranks; ++rank) {
+        faults_before[rank] = faults->faulty(rank).fault_stats();
+        reliability_before[rank] = faults->reliable(rank).reliable_stats();
+      }
     }
 
     LevelRunInfo info;
     info.level = level;
     info.size = game.size();
-    info.rounds = config.use_threads
-                      ? (config.async ? run_async_threads(engines)
-                                      : run_bsp_threads(engines))
-                      : run_bsp_sequential(engines);
+    try {
+      info.rounds = config.use_threads
+                        ? (config.async ? run_async_threads(engines)
+                                        : run_bsp_threads(engines))
+                        : run_bsp_sequential(engines);
+    } catch (const msg::RankCrash& crash) {
+      result.aborted_level = level;
+      result.crashed_rank = crash.rank;
+      if (config.checkpoint_dir.empty()) {
+        support::log_info("rank %d crashed while building level %d; aborting",
+                          crash.rank, level);
+      } else {
+        support::log_info(
+            "rank %d crashed while building level %d; aborting (levels "
+            "0..%d are checkpointed)",
+            crash.rank, level, level - 1);
+      }
+      return result;
+    }
 
     std::vector<std::vector<db::Value>> shards;
     shards.reserve(config.ranks);
@@ -139,7 +207,7 @@ ParallelResult build_parallel(const Family& family, int max_level,
     }
     engines.clear();
     for (int rank = 0; rank < config.ranks; ++rank) {
-      msg::WorkMeter delta = world.endpoint(rank).meter();
+      msg::WorkMeter delta = endpoint(rank).meter();
       for (int k = 0; k < msg::kWorkKinds; ++k) {
         delta.counts[k] -= meters_before[rank].counts[k];
       }
@@ -167,19 +235,38 @@ ParallelResult build_parallel(const Family& family, int max_level,
       exchange.reserve(config.ranks);
       for (int rank = 0; rank < config.ranks; ++rank) {
         exchange.push_back(std::make_unique<ShardExchange>(
-            partition, world.endpoint(rank), shards[rank], full[rank],
+            partition, endpoint(rank), shards[rank], full[rank],
             config.combine_bytes));
       }
-      info.rounds += config.use_threads
-                         ? (config.async ? run_async_threads(exchange)
-                                         : run_bsp_threads(exchange))
-                         : run_bsp_sequential(exchange);
+      try {
+        info.rounds += config.use_threads
+                           ? (config.async ? run_async_threads(exchange)
+                                           : run_bsp_threads(exchange))
+                           : run_bsp_sequential(exchange);
+      } catch (const msg::RankCrash& crash) {
+        result.aborted_level = level;
+        result.crashed_rank = crash.rank;
+        support::log_info(
+            "rank %d crashed while replicating level %d; aborting",
+            crash.rank, level);
+        return result;
+      }
       ddb.push_level_full(level, std::move(full));
     } else {
       ddb.push_level_shards(level, game.size(), std::move(shards));
     }
+    if (faults) {
+      for (int rank = 0; rank < config.ranks; ++rank) {
+        info.faults +=
+            faults->faulty(rank).fault_stats() - faults_before[rank];
+        info.reliability +=
+            faults->reliable(rank).reliable_stats() -
+            reliability_before[rank];
+      }
+    }
     if (!config.checkpoint_dir.empty()) {
-      checkpoint_save_level(ddb, level, config.checkpoint_dir);
+      checkpoint_save_level(ddb, level, config.checkpoint_dir,
+                            config.combine_bytes);
     }
     result.levels.push_back(std::move(info));
   }

@@ -65,7 +65,8 @@ bool read_pod(std::FILE* f, T& value) {
 }  // namespace
 
 void checkpoint_save_level(const DistributedDatabase& ddb, int level,
-                           const std::string& directory) {
+                           const std::string& directory,
+                           std::size_t combine_bytes) {
   RETRA_CHECK(level >= 0 && level < ddb.num_levels());
   std::filesystem::create_directories(directory);
 
@@ -90,10 +91,11 @@ void checkpoint_save_level(const DistributedDatabase& ddb, int level,
       std::fopen((directory + "/" + kManifestName).c_str(), "w"));
   RETRA_CHECK_MSG(manifest != nullptr, "cannot write checkpoint manifest");
   std::fprintf(manifest.get(),
-               "retra-checkpoint 1\nranks %d\nscheme %s\nblock %" PRIu64
-               "\nreplicated %d\nlevels %d\n",
+               "retra-checkpoint 2\nranks %d\nscheme %s\nblock %" PRIu64
+               "\nreplicated %d\nlevels %d\ncombine %" PRIu64 "\n",
                ddb.ranks(), scheme_token(ddb.scheme()),
-               ddb.block_size(), ddb.replicated() ? 1 : 0, level + 1);
+               ddb.block_size(), ddb.replicated() ? 1 : 0, level + 1,
+               static_cast<std::uint64_t>(combine_bytes));
   RETRA_CHECK(std::fflush(manifest.get()) == 0);
 }
 
@@ -113,9 +115,20 @@ CheckpointLoad checkpoint_load(const std::string& directory) {
                   "%" SCNu64 "\nreplicated %d\nlevels %d\n",
                   &version, &result.meta.ranks, scheme_buf, &block,
                   &replicated, &result.meta.levels) != 6 ||
-      version != 1) {
+      version < 1 || version > 2) {
     result.error = "malformed manifest";
     return result;
+  }
+  if (version >= 2) {
+    // v2 additionally records the combining buffer size (diagnostic only;
+    // it never participates in the compatibility decision).
+    std::uint64_t combine = 0;
+    if (std::fscanf(manifest.get(), "combine %" SCNu64 "\n", &combine) !=
+        1) {
+      result.error = "malformed manifest";
+      return result;
+    }
+    result.meta.combine_bytes = combine;
   }
   result.meta.block_size = block;
   result.meta.replicated = replicated != 0;
@@ -133,11 +146,14 @@ CheckpointLoad checkpoint_load(const std::string& directory) {
       result.meta.ranks, result.meta.replicated);
 
   for (int level = 0; level < result.meta.levels; ++level) {
-    File file(std::fopen(level_path(directory, level).c_str(), "rb"));
+    const std::string path = level_path(directory, level);
+    File file(std::fopen(path.c_str(), "rb"));
     if (!file) {
       result.error = "missing level file " + std::to_string(level);
       return result;
     }
+    std::error_code ec;
+    const std::uint64_t file_bytes = std::filesystem::file_size(path, ec);
     std::FILE* f = file.get();
     std::uint32_t magic = 0, ranks = 0;
     if (!read_pod(f, magic) || magic != kLevelMagic ||
@@ -152,6 +168,13 @@ CheckpointLoad checkpoint_load(const std::string& directory) {
       std::uint64_t size = 0;
       if (!read_pod(f, size)) {
         result.error = "truncated level " + std::to_string(level);
+        return result;
+      }
+      // A corrupted size field must not drive a huge allocation: no shard
+      // can hold more values than the whole file has bytes for.
+      if (ec || size > file_bytes / sizeof(db::Value)) {
+        result.error = "implausible shard size in level " +
+                       std::to_string(level);
         return result;
       }
       shard.resize(size);

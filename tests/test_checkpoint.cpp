@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <random>
+#include <vector>
 
 #include "retra/game/awari_level.hpp"
 #include "retra/para/checkpoint.hpp"
@@ -130,6 +133,150 @@ TEST_F(CheckpointTest, ReplicatedModeRoundTrips) {
   EXPECT_TRUE(loaded.meta.replicated);
   EXPECT_EQ(loaded.database->gather(),
             ra::build_database(game::AwariFamily{}, 3));
+}
+
+TEST_F(CheckpointTest, TruncatedLevelFileIsRejected) {
+  ParallelConfig config;
+  config.ranks = 2;
+  config.checkpoint_dir = dir_;
+  build_parallel(game::AwariFamily{}, 3, config);
+
+  const std::string victim = dir_ + "/level_1.ck";
+  const auto size = fs::file_size(victim);
+  fs::resize_file(victim, size / 2);
+
+  const CheckpointLoad loaded = checkpoint_load(dir_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_FALSE(loaded.error.empty());
+}
+
+TEST_F(CheckpointTest, BitFlipInChecksumRegionIsRejected) {
+  ParallelConfig config;
+  config.ranks = 2;
+  config.checkpoint_dir = dir_;
+  build_parallel(game::AwariFamily{}, 3, config);
+
+  // The last 8 bytes of a level file are the final shard's checksum; a
+  // flipped checksum must be caught exactly like flipped payload.
+  const std::string victim = dir_ + "/level_3.ck";
+  const auto size = static_cast<long>(fs::file_size(victim));
+  std::fstream file(victim, std::ios::in | std::ios::out | std::ios::binary);
+  file.seekg(size - 4);
+  char byte;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  file.seekp(size - 4);
+  file.write(&byte, 1);
+  file.close();
+
+  const CheckpointLoad loaded = checkpoint_load(dir_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_NE(loaded.error.find("checksum"), std::string::npos)
+      << loaded.error;
+}
+
+TEST_F(CheckpointTest, ManifestLevelCountMismatchIsRejected) {
+  ParallelConfig config;
+  config.ranks = 2;
+  config.checkpoint_dir = dir_;
+  build_parallel(game::AwariFamily{}, 3, config);
+
+  // The manifest claims 4 levels; remove one of the referenced files.
+  fs::remove(dir_ + "/level_2.ck");
+  const CheckpointLoad loaded = checkpoint_load(dir_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_NE(loaded.error.find("missing"), std::string::npos) << loaded.error;
+}
+
+// Fuzz: arbitrary truncations and single-bit flips anywhere in a level
+// file must always produce ok == false with a diagnosis — never a crash,
+// never a silently adopted corrupted database.
+TEST_F(CheckpointTest, CorruptionFuzzAlwaysFailsCleanly) {
+  ParallelConfig config;
+  config.ranks = 3;
+  config.checkpoint_dir = dir_;
+  build_parallel(game::AwariFamily{}, 3, config);
+
+  const std::string victim = dir_ + "/level_2.ck";
+  std::vector<char> pristine;
+  {
+    std::ifstream in(victim, std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(pristine.empty());
+  const auto restore = [&](const std::vector<char>& bytes) {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  std::mt19937_64 rng(0xf22);
+  for (int round = 0; round < 24; ++round) {
+    std::vector<char> mutated = pristine;
+    const std::size_t pos = rng() % mutated.size();
+    mutated[pos] =
+        static_cast<char>(mutated[pos] ^ (1 << (rng() % 8)));
+    restore(mutated);
+    const CheckpointLoad loaded = checkpoint_load(dir_);
+    EXPECT_FALSE(loaded.ok) << "bit flip at " << pos << " was accepted";
+    EXPECT_FALSE(loaded.error.empty());
+  }
+  for (int round = 0; round < 8; ++round) {
+    std::vector<char> mutated = pristine;
+    mutated.resize(rng() % pristine.size());
+    restore(mutated);
+    const CheckpointLoad loaded = checkpoint_load(dir_);
+    EXPECT_FALSE(loaded.ok)
+        << "truncation to " << mutated.size() << " was accepted";
+    EXPECT_FALSE(loaded.error.empty());
+  }
+
+  restore(pristine);
+  EXPECT_TRUE(checkpoint_load(dir_).ok);
+}
+
+// The combining buffer size is a tuning knob, not a layout parameter: a
+// resume with a different one must pick the checkpoint up.
+TEST_F(CheckpointTest, DifferentCombineBytesStillResumes) {
+  ParallelConfig config;
+  config.ranks = 3;
+  config.combine_bytes = 4096;
+  config.checkpoint_dir = dir_;
+  build_parallel(game::AwariFamily{}, 3, config);
+
+  ParallelConfig retuned = config;
+  retuned.combine_bytes = 64;
+  const auto resumed = build_parallel(game::AwariFamily{}, 5, retuned);
+  EXPECT_EQ(resumed.levels.size(), 2u);  // only levels 4..5 were built
+  EXPECT_EQ(resumed.database->gather(),
+            ra::build_database(game::AwariFamily{}, 5));
+}
+
+TEST_F(CheckpointTest, DifferentBlockSizeIsRejectedForBlockCyclic) {
+  ParallelConfig config;
+  config.ranks = 3;
+  config.scheme = PartitionScheme::kBlockCyclic;
+  config.block_size = 16;
+  config.checkpoint_dir = dir_;
+  build_parallel(game::AwariFamily{}, 3, config);
+
+  ParallelConfig other = config;
+  other.block_size = 32;  // different layout: checkpoint must be ignored
+  const auto result = build_parallel(game::AwariFamily{}, 3, other);
+  EXPECT_EQ(result.levels.size(), 4u);  // rebuilt everything
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 3));
+}
+
+TEST_F(CheckpointTest, ManifestRecordsTheCombineBytes) {
+  ParallelConfig config;
+  config.ranks = 2;
+  config.combine_bytes = 512;
+  config.checkpoint_dir = dir_;
+  build_parallel(game::AwariFamily{}, 2, config);
+  const CheckpointLoad loaded = checkpoint_load(dir_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.meta.combine_bytes, 512u);
 }
 
 TEST(CheckpointCompat, MatchRules) {

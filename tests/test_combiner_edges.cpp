@@ -1,0 +1,119 @@
+// Combiner edge cases: records larger than the flush threshold, the
+// combining-off setting (flush_bytes = 1), exactness of the statistics,
+// and flushing with nothing buffered.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "retra/msg/combiner.hpp"
+#include "retra/msg/thread_comm.hpp"
+
+namespace retra::msg {
+namespace {
+
+TEST(CombinerEdges, RecordLargerThanFlushBytesTravelsAlone) {
+  ThreadWorld world(2);
+  Combiner combiner(world.endpoint(0), 5, /*flush_bytes=*/4);
+  const std::uint64_t record = 0x0102030405060708ULL;
+  for (int i = 0; i < 3; ++i) combiner.append(1, &record, 8);
+  combiner.flush_all();
+
+  Message m;
+  int messages = 0;
+  while (world.endpoint(1).try_recv(m)) {
+    // The buffer accepts at least one record regardless of flush_bytes,
+    // so an oversize record is never split or rejected.
+    EXPECT_EQ(m.payload.size(), 8u);
+    std::uint64_t value;
+    std::memcpy(&value, m.payload.data(), 8);
+    EXPECT_EQ(value, record);
+    ++messages;
+  }
+  EXPECT_EQ(messages, 3);
+  EXPECT_EQ(combiner.stats().records, 3u);
+  EXPECT_EQ(combiner.stats().messages, 3u);
+  EXPECT_EQ(combiner.stats().payload_bytes, 24u);
+}
+
+TEST(CombinerEdges, FlushBytesOneSendsEveryRecordAloneWithExactStats) {
+  ThreadWorld world(2);
+  Combiner combiner(world.endpoint(0), 5, /*flush_bytes=*/1);
+  for (std::uint32_t i = 0; i < 7; ++i) combiner.append(1, &i, 4);
+  combiner.flush_all();
+
+  Message m;
+  std::uint32_t expected = 0;
+  while (world.endpoint(1).try_recv(m)) {
+    ASSERT_EQ(m.payload.size(), 4u);
+    std::uint32_t value;
+    std::memcpy(&value, m.payload.data(), 4);
+    EXPECT_EQ(value, expected++);
+  }
+  EXPECT_EQ(expected, 7u);
+  EXPECT_EQ(combiner.stats().records, 7u);
+  EXPECT_EQ(combiner.stats().messages, 7u);
+  EXPECT_EQ(combiner.stats().payload_bytes, 28u);
+}
+
+TEST(CombinerEdges, StatsMatchTheWireExactly) {
+  ThreadWorld world(3);
+  Combiner combiner(world.endpoint(0), 5, /*flush_bytes=*/10);
+  // 4-byte records, mixed destinations: per destination the combiner can
+  // hold two records (8 bytes); the third forces a flush.
+  for (std::uint32_t i = 0; i < 11; ++i) combiner.append(1 + (i % 2), &i, 4);
+  combiner.flush_all();
+
+  std::uint64_t wire_messages = 0, wire_bytes = 0;
+  Message m;
+  for (int rank = 1; rank <= 2; ++rank) {
+    while (world.endpoint(rank).try_recv(m)) {
+      ++wire_messages;
+      wire_bytes += m.payload.size();
+    }
+  }
+  EXPECT_EQ(combiner.stats().records, 11u);
+  EXPECT_EQ(combiner.stats().messages, wire_messages);
+  EXPECT_EQ(combiner.stats().payload_bytes, wire_bytes);
+  EXPECT_EQ(wire_bytes, 44u);  // every appended byte reached a wire message
+}
+
+TEST(CombinerEdges, FlushWithNothingBufferedSendsNothing) {
+  ThreadWorld world(2);
+  Combiner combiner(world.endpoint(0), 5, /*flush_bytes=*/64);
+  combiner.flush_all();
+  combiner.flush(1);
+  Message m;
+  EXPECT_FALSE(world.endpoint(1).try_recv(m));
+  EXPECT_EQ(combiner.stats().messages, 0u);
+  EXPECT_EQ(combiner.stats().records, 0u);
+  EXPECT_EQ(combiner.stats().payload_bytes, 0u);
+
+  // A flush after real traffic has drained is likewise a no-op.
+  const std::uint32_t record = 9;
+  combiner.append(1, &record, 4);
+  combiner.flush_all();
+  combiner.flush_all();
+  int messages = 0;
+  while (world.endpoint(1).try_recv(m)) ++messages;
+  EXPECT_EQ(messages, 1);
+  EXPECT_EQ(combiner.stats().messages, 1u);
+}
+
+TEST(CombinerEdges, ZeroFlushBytesBehavesAsCombiningOff) {
+  ThreadWorld world(2);
+  Combiner combiner(world.endpoint(0), 5, /*flush_bytes=*/0);
+  const std::uint16_t record = 0xbeef;
+  combiner.append(1, &record, 2);
+  combiner.append(1, &record, 2);
+  combiner.flush_all();
+  Message m;
+  int messages = 0;
+  while (world.endpoint(1).try_recv(m)) {
+    EXPECT_EQ(m.payload.size(), 2u);
+    ++messages;
+  }
+  EXPECT_EQ(messages, 2);
+}
+
+}  // namespace
+}  // namespace retra::msg

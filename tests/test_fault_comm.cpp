@@ -1,0 +1,270 @@
+// Unit tests of the fault-injection transport (FaultyComm) and the
+// reliability sublayer (ReliableComm): deterministic replay from the plan
+// seed, scheduled crashes, and exactly-once in-order delivery over a
+// transport that drops, duplicates, reorders, delays and corrupts frames.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "retra/msg/combiner.hpp"
+#include "retra/msg/fault_comm.hpp"
+#include "retra/msg/reliable_comm.hpp"
+#include "retra/msg/thread_comm.hpp"
+
+namespace retra::msg {
+namespace {
+
+std::vector<std::byte> number_payload(std::uint32_t n) {
+  std::vector<std::byte> out(4);
+  std::memcpy(out.data(), &n, 4);
+  return out;
+}
+
+std::uint32_t number_of(const Message& m) {
+  std::uint32_t v = 0;
+  EXPECT_GE(m.payload.size(), 4u);
+  std::memcpy(&v, m.payload.data(), 4);
+  return v;
+}
+
+FaultPlan heavy_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop = 0.25;
+  plan.duplicate = 0.25;
+  plan.reorder = 0.25;
+  plan.delay = 0.25;
+  plan.max_delay_ticks = 8;
+  plan.corrupt = 0.15;
+  return plan;
+}
+
+TEST(FaultPlan, ActiveOnlyWhenSomethingCanHappen) {
+  EXPECT_FALSE(FaultPlan{}.active());
+  FaultPlan drop;
+  drop.drop = 0.1;
+  EXPECT_TRUE(drop.active());
+  FaultPlan crash;
+  crash.crash_rank = 2;
+  EXPECT_TRUE(crash.active());
+}
+
+TEST(FaultyComm, InactivePlanForwardsEverythingUntouched) {
+  ThreadWorld world(2);
+  FaultyComm faulty(world.endpoint(0), FaultPlan{});
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    faulty.send(1, 7, number_payload(i));
+  }
+  Message m;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(world.endpoint(1).try_recv(m));
+    EXPECT_EQ(m.tag, 7);
+    EXPECT_EQ(number_of(m), i);
+  }
+  EXPECT_FALSE(world.endpoint(1).try_recv(m));
+  EXPECT_EQ(faulty.fault_stats().forwarded, 20u);
+  EXPECT_EQ(faulty.fault_stats().dropped, 0u);
+  EXPECT_EQ(faulty.fault_stats().corrupted, 0u);
+}
+
+TEST(FaultyComm, DropOneLosesEveryFrame) {
+  ThreadWorld world(2);
+  FaultPlan plan;
+  plan.drop = 1.0;
+  FaultyComm faulty(world.endpoint(0), plan);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    faulty.send(1, 1, number_payload(i));
+  }
+  Message m;
+  EXPECT_FALSE(world.endpoint(1).try_recv(m));
+  EXPECT_EQ(faulty.fault_stats().dropped, 10u);
+  EXPECT_EQ(faulty.fault_stats().forwarded, 0u);
+}
+
+// The same seed must replay the exact same fate sequence: identical
+// counters and an identical delivered stream.
+TEST(FaultyComm, SameSeedReplaysIdentically) {
+  auto run = [](std::uint64_t seed) {
+    ThreadWorld world(2);
+    FaultyComm faulty(world.endpoint(0), heavy_plan(seed));
+    std::vector<std::uint32_t> delivered;
+    Message m;
+    for (std::uint32_t i = 0; i < 300; ++i) {
+      faulty.send(1, 1, number_payload(i));
+      while (world.endpoint(1).try_recv(m)) delivered.push_back(number_of(m));
+    }
+    // Idle sends of a second tag advance virtual time so held frames
+    // drain; they are addressed to rank 0 and ignored.
+    for (int i = 0; i < 64; ++i) {
+      if (!faulty.crashed()) faulty.send(0, 2, number_payload(0));
+      while (world.endpoint(1).try_recv(m)) delivered.push_back(number_of(m));
+    }
+    return std::make_pair(faulty.fault_stats(), delivered);
+  };
+  const auto [stats_a, seen_a] = run(0xfeedface);
+  const auto [stats_b, seen_b] = run(0xfeedface);
+  EXPECT_EQ(stats_a.forwarded, stats_b.forwarded);
+  EXPECT_EQ(stats_a.dropped, stats_b.dropped);
+  EXPECT_EQ(stats_a.duplicated, stats_b.duplicated);
+  EXPECT_EQ(stats_a.reordered, stats_b.reordered);
+  EXPECT_EQ(stats_a.delayed, stats_b.delayed);
+  EXPECT_EQ(stats_a.corrupted, stats_b.corrupted);
+  EXPECT_EQ(seen_a, seen_b);
+
+  const auto [stats_c, seen_c] = run(0xdecafbad);
+  EXPECT_NE(seen_a, seen_c) << "different seed produced the same run";
+}
+
+TEST(FaultyComm, CrashFiresAfterScheduledSendOfTheCrashLevel) {
+  ThreadWorld world(2);
+  FaultPlan plan;
+  plan.crash_rank = 0;
+  plan.crash_level = 2;
+  plan.crash_after_sends = 3;
+  FaultyComm faulty(world.endpoint(0), plan);
+
+  faulty.set_level(1);  // wrong level: unlimited sends survive
+  for (std::uint32_t i = 0; i < 10; ++i) faulty.send(1, 1, number_payload(i));
+  EXPECT_FALSE(faulty.crashed());
+
+  faulty.set_level(2);  // armed; completes 3 sends, dies on the 4th
+  for (std::uint32_t i = 0; i < 3; ++i) faulty.send(1, 1, number_payload(i));
+  EXPECT_FALSE(faulty.crashed());
+  try {
+    faulty.send(1, 1, number_payload(99));
+    FAIL() << "scheduled crash did not fire";
+  } catch (const RankCrash& crash) {
+    EXPECT_EQ(crash.rank, 0);
+    EXPECT_EQ(crash.level, 2);
+  }
+  EXPECT_TRUE(faulty.crashed());
+  // A dead endpoint stays dead, for receives too.
+  Message m;
+  EXPECT_THROW(faulty.try_recv(m), RankCrash);
+  EXPECT_THROW(faulty.send(1, 1, number_payload(0)), RankCrash);
+}
+
+TEST(FaultyComm, CrashOnlyAffectsTheScheduledRank) {
+  ThreadWorld world(2);
+  FaultPlan plan;
+  plan.crash_rank = 0;
+  plan.crash_level = 0;
+  FaultyComm survivor(world.endpoint(1), plan);
+  survivor.set_level(0);
+  for (std::uint32_t i = 0; i < 50; ++i) survivor.send(0, 1, number_payload(i));
+  EXPECT_FALSE(survivor.crashed());
+}
+
+TEST(ReliableComm, FaultFreeDeliveryNeedsNoRetries) {
+  ThreadWorld world(2);
+  ReliableComm sender(world.endpoint(0));
+  ReliableComm receiver(world.endpoint(1));
+  Message m;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    sender.send(1, 3, number_payload(i));
+    ASSERT_TRUE(receiver.try_recv(m));
+    EXPECT_EQ(m.source, 0);
+    EXPECT_EQ(m.tag, 3);
+    EXPECT_EQ(number_of(m), i);
+    sender.try_recv(m);  // absorbs the ack
+  }
+  EXPECT_TRUE(sender.all_acked());
+  EXPECT_EQ(sender.reliable_stats().data_sent, 50u);
+  EXPECT_EQ(sender.reliable_stats().retries, 0u);
+  EXPECT_EQ(receiver.reliable_stats().delivered, 50u);
+  EXPECT_EQ(receiver.reliable_stats().duplicates_suppressed, 0u);
+  EXPECT_EQ(receiver.reliable_stats().corrupt_dropped, 0u);
+  EXPECT_EQ(receiver.reliable_stats().out_of_order_held, 0u);
+}
+
+TEST(ReliableComm, ExactlyOnceInOrderOverAHostileTransport) {
+  constexpr std::uint32_t kCount = 400;
+  ThreadWorld world(2);
+  FaultWorld faults(world, heavy_plan(0x5eed));
+  std::vector<std::uint32_t> got;
+  Message m;
+  std::uint32_t sent = 0;
+  for (std::uint64_t step = 0; step < 400'000; ++step) {
+    if (sent < kCount) faults.endpoint(0).send(1, 3, number_payload(sent++));
+    faults.endpoint(0).try_recv(m);  // pumps acks + retransmits
+    if (faults.endpoint(1).try_recv(m)) {
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 3);
+      got.push_back(number_of(m));
+    }
+    if (got.size() == kCount && faults.reliable(0).all_acked()) break;
+  }
+  ASSERT_EQ(got.size(), kCount) << "delivery did not complete";
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(got[i], i) << "out-of-order or duplicated delivery at " << i;
+  }
+  EXPECT_TRUE(faults.reliable(0).all_acked());
+  // The transport really was hostile and the protocol really did work.
+  const FaultStats& injected = faults.faulty(0).fault_stats();
+  EXPECT_GT(injected.dropped, 0u);
+  EXPECT_GT(injected.duplicated, 0u);
+  EXPECT_GT(injected.corrupted, 0u);
+  EXPECT_GT(faults.reliable(0).reliable_stats().retries, 0u);
+  EXPECT_GT(faults.reliable(1).reliable_stats().duplicates_suppressed, 0u);
+}
+
+TEST(ReliableComm, ChecksumDetectsCorruptionAndRetryHealsIt) {
+  constexpr std::uint32_t kCount = 200;
+  ThreadWorld world(2);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.corrupt = 0.5;
+  FaultWorld faults(world, plan);
+  std::vector<std::uint32_t> got;
+  Message m;
+  std::uint32_t sent = 0;
+  for (std::uint64_t step = 0; step < 200'000; ++step) {
+    if (sent < kCount) faults.endpoint(0).send(1, 1, number_payload(sent++));
+    faults.endpoint(0).try_recv(m);
+    if (faults.endpoint(1).try_recv(m)) got.push_back(number_of(m));
+    if (got.size() == kCount && faults.reliable(0).all_acked()) break;
+  }
+  ASSERT_EQ(got.size(), kCount);
+  for (std::uint32_t i = 0; i < kCount; ++i) ASSERT_EQ(got[i], i);
+  EXPECT_GT(faults.faulty(0).fault_stats().corrupted, 0u);
+  // Corruption hits data frames (counted at the receiver) and ack frames
+  // (counted back at the sender); at 50% at least one data frame loses.
+  EXPECT_GT(faults.reliable(1).reliable_stats().corrupt_dropped +
+                faults.reliable(0).reliable_stats().corrupt_dropped,
+            0u);
+}
+
+// The Combiner is what actually feeds this stack in the engine: combined
+// buffers must cross a faulty transport intact and in order.
+TEST(ReliableComm, CombinerPayloadsSurviveTheFaultyStack) {
+  constexpr std::uint32_t kRecords = 120;
+  ThreadWorld world(2);
+  FaultPlan plan = heavy_plan(99);
+  plan.corrupt = 0.3;
+  FaultWorld faults(world, plan);
+  Combiner combiner(faults.endpoint(0), 3, /*flush_bytes=*/12);
+  for (std::uint32_t i = 0; i < kRecords; ++i) combiner.append(1, &i, 4);
+  combiner.flush_all();
+
+  std::vector<std::uint32_t> got;
+  Message m;
+  for (std::uint64_t step = 0; step < 200'000; ++step) {
+    faults.endpoint(0).try_recv(m);
+    if (faults.endpoint(1).try_recv(m)) {
+      EXPECT_EQ(m.tag, 3);
+      ASSERT_EQ(m.payload.size() % 4, 0u);
+      for (std::size_t off = 0; off < m.payload.size(); off += 4) {
+        std::uint32_t value;
+        std::memcpy(&value, m.payload.data() + off, 4);
+        got.push_back(value);
+      }
+    }
+    if (got.size() == kRecords && faults.reliable(0).all_acked()) break;
+  }
+  ASSERT_EQ(got.size(), kRecords);
+  for (std::uint32_t i = 0; i < kRecords; ++i) ASSERT_EQ(got[i], i);
+}
+
+}  // namespace
+}  // namespace retra::msg
