@@ -73,7 +73,8 @@ int main(int argc, char** argv) {
   sim::LevelProfile paper =
       paper_scale_profile(top_profile, level, paper_level);
   paper.rounds = std::max<std::uint64_t>(
-      paper.rounds, top_rounds * paper_level / level);
+      paper.rounds, top_rounds * static_cast<std::uint64_t>(paper_level) /
+                        static_cast<std::uint64_t>(level));
 
   std::printf(
       "\n(b) projected at paper scale: level %d alone (%s positions), "

@@ -58,7 +58,8 @@ int main(int argc, char** argv) {
   const auto reference = simulate_build(level, ranks, 4096, model);
   sim::LevelProfile paper =
       paper_scale_profile(measured_profile(reference), level, 21);
-  paper.rounds = reference.levels.back().rounds * 21 / level;
+  paper.rounds = reference.levels.back().rounds * 21 /
+                 static_cast<std::uint64_t>(level);
   std::printf("\nprojected at paper scale (level 21, P=64):\n\n");
   support::Table projected({"buffer", "messages", "time", "vs no combining"});
   double paper_naive = 0;

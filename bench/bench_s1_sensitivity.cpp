@@ -28,7 +28,9 @@ int main(int argc, char** argv) {
   const auto reference = simulate_build(level, 64, 4096, base);
   sim::LevelProfile paper =
       paper_scale_profile(measured_profile(reference), level, paper_level);
-  paper.rounds = reference.levels.back().rounds * paper_level / level;
+  paper.rounds = reference.levels.back().rounds *
+                 static_cast<std::uint64_t>(paper_level) /
+                 static_cast<std::uint64_t>(level);
 
   std::printf(
       "S1: projected speedup at P=64 for level %d, by model assumption "

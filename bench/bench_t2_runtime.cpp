@@ -62,7 +62,8 @@ int main(int argc, char** argv) {
   for (const int level : {16, 18, 20, 21, 22, 24}) {
     sim::LevelProfile profile =
         paper_scale_profile(top_profile, max_level, level);
-    profile.rounds = top_rounds * level / max_level;
+    profile.rounds = top_rounds * static_cast<std::uint64_t>(level) /
+                     static_cast<std::uint64_t>(max_level);
     const auto p1 = sim::project_level(profile, 1, model, combine);
     const auto p64 = sim::project_level(profile, 64, model, combine);
     const std::uint64_t uniproc_bytes =

@@ -34,8 +34,9 @@ int main(int argc, char** argv) {
                         "total/node", "lower/node (replicated)",
                         "fits 64 MB node?"});
   for (const int ranks : {1, 2, 4, 8, 16, 32, 64}) {
-    const std::uint64_t w = working / ranks;
-    const std::uint64_t l = lower / ranks;
+    const std::uint64_t u = static_cast<std::uint64_t>(ranks);
+    const std::uint64_t w = working / u;
+    const std::uint64_t l = lower / u;
     const std::uint64_t total = w + l;
     table.row()
         .add(ranks)

@@ -9,7 +9,7 @@
 // to a real threaded build over a fault-injecting transport (a chaos run):
 //
 //   $ cluster_run --level=6 --ranks=8 --fault-seed=42 --drop=0.2
-//   $ cluster_run --level=6 --ranks=8 --crash-rank=3 --crash-level=4 \
+//   $ cluster_run --level=6 --ranks=8 --crash-rank=3 --crash-level=4
 //                 --checkpoint=/tmp/ck     # dies mid-build ...
 //   $ cluster_run --level=6 --ranks=8 --checkpoint=/tmp/ck  # ... resumes
 #include <cstdio>

@@ -21,7 +21,7 @@ using namespace retra;
 game::Board random_board(int stones, support::Xoshiro256& rng) {
   game::Board board{};
   for (int s = 0; s < stones; ++s) {
-    const auto pit = static_cast<int>(rng.below(game::kPits));
+    const auto pit = static_cast<std::size_t>(rng.below(game::kPits));
     board[pit] = static_cast<std::uint8_t>(board[pit] + 1);
   }
   return board;

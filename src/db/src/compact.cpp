@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::db {
+
+using support::to_size;
 
 CompactLevel::CompactLevel(const std::vector<Value>& values) {
   size_ = values.size();
@@ -25,7 +28,7 @@ CompactLevel::CompactLevel(const std::vector<Value>& values) {
     bits_ = 16;
   }
 
-  packed_.assign((size_ * bits_ + 7) / 8, 0);
+  packed_.assign((size_ * static_cast<std::uint64_t>(bits_) + 7) / 8, 0);
   for (std::uint64_t i = 0; i < size_; ++i) {
     const auto coded = static_cast<std::uint32_t>(values[i] - offset_);
     switch (bits_) {
@@ -66,7 +69,7 @@ Value CompactLevel::get(idx::Index index) const {
               (static_cast<std::uint32_t>(packed_[2 * index + 1]) << 8);
       break;
   }
-  return static_cast<Value>(coded + offset_);
+  return static_cast<Value>(static_cast<std::int32_t>(coded) + offset_);
 }
 
 std::vector<Value> CompactLevel::expand() const {
@@ -76,7 +79,7 @@ std::vector<Value> CompactLevel::expand() const {
 }
 
 CompactDatabase::CompactDatabase(const Database& database) {
-  levels_.reserve(database.num_levels());
+  levels_.reserve(to_size(database.num_levels()));
   for (int level = 0; level < database.num_levels(); ++level) {
     levels_.emplace_back(database.level(level));
   }
@@ -84,12 +87,12 @@ CompactDatabase::CompactDatabase(const Database& database) {
 
 Value CompactDatabase::value(int level, idx::Index index) const {
   RETRA_CHECK(has_level(level));
-  return levels_[level].get(index);
+  return levels_[to_size(level)].get(index);
 }
 
 const CompactLevel& CompactDatabase::level(int l) const {
   RETRA_CHECK(has_level(l));
-  return levels_[l];
+  return levels_[to_size(l)];
 }
 
 std::uint64_t CompactDatabase::memory_bytes() const {
@@ -101,7 +104,7 @@ std::uint64_t CompactDatabase::memory_bytes() const {
 Database CompactDatabase::expand() const {
   Database out;
   for (int level = 0; level < num_levels(); ++level) {
-    out.push_level(level, levels_[level].expand());
+    out.push_level(level, levels_[to_size(level)].expand());
   }
   return out;
 }

@@ -1,8 +1,11 @@
 #include "retra/db/database.hpp"
 
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::db {
+
+using support::to_size;
 
 void Database::push_level(int level, std::vector<Value> values) {
   RETRA_CHECK_MSG(level == num_levels(), "levels must be added bottom-up");
@@ -14,12 +17,12 @@ void Database::push_level(int level, std::vector<Value> values) {
 
 const std::vector<Value>& Database::level(int l) const {
   RETRA_CHECK(has_level(l));
-  return levels_[l];
+  return levels_[to_size(l)];
 }
 
 Value Database::value(int level, idx::Index index) const {
   RETRA_CHECK(has_level(level));
-  const auto& values = levels_[level];
+  const auto& values = levels_[to_size(level)];
   RETRA_CHECK(index < values.size());
   return values[index];
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "retra/game/level_game.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::game {
 
@@ -100,7 +101,9 @@ class GraphGame {
   explicit GraphGame(const GraphGameConfig& config);
 
   int num_levels() const { return static_cast<int>(levels_.size()); }
-  const GraphLevel& level(int l) const { return levels_[l]; }
+  const GraphLevel& level(int l) const {
+    return levels_[support::to_size(l)];
+  }
 
  private:
   std::vector<GraphLevel> levels_;

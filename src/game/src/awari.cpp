@@ -5,8 +5,11 @@
 #include <string>
 
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::game {
+
+using support::to_size;
 
 namespace {
 
@@ -14,21 +17,22 @@ namespace {
 /// lap.  Returns the pit that received the last stone.  The origin is always
 /// empty afterwards.
 int sow(Board& board, int pit) {
-  const int stones = board[pit];
+  const int stones = board[to_size(pit)];
   RETRA_DCHECK(stones > 0);
-  board[pit] = 0;
+  board[to_size(pit)] = 0;
   int pos = pit;
   for (int s = 0; s < stones; ++s) {
     pos = (pos + 1) % kPits;
     if (pos == pit) pos = (pos + 1) % kPits;
-    board[pos] = static_cast<std::uint8_t>(board[pos] + 1);
+    board[to_size(pos)] =
+        static_cast<std::uint8_t>(board[to_size(pos)] + 1);
   }
   return pos;
 }
 
 int row_sum(const Board& board, int first) {
   int sum = 0;
-  for (int i = first; i < first + 6; ++i) sum += board[i];
+  for (int i = first; i < first + 6; ++i) sum += board[to_size(i)];
   return sum;
 }
 
@@ -36,7 +40,7 @@ int row_sum(const Board& board, int first) {
 
 AppliedMove apply_move(const Board& board, int pit) {
   AppliedMove result;
-  if (pit < 0 || pit >= 6 || board[pit] == 0) return result;
+  if (pit < 0 || pit >= 6 || board[to_size(pit)] == 0) return result;
 
   const bool opponent_starving = row_sum(board, 6) == 0;
 
@@ -50,12 +54,12 @@ AppliedMove apply_move(const Board& board, int pit) {
   if (last >= 6) {
     int chain_sum = 0;
     int k = last;
-    while (k >= 6 && (b[k] == 2 || b[k] == 3)) {
-      chain_sum += b[k];
+    while (k >= 6 && (b[to_size(k)] == 2 || b[to_size(k)] == 3)) {
+      chain_sum += b[to_size(k)];
       --k;
     }
     if (chain_sum > 0 && chain_sum < row_sum(b, 6)) {
-      for (int j = k + 1; j <= last; ++j) b[j] = 0;
+      for (int j = k + 1; j <= last; ++j) b[to_size(j)] = 0;
       captured = chain_sum;
     }
   }
@@ -68,7 +72,7 @@ AppliedMove apply_move(const Board& board, int pit) {
   result.legal = true;
   result.captured = captured;
   for (int i = 0; i < kPits; ++i) {
-    result.after[i] = b[(i + 6) % kPits];
+    result.after[to_size(i)] = b[to_size((i + 6) % kPits)];
   }
   return result;
 }
@@ -105,12 +109,14 @@ void predecessors(const Board& board, std::vector<Board>& out) {
   // View the board from the previous mover's side: their pits are 6–11 of
   // `board`, i.e. the un-rotated post-move board.
   Board pp;
-  for (int i = 0; i < kPits; ++i) pp[i] = board[(i + 6) % kPits];
+  for (int i = 0; i < kPits; ++i) {
+    pp[to_size(i)] = board[to_size((i + 6) % kPits)];
+  }
   const int total = idx::stones_on(board);
 
   for (int origin = 0; origin < 6; ++origin) {
     // After sowing, the origin pit is always empty.
-    if (pp[origin] != 0) continue;
+    if (pp[to_size(origin)] != 0) continue;
     // Grow the sowing length one stone at a time; stone L lands in `pos`.
     // A pit can only have received as many stones as it now holds, and
     // sown counts grow monotonically with L, so the first violation kills
@@ -120,14 +126,15 @@ void predecessors(const Board& board, std::vector<Board>& out) {
     for (int length = 1; length <= total; ++length) {
       pos = (pos + 1) % kPits;
       if (pos == origin) pos = (pos + 1) % kPits;
-      sown[pos] = static_cast<std::uint8_t>(sown[pos] + 1);
-      if (sown[pos] > pp[pos]) break;
+      sown[to_size(pos)] = static_cast<std::uint8_t>(sown[to_size(pos)] + 1);
+      if (sown[to_size(pos)] > pp[to_size(pos)]) break;
 
       Board candidate;
       for (int i = 0; i < kPits; ++i) {
-        candidate[i] = static_cast<std::uint8_t>(pp[i] - sown[i]);
+        candidate[to_size(i)] =
+            static_cast<std::uint8_t>(pp[to_size(i)] - sown[to_size(i)]);
       }
-      candidate[origin] = static_cast<std::uint8_t>(length);
+      candidate[to_size(origin)] = static_cast<std::uint8_t>(length);
 
       // Forward-verify: the candidate must reach `board` through a legal,
       // non-capturing move.  This re-checks must-feed legality and that no
@@ -148,7 +155,7 @@ Board board_from_string(const char* text) {
     char* end = nullptr;
     const long v = std::strtol(p, &end, 10);
     RETRA_CHECK_MSG(end != p && v >= 0 && v < 256, "malformed board string");
-    board[i] = static_cast<std::uint8_t>(v);
+    board[to_size(i)] = static_cast<std::uint8_t>(v);
     p = end;
   }
   return board;
@@ -158,7 +165,7 @@ std::string board_to_string(const Board& board) {
   std::string out = "[";
   for (int i = 0; i < kPits; ++i) {
     if (i == 6) out += "| ";
-    out += std::to_string(static_cast<int>(board[i]));
+    out += std::to_string(static_cast<int>(board[to_size(i)]));
     out += i + 1 < kPits ? " " : "]";
   }
   return out;

@@ -4,9 +4,13 @@
 #include <cmath>
 
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 #include "retra/support/rng.hpp"
 
 namespace retra::game {
+
+using support::to_size;
+using support::to_u64;
 
 namespace {
 
@@ -39,7 +43,7 @@ GraphLevel GraphLevel::custom(int level,
     }
     for (const Exit& exit : out.exits_[node]) {
       const int lower =
-          exit.is_terminal() ? 0 : lower_bounds.at(exit.lower_level);
+          exit.is_terminal() ? 0 : lower_bounds.at(to_size(exit.lower_level));
       bound = std::max(bound, std::abs(exit.reward) + lower);
     }
   }
@@ -53,10 +57,10 @@ GraphGame::GraphGame(const GraphGameConfig& config) {
   support::Xoshiro256 rng(config.seed);
 
   std::vector<int> bounds;  // max |value| per level, for exit-value bounds
-  levels_.resize(config.levels);
+  levels_.resize(to_size(config.levels));
 
   for (int l = 0; l < config.levels; ++l) {
-    GraphLevel& level = levels_[l];
+    GraphLevel& level = levels_[to_size(l)];
     level.level_ = l;
     const auto size = static_cast<std::uint64_t>(std::llround(
         static_cast<double>(config.size0) * std::pow(config.growth, l)));
@@ -86,8 +90,8 @@ GraphGame::GraphGame(const GraphGameConfig& config) {
       if (l > 0) {
         const std::uint64_t exits = small_count(rng, config.exit_mean);
         for (std::uint64_t e = 0; e < exits; ++e) {
-          const int lower = static_cast<int>(rng.below(l));
-          const std::uint64_t lower_size = levels_[lower].size();
+          const int lower = static_cast<int>(rng.below(to_u64(l)));
+          const std::uint64_t lower_size = levels_[to_size(lower)].size();
           Exit exit;
           exit.reward = random_reward();
           exit.lower_level = static_cast<std::int16_t>(lower);
@@ -104,7 +108,7 @@ GraphGame::GraphGame(const GraphGameConfig& config) {
 
       for (const Exit& exit : level.exits_[node]) {
         const int lower_bound =
-            exit.is_terminal() ? 0 : bounds[exit.lower_level];
+            exit.is_terminal() ? 0 : bounds[to_size(exit.lower_level)];
         max_exit_magnitude = std::max(
             max_exit_magnitude, std::abs(exit.reward) + lower_bound);
       }

@@ -1,8 +1,11 @@
 #include "retra/game/kalah.hpp"
 
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::game::kalah {
+
+using support::to_size;
 
 namespace {
 
@@ -16,7 +19,7 @@ int slot_to_pit(int slot) { return slot < kStoreSlot ? slot : slot - 1; }
 
 int row_sum(const Board& board, int first) {
   int sum = 0;
-  for (int i = first; i < first + 6; ++i) sum += board[i];
+  for (int i = first; i < first + 6; ++i) sum += board[to_size(i)];
   return sum;
 }
 
@@ -24,11 +27,11 @@ int row_sum(const Board& board, int first) {
 
 AppliedMove apply_move(const Board& board, int pit) {
   AppliedMove result;
-  if (pit < 0 || pit >= 6 || board[pit] == 0) return result;
+  if (pit < 0 || pit >= 6 || board[to_size(pit)] == 0) return result;
 
   Board b = board;
-  int stones = b[pit];
-  b[pit] = 0;
+  int stones = b[to_size(pit)];
+  b[to_size(pit)] = 0;
   int slot = pit;
   int banked = 0;
   int last_slot = -1;
@@ -38,7 +41,7 @@ AppliedMove apply_move(const Board& board, int pit) {
       ++banked;
     } else {
       const int p = slot_to_pit(slot);
-      b[p] = static_cast<std::uint8_t>(b[p] + 1);
+      b[to_size(p)] = static_cast<std::uint8_t>(b[to_size(p)] + 1);
     }
     --stones;
     last_slot = slot;
@@ -50,10 +53,10 @@ AppliedMove apply_move(const Board& board, int pit) {
     // exactly the one stone) and the opposite pit is occupied.
     const int own = last_slot;
     const int opposite = 11 - own;
-    if (b[own] == 1 && b[opposite] > 0) {
-      banked += 1 + b[opposite];
-      b[own] = 0;
-      b[opposite] = 0;
+    if (b[to_size(own)] == 1 && b[to_size(opposite)] > 0) {
+      banked += 1 + b[to_size(opposite)];
+      b[to_size(own)] = 0;
+      b[to_size(opposite)] = 0;
     }
   }
 
@@ -64,7 +67,7 @@ AppliedMove apply_move(const Board& board, int pit) {
     result.after = b;  // same player: no rotation
   } else {
     for (int i = 0; i < kPits; ++i) {
-      result.after[i] = b[(i + 6) % kPits];
+      result.after[to_size(i)] = b[to_size((i + 6) % kPits)];
     }
   }
   return result;
@@ -93,19 +96,22 @@ void predecessors(const Board& board, std::vector<Board>& out) {
   // mover's own row (reaching the store or the opponent means a stone
   // passed the store and left the level) and capture nothing.
   Board pp;
-  for (int i = 0; i < kPits; ++i) pp[i] = board[(i + 6) % kPits];
+  for (int i = 0; i < kPits; ++i) {
+    pp[to_size(i)] = board[to_size((i + 6) % kPits)];
+  }
 
   for (int origin = 0; origin < 6; ++origin) {
-    if (pp[origin] != 0) continue;
+    if (pp[to_size(origin)] != 0) continue;
     for (int length = 1; origin + length <= 5; ++length) {
       const int sown_pit = origin + length;
-      if (pp[sown_pit] == 0) break;  // longer sows also need this pit
+      if (pp[to_size(sown_pit)] == 0) break;  // longer sows also need this pit
 
       Board candidate = pp;
       for (int i = origin + 1; i <= origin + length; ++i) {
-        candidate[i] = static_cast<std::uint8_t>(candidate[i] - 1);
+        candidate[to_size(i)] =
+            static_cast<std::uint8_t>(candidate[to_size(i)] - 1);
       }
-      candidate[origin] = static_cast<std::uint8_t>(length);
+      candidate[to_size(origin)] = static_cast<std::uint8_t>(length);
 
       const AppliedMove forward = apply_move(candidate, origin);
       if (forward.legal && forward.banked == 0 && !forward.extra_turn &&

@@ -1,6 +1,7 @@
 #include "retra/index/binomial.hpp"
 
 #include <array>
+#include <cstddef>
 
 #include "retra/support/check.hpp"
 
@@ -13,9 +14,9 @@ struct Tables {
   std::array<std::array<std::uint64_t, kMaxK + 1>, kMaxN + 1> binom{};
 
   Tables() {
-    for (int n = 0; n <= kMaxN; ++n) {
+    for (std::size_t n = 0; n <= kMaxN; ++n) {
       binom[n][0] = 1;
-      for (int k = 1; k <= kMaxK; ++k) {
+      for (std::size_t k = 1; k <= kMaxK; ++k) {
         if (k > n) {
           binom[n][k] = 0;
         } else if (k == n) {
@@ -38,7 +39,7 @@ const Tables& tables() {
 std::uint64_t binomial(int n, int k) {
   if (k < 0 || n < 0 || k > n) return 0;
   RETRA_CHECK_MSG(n <= kMaxN && k <= kMaxK, "binomial table exceeded");
-  return tables().binom[n][k];
+  return tables().binom[static_cast<std::size_t>(n)][static_cast<std::size_t>(k)];
 }
 
 }  // namespace retra::idx

@@ -1,8 +1,11 @@
 #include "retra/index/board_index.hpp"
 
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::idx {
+
+using support::to_size;
 
 int stones_on(const Board& board) {
   int sum = 0;
@@ -32,8 +35,8 @@ Index rank(const Board& board) {
   for (int i = 0; i + 1 < kPits; ++i) {
     const int d = kPits - 1 - i;  // pits after pit i
     index += binomial(remaining + d, d) -
-             binomial(remaining - board[i] + d, d);
-    remaining -= board[i];
+             binomial(remaining - board[to_size(i)] + d, d);
+    remaining -= board[to_size(i)];
   }
   return index;
 }
@@ -54,17 +57,17 @@ Board unrank(int stones, Index index) {
       ++v;
       RETRA_DCHECK(v <= remaining);
     }
-    board[i] = static_cast<std::uint8_t>(v);
+    board[to_size(i)] = static_cast<std::uint8_t>(v);
     remaining -= v;
   }
-  board[kPits - 1] = static_cast<std::uint8_t>(remaining);
+  board[to_size(kPits - 1)] = static_cast<std::uint8_t>(remaining);
   return board;
 }
 
 Board first_board(int stones) {
   RETRA_CHECK(stones >= 0 && stones < 256);
   Board board{};
-  board[kPits - 1] = static_cast<std::uint8_t>(stones);
+  board[to_size(kPits - 1)] = static_cast<std::uint8_t>(stones);
   return board;
 }
 
@@ -72,15 +75,15 @@ bool next_board(Board& board) {
   // Lexicographic successor of a fixed-sum composition: increment the
   // rightmost pit j that has at least one stone somewhere to its right, and
   // push everything after j into the last pit.
-  int tail = board[kPits - 1];
+  int tail = board[to_size(kPits - 1)];
   for (int j = kPits - 2; j >= 0; --j) {
     if (tail > 0) {
-      board[j] = static_cast<std::uint8_t>(board[j] + 1);
-      for (int k = j + 1; k + 1 < kPits; ++k) board[k] = 0;
-      board[kPits - 1] = static_cast<std::uint8_t>(tail - 1);
+      board[to_size(j)] = static_cast<std::uint8_t>(board[to_size(j)] + 1);
+      for (int k = j + 1; k + 1 < kPits; ++k) board[to_size(k)] = 0;
+      board[to_size(kPits - 1)] = static_cast<std::uint8_t>(tail - 1);
       return true;
     }
-    tail += board[j];
+    tail += board[to_size(j)];
   }
   // The board was the last of its level; wrap to the first.
   const int stones = tail;

@@ -23,6 +23,7 @@
 #include "retra/msg/comm.hpp"
 #include "retra/msg/reliable_comm.hpp"
 #include "retra/msg/thread_comm.hpp"
+#include "retra/support/numeric.hpp"
 #include "retra/support/rng.hpp"
 
 namespace retra::msg {
@@ -138,9 +139,13 @@ class FaultWorld {
              const ReliableConfig& reliable = {});
 
   int size() const { return static_cast<int>(reliable_.size()); }
-  Comm& endpoint(int rank) { return *reliable_[rank]; }
-  FaultyComm& faulty(int rank) { return *faulty_[rank]; }
-  ReliableComm& reliable(int rank) { return *reliable_[rank]; }
+  Comm& endpoint(int rank) { return *reliable_[support::to_size(rank)]; }
+  FaultyComm& faulty(int rank) {
+    return *faulty_[support::to_size(rank)];
+  }
+  ReliableComm& reliable(int rank) {
+    return *reliable_[support::to_size(rank)];
+  }
 
   /// Arms the scheduled crash on every endpoint (only the plan's crash
   /// rank reacts).

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 namespace retra::msg {
@@ -15,5 +16,11 @@ struct Message {
   std::uint8_t tag = 0;
   std::vector<std::byte> payload;
 };
+
+// Payloads are flat arrays of fixed-size records memcpy'd in and out
+// (retra/msg/wire.hpp); that only works because the element type is a
+// single raw byte.
+static_assert(sizeof(std::byte) == 1 &&
+              std::is_trivially_copyable_v<std::byte>);
 
 }  // namespace retra::msg

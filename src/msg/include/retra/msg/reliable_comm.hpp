@@ -38,6 +38,19 @@ namespace retra::msg {
 inline constexpr std::uint8_t kTagReliableData = 0xF0;
 inline constexpr std::uint8_t kTagReliableAck = 0xF1;
 
+/// On-wire frame layouts.
+///   DATA frame: [u64 checksum][u64 seq][u8 logical tag][payload...]
+///   ACK frame:  [u64 checksum][u64 cumulative ack]
+/// The checksum covers every byte after itself, so corruption anywhere
+/// in a frame (header or payload) is detected.
+inline constexpr std::size_t kReliableDataHeader =
+    sizeof(std::uint64_t) + sizeof(std::uint64_t) + sizeof(std::uint8_t);
+inline constexpr std::size_t kReliableAckSize =
+    sizeof(std::uint64_t) + sizeof(std::uint64_t);
+static_assert(kReliableDataHeader == 17 && kReliableAckSize == 16,
+              "reliable frame layout is wire-visible; do not change "
+              "field widths casually");
+
 /// FNV-1a over a byte range (local copy so msg does not depend on db).
 constexpr std::uint64_t frame_checksum(const std::byte* data,
                                        std::size_t size) {

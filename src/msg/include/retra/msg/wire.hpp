@@ -8,8 +8,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 
 namespace retra::msg {
+
+// The wire format is defined in fixed-width fields; these widths are the
+// contract every record's kWireSize arithmetic is written against.
+static_assert(sizeof(std::uint64_t) == 8 && sizeof(std::uint32_t) == 4 &&
+              sizeof(std::int16_t) == 2 && sizeof(std::uint8_t) == 1 &&
+              sizeof(std::byte) == 1);
 
 class WireWriter {
  public:
@@ -25,6 +32,7 @@ class WireWriter {
  private:
   template <typename T>
   void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
     std::memcpy(out_ + offset_, &v, sizeof v);
     offset_ += sizeof v;
   }
@@ -47,6 +55,7 @@ class WireReader {
  private:
   template <typename T>
   T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
     T v;
     std::memcpy(&v, in_ + offset_, sizeof v);
     offset_ += sizeof v;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace retra::msg {
@@ -24,7 +25,8 @@ enum class WorkKind : int {
   kCount
 };
 
-inline constexpr int kWorkKinds = static_cast<int>(WorkKind::kCount);
+inline constexpr std::size_t kWorkKinds =
+    static_cast<std::size_t>(WorkKind::kCount);
 
 const char* work_kind_name(WorkKind kind);
 
@@ -32,15 +34,15 @@ struct WorkMeter {
   std::array<std::uint64_t, kWorkKinds> counts{};
 
   void charge(WorkKind kind, std::uint64_t n = 1) {
-    counts[static_cast<int>(kind)] += n;
+    counts[static_cast<std::size_t>(kind)] += n;
   }
   std::uint64_t count(WorkKind kind) const {
-    return counts[static_cast<int>(kind)];
+    return counts[static_cast<std::size_t>(kind)];
   }
   void clear() { counts.fill(0); }
 
   WorkMeter& operator+=(const WorkMeter& other) {
-    for (int i = 0; i < kWorkKinds; ++i) counts[i] += other.counts[i];
+    for (std::size_t i = 0; i < kWorkKinds; ++i) counts[i] += other.counts[i];
     return *this;
   }
 };

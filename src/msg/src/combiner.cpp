@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::msg {
 
@@ -10,11 +11,11 @@ Combiner::Combiner(Comm& comm, std::uint8_t tag, std::size_t flush_bytes)
     : comm_(comm),
       tag_(tag),
       flush_bytes_(flush_bytes == 0 ? 1 : flush_bytes),
-      buffers_(comm.size()) {}
+      buffers_(support::to_size(comm.size())) {}
 
 void Combiner::append(int dest, const void* record, std::size_t record_size) {
   RETRA_DCHECK(dest >= 0 && dest < static_cast<int>(buffers_.size()));
-  auto& buffer = buffers_[dest];
+  auto& buffer = buffers_[support::to_size(dest)];
   if (!buffer.empty() && buffer.size() + record_size > flush_bytes_) {
     flush(dest);
   }
@@ -26,7 +27,7 @@ void Combiner::append(int dest, const void* record, std::size_t record_size) {
 }
 
 void Combiner::flush(int dest) {
-  auto& buffer = buffers_[dest];
+  auto& buffer = buffers_[support::to_size(dest)];
   if (buffer.empty()) return;
   ++stats_.messages;
   stats_.payload_bytes += buffer.size();

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::msg {
 
@@ -92,8 +93,8 @@ bool FaultyComm::try_recv(Message& out) {
 
 FaultWorld::FaultWorld(ThreadWorld& world, const FaultPlan& plan,
                        const ReliableConfig& reliable) {
-  faulty_.reserve(world.size());
-  reliable_.reserve(world.size());
+  faulty_.reserve(support::to_size(world.size()));
+  reliable_.reserve(support::to_size(world.size()));
   for (int rank = 0; rank < world.size(); ++rank) {
     faulty_.push_back(
         std::make_unique<FaultyComm>(world.endpoint(rank), plan));

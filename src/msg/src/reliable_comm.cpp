@@ -4,17 +4,13 @@
 #include <cstring>
 
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::msg {
 
-namespace {
+using support::to_size;
 
-// DATA frame: [u64 checksum][u64 seq][u8 logical tag][payload...]
-// ACK frame:  [u64 checksum][u64 cumulative ack]
-// The checksum covers every byte after itself, so corruption anywhere in
-// the frame (header or payload) is detected.
-constexpr std::size_t kDataHeader = 8 + 8 + 1;
-constexpr std::size_t kAckSize = 8 + 8;
+namespace {
 
 void put_u64(std::byte* out, std::uint64_t v) {
   std::memcpy(out, &v, sizeof v);
@@ -29,7 +25,8 @@ std::uint64_t get_u64(const std::byte* in) {
 }  // namespace
 
 ReliableComm::ReliableComm(Comm& inner, const ReliableConfig& config)
-    : inner_(inner), config_(config), tx_(inner.size()), rx_(inner.size()) {
+    : inner_(inner), config_(config), tx_(to_size(inner.size())),
+      rx_(to_size(inner.size())) {
   RETRA_CHECK(config_.retry_ticks >= 1);
   RETRA_CHECK(config_.backoff_cap >= config_.retry_ticks);
 }
@@ -39,14 +36,14 @@ void ReliableComm::send(int dest, std::uint8_t tag,
   RETRA_CHECK(dest >= 0 && dest < size());
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
-  PeerTx& peer = tx_[dest];
+  PeerTx& peer = tx_[to_size(dest)];
   const std::uint64_t seq = peer.next_seq++;
 
-  std::vector<std::byte> frame(kDataHeader + payload.size());
+  std::vector<std::byte> frame(kReliableDataHeader + payload.size());
   put_u64(frame.data() + 8, seq);
   frame[16] = static_cast<std::byte>(tag);
   if (!payload.empty()) {
-    std::memcpy(frame.data() + kDataHeader, payload.data(), payload.size());
+    std::memcpy(frame.data() + kReliableDataHeader, payload.data(), payload.size());
   }
   put_u64(frame.data(),
           frame_checksum(frame.data() + 8, frame.size() - 8));
@@ -90,39 +87,39 @@ bool ReliableComm::all_acked() const {
 
 void ReliableComm::pump() {
   ++now_;
-  for (int dest = 0; dest < static_cast<int>(tx_.size()); ++dest) {
+  for (std::size_t dest = 0; dest < tx_.size(); ++dest) {
     for (auto& [seq, pending] : tx_[dest].unacked) {
       if (pending.due > now_) continue;
       ++rstats_.retries;
       pending.interval = std::min(pending.interval * 2, config_.backoff_cap);
       pending.due = now_ + pending.interval;
-      inner_.send(dest, kTagReliableData, pending.frame);
+      inner_.send(static_cast<int>(dest), kTagReliableData, pending.frame);
     }
   }
 }
 
 void ReliableComm::send_ack(int peer) {
-  std::vector<std::byte> frame(kAckSize);
-  put_u64(frame.data() + 8, rx_[peer].expected);
+  std::vector<std::byte> frame(kReliableAckSize);
+  put_u64(frame.data() + 8, rx_[to_size(peer)].expected);
   put_u64(frame.data(), frame_checksum(frame.data() + 8, 8));
   ++rstats_.acks_sent;
   inner_.send(peer, kTagReliableAck, std::move(frame));
 }
 
 void ReliableComm::handle_ack(const Message& raw) {
-  if (raw.payload.size() != kAckSize ||
+  if (raw.payload.size() != kReliableAckSize ||
       get_u64(raw.payload.data()) !=
           frame_checksum(raw.payload.data() + 8, 8)) {
     ++rstats_.corrupt_dropped;
     return;
   }
   const std::uint64_t ack = get_u64(raw.payload.data() + 8);
-  auto& unacked = tx_[raw.source].unacked;
+  auto& unacked = tx_[to_size(raw.source)].unacked;
   unacked.erase(unacked.begin(), unacked.lower_bound(ack));
 }
 
 void ReliableComm::handle_data(Message raw) {
-  if (raw.payload.size() < kDataHeader ||
+  if (raw.payload.size() < kReliableDataHeader ||
       get_u64(raw.payload.data()) !=
           frame_checksum(raw.payload.data() + 8, raw.payload.size() - 8)) {
     ++rstats_.corrupt_dropped;
@@ -130,7 +127,7 @@ void ReliableComm::handle_data(Message raw) {
   }
   const std::uint64_t seq = get_u64(raw.payload.data() + 8);
   const auto tag = static_cast<std::uint8_t>(raw.payload[16]);
-  PeerRx& peer = rx_[raw.source];
+  PeerRx& peer = rx_[to_size(raw.source)];
   if (seq < peer.expected) {
     // Already delivered; the ack was lost or the frame was duplicated.
     ++rstats_.duplicates_suppressed;
@@ -141,7 +138,7 @@ void ReliableComm::handle_data(Message raw) {
   Message logical;
   logical.source = raw.source;
   logical.tag = tag;
-  logical.payload.assign(raw.payload.begin() + kDataHeader,
+  logical.payload.assign(raw.payload.begin() + kReliableDataHeader,
                          raw.payload.end());
   if (seq == peer.expected) {
     ++peer.expected;

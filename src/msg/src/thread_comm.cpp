@@ -1,6 +1,7 @@
 #include "retra/msg/thread_comm.hpp"
 
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::msg {
 
@@ -16,11 +17,12 @@ class ThreadWorld::Endpoint : public Comm {
     RETRA_CHECK(dest >= 0 && dest < size());
     ++stats_.messages_sent;
     stats_.bytes_sent += payload.size();
-    world_.mailboxes_[dest].push(Message{rank_, tag, std::move(payload)});
+    world_.mailboxes_[support::to_size(dest)].push(
+        Message{rank_, tag, std::move(payload)});
   }
 
   bool try_recv(Message& out) override {
-    if (!world_.mailboxes_[rank_].try_pop(out)) return false;
+    if (!world_.mailboxes_[support::to_size(rank_)].try_pop(out)) return false;
     ++stats_.messages_received;
     stats_.bytes_received += out.payload.size();
     return true;
@@ -33,9 +35,10 @@ class ThreadWorld::Endpoint : public Comm {
 
 ThreadWorld::~ThreadWorld() = default;
 
-ThreadWorld::ThreadWorld(int ranks) : mailboxes_(ranks) {
+ThreadWorld::ThreadWorld(int ranks)
+    : mailboxes_(support::to_size(ranks)) {
   RETRA_CHECK(ranks >= 1);
-  endpoints_.reserve(ranks);
+  endpoints_.reserve(support::to_size(ranks));
   for (int r = 0; r < ranks; ++r) {
     endpoints_.push_back(std::make_unique<Endpoint>(r, *this));
   }
@@ -43,7 +46,7 @@ ThreadWorld::ThreadWorld(int ranks) : mailboxes_(ranks) {
 
 Comm& ThreadWorld::endpoint(int rank) {
   RETRA_CHECK(rank >= 0 && rank < size());
-  return *endpoints_[rank];
+  return *endpoints_[support::to_size(rank)];
 }
 
 }  // namespace retra::msg

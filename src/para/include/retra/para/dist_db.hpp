@@ -14,6 +14,7 @@
 #include "retra/index/board_index.hpp"
 #include "retra/para/partition.hpp"
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::para {
 
@@ -39,7 +40,7 @@ class DistributedDatabase {
   }
   const Partition& partition(int level) const {
     RETRA_CHECK(level >= 0 && level < num_levels());
-    return partitions_[level];
+    return partitions_[support::to_size(level)];
   }
 
   /// Stores a solved level from per-rank shards, shards[r][local] laid out
@@ -55,7 +56,8 @@ class DistributedDatabase {
   /// May `rank` read this position without communicating?
   bool is_local(int rank, int level, idx::Index global) const {
     RETRA_CHECK(level >= 0 && level < num_levels());
-    return replicated_ || partitions_[level].owner(global) == rank;
+    return replicated_ ||
+           partitions_[support::to_size(level)].owner(global) == rank;
   }
 
   /// Value of a lower-level position; callable by `rank` only when
@@ -65,7 +67,7 @@ class DistributedDatabase {
   /// Owner rank of a position (lookup routing).
   int owner(int level, idx::Index global) const {
     RETRA_CHECK(level >= 0 && level < num_levels());
-    return partitions_[level].owner(global);
+    return partitions_[support::to_size(level)].owner(global);
   }
 
   /// Assembles the full database (tests, persistence, oracle queries).
@@ -78,7 +80,7 @@ class DistributedDatabase {
   /// copies in replicated mode (checkpointing, tests).
   const std::vector<std::vector<db::Value>>& rank_storage(int level) const {
     RETRA_CHECK(level >= 0 && level < num_levels());
-    return store_[level];
+    return store_[support::to_size(level)];
   }
 
  private:

@@ -28,6 +28,7 @@
 #include "retra/para/drivers.hpp"
 #include "retra/para/records.hpp"
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::para {
 
@@ -234,7 +235,7 @@ VerifySummary verify_level_distributed(const Game& game, int level,
                                        std::size_t combine_bytes = 4096,
                                        bool use_threads = false) {
   std::vector<std::unique_ptr<VerifyEngine<Game>>> engines;
-  engines.reserve(ddb.ranks());
+  engines.reserve(support::to_size(ddb.ranks()));
   for (int rank = 0; rank < ddb.ranks(); ++rank) {
     engines.push_back(std::make_unique<VerifyEngine<Game>>(
         game, level, ddb, world.endpoint(rank), combine_bytes));

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <barrier>
+#include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -26,6 +27,7 @@
 
 #include "retra/msg/fault_comm.hpp"
 #include "retra/para/rank_engine.hpp"
+#include "retra/support/access_check.hpp"
 #include "retra/support/check.hpp"
 
 namespace retra::para {
@@ -42,6 +44,7 @@ inline constexpr std::uint64_t kRoundLimit = 100'000'000;
 
 template <typename Engine>
 std::uint64_t run_bsp_sequential(std::vector<std::unique_ptr<Engine>>& engines) {
+  const support::ScopedPhase phase(support::BspPhase::kCompute);
   std::uint64_t cum_sent = 0;
   std::uint64_t cum_received = 0;
   std::uint64_t rounds = 0;
@@ -50,7 +53,10 @@ std::uint64_t run_bsp_sequential(std::vector<std::unique_ptr<Engine>>& engines) 
     RETRA_CHECK_MSG(rounds < kRoundLimit, "BSP round limit exceeded");
     StepReport global;
     global.ready = true;
-    for (auto& engine : engines) global += engine->superstep();
+    for (std::size_t rank = 0; rank < engines.size(); ++rank) {
+      const support::ScopedActor actor(static_cast<int>(rank));
+      global += engines[rank]->superstep();
+    }
     cum_sent += global.records_sent;
     cum_received += global.records_received;
     const bool quiescent = global.ready && global.work == 0 &&
@@ -58,14 +64,18 @@ std::uint64_t run_bsp_sequential(std::vector<std::unique_ptr<Engine>>& engines) 
                            cum_sent == cum_received;
     if (!quiescent) continue;
     if (engines.front()->done()) break;
-    for (auto& engine : engines) engine->advance();
+    for (std::size_t rank = 0; rank < engines.size(); ++rank) {
+      const support::ScopedActor actor(static_cast<int>(rank));
+      engines[rank]->advance();
+    }
   }
   return rounds;
 }
 
 template <typename Engine>
 std::uint64_t run_bsp_threads(std::vector<std::unique_ptr<Engine>>& engines) {
-  const int ranks = static_cast<int>(engines.size());
+  const support::ScopedPhase phase(support::BspPhase::kCompute);
+  const std::size_t ranks = engines.size();
   std::vector<StepReport> reports(ranks);
   std::uint64_t cum_sent = 0;
   std::uint64_t cum_received = 0;
@@ -77,6 +87,10 @@ std::uint64_t run_bsp_threads(std::vector<std::unique_ptr<Engine>>& engines) {
   std::mutex crash_mutex;
 
   auto on_round_complete = [&]() noexcept {
+    // The completion step runs on one of the worker threads but acts as
+    // the driver: engine state is read-only here.
+    const support::ScopedActor actor(-1);
+    const support::ScopedPhase exchange(support::BspPhase::kExchange);
     ++rounds;
     if (crashed.load(std::memory_order_acquire)) {
       decision = Decision::kStop;
@@ -99,9 +113,10 @@ std::uint64_t run_bsp_threads(std::vector<std::unique_ptr<Engine>>& engines) {
     }
   };
 
-  std::barrier sync(ranks, on_round_complete);
+  std::barrier sync(static_cast<std::ptrdiff_t>(ranks), on_round_complete);
 
-  auto body = [&](int rank) {
+  auto body = [&](std::size_t rank) {
+    const support::ScopedActor actor(static_cast<int>(rank));
     while (true) {
       RETRA_CHECK_MSG(rounds < kRoundLimit, "BSP round limit exceeded");
       try {
@@ -127,7 +142,9 @@ std::uint64_t run_bsp_threads(std::vector<std::unique_ptr<Engine>>& engines) {
 
   std::vector<std::thread> threads;
   threads.reserve(ranks);
-  for (int rank = 0; rank < ranks; ++rank) threads.emplace_back(body, rank);
+  for (std::size_t rank = 0; rank < ranks; ++rank) {
+    threads.emplace_back(body, rank);
+  }
   for (std::thread& thread : threads) thread.join();
   if (crash) std::rethrow_exception(crash);
   return rounds;
@@ -149,7 +166,8 @@ std::uint64_t run_bsp_threads(std::vector<std::unique_ptr<Engine>>& engines) {
 /// Returns the total number of supersteps executed across all ranks.
 template <typename Engine>
 std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
-  const int ranks = static_cast<int>(engines.size());
+  const support::ScopedPhase phase(support::BspPhase::kCompute);
+  const std::size_t ranks = engines.size();
   std::atomic<std::uint64_t> total_sent{0};
   std::atomic<std::uint64_t> total_received{0};
   std::atomic<std::uint64_t> total_steps{0};
@@ -165,7 +183,7 @@ std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
   std::exception_ptr crash;
   std::mutex crash_mutex;
 
-  auto loop = [&](int rank) {
+  auto loop = [&](std::size_t rank) {
     std::uint64_t local_steps = 0;
     while (!stop.load(std::memory_order_acquire)) {
       // Apply any pending phase transition first.
@@ -203,7 +221,7 @@ std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
       if (sent_a != received_a) continue;
       bool all_ready = true;
       std::vector<std::uint64_t> steps_a(ranks), activity_a(ranks);
-      for (int r = 0; r < ranks; ++r) {
+      for (std::size_t r = 0; r < ranks; ++r) {
         all_ready = all_ready && state[r].ready.load();
         steps_a[r] = state[r].steps.load();
         activity_a[r] = state[r].activity.load();
@@ -211,7 +229,7 @@ std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
       if (!all_ready) continue;
       // Wait for two fresh supersteps everywhere (the first may have been
       // in progress during snapshot A).
-      for (int r = 0; r < ranks; ++r) {
+      for (std::size_t r = 0; r < ranks; ++r) {
         while (state[r].steps.load(std::memory_order_acquire) <
                    steps_a[r] + 2 &&
                !stop.load(std::memory_order_relaxed)) {
@@ -236,7 +254,7 @@ std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
       }
       bool unchanged = total_sent.load() == sent_a &&
                        total_received.load() == received_a;
-      for (int r = 0; unchanged && r < ranks; ++r) {
+      for (std::size_t r = 0; unchanged && r < ranks; ++r) {
         unchanged = state[r].activity.load() == activity_a[r] &&
                     state[r].ready.load();
       }
@@ -253,7 +271,7 @@ std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
       state[0].applied_epoch.store(next, std::memory_order_release);
       // Wait until every rank has advanced before resuming detection, so
       // the next phase starts from a consistent state.
-      for (int r = 1; r < ranks; ++r) {
+      for (std::size_t r = 1; r < ranks; ++r) {
         while (state[r].applied_epoch.load(std::memory_order_acquire) <
                    next &&
                !stop.load(std::memory_order_relaxed)) {
@@ -263,7 +281,8 @@ std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
     }
   };
 
-  auto body = [&](int rank) {
+  auto body = [&](std::size_t rank) {
+    const support::ScopedActor actor(static_cast<int>(rank));
     try {
       loop(rank);
     } catch (const msg::RankCrash&) {
@@ -277,7 +296,9 @@ std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
 
   std::vector<std::thread> threads;
   threads.reserve(ranks);
-  for (int rank = 0; rank < ranks; ++rank) threads.emplace_back(body, rank);
+  for (std::size_t rank = 0; rank < ranks; ++rank) {
+    threads.emplace_back(body, rank);
+  }
   for (std::thread& thread : threads) thread.join();
   if (crash) std::rethrow_exception(crash);
   return total_steps.load();

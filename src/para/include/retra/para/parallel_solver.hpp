@@ -20,6 +20,7 @@
 #include "retra/para/rank_engine.hpp"
 #include "retra/para/shard_exchange.hpp"
 #include "retra/support/log.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::para {
 
@@ -97,6 +98,7 @@ struct ParallelResult {
 template <typename Family>
 ParallelResult build_parallel(const Family& family, int max_level,
                               const ParallelConfig& config) {
+  const std::size_t nranks = support::to_size(config.ranks);
   ParallelResult result;
   int first_level = 0;
   if (!config.checkpoint_dir.empty()) {
@@ -152,7 +154,7 @@ ParallelResult build_parallel(const Family& family, int max_level,
     engine_config.combine_bytes = config.combine_bytes;
 
     std::vector<std::unique_ptr<RankEngine<Game>>> engines;
-    engines.reserve(config.ranks);
+    engines.reserve(nranks);
     for (int rank = 0; rank < config.ranks; ++rank) {
       engines.push_back(std::make_unique<RankEngine<Game>>(
           game, partition, endpoint(rank), ddb, engine_config));
@@ -162,16 +164,17 @@ ParallelResult build_parallel(const Family& family, int max_level,
     // endpoints; keep pre-level snapshots so the level's work is reported
     // as a delta.
     std::vector<msg::WorkMeter> meters_before;
-    meters_before.reserve(config.ranks);
+    meters_before.reserve(nranks);
     for (int rank = 0; rank < config.ranks; ++rank) {
       meters_before.push_back(endpoint(rank).meter());
     }
-    std::vector<msg::FaultStats> faults_before(config.ranks);
-    std::vector<msg::ReliableStats> reliability_before(config.ranks);
+    std::vector<msg::FaultStats> faults_before(nranks);
+    std::vector<msg::ReliableStats> reliability_before(nranks);
     if (faults) {
       for (int rank = 0; rank < config.ranks; ++rank) {
-        faults_before[rank] = faults->faulty(rank).fault_stats();
-        reliability_before[rank] = faults->reliable(rank).reliable_stats();
+        const std::size_t i = support::to_size(rank);
+        faults_before[i] = faults->faulty(rank).fault_stats();
+        reliability_before[i] = faults->reliable(rank).reliable_stats();
       }
     }
 
@@ -199,17 +202,17 @@ ParallelResult build_parallel(const Family& family, int max_level,
     }
 
     std::vector<std::vector<db::Value>> shards;
-    shards.reserve(config.ranks);
-    for (int rank = 0; rank < config.ranks; ++rank) {
-      info.per_rank.push_back(engines[rank]->stats());
-      info.working_bytes.push_back(engines[rank]->working_bytes());
-      shards.push_back(std::move(engines[rank]->shard()));
+    shards.reserve(nranks);
+    for (std::size_t i = 0; i < nranks; ++i) {
+      info.per_rank.push_back(engines[i]->stats());
+      info.working_bytes.push_back(engines[i]->working_bytes());
+      shards.push_back(std::move(engines[i]->shard()));
     }
     engines.clear();
     for (int rank = 0; rank < config.ranks; ++rank) {
       msg::WorkMeter delta = endpoint(rank).meter();
-      for (int k = 0; k < msg::kWorkKinds; ++k) {
-        delta.counts[k] -= meters_before[rank].counts[k];
+      for (std::size_t k = 0; k < msg::kWorkKinds; ++k) {
+        delta.counts[k] -= meters_before[support::to_size(rank)].counts[k];
       }
       info.work_per_rank.push_back(delta);
     }
@@ -230,12 +233,13 @@ ParallelResult build_parallel(const Family& family, int max_level,
 
     if (config.replicate_lower) {
       // Broadcast every shard so each rank holds a private full copy.
-      std::vector<std::vector<db::Value>> full(config.ranks);
+      std::vector<std::vector<db::Value>> full(nranks);
       std::vector<std::unique_ptr<ShardExchange>> exchange;
-      exchange.reserve(config.ranks);
+      exchange.reserve(nranks);
       for (int rank = 0; rank < config.ranks; ++rank) {
+        const std::size_t i = support::to_size(rank);
         exchange.push_back(std::make_unique<ShardExchange>(
-            partition, endpoint(rank), shards[rank], full[rank],
+            partition, endpoint(rank), shards[i], full[i],
             config.combine_bytes));
       }
       try {
@@ -257,11 +261,10 @@ ParallelResult build_parallel(const Family& family, int max_level,
     }
     if (faults) {
       for (int rank = 0; rank < config.ranks; ++rank) {
-        info.faults +=
-            faults->faulty(rank).fault_stats() - faults_before[rank];
+        const std::size_t i = support::to_size(rank);
+        info.faults += faults->faulty(rank).fault_stats() - faults_before[i];
         info.reliability +=
-            faults->reliable(rank).reliable_stats() -
-            reliability_before[rank];
+            faults->reliable(rank).reliable_stats() - reliability_before[i];
       }
     }
     if (!config.checkpoint_dir.empty()) {

@@ -41,6 +41,9 @@ class Partition {
   std::uint64_t local_size(int rank) const;
 
  private:
+  /// ranks_ as the unsigned type the index arithmetic runs in.
+  std::uint64_t uranks() const { return static_cast<std::uint64_t>(ranks_); }
+
   PartitionScheme scheme_;
   std::uint64_t size_;
   int ranks_;

@@ -40,6 +40,7 @@
 #include "retra/para/partition.hpp"
 #include "retra/para/records.hpp"
 #include "retra/ra/sweep_solver.hpp"
+#include "retra/support/access_check.hpp"
 #include "retra/support/check.hpp"
 
 namespace retra::para {
@@ -164,7 +165,10 @@ class RankEngine {
   bool done() const { return phase_ == Phase::kDone; }
 
   /// The rank's solved shard (valid once done()).
-  std::vector<db::Value>& shard() { return values_; }
+  std::vector<db::Value>& shard() {
+    support::check_owned(rank(), "engine.shard");
+    return values_;
+  }
   const EngineStats& stats() const { return stats_; }
 
   /// Value bytes this rank holds for the level under construction
@@ -182,6 +186,7 @@ class RankEngine {
   // Initialisation scan.
 
   void scan_local(StepReport& step) {
+    support::check_mutable(rank(), "engine.scan_local");
     const std::uint64_t local_size = partition_.local_size(rank());
     for (std::uint64_t local = 0; local < local_size; ++local) {
       const idx::Index global = partition_.to_global(rank(), local);
@@ -273,6 +278,7 @@ class RankEngine {
   }
 
   void handle_replies(const msg::Message& message, StepReport& step) {
+    support::check_mutable(rank(), "engine.handle_replies");
     msg::WireReader reader(message.payload.data());
     const std::size_t count = message.payload.size() / ReplyRecord::kWireSize;
     RETRA_CHECK(count * ReplyRecord::kWireSize == message.payload.size());
@@ -304,6 +310,7 @@ class RankEngine {
   // Propagation.
 
   void seed_magnitude(StepReport& step) {
+    support::check_mutable(rank(), "engine.seed_magnitude");
     const auto mag = static_cast<db::Value>(magnitude_);
     const std::uint64_t local_size = values_.size();
     for (std::uint64_t local = 0; local < local_size; ++local) {
@@ -321,6 +328,7 @@ class RankEngine {
   }
 
   void assign(std::uint64_t local, db::Value value, StepReport& step) {
+    support::check_mutable(rank(), "engine.assign");
     RETRA_DCHECK(values_[local] == db::kUnknown);
     values_[local] = value;
     queue_.push_back(local);
@@ -331,6 +339,7 @@ class RankEngine {
 
   void apply_update(std::uint64_t local, db::Value contribution,
                     StepReport& step) {
+    support::check_mutable(rank(), "engine.apply_update");
     RETRA_CHECK_MSG(phase_ == Phase::kMagnitude,
                     "update outside a magnitude phase");
     comm_.meter().charge(msg::WorkKind::kUpdateApply);
@@ -374,6 +383,7 @@ class RankEngine {
   }
 
   void zero_fill(StepReport& step) {
+    support::check_mutable(rank(), "engine.zero_fill");
     for (std::uint64_t local = 0; local < values_.size(); ++local) {
       if (values_[local] == db::kUnknown) {
         values_[local] = 0;

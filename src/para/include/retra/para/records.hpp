@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 #include "retra/db/database.hpp"
 #include "retra/index/board_index.hpp"
@@ -52,6 +53,12 @@ struct LookupRecord {
   }
 };
 
+static_assert(std::is_trivially_copyable_v<LookupRecord>);
+static_assert(sizeof(LookupRecord::target) + sizeof(LookupRecord::requester) +
+                  sizeof(LookupRecord::reward) + sizeof(LookupRecord::level) +
+                  sizeof(LookupRecord::same_mover) ==
+              LookupRecord::kWireSize);
+
 struct ReplyRecord {
   std::uint64_t requester = 0;  // position whose exit was evaluated
   std::int16_t value = 0;       // option value: reward − lower value
@@ -71,6 +78,10 @@ struct ReplyRecord {
   }
 };
 
+static_assert(std::is_trivially_copyable_v<ReplyRecord>);
+static_assert(sizeof(ReplyRecord::requester) + sizeof(ReplyRecord::value) ==
+              ReplyRecord::kWireSize);
+
 struct UpdateRecord {
   std::uint64_t target = 0;      // predecessor position, global index
   std::int16_t contribution = 0;  // −(value of the finalised successor)
@@ -89,6 +100,11 @@ struct UpdateRecord {
     return rec;
   }
 };
+
+static_assert(std::is_trivially_copyable_v<UpdateRecord>);
+static_assert(sizeof(UpdateRecord::target) +
+                  sizeof(UpdateRecord::contribution) ==
+              UpdateRecord::kWireSize);
 
 /// Shard-replication record: one value at a global index (used by the
 /// replicated-lower-database mode, table A3).
@@ -110,5 +126,9 @@ struct ShardRecord {
     return rec;
   }
 };
+
+static_assert(std::is_trivially_copyable_v<ShardRecord>);
+static_assert(sizeof(ShardRecord::index) + sizeof(ShardRecord::value) ==
+              ShardRecord::kWireSize);
 
 }  // namespace retra::para

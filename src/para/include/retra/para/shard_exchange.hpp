@@ -17,6 +17,7 @@
 #include "retra/para/partition.hpp"
 #include "retra/para/rank_engine.hpp"
 #include "retra/para/records.hpp"
+#include "retra/support/access_check.hpp"
 #include "retra/support/check.hpp"
 
 namespace retra::para {
@@ -58,6 +59,7 @@ class ShardExchange {
  private:
   void broadcast(StepReport& step) {
     const int rank = comm_.rank();
+    support::check_mutable(rank, "shard_exchange.broadcast");
     for (std::uint64_t local = 0; local < own_shard_.size(); ++local) {
       const idx::Index global = partition_.to_global(rank, local);
       full_out_[global] = own_shard_[local];
@@ -76,6 +78,7 @@ class ShardExchange {
   }
 
   void drain(StepReport& step) {
+    support::check_mutable(comm_.rank(), "shard_exchange.drain");
     msg::Message message;
     while (comm_.try_recv(message)) {
       RETRA_CHECK(message.tag == kTagShard);

@@ -63,6 +63,7 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
                                         const ParallelConfig& config,
                                         const sim::ClusterModel& model,
                                         sim::TraceSink* trace = nullptr) {
+  const std::size_t nranks = support::to_size(config.ranks);
   SimBuildResult result;
   result.database = std::make_unique<DistributedDatabase>(
       config.scheme, config.block_size, config.ranks,
@@ -79,14 +80,14 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
     engine_config.combine_bytes = config.combine_bytes;
 
     std::vector<std::unique_ptr<RankEngine<Game>>> engines;
-    engines.reserve(config.ranks);
+    engines.reserve(nranks);
     for (int rank = 0; rank < config.ranks; ++rank) {
       engines.push_back(std::make_unique<RankEngine<Game>>(
           game, partition, world.endpoint(rank), ddb, engine_config));
     }
 
     std::vector<msg::WorkMeter> meters_before;
-    meters_before.reserve(config.ranks);
+    meters_before.reserve(nranks);
     for (int rank = 0; rank < config.ranks; ++rank) {
       meters_before.push_back(world.endpoint(rank).meter());
     }
@@ -100,21 +101,22 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
     info.rounds = timing.rounds;
 
     std::vector<std::vector<db::Value>> shards;
-    shards.reserve(config.ranks);
-    for (int rank = 0; rank < config.ranks; ++rank) {
-      info.per_rank.push_back(engines[rank]->stats());
-      info.working_bytes.push_back(engines[rank]->working_bytes());
-      shards.push_back(std::move(engines[rank]->shard()));
+    shards.reserve(nranks);
+    for (std::size_t i = 0; i < nranks; ++i) {
+      info.per_rank.push_back(engines[i]->stats());
+      info.working_bytes.push_back(engines[i]->working_bytes());
+      shards.push_back(std::move(engines[i]->shard()));
     }
     engines.clear();
 
     if (config.replicate_lower) {
-      std::vector<std::vector<db::Value>> full(config.ranks);
+      std::vector<std::vector<db::Value>> full(nranks);
       std::vector<std::unique_ptr<ShardExchange>> exchange;
-      exchange.reserve(config.ranks);
+      exchange.reserve(nranks);
       for (int rank = 0; rank < config.ranks; ++rank) {
+        const std::size_t i = support::to_size(rank);
         exchange.push_back(std::make_unique<ShardExchange>(
-            partition, world.endpoint(rank), shards[rank], full[rank],
+            partition, world.endpoint(rank), shards[i], full[i],
             config.combine_bytes));
       }
       timing.accumulate(sim::run_bsp_simulated(exchange, world, model));
@@ -125,8 +127,8 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
 
     for (int rank = 0; rank < config.ranks; ++rank) {
       msg::WorkMeter delta = world.endpoint(rank).meter();
-      for (int k = 0; k < msg::kWorkKinds; ++k) {
-        delta.counts[k] -= meters_before[rank].counts[k];
+      for (std::size_t k = 0; k < msg::kWorkKinds; ++k) {
+        delta.counts[k] -= meters_before[support::to_size(rank)].counts[k];
       }
       info.work_per_rank.push_back(delta);
     }

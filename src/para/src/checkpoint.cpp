@@ -7,6 +7,7 @@
 
 #include "retra/db/db_io.hpp"  // fnv1a
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::para {
 
@@ -44,6 +45,9 @@ bool parse_scheme(const std::string& token, PartitionScheme& out) {
 }
 
 void write_bytes(std::FILE* f, const void* data, std::size_t size) {
+  if (size == 0) {
+    return;  // an empty shard has data() == nullptr; fwrite requires non-null
+  }
   RETRA_CHECK_MSG(std::fwrite(data, 1, size, f) == size,
                   "checkpoint short write");
 }
@@ -54,6 +58,9 @@ void write_pod(std::FILE* f, T value) {
 }
 
 bool read_bytes(std::FILE* f, void* data, std::size_t size) {
+  if (size == 0) {
+    return true;  // matching write_bytes: never hand fread a null buffer
+  }
   return std::fread(data, 1, size, f) == size;
 }
 
@@ -162,7 +169,8 @@ CheckpointLoad checkpoint_load(const std::string& directory) {
       result.error = "bad level header in level " + std::to_string(level);
       return result;
     }
-    std::vector<std::vector<db::Value>> storage(result.meta.ranks);
+    std::vector<std::vector<db::Value>> storage(
+        support::to_size(result.meta.ranks));
     std::uint64_t total = 0;
     for (auto& shard : storage) {
       std::uint64_t size = 0;

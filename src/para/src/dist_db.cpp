@@ -1,15 +1,21 @@
 #include "retra/para/dist_db.hpp"
 
+#include "retra/support/access_check.hpp"
+#include "retra/support/numeric.hpp"
+
 namespace retra::para {
+
+using support::to_size;
 
 void DistributedDatabase::push_level_shards(
     int level, std::uint64_t size, std::vector<std::vector<db::Value>> shards) {
+  support::check_serial("dist_db.push_level_shards", level);
   RETRA_CHECK_MSG(!replicated_, "use push_level_full in replicated mode");
   RETRA_CHECK(level == num_levels());
   RETRA_CHECK(static_cast<int>(shards.size()) == ranks_);
   Partition partition = make_partition(size);
   for (int r = 0; r < ranks_; ++r) {
-    RETRA_CHECK(shards[r].size() == partition.local_size(r));
+    RETRA_CHECK(shards[to_size(r)].size() == partition.local_size(r));
   }
   partitions_.push_back(partition);
   store_.push_back(std::move(shards));
@@ -17,6 +23,7 @@ void DistributedDatabase::push_level_shards(
 
 void DistributedDatabase::push_level_full(
     int level, std::vector<std::vector<db::Value>> per_rank_full) {
+  support::check_serial("dist_db.push_level_full", level);
   RETRA_CHECK_MSG(replicated_, "use push_level_shards in partitioned mode");
   RETRA_CHECK(level == num_levels());
   RETRA_CHECK(static_cast<int>(per_rank_full.size()) == ranks_);
@@ -30,28 +37,29 @@ void DistributedDatabase::push_level_full(
 
 db::Value DistributedDatabase::value_local(int rank, int level,
                                            idx::Index global) const {
+  support::check_owned(rank, "dist_db.value_local", level);
   RETRA_CHECK(level >= 0 && level < num_levels());
   if (replicated_) {
-    return store_[level][rank][global];
+    return store_[to_size(level)][to_size(rank)][global];
   }
-  const Partition& partition = partitions_[level];
+  const Partition& partition = partitions_[to_size(level)];
   const int owner_rank = partition.owner(global);
   RETRA_CHECK_MSG(owner_rank == rank,
                   "partitioned lower-level read from a non-owner rank");
-  return store_[level][rank][partition.to_local(global)];
+  return store_[to_size(level)][to_size(rank)][partition.to_local(global)];
 }
 
 db::Database DistributedDatabase::gather() const {
   db::Database database;
   for (int level = 0; level < num_levels(); ++level) {
-    const Partition& partition = partitions_[level];
+    const Partition& partition = partitions_[to_size(level)];
     if (replicated_) {
-      database.push_level(level, store_[level][0]);
+      database.push_level(level, store_[to_size(level)][0]);
       continue;
     }
     std::vector<db::Value> values(partition.size());
     for (int r = 0; r < ranks_; ++r) {
-      const auto& shard = store_[level][r];
+      const auto& shard = store_[to_size(level)][to_size(r)];
       for (std::uint64_t local = 0; local < shard.size(); ++local) {
         values[partition.to_global(r, local)] = shard[local];
       }
@@ -64,7 +72,7 @@ db::Database DistributedDatabase::gather() const {
 std::uint64_t DistributedDatabase::bytes_on_rank(int rank) const {
   std::uint64_t bytes = 0;
   for (int level = 0; level < num_levels(); ++level) {
-    bytes += store_[level][rank].size() * sizeof(db::Value);
+    bytes += store_[to_size(level)][to_size(rank)].size() * sizeof(db::Value);
   }
   return bytes;
 }

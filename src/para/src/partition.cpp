@@ -26,7 +26,7 @@ Partition::Partition(PartitionScheme scheme, std::uint64_t size, int ranks,
   if (scheme_ == PartitionScheme::kBlock) {
     // Uniform slab width; the last rank's slab may be short (or empty when
     // there are more ranks than positions).
-    block_size_ = (size_ + ranks_ - 1) / ranks_;
+    block_size_ = (size_ + uranks() - 1) / uranks();
     if (block_size_ == 0) block_size_ = 1;
   }
 }
@@ -37,9 +37,9 @@ int Partition::owner(idx::Index index) const {
     case PartitionScheme::kBlock:
       return static_cast<int>(index / block_size_);
     case PartitionScheme::kCyclic:
-      return static_cast<int>(index % ranks_);
+      return static_cast<int>(index % uranks());
     case PartitionScheme::kBlockCyclic:
-      return static_cast<int>((index / block_size_) % ranks_);
+      return static_cast<int>((index / block_size_) % uranks());
   }
   return 0;
 }
@@ -50,9 +50,9 @@ std::uint64_t Partition::to_local(idx::Index index) const {
     case PartitionScheme::kBlock:
       return index % block_size_;
     case PartitionScheme::kCyclic:
-      return index / ranks_;
+      return index / uranks();
     case PartitionScheme::kBlockCyclic:
-      return (index / (block_size_ * ranks_)) * block_size_ +
+      return (index / (block_size_ * uranks())) * block_size_ +
              index % block_size_;
   }
   return 0;
@@ -63,11 +63,11 @@ idx::Index Partition::to_global(int rank, std::uint64_t local) const {
     case PartitionScheme::kBlock:
       return static_cast<idx::Index>(rank) * block_size_ + local;
     case PartitionScheme::kCyclic:
-      return local * ranks_ + rank;
+      return local * uranks() + static_cast<std::uint64_t>(rank);
     case PartitionScheme::kBlockCyclic: {
       const std::uint64_t super = local / block_size_;  // round number
       const std::uint64_t offset = local % block_size_;
-      return (super * ranks_ + static_cast<std::uint64_t>(rank)) *
+      return (super * uranks() + static_cast<std::uint64_t>(rank)) *
                  block_size_ +
              offset;
     }
@@ -85,11 +85,11 @@ std::uint64_t Partition::local_size(int rank) const {
     }
     case PartitionScheme::kCyclic: {
       const std::uint64_t r = static_cast<std::uint64_t>(rank);
-      return size_ / ranks_ + (r < size_ % ranks_ ? 1 : 0);
+      return size_ / uranks() + (r < size_ % uranks() ? 1 : 0);
     }
     case PartitionScheme::kBlockCyclic: {
       // Count full and partial blocks owned by `rank`.
-      const std::uint64_t stride = block_size_ * ranks_;
+      const std::uint64_t stride = block_size_ * uranks();
       const std::uint64_t full_rounds = size_ / stride;
       std::uint64_t owned = full_rounds * block_size_;
       const std::uint64_t rest = size_ % stride;

@@ -5,6 +5,7 @@
 #include "retra/game/awari_level.hpp"
 #include "retra/ra/dtc.hpp"
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::ra {
 
@@ -63,7 +64,7 @@ std::vector<std::string> optimal_line(const db::Database& database,
 
 DtcTables compute_awari_dtc(const db::Database& database) {
   DtcTables tables;
-  tables.levels.reserve(database.num_levels());
+  tables.levels.reserve(support::to_size(database.num_levels()));
   for (int level = 0; level < database.num_levels(); ++level) {
     const game::AwariLevel game(level);
     auto lower = [&database](int l, idx::Index i) {
@@ -87,7 +88,7 @@ std::vector<MoveEval> evaluate_moves_shortest(const db::Database& database,
   auto conversion = [&](const MoveEval& eval) -> std::uint64_t {
     if (eval.captured > 0) return 1;
     const int level = idx::stones_on(eval.after);
-    const Dtc d = dtc.levels.at(level)[idx::rank(eval.after)];
+    const Dtc d = dtc.levels.at(support::to_size(level))[idx::rank(eval.after)];
     return d == kNoConversion ? kNoConversion
                               : static_cast<std::uint64_t>(d) + 1;
   };

@@ -29,14 +29,14 @@ struct MachineModel {
   /// budget — consistent with the abstract's tens-of-CPU-hours databases.
   std::array<double, msg::kWorkKinds> op_cost = [] {
     std::array<double, msg::kWorkKinds> cost{};
-    cost[static_cast<int>(msg::WorkKind::kScanPosition)] = 200;
-    cost[static_cast<int>(msg::WorkKind::kExitOption)] = 450;
-    cost[static_cast<int>(msg::WorkKind::kLevelEdge)] = 350;
-    cost[static_cast<int>(msg::WorkKind::kAssign)] = 80;
-    cost[static_cast<int>(msg::WorkKind::kPredEdge)] = 800;
-    cost[static_cast<int>(msg::WorkKind::kUpdateApply)] = 60;
-    cost[static_cast<int>(msg::WorkKind::kRecordPack)] = 30;
-    cost[static_cast<int>(msg::WorkKind::kRecordUnpack)] = 30;
+    cost[static_cast<std::size_t>(msg::WorkKind::kScanPosition)] = 200;
+    cost[static_cast<std::size_t>(msg::WorkKind::kExitOption)] = 450;
+    cost[static_cast<std::size_t>(msg::WorkKind::kLevelEdge)] = 350;
+    cost[static_cast<std::size_t>(msg::WorkKind::kAssign)] = 80;
+    cost[static_cast<std::size_t>(msg::WorkKind::kPredEdge)] = 800;
+    cost[static_cast<std::size_t>(msg::WorkKind::kUpdateApply)] = 60;
+    cost[static_cast<std::size_t>(msg::WorkKind::kRecordPack)] = 30;
+    cost[static_cast<std::size_t>(msg::WorkKind::kRecordUnpack)] = 30;
     return cost;
   }();
 
@@ -49,7 +49,7 @@ struct MachineModel {
   /// Seconds of CPU for a meter full of work.
   double cpu_seconds(const msg::WorkMeter& meter) const {
     double ops = 0.0;
-    for (int k = 0; k < msg::kWorkKinds; ++k) {
+    for (std::size_t k = 0; k < msg::kWorkKinds; ++k) {
       ops += op_cost[k] * static_cast<double>(meter.counts[k]);
     }
     return ops / cpu_ops_per_second;

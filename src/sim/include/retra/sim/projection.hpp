@@ -68,7 +68,7 @@ inline Projection project_level(const LevelProfile& profile, int ranks,
   const double positions = static_cast<double>(profile.positions);
 
   const auto cost = [&](msg::WorkKind kind) {
-    return model.machine.op_cost[static_cast<int>(kind)];
+    return model.machine.op_cost[static_cast<std::size_t>(kind)];
   };
 
   // Remote traffic: updates to remote predecessors, lookups to remote

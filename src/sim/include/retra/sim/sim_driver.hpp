@@ -25,7 +25,9 @@
 #include "retra/sim/cluster_model.hpp"
 #include "retra/sim/sim_world.hpp"
 #include "retra/sim/trace.hpp"
+#include "retra/support/access_check.hpp"
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::sim {
 
@@ -72,15 +74,17 @@ template <typename Engine>
 SimRunResult run_bsp_simulated(std::vector<std::unique_ptr<Engine>>& engines,
                                SimWorld& world, const ClusterModel& model,
                                TraceSink* trace = nullptr) {
+  const support::ScopedPhase bsp_phase(support::BspPhase::kCompute);
   const int ranks = static_cast<int>(engines.size());
   RETRA_CHECK(ranks == world.size());
+  const std::size_t nranks = engines.size();
   SimRunResult result;
-  result.per_rank.resize(ranks);
+  result.per_rank.resize(nranks);
 
-  std::vector<double> pending_recv(ranks, 0.0);
-  std::vector<msg::WorkMeter> meter_before(ranks);
+  std::vector<double> pending_recv(nranks, 0.0);
+  std::vector<msg::WorkMeter> meter_before(nranks);
   for (int r = 0; r < ranks; ++r) {
-    meter_before[r] = world.endpoint(r).meter();
+    meter_before[support::to_size(r)] = world.endpoint(r).meter();
   }
 
   std::uint64_t cum_sent = 0;
@@ -96,26 +100,28 @@ SimRunResult run_bsp_simulated(std::vector<std::unique_ptr<Engine>>& engines,
                     "simulated round limit exceeded");
 
     // 1. Supersteps: price each rank's work.
-    std::vector<double> rank_clock(ranks);  // when each rank goes idle
+    std::vector<double> rank_clock(nranks);  // when each rank goes idle
     bool all_ready = true;
     std::uint64_t round_sent = 0, round_received = 0, round_work = 0;
     for (int r = 0; r < ranks; ++r) {
-      const auto step = engines[r]->superstep();
+      const std::size_t ri = support::to_size(r);
+      const support::ScopedActor actor(r);
+      const auto step = engines[ri]->superstep();
       all_ready = all_ready && step.ready;
       round_sent += step.records_sent;
       round_received += step.records_received;
       round_work += step.work;
 
       msg::WorkMeter delta = world.endpoint(r).meter();
-      for (int k = 0; k < msg::kWorkKinds; ++k) {
-        delta.counts[k] -= meter_before[r].counts[k];
+      for (std::size_t k = 0; k < msg::kWorkKinds; ++k) {
+        delta.counts[k] -= meter_before[ri].counts[k];
       }
-      meter_before[r] = world.endpoint(r).meter();
+      meter_before[ri] = world.endpoint(r).meter();
       const double compute = model.machine.cpu_seconds(delta);
-      result.per_rank[r].compute_s += compute;
-      result.per_rank[r].recv_s += pending_recv[r];
-      rank_clock[r] = now + compute + pending_recv[r];
-      pending_recv[r] = 0.0;
+      result.per_rank[ri].compute_s += compute;
+      result.per_rank[ri].recv_s += pending_recv[ri];
+      rank_clock[ri] = now + compute + pending_recv[ri];
+      pending_recv[ri] = 0.0;
     }
     cum_sent += round_sent;
     cum_received += round_received;
@@ -124,20 +130,22 @@ SimRunResult run_bsp_simulated(std::vector<std::unique_ptr<Engine>>& engines,
     // sender pays its software overhead before the frame can contend for
     // its segment; the receiver's overhead is charged to its next
     // superstep.
-    std::vector<double> medium_free(model.net.segments, now);
+    std::vector<double> medium_free(support::to_size(model.net.segments), now);
     double last_delivery = now;
     for (auto& out : world.take_outbox()) {
       const int src = out.source;
-      rank_clock[src] += model.machine.send_overhead_s;
-      result.per_rank[src].send_s += model.machine.send_overhead_s;
+      const std::size_t si = support::to_size(src);
+      rank_clock[si] += model.machine.send_overhead_s;
+      result.per_rank[si].send_s += model.machine.send_overhead_s;
       const double medium_time =
           model.net.medium_seconds(out.message.payload.size());
-      double& segment_free = medium_free[model.net.segment_of(src)];
-      const double start = std::max(segment_free, rank_clock[src]);
+      double& segment_free =
+          medium_free[support::to_size(model.net.segment_of(src))];
+      const double start = std::max(segment_free, rank_clock[si]);
       segment_free = start + medium_time;
       result.network_busy_s += medium_time;
       last_delivery = std::max(last_delivery, segment_free);
-      pending_recv[out.dest] += model.machine.recv_overhead_s;
+      pending_recv[support::to_size(out.dest)] += model.machine.recv_overhead_s;
       ++result.messages;
       result.payload_bytes += out.message.payload.size();
       world.deliver(out.dest, std::move(out.message));
@@ -147,10 +155,10 @@ SimRunResult run_bsp_simulated(std::vector<std::unique_ptr<Engine>>& engines,
     const double barrier = model.barrier_seconds(ranks);
     result.barrier_s += barrier;
     double round_end = last_delivery;
-    for (int r = 0; r < ranks; ++r) {
+    for (std::size_t r = 0; r < nranks; ++r) {
       round_end = std::max(round_end, rank_clock[r]);
     }
-    for (int r = 0; r < ranks; ++r) {
+    for (std::size_t r = 0; r < nranks; ++r) {
       result.per_rank[r].idle_s += round_end - rank_clock[r];
     }
     if (trace) {
@@ -158,8 +166,8 @@ SimRunResult run_bsp_simulated(std::vector<std::unique_ptr<Engine>>& engines,
       row.round = result.rounds;
       row.start_s = now;
       row.end_s = round_end + barrier;
-      row.rank_busy_s.reserve(ranks);
-      for (int r = 0; r < ranks; ++r) {
+      row.rank_busy_s.reserve(nranks);
+      for (std::size_t r = 0; r < nranks; ++r) {
         row.rank_busy_s.push_back(rank_clock[r] - now);
       }
       row.messages = result.messages - trace_messages_before;
@@ -176,7 +184,10 @@ SimRunResult run_bsp_simulated(std::vector<std::unique_ptr<Engine>>& engines,
                            round_sent == 0 && cum_sent == cum_received;
     if (!quiescent) continue;
     if (engines.front()->done()) break;
-    for (auto& engine : engines) engine->advance();
+    for (std::size_t r = 0; r < nranks; ++r) {
+      const support::ScopedActor actor(static_cast<int>(r));
+      engines[r]->advance();
+    }
   }
   result.time_s = now;
   return result;

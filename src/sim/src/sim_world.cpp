@@ -1,6 +1,7 @@
 #include "retra/sim/sim_world.hpp"
 
 #include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
 
 namespace retra::sim {
 
@@ -21,7 +22,7 @@ class SimWorld::Endpoint : public msg::Comm {
   }
 
   bool try_recv(msg::Message& out) override {
-    auto& inbox = world_.inboxes_[rank_];
+    auto& inbox = world_.inboxes_[support::to_size(rank_)];
     if (inbox.empty()) return false;
     out = std::move(inbox.front());
     inbox.pop_front();
@@ -35,9 +36,9 @@ class SimWorld::Endpoint : public msg::Comm {
   SimWorld& world_;
 };
 
-SimWorld::SimWorld(int ranks) : inboxes_(ranks) {
+SimWorld::SimWorld(int ranks) : inboxes_(support::to_size(ranks)) {
   RETRA_CHECK(ranks >= 1);
-  endpoints_.reserve(ranks);
+  endpoints_.reserve(support::to_size(ranks));
   for (int r = 0; r < ranks; ++r) {
     endpoints_.push_back(std::make_unique<Endpoint>(r, *this));
   }
@@ -47,7 +48,7 @@ SimWorld::~SimWorld() = default;
 
 msg::Comm& SimWorld::endpoint(int rank) {
   RETRA_CHECK(rank >= 0 && rank < size());
-  return *endpoints_[rank];
+  return *endpoints_[support::to_size(rank)];
 }
 
 std::vector<SimWorld::OutMessage> SimWorld::take_outbox() {
@@ -57,7 +58,7 @@ std::vector<SimWorld::OutMessage> SimWorld::take_outbox() {
 }
 
 void SimWorld::deliver(int dest, msg::Message message) {
-  inboxes_[dest].push_back(std::move(message));
+  inboxes_[support::to_size(dest)].push_back(std::move(message));
 }
 
 }  // namespace retra::sim

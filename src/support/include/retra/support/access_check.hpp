@@ -1,0 +1,150 @@
+// Deterministic shard-ownership / BSP-phase checker.
+//
+// The distributed engine's memory discipline is simple to state and easy
+// to violate silently: during a compute phase every rank-owned array
+// (engine shards, the distributed database's stores) may be touched only
+// by its owner rank; store-level restructuring (push_level_*) happens
+// only in the serial windows between driver runs; during an exchange
+// window shards are read-only.  TSan can only catch violations that
+// happen to race at runtime — this checker makes the discipline itself
+// an assertion, so a violation aborts deterministically on the first
+// offending access, with the actor rank, owner rank, phase, and site in
+// the message.
+//
+// Enabled by -DRETRA_CHECK_ACCESS=ON (CMake; defines RETRA_CHECK_ACCESS).
+// When disabled every hook is an empty inline function and the scoped
+// tags are empty objects, so annotated code compiles identically.
+//
+// Model:
+//   * a process-wide BspPhase tag (kSerial outside driver runs; drivers
+//     set kCompute for the duration of a run; kExchange marks read-only
+//     windows such as the threaded driver's round-completion callback);
+//   * a thread-local actor rank (-1 = driver / no rank), set by the
+//     drivers around each engine call via ScopedActor.
+//
+// Checks (all no-ops when the checker is off):
+//   check_owned(owner, site)    an actor may touch only its own arrays
+//   check_mutable(owner, site)  check_owned + writes forbidden in
+//                               kExchange
+//   check_serial(site)          store restructuring only in kSerial with
+//                               no actor tag active
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace retra::support {
+
+enum class BspPhase { kSerial, kCompute, kExchange };
+
+#if defined(RETRA_CHECK_ACCESS)
+
+namespace access_detail {
+inline std::atomic<BspPhase> g_phase{BspPhase::kSerial};
+inline thread_local int t_actor = -1;
+}  // namespace access_detail
+
+inline const char* phase_name(BspPhase phase) {
+  switch (phase) {
+    case BspPhase::kSerial:
+      return "serial";
+    case BspPhase::kCompute:
+      return "compute";
+    case BspPhase::kExchange:
+      return "exchange";
+  }
+  return "?";
+}
+
+inline BspPhase current_phase() {
+  return access_detail::g_phase.load(std::memory_order_relaxed);
+}
+inline int current_actor() { return access_detail::t_actor; }
+
+/// Tags the process with the drivers' current BSP phase (RAII).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(BspPhase phase)
+      : previous_(access_detail::g_phase.exchange(
+            phase, std::memory_order_relaxed)) {}
+  ~ScopedPhase() {
+    access_detail::g_phase.store(previous_, std::memory_order_relaxed);
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  BspPhase previous_;
+};
+
+/// Tags the calling thread as acting on behalf of `rank` (RAII).
+class ScopedActor {
+ public:
+  explicit ScopedActor(int rank) : previous_(access_detail::t_actor) {
+    access_detail::t_actor = rank;
+  }
+  ~ScopedActor() { access_detail::t_actor = previous_; }
+  ScopedActor(const ScopedActor&) = delete;
+  ScopedActor& operator=(const ScopedActor&) = delete;
+
+ private:
+  int previous_;
+};
+
+[[noreturn]] inline void access_failed(const char* site, const char* what,
+                                       int owner, int level) {
+  std::fprintf(stderr,
+               "RETRA_CHECK_ACCESS: %s at %s (owner rank %d, actor rank "
+               "%d, phase %s, level %d)\n",
+               what, site, owner, current_actor(),
+               phase_name(current_phase()), level);
+  std::abort();
+}
+
+/// Rank-owned data: only the owning actor may touch it (the driver,
+/// actor -1, may — it orchestrates serially between runs).
+inline void check_owned(int owner, const char* site, int level = -1) {
+  const int actor = current_actor();
+  if (actor != -1 && actor != owner) {
+    access_failed(site, "cross-rank access to rank-owned data", owner,
+                  level);
+  }
+}
+
+/// Rank-owned data, write access: additionally forbidden while the
+/// drivers hold shards read-only (exchange windows).
+inline void check_mutable(int owner, const char* site, int level = -1) {
+  if (current_phase() == BspPhase::kExchange) {
+    access_failed(site, "write to read-only data in an exchange window",
+                  owner, level);
+  }
+  check_owned(owner, site, level);
+}
+
+/// Store restructuring: only between driver runs, with no actor tag.
+inline void check_serial(const char* site, int level = -1) {
+  if (current_phase() != BspPhase::kSerial || current_actor() != -1) {
+    access_failed(site, "store restructuring outside the serial window",
+                  /*owner=*/-1, level);
+  }
+}
+
+#else  // !RETRA_CHECK_ACCESS — zero-cost stubs
+
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(BspPhase) {}
+};
+class ScopedActor {
+ public:
+  explicit ScopedActor(int) {}
+};
+
+inline void check_owned(int, const char*, int = -1) {}
+inline void check_mutable(int, const char*, int = -1) {}
+inline void check_serial(const char*, int = -1) {}
+
+#endif  // RETRA_CHECK_ACCESS
+
+}  // namespace retra::support

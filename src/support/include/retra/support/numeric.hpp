@@ -1,0 +1,39 @@
+// Explicit, checked integer casts.
+//
+// The build runs with -Wconversion -Wsign-conversion, so every narrowing or
+// sign-changing conversion must be spelled out.  These helpers keep the
+// common cases readable and add a debug-build non-negativity check where an
+// implicit cast would silently wrap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "retra/support/check.hpp"
+
+namespace retra::support {
+
+/// Container-subscript cast: a naturally-int quantity (rank, level, pit)
+/// used as an index.  Debug builds assert it is non-negative before
+/// widening to size_t.
+template <typename T>
+constexpr std::size_t to_size(T v) {
+  static_assert(std::is_integral_v<T>);
+  if constexpr (std::is_signed_v<T>) {
+    RETRA_DCHECK(v >= 0);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Unsigned 64-bit cast with the same debug non-negativity check.
+template <typename T>
+constexpr std::uint64_t to_u64(T v) {
+  static_assert(std::is_integral_v<T>);
+  if constexpr (std::is_signed_v<T>) {
+    RETRA_DCHECK(v >= 0);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace retra::support

@@ -1,0 +1,108 @@
+// The RETRA_CHECK_ACCESS shard-ownership/phase checker.
+//
+// With the checker compiled in (-DRETRA_CHECK_ACCESS=ON) a discipline
+// violation must abort the process deterministically — these are death
+// tests.  In a normal build the hooks are no-ops and the same operations
+// must succeed, which the non-death tests cover in both configurations.
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "retra/db/database.hpp"
+#include "retra/para/dist_db.hpp"
+#include "retra/support/access_check.hpp"
+
+namespace retra {
+namespace {
+
+using para::DistributedDatabase;
+using para::Partition;
+using para::PartitionScheme;
+using support::BspPhase;
+
+/// A one-level cyclic database over 3 ranks, values 0..6.
+DistributedDatabase make_db() {
+  DistributedDatabase ddb(PartitionScheme::kCyclic, 1, 3, false);
+  std::vector<std::vector<db::Value>> shards(3);
+  const Partition partition = ddb.make_partition(7);
+  for (int r = 0; r < 3; ++r) {
+    shards[static_cast<std::size_t>(r)].resize(partition.local_size(r));
+  }
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    shards[static_cast<std::size_t>(partition.owner(i))]
+          [partition.to_local(i)] = static_cast<db::Value>(i);
+  }
+  ddb.push_level_shards(0, 7, std::move(shards));
+  return ddb;
+}
+
+TEST(AccessCheck, SerialAccessAlwaysPasses) {
+  const DistributedDatabase ddb = make_db();
+  // No actor tag, serial phase: the driver may read any shard.
+  const int owner = ddb.owner(0, 4);
+  EXPECT_EQ(ddb.value_local(owner, 0, 4), 4);
+}
+
+TEST(AccessCheck, OwnerActorPasses) {
+  const DistributedDatabase ddb = make_db();
+  const int owner = ddb.owner(0, 4);
+  const support::ScopedPhase phase(BspPhase::kCompute);
+  const support::ScopedActor actor(owner);
+  EXPECT_EQ(ddb.value_local(owner, 0, 4), 4);
+}
+
+#if defined(RETRA_CHECK_ACCESS)
+
+using AccessCheckDeath = ::testing::Test;
+
+TEST(AccessCheckDeath, CrossRankReadAborts) {
+  const DistributedDatabase ddb = make_db();
+  const int owner = ddb.owner(0, 4);
+  const int thief = (owner + 1) % 3;
+  const support::ScopedPhase phase(BspPhase::kCompute);
+  EXPECT_DEATH(
+      {
+        // A rank reaching into another rank's shard: the BSP ownership
+        // rule the checker exists to enforce.
+        const support::ScopedActor actor(thief);
+        (void)ddb.value_local(owner, 0, 4);
+      },
+      "cross-rank access");
+}
+
+TEST(AccessCheckDeath, StoreMutationDuringComputeAborts) {
+  EXPECT_DEATH(
+      {
+        const support::ScopedPhase phase(BspPhase::kCompute);
+        const support::ScopedActor actor(0);
+        DistributedDatabase ddb = make_db();  // push_level_shards inside
+      },
+      "outside the serial window");
+}
+
+TEST(AccessCheckDeath, StoreMutationDuringExchangeAborts) {
+  EXPECT_DEATH(
+      {
+        const support::ScopedPhase phase(BspPhase::kExchange);
+        DistributedDatabase ddb = make_db();
+      },
+      "outside the serial window");
+}
+
+#else
+
+TEST(AccessCheck, DisabledHooksAreNoOps) {
+  // Without RETRA_CHECK_ACCESS even a rule-breaking access must succeed:
+  // the hooks compile to empty inlines.
+  const DistributedDatabase ddb = make_db();
+  const int owner = ddb.owner(0, 4);
+  const support::ScopedPhase phase(BspPhase::kCompute);
+  const support::ScopedActor actor((owner + 1) % 3);
+  EXPECT_EQ(ddb.value_local(owner, 0, 4), 4);
+}
+
+#endif  // RETRA_CHECK_ACCESS
+
+}  // namespace
+}  // namespace retra

@@ -183,7 +183,7 @@ TEST(Moves, RotationIsConsistent) {
   // origin itself and must be empty after any move.
   const Board board = B("4 4 4 4 4 4  4 4 4 4 4 4");
   for (const auto& m : legal_moves(board)) {
-    EXPECT_EQ(m.after[(m.pit + 6) % kPits], 0);
+    EXPECT_EQ(m.after[static_cast<std::size_t>((m.pit + 6) % kPits)], 0);
   }
 }
 

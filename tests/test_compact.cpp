@@ -53,7 +53,8 @@ TEST(CompactLevel, RandomRoundTrips) {
     const int lo = static_cast<int>(rng.below(200)) - 100;
     std::vector<Value> values(1 + rng.below(500));
     for (auto& v : values) {
-      v = static_cast<Value>(lo + static_cast<int>(rng.below(span)));
+      v = static_cast<Value>(
+          lo + static_cast<int>(rng.below(static_cast<std::uint64_t>(span))));
     }
     const CompactLevel level(values);
     ASSERT_EQ(level.expand(), values) << "trial " << trial;

@@ -157,7 +157,8 @@ TEST(AwariDtc, PlayoutMatchesPredictedDepth) {
     idx::for_each_board(level, [&](const game::Board& start, idx::Index i) {
       const db::Value v = database.value(level, i);
       if (v == 0) return;
-      const Dtc predicted = tables.levels[level][i];
+      const Dtc predicted =
+          tables.levels[static_cast<std::size_t>(level)][i];
       ASSERT_NE(predicted, kNoConversion);
 
       // Both sides play value-optimal, depth-optimal moves; conversion

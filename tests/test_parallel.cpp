@@ -209,9 +209,12 @@ TEST(DistributedDatabase, GatherReassemblesShards) {
   std::vector<std::vector<db::Value>> shards(3);
   const Partition partition = ddb.make_partition(7);
   std::vector<db::Value> values{10, -1, 2, 3, -4, 5, 6};
-  for (int r = 0; r < 3; ++r) shards[r].resize(partition.local_size(r));
+  for (int r = 0; r < 3; ++r) {
+    shards[static_cast<std::size_t>(r)].resize(partition.local_size(r));
+  }
   for (std::uint64_t i = 0; i < 7; ++i) {
-    shards[partition.owner(i)][partition.to_local(i)] = values[i];
+    shards[static_cast<std::size_t>(partition.owner(i))]
+          [partition.to_local(i)] = values[i];
   }
   ddb.push_level_shards(0, 7, std::move(shards));
   const db::Database gathered = ddb.gather();

@@ -19,7 +19,7 @@ class PartitionInvariants : public ::testing::TestWithParam<Case> {};
 TEST_P(PartitionInvariants, OwnerLocalGlobalAreConsistent) {
   const Case c = GetParam();
   const Partition partition(c.scheme, c.size, c.ranks, c.block);
-  std::vector<std::uint64_t> counted(c.ranks, 0);
+  std::vector<std::uint64_t> counted(static_cast<std::size_t>(c.ranks), 0);
   for (std::uint64_t i = 0; i < c.size; ++i) {
     const int owner = partition.owner(i);
     ASSERT_GE(owner, 0);
@@ -27,10 +27,11 @@ TEST_P(PartitionInvariants, OwnerLocalGlobalAreConsistent) {
     const std::uint64_t local = partition.to_local(i);
     ASSERT_EQ(partition.to_global(owner, local), i);
     ASSERT_LT(local, partition.local_size(owner));
-    ++counted[owner];
+    ++counted[static_cast<std::size_t>(owner)];
   }
   for (int r = 0; r < c.ranks; ++r) {
-    EXPECT_EQ(counted[r], partition.local_size(r)) << "rank " << r;
+    EXPECT_EQ(counted[static_cast<std::size_t>(r)], partition.local_size(r))
+        << "rank " << r;
   }
 }
 

@@ -86,18 +86,20 @@ TEST(RecordsFuzz, CombinedStreamIsExactConcatenation) {
     msg::ThreadWorld world(ranks);
     msg::Combiner combiner(world.endpoint(0), 9, flush);
 
-    std::vector<std::vector<std::byte>> expected(ranks);
+    std::vector<std::vector<std::byte>> expected(
+        static_cast<std::size_t>(ranks));
     const int appends = 200 + static_cast<int>(rng.below(800));
     for (int i = 0; i < appends; ++i) {
-      const int dest = 1 + static_cast<int>(rng.below(ranks - 1));
+      const int dest =
+          1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(ranks) - 1));
       UpdateRecord record;
       record.target = rng();
       record.contribution = static_cast<std::int16_t>(rng());
       std::byte buffer[UpdateRecord::kWireSize];
       record.encode(buffer);
       combiner.append(dest, buffer, UpdateRecord::kWireSize);
-      expected[dest].insert(expected[dest].end(), buffer,
-                            buffer + UpdateRecord::kWireSize);
+      auto& sink = expected[static_cast<std::size_t>(dest)];
+      sink.insert(sink.end(), buffer, buffer + UpdateRecord::kWireSize);
     }
     combiner.flush_all();
 
@@ -110,7 +112,8 @@ TEST(RecordsFuzz, CombinedStreamIsExactConcatenation) {
         received.insert(received.end(), message.payload.begin(),
                         message.payload.end());
       }
-      ASSERT_EQ(received, expected[dest]) << "trial " << trial;
+      ASSERT_EQ(received, expected[static_cast<std::size_t>(dest)])
+          << "trial " << trial;
     }
   }
 }

@@ -1,0 +1,263 @@
+// Unit tests of the retra_lint rules (tools/retra_lint/lint_rules.cpp):
+// each rule is exercised with a passing and a failing fixture, plus the
+// allow-comment escape.
+#include "lint_rules.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace retra::lint {
+namespace {
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+int count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// ------------------------------------------------------------------
+// pragma-once
+
+TEST(PragmaOnce, HeaderWithGuardPasses) {
+  const auto findings = lint_file("src/db/include/retra/db/x.hpp",
+                                  "// comment\n#pragma once\nint f();\n");
+  EXPECT_FALSE(has_rule(findings, "pragma-once"));
+}
+
+TEST(PragmaOnce, HeaderWithoutGuardFails) {
+  const auto findings =
+      lint_file("src/db/include/retra/db/x.hpp", "int f();\n");
+  ASSERT_TRUE(has_rule(findings, "pragma-once"));
+}
+
+TEST(PragmaOnce, GuardMustPrecedeCode) {
+  const auto findings = lint_file("src/db/include/retra/db/x.hpp",
+                                  "int f();\n#pragma once\n");
+  EXPECT_TRUE(has_rule(findings, "pragma-once"));
+}
+
+TEST(PragmaOnce, SourceFilesAreExempt) {
+  const auto findings = lint_file("src/db/src/x.cpp", "int f() { return 1; }\n");
+  EXPECT_FALSE(has_rule(findings, "pragma-once"));
+}
+
+// ------------------------------------------------------------------
+// include-hygiene
+
+TEST(IncludeHygiene, FullProjectPathPasses) {
+  const auto findings =
+      lint_file("src/db/src/x.cpp",
+                "#include \"retra/db/database.hpp\"\n#include <vector>\n");
+  EXPECT_FALSE(has_rule(findings, "include-hygiene"));
+}
+
+TEST(IncludeHygiene, RelativeQuotedIncludeUnderSrcFails) {
+  const auto findings =
+      lint_file("src/db/src/x.cpp", "#include \"database.hpp\"\n");
+  EXPECT_TRUE(has_rule(findings, "include-hygiene"));
+}
+
+TEST(IncludeHygiene, QuotedIncludeOutsideSrcIsAllowed) {
+  const auto findings =
+      lint_file("bench/bench_x.cpp", "#include \"bench_common.hpp\"\n");
+  EXPECT_FALSE(has_rule(findings, "include-hygiene"));
+}
+
+TEST(IncludeHygiene, BitsIncludeFails) {
+  const auto findings =
+      lint_file("src/db/src/x.cpp", "#include <bits/stdc++.h>\n");
+  EXPECT_TRUE(has_rule(findings, "include-hygiene"));
+}
+
+TEST(IncludeHygiene, ParentTraversalFails) {
+  const auto findings =
+      lint_file("tests/x.cpp", "#include \"../src/db/secret.hpp\"\n");
+  EXPECT_TRUE(has_rule(findings, "include-hygiene"));
+}
+
+// ------------------------------------------------------------------
+// determinism
+
+TEST(Determinism, WallClockInSolverPathFails) {
+  const auto findings = lint_file(
+      "src/para/include/retra/para/x.hpp",
+      "#pragma once\nauto t = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(has_rule(findings, "determinism"));
+}
+
+TEST(Determinism, StdRandInMsgPathFails) {
+  const auto findings =
+      lint_file("src/msg/src/x.cpp", "int r = std::rand();\n");
+  EXPECT_TRUE(has_rule(findings, "determinism"));
+}
+
+TEST(Determinism, SupportTimerIsOutOfScope) {
+  const auto findings = lint_file(
+      "src/support/include/retra/support/timer.hpp",
+      "#pragma once\nusing Clock = std::chrono::steady_clock;\n");
+  EXPECT_FALSE(has_rule(findings, "determinism"));
+}
+
+TEST(Determinism, MentionInCommentOrStringIsIgnored) {
+  const auto findings = lint_file(
+      "src/para/src/x.cpp",
+      "// steady_clock would break determinism\n"
+      "const char* s = \"rand\";\n");
+  EXPECT_FALSE(has_rule(findings, "determinism"));
+}
+
+TEST(Determinism, SeededXoshiroPasses) {
+  const auto findings =
+      lint_file("src/para/src/x.cpp", "support::Xoshiro256 rng(42);\n");
+  EXPECT_FALSE(has_rule(findings, "determinism"));
+}
+
+// ------------------------------------------------------------------
+// raw-alloc
+
+TEST(RawAlloc, NewUnderSrcFails) {
+  const auto findings =
+      lint_file("src/db/src/x.cpp", "int* p = new int(3);\n");
+  EXPECT_TRUE(has_rule(findings, "raw-alloc"));
+}
+
+TEST(RawAlloc, DeleteUnderSrcFails) {
+  const auto findings = lint_file("src/db/src/x.cpp", "delete p;\n");
+  EXPECT_TRUE(has_rule(findings, "raw-alloc"));
+}
+
+TEST(RawAlloc, MakeUniquePasses) {
+  const auto findings = lint_file(
+      "src/db/src/x.cpp", "auto p = std::make_unique<int>(3);\n");
+  EXPECT_FALSE(has_rule(findings, "raw-alloc"));
+}
+
+TEST(RawAlloc, DeletedMemberIsNotAnAllocation) {
+  const auto findings = lint_file(
+      "src/db/include/retra/db/x.hpp",
+      "#pragma once\nstruct X {\n  X(const X&) = delete;\n};\n");
+  EXPECT_FALSE(has_rule(findings, "raw-alloc"));
+}
+
+TEST(RawAlloc, OperatorNewDefinitionIsNotAnAllocation) {
+  const auto findings = lint_file(
+      "src/support/src/alloc.cpp", "void* operator new(std::size_t n);\n");
+  EXPECT_FALSE(has_rule(findings, "raw-alloc"));
+}
+
+TEST(RawAlloc, OutsideSrcIsOutOfScope) {
+  const auto findings = lint_file("tests/x.cpp", "int* p = new int(3);\n");
+  EXPECT_FALSE(has_rule(findings, "raw-alloc"));
+}
+
+// ------------------------------------------------------------------
+// wire-format
+
+constexpr const char* kGoodWireStruct =
+    "#pragma once\n"
+    "struct GoodRecord {\n"
+    "  std::uint64_t target = 0;\n"
+    "  std::int16_t value = 0;\n"
+    "  static constexpr std::size_t kWireSize = 8 + 2;\n"
+    "};\n"
+    "static_assert(std::is_trivially_copyable_v<GoodRecord>);\n";
+
+TEST(WireFormat, CoveredFixedWidthStructPasses) {
+  const auto findings =
+      lint_file("src/para/include/retra/para/x.hpp", kGoodWireStruct);
+  EXPECT_FALSE(has_rule(findings, "wire-format"));
+}
+
+TEST(WireFormat, MissingTriviallyCopyableAssertFails) {
+  const auto findings = lint_file("src/para/include/retra/para/x.hpp",
+                                  "#pragma once\n"
+                                  "struct BadRecord {\n"
+                                  "  std::uint64_t target = 0;\n"
+                                  "  static constexpr std::size_t kWireSize = 8;\n"
+                                  "};\n");
+  ASSERT_TRUE(has_rule(findings, "wire-format"));
+}
+
+TEST(WireFormat, NonFixedWidthFieldFails) {
+  const auto findings = lint_file(
+      "src/para/include/retra/para/x.hpp",
+      "#pragma once\n"
+      "struct BadRecord {\n"
+      "  int target = 0;\n"
+      "  static constexpr std::size_t kWireSize = 4;\n"
+      "};\n"
+      "static_assert(std::is_trivially_copyable_v<BadRecord>);\n");
+  EXPECT_EQ(count_rule(findings, "wire-format"), 1);
+}
+
+TEST(WireFormat, StructWithoutWireSizeIsNotAWireStruct) {
+  const auto findings = lint_file("src/para/include/retra/para/x.hpp",
+                                  "#pragma once\n"
+                                  "struct Stats {\n"
+                                  "  int anything = 0;\n"
+                                  "};\n");
+  EXPECT_FALSE(has_rule(findings, "wire-format"));
+}
+
+TEST(WireFormat, MethodBodiesAreNotFields) {
+  const auto findings = lint_file(
+      "src/para/include/retra/para/x.hpp",
+      "#pragma once\n"
+      "struct GoodRecord {\n"
+      "  std::uint64_t target = 0;\n"
+      "  static constexpr std::size_t kWireSize = 8;\n"
+      "  static GoodRecord decode(Reader& r) {\n"
+      "    GoodRecord rec;\n"
+      "    rec.target = r.u64();\n"
+      "    return rec;\n"
+      "  }\n"
+      "};\n"
+      "static_assert(std::is_trivially_copyable_v<GoodRecord>);\n");
+  EXPECT_FALSE(has_rule(findings, "wire-format"));
+}
+
+// ------------------------------------------------------------------
+// allow-comment escape
+
+TEST(AllowDirective, SameLineSuppresses) {
+  const auto findings = lint_file(
+      "src/db/src/x.cpp",
+      "int* p = new int(3);  // retra-lint: allow(raw-alloc)\n");
+  EXPECT_FALSE(has_rule(findings, "raw-alloc"));
+}
+
+TEST(AllowDirective, PreviousLineSuppresses) {
+  const auto findings =
+      lint_file("src/db/src/x.cpp",
+                "// retra-lint: allow(raw-alloc)\nint* p = new int(3);\n");
+  EXPECT_FALSE(has_rule(findings, "raw-alloc"));
+}
+
+TEST(AllowDirective, OnlySuppressesTheNamedRule) {
+  const auto findings =
+      lint_file("src/msg/src/x.cpp",
+                "// retra-lint: allow(raw-alloc)\nint r = std::rand();\n");
+  EXPECT_TRUE(has_rule(findings, "determinism"));
+}
+
+// ------------------------------------------------------------------
+// finding metadata
+
+TEST(Findings, CarryFileLineAndRule) {
+  const auto findings =
+      lint_file("src/db/src/x.cpp", "int a;\nint* p = new int(3);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/db/src/x.cpp");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[0].rule, "raw-alloc");
+}
+
+}  // namespace
+}  // namespace retra::lint

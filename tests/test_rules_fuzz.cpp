@@ -21,7 +21,7 @@ namespace {
 Board random_board(int stones, support::Xoshiro256& rng) {
   Board board{};
   for (int s = 0; s < stones; ++s) {
-    const auto pit = static_cast<int>(rng.below(kPits));
+    const auto pit = static_cast<std::size_t>(rng.below(kPits));
     board[pit] = static_cast<std::uint8_t>(board[pit] + 1);
   }
   return board;
@@ -41,16 +41,17 @@ TEST(AwariFuzz, RandomPlayoutsKeepInvariants) {
         break;
       }
       ASSERT_FALSE(is_terminal(board));
-      const auto& move = moves.items[rng.below(moves.count)];
+      const auto& move = moves.items[rng.below(static_cast<std::uint64_t>(moves.count))];
       // Conservation and normalisation.
       ASSERT_EQ(idx::stones_on(move.after) + move.captured, on_board);
-      ASSERT_EQ(move.after[(move.pit + 6) % kPits], 0);
+      ASSERT_EQ(move.after[static_cast<std::size_t>((move.pit + 6) % kPits)],
+                0);
       ASSERT_GE(move.captured, 0);
       // A capture never strips the opponent bare (grand slam forfeits);
       // in the rotated frame the *mover's* new row is the old opponent's.
       if (move.captured > 0) {
         int new_mover_row = 0;
-        for (int i = 0; i < 6; ++i) new_mover_row += move.after[i];
+        for (std::size_t i = 0; i < 6; ++i) new_mover_row += move.after[i];
         ASSERT_GT(new_mover_row, 0);
       }
       on_board -= move.captured;
@@ -72,7 +73,7 @@ TEST(KalahFuzz, RandomPlayoutsKeepInvariants) {
       }
       const kalah::MoveList moves = kalah::legal_moves(board);
       ASSERT_GT(moves.count, 0);
-      const auto& move = moves.items[rng.below(moves.count)];
+      const auto& move = moves.items[rng.below(static_cast<std::uint64_t>(moves.count))];
       ASSERT_EQ(idx::stones_on(move.after) + move.banked, on_board);
       ASSERT_GE(move.banked, 0);
       if (move.extra_turn) {
@@ -111,7 +112,7 @@ TEST(AwariFuzz, PlayoutsNeverContradictTheDatabase) {
         best = std::max(best, option);
       }
       ASSERT_EQ(best, v);
-      board = moves.items[rng.below(moves.count)].after;
+      board = moves.items[rng.below(static_cast<std::uint64_t>(moves.count))].after;
     }
   }
 }

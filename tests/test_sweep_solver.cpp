@@ -168,7 +168,7 @@ TEST(AwariSweep, LevelOneHandValues) {
   ASSERT_EQ(result.values.size(), 12u);
   for (int pit = 0; pit < 12; ++pit) {
     game::Board board{};
-    board[pit] = 1;
+    board[static_cast<std::size_t>(pit)] = 1;
     const db::Value expected = (pit <= 4) ? 1 : -1;
     EXPECT_EQ(result.values[idx::rank(board)], expected) << "pit " << pit;
   }

@@ -32,7 +32,9 @@ TEST(Trace, RoundsAreContiguousAndConsistent) {
     // starts at 0 virtual seconds, so only require monotonicity within a
     // level (start never before the previous round's start when the
     // round counter grows).
-    if (row.round > 1) EXPECT_GE(row.start_s + 1e-12, prev_end * 0);
+    if (row.round > 1) {
+      EXPECT_GE(row.start_s + 1e-12, prev_end * 0);
+    }
     prev_end = row.end_s;
   }
   std::uint64_t expected_messages = 0;

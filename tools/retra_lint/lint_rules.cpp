@@ -1,0 +1,374 @@
+#include "lint_rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstddef>
+
+namespace retra::lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool is_header(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
+}
+
+/// True when `path` (repo-relative or absolute) lies under `dir`
+/// ("src/ra" matches ".../src/ra/src/oracle.cpp").
+bool under(const std::string& path, std::string_view dir) {
+  const std::string needle = std::string(dir) + "/";
+  return path.find(needle) != std::string::npos ||
+         starts_with(path, needle);
+}
+
+/// Replaces comments and string/character literals with spaces (newlines
+/// preserved), so token scans cannot fire inside them.
+std::string strip_comments_and_literals(std::string_view in) {
+  std::string out(in);
+  enum class State { kCode, kLine, kBlock, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == quote) {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_lines(std::string_view s) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find('\n', start);
+    if (end == std::string_view::npos) {
+      lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Identifier tokens of one (already stripped) line.
+std::vector<std::string_view> ident_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (is_ident_char(line[i]) &&
+        std::isdigit(static_cast<unsigned char>(line[i])) == 0) {
+      std::size_t j = i;
+      while (j < line.size() && is_ident_char(line[j])) ++j;
+      tokens.push_back(line.substr(i, j - i));
+      i = j;
+    } else if (is_ident_char(line[i])) {
+      while (i < line.size() && is_ident_char(line[i])) ++i;  // number
+    } else {
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+class Linter {
+ public:
+  Linter(const std::string& path, std::string_view content)
+      : path_(path),
+        raw_lines_(split_lines(content)),
+        stripped_(strip_comments_and_literals(content)),
+        lines_(split_lines(stripped_)) {}
+
+  std::vector<Finding> run() {
+    if (is_header(path_)) check_pragma_once();
+    check_includes();
+    if (under(path_, "src/ra") || under(path_, "src/para") ||
+        under(path_, "src/msg") || under(path_, "src/sim")) {
+      check_determinism();
+    }
+    if (under(path_, "src")) check_raw_alloc();
+    check_wire_structs();
+    return std::move(findings_);
+  }
+
+ private:
+  void add(int line, const char* rule, std::string message) {
+    if (allowed(line, rule)) return;
+    findings_.push_back(Finding{path_, line, rule, std::move(message)});
+  }
+
+  /// `// retra-lint: allow(<rule>)` on the finding's line or the one
+  /// above suppresses it.
+  bool allowed(int line, const char* rule) const {
+    const std::string directive =
+        std::string("retra-lint: allow(") + rule + ")";
+    for (int l = std::max(1, line - 1); l <= line; ++l) {
+      const std::size_t i = static_cast<std::size_t>(l - 1);
+      if (i < raw_lines_.size() &&
+          raw_lines_[i].find(directive) != std::string_view::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void check_pragma_once() {
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      const std::string_view line = trim(lines_[i]);
+      if (line.empty()) continue;
+      if (line == "#pragma once") return;
+      // The guard must precede any other preprocessor/code line.
+      add(static_cast<int>(i) + 1, "pragma-once",
+          "header must start with #pragma once");
+      return;
+    }
+    add(1, "pragma-once", "header must start with #pragma once");
+  }
+
+  void check_includes() {
+    // Raw lines: the literal-stripping pass blanks quoted include paths.
+    for (std::size_t i = 0; i < raw_lines_.size(); ++i) {
+      const std::string_view line = trim(raw_lines_[i]);
+      if (!starts_with(line, "#include")) continue;
+      const int lineno = static_cast<int>(i) + 1;
+      const std::size_t open = line.find_first_of("<\"", 8);
+      if (open == std::string_view::npos) continue;
+      const char close = line[open] == '<' ? '>' : '"';
+      const std::size_t end = line.find(close, open + 1);
+      if (end == std::string_view::npos) continue;
+      const std::string_view target =
+          line.substr(open + 1, end - open - 1);
+      if (target.find("..") != std::string_view::npos) {
+        add(lineno, "include-hygiene",
+            "include path must not contain '..'");
+      }
+      if (starts_with(target, "bits/")) {
+        add(lineno, "include-hygiene",
+            "<bits/...> is a libstdc++ internal; include the standard "
+            "header instead");
+      }
+      if (line[open] == '"' && under(path_, "src") &&
+          !starts_with(target, "retra/")) {
+        add(lineno, "include-hygiene",
+            "project includes under src/ must use the full "
+            "\"retra/...\" path");
+      }
+    }
+  }
+
+  void check_determinism() {
+    // Ambient nondeterminism: wall clocks and unseeded/global RNGs make
+    // solver and protocol runs irreproducible (and untestable under the
+    // discrete-event simulator, which owns the only clock).
+    static constexpr std::array<std::string_view, 9> kBanned = {
+        "rand",          "srand",
+        "random_device", "mt19937",
+        "system_clock",  "steady_clock",
+        "high_resolution_clock", "gettimeofday",
+        "clock_gettime",
+    };
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      for (const std::string_view token : ident_tokens(lines_[i])) {
+        if (std::find(kBanned.begin(), kBanned.end(), token) !=
+            kBanned.end()) {
+          add(static_cast<int>(i) + 1, "determinism",
+              "'" + std::string(token) +
+                  "' is nondeterministic; use the seeded "
+                  "support::Xoshiro256 / virtual time instead");
+        }
+      }
+    }
+  }
+
+  void check_raw_alloc() {
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      const std::string_view line = lines_[i];
+      const auto tokens = ident_tokens(line);
+      for (std::size_t t = 0; t < tokens.size(); ++t) {
+        const std::string_view token = tokens[t];
+        if (token != "new" && token != "delete") continue;
+        // `= delete;` (deleted member) and `operator new/delete`
+        // (allocator definitions) are declarations, not allocations.
+        const std::size_t at =
+            static_cast<std::size_t>(token.data() - line.data());
+        std::string_view before = trim(line.substr(0, at));
+        if (token == "delete" && !before.empty() && before.back() == '=') {
+          continue;
+        }
+        if (t > 0 && tokens[t - 1] == "operator") continue;
+        add(static_cast<int>(i) + 1, "raw-alloc",
+            "raw '" + std::string(token) +
+                "' under src/; use containers or std::make_unique");
+      }
+    }
+  }
+
+  void check_wire_structs() {
+    // A struct declaring `kWireSize` is a wire record: it must be
+    // statically asserted trivially copyable and use only fixed-width
+    // field types, so encode/decode and checksums see a stable layout.
+    static constexpr std::array<std::string_view, 9> kFixedWidth = {
+        "std::uint8_t",  "std::uint16_t", "std::uint32_t",
+        "std::uint64_t", "std::int8_t",   "std::int16_t",
+        "std::int32_t",  "std::int64_t",  "std::byte",
+    };
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      const std::string_view line = trim(lines_[i]);
+      if (!starts_with(line, "struct ")) continue;
+      const std::string_view rest = trim(line.substr(7));
+      std::size_t name_end = 0;
+      while (name_end < rest.size() && is_ident_char(rest[name_end])) {
+        ++name_end;
+      }
+      if (name_end == 0) continue;
+      const std::string name(rest.substr(0, name_end));
+      if (rest.find('{') == std::string_view::npos) continue;  // fwd decl
+
+      // Body: to the matching close brace (brace counting on stripped
+      // text, so braces in literals/comments cannot confuse it).
+      int depth = 0;
+      std::size_t body_end = i;
+      for (std::size_t j = i; j < lines_.size(); ++j) {
+        for (const char c : lines_[j]) {
+          if (c == '{') ++depth;
+          if (c == '}') --depth;
+        }
+        if (depth <= 0 && j > i) {
+          body_end = j;
+          break;
+        }
+        body_end = j;
+      }
+
+      bool is_wire = false;
+      for (std::size_t j = i; j <= body_end; ++j) {
+        for (const std::string_view token : ident_tokens(lines_[j])) {
+          if (token == "kWireSize") is_wire = true;
+        }
+      }
+      if (!is_wire) continue;
+
+      if (stripped_.find("is_trivially_copyable_v<" + name + ">") ==
+          std::string::npos) {
+        add(static_cast<int>(i) + 1, "wire-format",
+            "wire struct " + name +
+                " needs static_assert(std::is_trivially_copyable_v<" +
+                name + ">)");
+      }
+
+      int member_depth = 0;  // brace depth at the start of each line
+      for (const char c : lines_[i]) {
+        if (c == '{') ++member_depth;
+        if (c == '}') --member_depth;
+      }
+      for (std::size_t j = i + 1; j < body_end; ++j) {
+        const int depth_at_start = member_depth;
+        for (const char c : lines_[j]) {
+          if (c == '{') ++member_depth;
+          if (c == '}') --member_depth;
+        }
+        // Members live at depth 1; deeper lines are inside the bodies of
+        // encode/decode or nested types.
+        if (depth_at_start != 1) continue;
+        const std::string_view decl = trim(lines_[j]);
+        if (decl.empty() || decl.back() != ';') continue;
+        if (decl.find('(') != std::string_view::npos) continue;
+        if (starts_with(decl, "static") || starts_with(decl, "using") ||
+            starts_with(decl, "return") || starts_with(decl, "}")) {
+          continue;
+        }
+        // `Type name = init;` or `Type name;` — a data member.
+        const std::size_t space = decl.find(' ');
+        if (space == std::string_view::npos) continue;
+        const std::string_view type = decl.substr(0, space);
+        if (std::find(kFixedWidth.begin(), kFixedWidth.end(), type) ==
+            kFixedWidth.end()) {
+          add(static_cast<int>(j) + 1, "wire-format",
+              "wire struct " + name + " field '" + std::string(decl) +
+                  "' must use a fixed-width type");
+        }
+      }
+    }
+  }
+
+  std::string path_;
+  std::vector<std::string_view> raw_lines_;
+  std::string stripped_;
+  std::vector<std::string_view> lines_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<Finding> lint_file(const std::string& path,
+                               std::string_view content) {
+  return Linter(path, content).run();
+}
+
+}  // namespace retra::lint

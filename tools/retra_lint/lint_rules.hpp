@@ -1,0 +1,41 @@
+// Repo-invariant lint rules (see tools/retra_lint/README.md).
+//
+// The rules are pure functions over file content so they are unit-testable
+// with fixture strings; the `retra_lint` binary adds the filesystem walk.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace retra::lint {
+
+struct Finding {
+  std::string file;
+  int line = 1;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Rule identifiers, usable in `// retra-lint: allow(<rule>)` directives.
+///
+///   pragma-once      every header starts with `#pragma once`
+///   include-hygiene  project includes are `"retra/..."` (under src/),
+///                    no `<bits/...>`, no `..` in include paths
+///   determinism      no wall clocks or ambient RNGs in solver/message
+///                    code paths (src/ra, src/para, src/msg, src/sim)
+///   raw-alloc        no raw `new` / `delete` under src/ (owning
+///                    containers and smart pointers only)
+///   wire-format      every struct with a `kWireSize` member has a
+///                    `static_assert(std::is_trivially_copyable_v<...>)`
+///                    and only fixed-width fields
+///
+/// A finding on line N is suppressed by a `// retra-lint: allow(<rule>)`
+/// comment on line N or N-1.
+///
+/// `path` should be repo-relative (rule scoping keys off `src/` prefixes);
+/// `content` is the raw file text.
+std::vector<Finding> lint_file(const std::string& path,
+                               std::string_view content);
+
+}  // namespace retra::lint

@@ -1,0 +1,94 @@
+// retra_lint — repo-invariant checker.
+//
+//   retra_lint <dir-or-file>...
+//
+// Walks the given trees, lints every .hpp/.cpp (skipping build
+// directories), prints findings as `file:line: [rule] message`, and
+// exits nonzero when anything fired.  The rules live in lint_rules.cpp
+// so they stay unit-testable; see lint_rules.hpp for the rule list and
+// the `// retra-lint: allow(<rule>)` escape.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+bool skipped_dir(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name == "build" || name == ".git" ||
+         name.rfind("cmake-build", 0) == 0;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& out) {
+  if (fs::is_regular_file(root)) {
+    if (lintable(root)) out.push_back(root);
+    return;
+  }
+  fs::recursive_directory_iterator it(root), end;
+  for (; it != end; ++it) {
+    if (it->is_directory() && skipped_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable(it->path())) {
+      out.push_back(it->path());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: retra_lint <dir-or-file>...\n");
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    if (!fs::exists(root)) {
+      std::fprintf(stderr, "retra_lint: no such path: %s\n", argv[i]);
+      return 2;
+    }
+    collect(root, files);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  for (const fs::path& file : files) {
+    const auto findings =
+        retra::lint::lint_file(file.generic_string(), read_file(file));
+    for (const auto& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str());
+    }
+    total += findings.size();
+  }
+  if (total != 0) {
+    std::fprintf(stderr, "retra_lint: %zu finding(s) in %zu file(s)\n",
+                 total, files.size());
+    return 1;
+  }
+  std::printf("retra_lint: %zu files clean\n", files.size());
+  return 0;
+}
