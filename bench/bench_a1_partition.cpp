@@ -14,6 +14,9 @@ int main(int argc, char** argv) {
   using namespace retra;
   using namespace retra::bench;
   support::Cli cli;
+  cli.describe(
+      "A1 ablation: partition scheme (block, cyclic, block-cyclic) — load "
+      "balance and communication of the simulated build.");
   add_model_flags(cli);
   cli.flag("level", "9", "awari level built under the simulator");
   cli.flag("ranks", "16", "processors");

@@ -17,6 +17,9 @@
 int main(int argc, char** argv) {
   using namespace retra;
   support::Cli cli;
+  cli.describe(
+      "A2 ablation: bulk-synchronous versus asynchronous execution of the "
+      "real threaded build.");
   cli.flag("level", "8", "awari level built");
   cli.flag("ranks", "4", "processors (real threads)");
   cli.flag("combine-bytes", "4096", "combining buffer size");

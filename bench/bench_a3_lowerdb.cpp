@@ -14,6 +14,9 @@ int main(int argc, char** argv) {
   using namespace retra;
   using namespace retra::bench;
   support::Cli cli;
+  cli.describe(
+      "A3 ablation: partitioned versus replicated lower databases — "
+      "lookup traffic against replication broadcast cost.");
   add_model_flags(cli);
   cli.flag("level", "9", "awari level built under the simulator");
   cli.flag("ranks", "8", "processors");

@@ -8,6 +8,7 @@
 //      paper-scale database (--paper-level), where the abstract reports a
 //      speedup of 48 on 64 processors.
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -16,7 +17,12 @@ int main(int argc, char** argv) {
   using namespace retra;
   using namespace retra::bench;
   support::Cli cli;
+  cli.describe(
+      "F1: speedup curve of the simulated distributed awari build — "
+      "measured panel per processor count plus a paper-scale projection. "
+      "--json writes the artifact of the largest-P measured run.");
   add_model_flags(cli);
+  add_output_flags(cli);
   cli.flag("level", "10", "awari level actually built under the simulator");
   cli.flag("paper-level", "21", "level for the projected paper-scale panel");
   cli.flag("combine-bytes", "4096", "combining buffer size");
@@ -41,8 +47,11 @@ int main(int argc, char** argv) {
   double t1 = 0;
   sim::LevelProfile top_profile{};
   std::uint64_t top_rounds = 0;
+  std::optional<para::SimBuildResult> artifact_run;
+  obs::Snapshot artifact_delta;
   for (const int ranks : rank_counts) {
-    const auto run = simulate_build(level, ranks, combine, model);
+    const obs::Snapshot before = obs::snapshot();
+    auto run = simulate_build(level, ranks, combine, model);
     double time = run.total_time_s();
     std::uint64_t messages = 0, payload = 0;
     for (const auto& t : run.timings) {
@@ -56,6 +65,8 @@ int main(int argc, char** argv) {
       // projected barrier term is realistic.
       top_profile = measured_profile(run);
       top_rounds = run.levels.back().rounds;
+      artifact_delta = obs::snapshot() - before;
+      artifact_run = std::move(run);
     }
     measured.row()
         .add(ranks)
@@ -101,5 +112,16 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper reference points: speedup 48 at P=64; uniprocessor run of "
       "the same database took 40 h.\n");
+
+  BenchRunMeta meta;
+  meta.suite = "f1";
+  meta.bench = "bench_f1_speedup";
+  meta.max_level = level;
+  meta.ranks = rank_counts.back();
+  meta.combine_bytes = combine;
+  if (!write_artifact_if_requested(cli, meta, model, *artifact_run,
+                                   artifact_delta)) {
+    return 1;
+  }
   return 0;
 }

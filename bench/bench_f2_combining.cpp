@@ -12,7 +12,12 @@ int main(int argc, char** argv) {
   using namespace retra;
   using namespace retra::bench;
   support::Cli cli;
+  cli.describe(
+      "F2: the effect of message combining — the same simulated build "
+      "swept over combining buffer sizes, measured and at paper scale. "
+      "--json writes the artifact of the 4 KB reference build.");
   add_model_flags(cli);
+  add_output_flags(cli);
   cli.flag("level", "9", "awari level built under the simulator");
   cli.flag("ranks", "16", "processors");
   cli.parse(argc, argv);
@@ -55,7 +60,9 @@ int main(int argc, char** argv) {
   table.print();
 
   // Paper-scale projection of the same ablation.
+  const obs::Snapshot before = obs::snapshot();
   const auto reference = simulate_build(level, ranks, 4096, model);
+  const obs::Snapshot delta = obs::snapshot() - before;
   sim::LevelProfile paper =
       paper_scale_profile(measured_profile(reference), level, 21);
   paper.rounds = reference.levels.back().rounds * 21 /
@@ -78,5 +85,15 @@ int main(int argc, char** argv) {
       "\npaper claim: combining reduces the otherwise enormous "
       "communication overhead drastically, making the distributed build "
       "worthwhile at all.\n");
+
+  BenchRunMeta meta;
+  meta.suite = "f2";
+  meta.bench = "bench_f2_combining";
+  meta.max_level = level;
+  meta.ranks = ranks;
+  meta.combine_bytes = 4096;
+  if (!write_artifact_if_requested(cli, meta, model, reference, delta)) {
+    return 1;
+  }
   return 0;
 }

@@ -11,6 +11,9 @@ int main(int argc, char** argv) {
   using namespace retra;
   using namespace retra::bench;
   support::Cli cli;
+  cli.describe(
+      "F3: time breakdown of the simulated build — compute, send/receive "
+      "overhead, network, idle, and barrier shares per processor count.");
   add_model_flags(cli);
   cli.flag("level", "9", "awari level built under the simulator");
   cli.flag("combine-bytes", "4096", "combining buffer size");

@@ -17,6 +17,9 @@ int main(int argc, char** argv) {
   using namespace retra;
   using namespace retra::bench;
   support::Cli cli;
+  cli.describe(
+      "S1: sensitivity of the reproduced speedup to the 1995 cluster- "
+      "model constants.");
   add_model_flags(cli);
   cli.flag("level", "9", "level measured for workload densities");
   cli.flag("paper-level", "21", "projected level");

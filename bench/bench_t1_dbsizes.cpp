@@ -25,6 +25,9 @@ constexpr std::uint64_t kFinalBytes = 1;
 int main(int argc, char** argv) {
   using namespace retra;
   support::Cli cli;
+  cli.describe(
+      "T1: database sizes — positions per awari level, cumulative totals, "
+      "and uniprocessor memory requirements.");
   cli.flag("max-level", "24", "largest level to tabulate");
   cli.parse(argc, argv);
   const int max_level = static_cast<int>(cli.integer("max-level"));

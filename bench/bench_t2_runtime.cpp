@@ -5,6 +5,7 @@
 // abstract describes (40 h on one machine vs 50 min on 64; a larger one
 // in 20 h on 64 that needs >600 MB on a uniprocessor).
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -13,7 +14,12 @@ int main(int argc, char** argv) {
   using namespace retra;
   using namespace retra::bench;
   support::Cli cli;
+  cli.describe(
+      "T2: execution time per database build, measured under the cluster "
+      "simulator and projected at paper scale.  --json writes the "
+      "artifact of the largest measured build (max level, most ranks).");
   add_model_flags(cli);
+  add_output_flags(cli);
   cli.flag("max-level", "10", "largest level built under the simulator");
   cli.flag("combine-bytes", "4096", "combining buffer size");
   cli.parse(argc, argv);
@@ -36,17 +42,22 @@ int main(int argc, char** argv) {
 
   sim::LevelProfile top_profile{};
   std::uint64_t top_rounds = 1;
+  std::optional<para::SimBuildResult> artifact_run;
+  obs::Snapshot artifact_delta;
   for (int level = 6; level <= max_level; ++level) {
     measured.row().add(level).add(idx::cumulative_size(level));
     double t1 = 0, t_last = 0;
     for (const int ranks : rank_counts) {
-      const auto run = simulate_build(level, ranks, combine, model);
+      const obs::Snapshot before = obs::snapshot();
+      auto run = simulate_build(level, ranks, combine, model);
       t_last = run.total_time_s();
       if (ranks == 1) t1 = t_last;
       measured.add(support::human_seconds(t_last));
       if (level == max_level && ranks == rank_counts.back()) {
         top_profile = measured_profile(run);
         top_rounds = run.levels.back().rounds;
+        artifact_delta = obs::snapshot() - before;
+        artifact_run = std::move(run);
       }
     }
     measured.add(t1 / t_last, 1);
@@ -83,5 +94,16 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper reference: one database 40 h on P=1 vs 50 min on P=64 "
       "(speedup 48); a larger one 20 h on P=64, >600 MB on P=1.\n");
+
+  BenchRunMeta meta;
+  meta.suite = "t2";
+  meta.bench = "bench_t2_runtime";
+  meta.max_level = max_level;
+  meta.ranks = rank_counts.back();
+  meta.combine_bytes = combine;
+  if (!write_artifact_if_requested(cli, meta, model, *artifact_run,
+                                   artifact_delta)) {
+    return 1;
+  }
   return 0;
 }

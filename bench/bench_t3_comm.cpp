@@ -12,7 +12,12 @@ int main(int argc, char** argv) {
   using namespace retra;
   using namespace retra::bench;
   support::Cli cli;
+  cli.describe(
+      "T3: per-level communication statistics of a simulated parallel "
+      "awari build — local/remote updates, lookups, replies, combined "
+      "messages, and the achieved combining factor.");
   add_model_flags(cli);
+  add_output_flags(cli);
   cli.flag("max-level", "10", "largest level built");
   cli.flag("ranks", "16", "processors");
   cli.flag("combine-bytes", "4096", "combining buffer size");
@@ -26,15 +31,14 @@ int main(int argc, char** argv) {
       "T3: communication statistics per level, P=%d, %zu-byte combining\n\n",
       ranks, combine);
 
+  const obs::Snapshot before = obs::snapshot();
   const auto run = simulate_build(max_level, ranks, combine, model);
+  const obs::Snapshot delta = obs::snapshot() - before;
 
   support::Table table({"level", "positions", "updates local",
                         "updates remote", "lookups remote", "replies",
                         "messages", "records/msg", "payload"});
   for (const auto& info : run.levels) {
-    const std::uint64_t records = info.total.updates_remote +
-                                  info.total.lookups_remote +
-                                  info.total.replies_sent;
     table.row()
         .add(info.level)
         .add(info.size)
@@ -43,11 +47,7 @@ int main(int argc, char** argv) {
         .add(info.total.lookups_remote)
         .add(info.total.replies_sent)
         .add(info.total.messages_sent)
-        .add(info.total.messages_sent
-                 ? static_cast<double>(records) /
-                       static_cast<double>(info.total.messages_sent)
-                 : 0.0,
-             1)
+        .add(info.total.records_per_message(), 1)
         .add(support::human_bytes(info.total.payload_bytes));
   }
   table.print();
@@ -57,5 +57,13 @@ int main(int argc, char** argv) {
       "partition scatters predecessors; combining packs hundreds of "
       "10-byte records per message once levels are large enough to fill "
       "buffers between supersteps.\n");
+
+  BenchRunMeta meta;
+  meta.suite = "t3";
+  meta.bench = "bench_t3_comm";
+  meta.max_level = max_level;
+  meta.ranks = ranks;
+  meta.combine_bytes = combine;
+  if (!write_artifact_if_requested(cli, meta, model, run, delta)) return 1;
   return 0;
 }

@@ -13,6 +13,9 @@ int main(int argc, char** argv) {
   using namespace retra;
   using namespace retra::bench;
   support::Cli cli;
+  cli.describe(
+      "T4: per-node memory of the distributed build versus processor "
+      "count, against 1995 node capacities.");
   cli.flag("level", "21", "database level whose build is sized");
   cli.parse(argc, argv);
   const int level = static_cast<int>(cli.integer("level"));

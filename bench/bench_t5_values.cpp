@@ -13,6 +13,9 @@
 int main(int argc, char** argv) {
   using namespace retra;
   support::Cli cli;
+  cli.describe(
+      "T5: database content statistics — win/draw/loss distribution per "
+      "level, verified against the sequential solver.");
   cli.flag("max-level", "10", "largest level to build and verify");
   cli.parse(argc, argv);
   const int max_level = static_cast<int>(cli.integer("max-level"));

@@ -48,6 +48,9 @@ class Combiner {
   std::uint8_t tag_;
   std::size_t flush_bytes_;
   std::vector<std::vector<std::byte>> buffers_;  // one per destination
+  /// Records currently sitting in each buffer; feeds the per-message
+  /// combining-factor histogram when the buffer ships.
+  std::vector<std::uint64_t> buffer_records_;
   Stats stats_;
 };
 

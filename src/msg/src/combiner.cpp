@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "retra/obs/metrics.hpp"
 #include "retra/support/check.hpp"
 #include "retra/support/numeric.hpp"
 
@@ -11,7 +12,8 @@ Combiner::Combiner(Comm& comm, std::uint8_t tag, std::size_t flush_bytes)
     : comm_(comm),
       tag_(tag),
       flush_bytes_(flush_bytes == 0 ? 1 : flush_bytes),
-      buffers_(support::to_size(comm.size())) {}
+      buffers_(support::to_size(comm.size())),
+      buffer_records_(support::to_size(comm.size()), 0) {}
 
 void Combiner::append(int dest, const void* record, std::size_t record_size) {
   RETRA_DCHECK(dest >= 0 && dest < static_cast<int>(buffers_.size()));
@@ -23,6 +25,7 @@ void Combiner::append(int dest, const void* record, std::size_t record_size) {
   buffer.resize(offset + record_size);
   std::memcpy(buffer.data() + offset, record, record_size);
   ++stats_.records;
+  ++buffer_records_[support::to_size(dest)];
   comm_.meter().charge(WorkKind::kRecordPack);
 }
 
@@ -31,6 +34,14 @@ void Combiner::flush(int dest) {
   if (buffer.empty()) return;
   ++stats_.messages;
   stats_.payload_bytes += buffer.size();
+  // Metrics are published once per shipped message (not per record), so
+  // the append hot path carries no atomic traffic.
+  std::uint64_t& records = buffer_records_[support::to_size(dest)];
+  RETRA_OBS_ADD(obs::Id::kCombinerRecords, records);
+  RETRA_OBS_INC(obs::Id::kCombinerMessages);
+  RETRA_OBS_ADD(obs::Id::kCombinerPayloadBytes, buffer.size());
+  RETRA_OBS_OBSERVE(obs::Id::kCombinerRecordsPerMessage, records);
+  records = 0;
   std::vector<std::byte> payload;
   payload.swap(buffer);
   comm_.send(dest, tag_, std::move(payload));

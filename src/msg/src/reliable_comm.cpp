@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "retra/obs/metrics.hpp"
 #include "retra/support/check.hpp"
 #include "retra/support/numeric.hpp"
 
@@ -53,6 +54,7 @@ void ReliableComm::send(int dest, std::uint8_t tag,
   pending.due = now_ + pending.interval;
   pending.frame = frame;  // keep a verbatim copy for retransmission
   ++rstats_.data_sent;
+  RETRA_OBS_INC(obs::Id::kReliableDataSent);
   inner_.send(dest, kTagReliableData, std::move(frame));
   pump();
 }
@@ -75,6 +77,7 @@ bool ReliableComm::try_recv(Message& out) {
   ++stats_.messages_received;
   stats_.bytes_received += out.payload.size();
   ++rstats_.delivered;
+  RETRA_OBS_INC(obs::Id::kReliableDelivered);
   return true;
 }
 
@@ -91,6 +94,7 @@ void ReliableComm::pump() {
     for (auto& [seq, pending] : tx_[dest].unacked) {
       if (pending.due > now_) continue;
       ++rstats_.retries;
+      RETRA_OBS_INC(obs::Id::kReliableRetries);
       pending.interval = std::min(pending.interval * 2, config_.backoff_cap);
       pending.due = now_ + pending.interval;
       inner_.send(static_cast<int>(dest), kTagReliableData, pending.frame);
@@ -103,6 +107,7 @@ void ReliableComm::send_ack(int peer) {
   put_u64(frame.data() + 8, rx_[to_size(peer)].expected);
   put_u64(frame.data(), frame_checksum(frame.data() + 8, 8));
   ++rstats_.acks_sent;
+  RETRA_OBS_INC(obs::Id::kReliableAcksSent);
   inner_.send(peer, kTagReliableAck, std::move(frame));
 }
 
@@ -111,6 +116,7 @@ void ReliableComm::handle_ack(const Message& raw) {
       get_u64(raw.payload.data()) !=
           frame_checksum(raw.payload.data() + 8, 8)) {
     ++rstats_.corrupt_dropped;
+    RETRA_OBS_INC(obs::Id::kReliableCorruptDropped);
     return;
   }
   const std::uint64_t ack = get_u64(raw.payload.data() + 8);
@@ -123,6 +129,7 @@ void ReliableComm::handle_data(Message raw) {
       get_u64(raw.payload.data()) !=
           frame_checksum(raw.payload.data() + 8, raw.payload.size() - 8)) {
     ++rstats_.corrupt_dropped;
+    RETRA_OBS_INC(obs::Id::kReliableCorruptDropped);
     return;
   }
   const std::uint64_t seq = get_u64(raw.payload.data() + 8);
@@ -131,6 +138,7 @@ void ReliableComm::handle_data(Message raw) {
   if (seq < peer.expected) {
     // Already delivered; the ack was lost or the frame was duplicated.
     ++rstats_.duplicates_suppressed;
+    RETRA_OBS_INC(obs::Id::kReliableDuplicates);
     send_ack(raw.source);
     return;
   }
@@ -153,8 +161,10 @@ void ReliableComm::handle_data(Message raw) {
     }
   } else if (peer.held.emplace(seq, std::move(logical)).second) {
     ++rstats_.out_of_order_held;
+    RETRA_OBS_INC(obs::Id::kReliableOutOfOrderHeld);
   } else {
     ++rstats_.duplicates_suppressed;
+    RETRA_OBS_INC(obs::Id::kReliableDuplicates);
   }
   send_ack(raw.source);
 }

@@ -1,0 +1,90 @@
+// Minimal JSON support for observability artifacts.
+//
+// The repo's bench artifacts (BENCH_*.json) and metric dumps must be
+// producible and checkable without external dependencies, so this is a
+// small, strict subset implementation:
+//
+//   * JsonWriter — streaming writer with correct string escaping and
+//     comma/nesting management; numbers are emitted either as unsigned
+//     integers (exact) or as shortest-round-trip doubles;
+//   * JsonValue / json_parse — recursive-descent parser into a plain
+//     document tree, used by `retra_bench --validate` and the round-trip
+//     tests.  Integers up to 2^64-1 are preserved exactly alongside the
+//     double view.
+//
+// Not supported (and not needed for artifacts we write): non-UTF-8 input
+// validation, \u escapes outside ASCII, duplicate-key detection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace retra::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key of the next value inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// Shorthand: key + value.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_;  // per nesting level: no element emitted yet
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON document node.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Exact value when the token was a non-negative integer that fits
+  /// std::uint64_t (counters larger than 2^53 survive a round-trip).
+  bool is_unsigned = false;
+  std::uint64_t unsigned_value = 0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+  std::vector<JsonValue> array;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses `text` into `out`; on failure returns false and, when `error`
+/// is non-null, describes the first problem (with byte offset).
+bool json_parse(std::string_view text, JsonValue& out, std::string* error);
+
+}  // namespace retra::obs

@@ -1,0 +1,123 @@
+#include "retra/obs/metrics.hpp"
+
+#include <chrono>
+
+#include "retra/obs/json.hpp"
+
+namespace retra::obs {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const Slot& s = slots_[i];
+    MetricValue& m = snap.metrics[i];
+    m.value = s.value.load(std::memory_order_relaxed);
+    m.count = s.count.load(std::memory_order_relaxed);
+    m.sum = s.sum.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      m.buckets[b] = s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  for (Slot& s : slots_) {
+    s.value.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    for (auto& bucket : s.buckets) bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+Snapshot Snapshot::operator-(const Snapshot& base) const {
+  Snapshot delta = *this;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    if (kCatalog[i].kind == Kind::kGauge) continue;  // gauges: latest value
+    MetricValue& m = delta.metrics[i];
+    const MetricValue& b = base.metrics[i];
+    m.value -= b.value;
+    m.count -= b.count;
+    m.sum -= b.sum;
+    for (std::size_t k = 0; k < kHistogramBuckets; ++k) {
+      m.buckets[k] -= b.buckets[k];
+    }
+  }
+  return delta;
+}
+
+Snapshot snapshot() { return Registry::instance().snapshot(); }
+
+void reset() { Registry::instance().reset(); }
+
+void write_metrics_array(JsonWriter& w, const Snapshot& snap) {
+  w.begin_array();
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const Desc& d = kCatalog[i];
+    const MetricValue& m = snap.metrics[i];
+    w.begin_object();
+    w.kv("name", d.name);
+    w.kv("kind", kind_name(d.kind));
+    w.kv("unit", d.unit);
+    w.kv("component", d.component);
+    switch (d.kind) {
+      case Kind::kCounter:
+      case Kind::kGauge:
+        w.kv("value", m.value);
+        break;
+      case Kind::kTimer:
+        w.kv("seconds", m.seconds());
+        w.kv("count", m.count);
+        break;
+      case Kind::kHistogram: {
+        w.kv("count", m.count);
+        w.kv("sum", m.sum);
+        w.kv("mean", m.mean());
+        // Trailing all-zero buckets are elided; bucket b covers
+        // [2^(b-1), 2^b) with bucket 0 = {0}.
+        std::size_t last = 0;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+          if (m.buckets[b] != 0) last = b + 1;
+        }
+        w.key("buckets").begin_array();
+        for (std::size_t b = 0; b < last; ++b) w.value(m.buckets[b]);
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string dump_json(const Snapshot& snap) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "retra-metrics-v1");
+  w.key("metrics");
+  write_metrics_array(w, snap);
+  w.end_object();
+  return w.str();
+}
+
+ScopedTimer::ScopedTimer(Id id)
+    : id_(id),
+      start_ns_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())) {}
+
+ScopedTimer::~ScopedTimer() {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  Registry::instance().add_time_ns(id_, now - start_ns_);
+}
+
+}  // namespace retra::obs

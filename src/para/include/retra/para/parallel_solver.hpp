@@ -14,6 +14,7 @@
 #include "retra/msg/fault_comm.hpp"
 #include "retra/msg/reliable_comm.hpp"
 #include "retra/msg/thread_comm.hpp"
+#include "retra/obs/metrics.hpp"
 #include "retra/para/checkpoint.hpp"
 #include "retra/para/dist_db.hpp"
 #include "retra/para/drivers.hpp"
@@ -21,6 +22,7 @@
 #include "retra/para/shard_exchange.hpp"
 #include "retra/support/log.hpp"
 #include "retra/support/numeric.hpp"
+#include "retra/support/timer.hpp"
 
 namespace retra::para {
 
@@ -59,6 +61,7 @@ struct LevelRunInfo {
   int level = 0;
   std::uint64_t size = 0;
   std::uint64_t rounds = 0;
+  double build_seconds = 0.0;            // host wall time of the level build
   EngineStats total;                     // summed over ranks
   std::vector<EngineStats> per_rank;     // for load-balance analysis
   msg::WorkMeter work_total;             // summed abstract work
@@ -69,6 +72,32 @@ struct LevelRunInfo {
   msg::FaultStats faults;
   msg::ReliableStats reliability;
 };
+
+/// Sums the per-rank engine stats and work meters into the level totals
+/// and publishes the level to the obs registry.  The single place these
+/// numbers are produced: build_parallel, build_parallel_simulated, and
+/// through them every bench table and BENCH_*.json artifact read the same
+/// counters (see docs/METRICS.md).
+inline void finalize_level_info(LevelRunInfo& info) {
+  for (const EngineStats& stats : info.per_rank) info.total += stats;
+  for (const msg::WorkMeter& meter : info.work_per_rank) {
+    info.work_total += meter;
+  }
+  RETRA_OBS_ADD(obs::Id::kEngineUpdatesLocal, info.total.updates_local);
+  RETRA_OBS_ADD(obs::Id::kEngineUpdatesRemote, info.total.updates_remote);
+  RETRA_OBS_ADD(obs::Id::kEngineLookupsLocal, info.total.lookups_local);
+  RETRA_OBS_ADD(obs::Id::kEngineLookupsRemote, info.total.lookups_remote);
+  RETRA_OBS_ADD(obs::Id::kEngineRepliesSent, info.total.replies_sent);
+  RETRA_OBS_ADD(obs::Id::kEngineAssignments, info.total.assignments);
+  RETRA_OBS_ADD(obs::Id::kEngineZeroFilled, info.total.zero_filled);
+  RETRA_OBS_ADD(obs::Id::kEngineMessagesSent, info.total.messages_sent);
+  RETRA_OBS_ADD(obs::Id::kEnginePayloadBytes, info.total.payload_bytes);
+  RETRA_OBS_INC(obs::Id::kDriverLevelsBuilt);
+  RETRA_OBS_ADD(obs::Id::kDriverPositions, info.size);
+  RETRA_OBS_ADD(obs::Id::kDriverRounds, info.rounds);
+  RETRA_OBS_TIME_NS(obs::Id::kDriverLevelSeconds,
+                    static_cast<std::uint64_t>(info.build_seconds * 1e9));
+}
 
 struct ParallelResult {
   std::unique_ptr<DistributedDatabase> database;
@@ -99,6 +128,8 @@ template <typename Family>
 ParallelResult build_parallel(const Family& family, int max_level,
                               const ParallelConfig& config) {
   const std::size_t nranks = support::to_size(config.ranks);
+  RETRA_OBS_SET(obs::Id::kDriverRanks,
+                static_cast<std::uint64_t>(config.ranks));
   ParallelResult result;
   int first_level = 0;
   if (!config.checkpoint_dir.empty()) {
@@ -181,6 +212,7 @@ ParallelResult build_parallel(const Family& family, int max_level,
     LevelRunInfo info;
     info.level = level;
     info.size = game.size();
+    const support::Timer level_timer;
     try {
       info.rounds = config.use_threads
                         ? (config.async ? run_async_threads(engines)
@@ -215,20 +247,6 @@ ParallelResult build_parallel(const Family& family, int max_level,
         delta.counts[k] -= meters_before[support::to_size(rank)].counts[k];
       }
       info.work_per_rank.push_back(delta);
-    }
-    for (const EngineStats& stats : info.per_rank) {
-      info.total.updates_remote += stats.updates_remote;
-      info.total.updates_local += stats.updates_local;
-      info.total.lookups_remote += stats.lookups_remote;
-      info.total.lookups_local += stats.lookups_local;
-      info.total.replies_sent += stats.replies_sent;
-      info.total.assignments += stats.assignments;
-      info.total.zero_filled += stats.zero_filled;
-      info.total.messages_sent += stats.messages_sent;
-      info.total.payload_bytes += stats.payload_bytes;
-    }
-    for (const msg::WorkMeter& meter : info.work_per_rank) {
-      info.work_total += meter;
     }
 
     if (config.replicate_lower) {
@@ -271,6 +289,8 @@ ParallelResult build_parallel(const Family& family, int max_level,
       checkpoint_save_level(ddb, level, config.checkpoint_dir,
                             config.combine_bytes);
     }
+    info.build_seconds = level_timer.seconds();
+    finalize_level_info(info);
     result.levels.push_back(std::move(info));
   }
   return result;

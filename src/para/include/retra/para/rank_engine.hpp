@@ -80,6 +80,32 @@ struct EngineStats {
   std::uint64_t zero_filled = 0;
   std::uint64_t messages_sent = 0;  // combined messages (all tags)
   std::uint64_t payload_bytes = 0;
+
+  EngineStats& operator+=(const EngineStats& other) {
+    updates_remote += other.updates_remote;
+    updates_local += other.updates_local;
+    lookups_remote += other.lookups_remote;
+    lookups_local += other.lookups_local;
+    replies_sent += other.replies_sent;
+    assignments += other.assignments;
+    zero_filled += other.zero_filled;
+    messages_sent += other.messages_sent;
+    payload_bytes += other.payload_bytes;
+    return *this;
+  }
+
+  /// Records that crossed rank boundaries — the numerator of the paper's
+  /// combining factor (T3).
+  std::uint64_t remote_records() const {
+    return updates_remote + lookups_remote + replies_sent;
+  }
+
+  /// Achieved combining factor (records per combined message, T3/F2).
+  double records_per_message() const {
+    return messages_sent ? static_cast<double>(remote_records()) /
+                               static_cast<double>(messages_sent)
+                         : 0.0;
+  }
 };
 
 template <typename Game>

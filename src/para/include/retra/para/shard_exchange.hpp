@@ -14,6 +14,7 @@
 #include "retra/db/database.hpp"
 #include "retra/msg/combiner.hpp"
 #include "retra/msg/comm.hpp"
+#include "retra/obs/metrics.hpp"
 #include "retra/para/partition.hpp"
 #include "retra/para/rank_engine.hpp"
 #include "retra/para/records.hpp"
@@ -60,6 +61,7 @@ class ShardExchange {
   void broadcast(StepReport& step) {
     const int rank = comm_.rank();
     support::check_mutable(rank, "shard_exchange.broadcast");
+    const std::uint64_t sent_before = step.records_sent;
     for (std::uint64_t local = 0; local < own_shard_.size(); ++local) {
       const idx::Index global = partition_.to_global(rank, local);
       full_out_[global] = own_shard_[local];
@@ -75,6 +77,8 @@ class ShardExchange {
         ++step.records_sent;
       }
     }
+    RETRA_OBS_ADD(obs::Id::kExchangeRecordsBroadcast,
+                  step.records_sent - sent_before);
   }
 
   void drain(StepReport& step) {

@@ -64,6 +64,8 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
                                         const sim::ClusterModel& model,
                                         sim::TraceSink* trace = nullptr) {
   const std::size_t nranks = support::to_size(config.ranks);
+  RETRA_OBS_SET(obs::Id::kDriverRanks,
+                static_cast<std::uint64_t>(config.ranks));
   SimBuildResult result;
   result.database = std::make_unique<DistributedDatabase>(
       config.scheme, config.block_size, config.ranks,
@@ -132,20 +134,8 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
       }
       info.work_per_rank.push_back(delta);
     }
-    for (const EngineStats& stats : info.per_rank) {
-      info.total.updates_remote += stats.updates_remote;
-      info.total.updates_local += stats.updates_local;
-      info.total.lookups_remote += stats.lookups_remote;
-      info.total.lookups_local += stats.lookups_local;
-      info.total.replies_sent += stats.replies_sent;
-      info.total.assignments += stats.assignments;
-      info.total.zero_filled += stats.zero_filled;
-      info.total.messages_sent += stats.messages_sent;
-      info.total.payload_bytes += stats.payload_bytes;
-    }
-    for (const msg::WorkMeter& meter : info.work_per_rank) {
-      info.work_total += meter;
-    }
+    info.build_seconds = timing.time_s;  // virtual cluster time
+    finalize_level_info(info);
 
     result.levels.push_back(std::move(info));
     result.timings.push_back(std::move(timing));

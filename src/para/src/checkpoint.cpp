@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "retra/db/db_io.hpp"  // fnv1a
+#include "retra/obs/metrics.hpp"
 #include "retra/support/check.hpp"
 #include "retra/support/numeric.hpp"
 
@@ -75,8 +76,10 @@ void checkpoint_save_level(const DistributedDatabase& ddb, int level,
                            const std::string& directory,
                            std::size_t combine_bytes) {
   RETRA_CHECK(level >= 0 && level < ddb.num_levels());
+  RETRA_OBS_SCOPED_TIMER(save_timer, obs::Id::kCheckpointSaveSeconds);
   std::filesystem::create_directories(directory);
 
+  std::uint64_t written = sizeof kLevelMagic + sizeof(std::uint32_t);
   {
     File file(std::fopen(level_path(directory, level).c_str(), "wb"));
     RETRA_CHECK_MSG(file != nullptr, "cannot write checkpoint level file");
@@ -88,9 +91,11 @@ void checkpoint_save_level(const DistributedDatabase& ddb, int level,
       const std::size_t bytes = shard.size() * sizeof(db::Value);
       write_bytes(f, shard.data(), bytes);
       write_pod(f, db::fnv1a(shard.data(), bytes));
+      written += sizeof(std::uint64_t) + bytes + sizeof(std::uint64_t);
     }
     RETRA_CHECK_MSG(std::fflush(f) == 0, "checkpoint flush failed");
   }
+  RETRA_OBS_ADD(obs::Id::kCheckpointBytesWritten, written);
 
   // Manifest last: a crash between the two leaves the previous manifest,
   // so a torn level file is never referenced.
@@ -108,6 +113,7 @@ void checkpoint_save_level(const DistributedDatabase& ddb, int level,
 
 CheckpointLoad checkpoint_load(const std::string& directory) {
   CheckpointLoad result;
+  RETRA_OBS_SCOPED_TIMER(load_timer, obs::Id::kCheckpointLoadSeconds);
   File manifest(
       std::fopen((directory + "/" + kManifestName).c_str(), "r"));
   if (!manifest) {
@@ -161,6 +167,7 @@ CheckpointLoad checkpoint_load(const std::string& directory) {
     }
     std::error_code ec;
     const std::uint64_t file_bytes = std::filesystem::file_size(path, ec);
+    if (!ec) RETRA_OBS_ADD(obs::Id::kCheckpointBytesRead, file_bytes);
     std::FILE* f = file.get();
     std::uint32_t magic = 0, ranks = 0;
     if (!read_pod(f, magic) || magic != kLevelMagic ||

@@ -1,5 +1,6 @@
 #include "retra/para/dist_db.hpp"
 
+#include "retra/obs/metrics.hpp"
 #include "retra/support/access_check.hpp"
 #include "retra/support/numeric.hpp"
 
@@ -39,6 +40,7 @@ db::Value DistributedDatabase::value_local(int rank, int level,
                                            idx::Index global) const {
   support::check_owned(rank, "dist_db.value_local", level);
   RETRA_CHECK(level >= 0 && level < num_levels());
+  RETRA_OBS_INC(obs::Id::kDistDbLocalReads);
   if (replicated_) {
     return store_[to_size(level)][to_size(rank)][global];
   }

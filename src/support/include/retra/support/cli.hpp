@@ -1,7 +1,8 @@
 // Minimal command-line flag parsing for example and bench binaries.
 //
-// Flags are --name=value or --name value; bare --name sets a bool.  Unknown
-// flags are an error so typos surface immediately.
+// Flags are --name=value or --name value; a bare flag declared with a
+// boolean default sets true (and never consumes the next argument).
+// Unknown flags are an error so typos surface immediately.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +14,10 @@ namespace retra::support {
 
 class Cli {
  public:
+  /// One-line description of what the binary does; printed first by
+  /// usage() (and therefore by --help).
+  void describe(const std::string& text) { description_ = text; }
+
   /// Declares a flag with a default and a help string before parse().
   void flag(const std::string& name, const std::string& default_value,
             const std::string& help);
@@ -34,10 +39,14 @@ class Cli {
   struct Entry {
     std::string value;
     std::string help;
+    /// Declared with a boolean default: bare --flag sets true instead of
+    /// consuming the next argument.
+    bool is_boolean = false;
   };
   std::map<std::string, Entry> entries_;
   std::vector<std::string> positional_;
   std::string program_;
+  std::string description_;
 };
 
 }  // namespace retra::support

@@ -8,9 +8,17 @@
 
 namespace retra::support {
 
+namespace {
+
+bool boolean_literal(const std::string& value) {
+  return value == "true" || value == "false";
+}
+
+}  // namespace
+
 void Cli::flag(const std::string& name, const std::string& default_value,
                const std::string& help) {
-  entries_[name] = Entry{default_value, help};
+  entries_[name] = Entry{default_value, help, boolean_literal(default_value)};
 }
 
 void Cli::parse(int argc, char** argv) {
@@ -40,9 +48,18 @@ void Cli::parse(int argc, char** argv) {
       std::exit(2);
     }
     if (!has_value) {
-      // Bare --flag means boolean true; values use the --flag=value form
-      // only, so flags never swallow positional arguments.
-      value = "true";
+      if (it->second.is_boolean) {
+        // Bare --flag means boolean true; boolean flags never swallow the
+        // argument after them.
+        value = "true";
+      } else if (i + 1 < argc) {
+        // Value flags accept both --flag=value and --flag value.
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s needs a value\n%s", name.c_str(),
+                     usage().c_str());
+        std::exit(2);
+      }
     }
     it->second.value = std::move(value);
   }
@@ -69,6 +86,9 @@ bool Cli::boolean(const std::string& name) const {
 
 std::string Cli::usage() const {
   std::ostringstream out;
+  if (!description_.empty()) {
+    out << description_ << "\n\n";
+  }
   out << "usage: " << program_ << " [flags]\n";
   for (const auto& [name, entry] : entries_) {
     out << "  --" << name << " (default: "

@@ -1,0 +1,336 @@
+// Tests of the observability layer: registry semantics, JSON round-trips,
+// docs coverage of the metric catalog, and agreement between the obs
+// counters and the per-level statistics the drivers report.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.hpp"
+#include "retra/game/awari_level.hpp"
+#include "retra/obs/json.hpp"
+#include "retra/obs/metrics.hpp"
+#include "retra/para/parallel_solver.hpp"
+
+namespace retra {
+namespace {
+
+using obs::Id;
+
+// --- catalog -------------------------------------------------------------
+
+TEST(Catalog, PositionsMatchIds) {
+  EXPECT_EQ(obs::kCatalog.size(), obs::kMetricCount);
+  EXPECT_EQ(obs::desc(Id::kCombinerRecords).name, "combiner.records");
+  EXPECT_EQ(obs::desc(Id::kDriverLevelSeconds).name, "driver.level_seconds");
+  EXPECT_EQ(obs::desc(Id::kDriverRanks).kind, obs::Kind::kGauge);
+  EXPECT_EQ(obs::desc(Id::kCombinerRecordsPerMessage).kind,
+            obs::Kind::kHistogram);
+}
+
+TEST(Catalog, EveryEntryIsFullyDescribed) {
+  for (const obs::Desc& d : obs::kCatalog) {
+    EXPECT_FALSE(d.name.empty());
+    EXPECT_FALSE(d.unit.empty()) << d.name;
+    EXPECT_FALSE(d.component.empty()) << d.name;
+    EXPECT_FALSE(d.table.empty()) << d.name;
+    EXPECT_FALSE(d.help.empty()) << d.name;
+  }
+}
+
+TEST(Catalog, HistogramBucketsAreLog2) {
+  EXPECT_EQ(obs::histogram_bucket(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket(2), 2u);
+  EXPECT_EQ(obs::histogram_bucket(3), 2u);
+  EXPECT_EQ(obs::histogram_bucket(4), 3u);
+  EXPECT_EQ(obs::histogram_bucket((1ull << 31) - 1), 31u);
+  EXPECT_EQ(obs::histogram_bucket(1ull << 31), 32u);
+  // Values beyond the last bucket's range clamp instead of overflowing.
+  EXPECT_EQ(obs::histogram_bucket(~0ull), obs::kHistogramBuckets - 1);
+}
+
+// --- registry semantics --------------------------------------------------
+
+TEST(Registry, CounterGaugeTimerHistogram) {
+  obs::reset();
+  obs::Registry& reg = obs::Registry::instance();
+  reg.add(Id::kCombinerRecords, 5);
+  reg.add(Id::kCombinerRecords);
+  reg.set(Id::kDriverRanks, 64);
+  reg.set(Id::kDriverRanks, 16);  // gauges keep the latest value
+  reg.add_time_ns(Id::kCheckpointSaveSeconds, 1'500'000'000);
+  reg.add_time_ns(Id::kCheckpointSaveSeconds, 500'000'000);
+  reg.observe(Id::kCombinerRecordsPerMessage, 0);
+  reg.observe(Id::kCombinerRecordsPerMessage, 3);
+  reg.observe(Id::kCombinerRecordsPerMessage, 400);
+
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap[Id::kCombinerRecords].value, 6u);
+  EXPECT_EQ(snap[Id::kDriverRanks].value, 16u);
+  EXPECT_EQ(snap[Id::kCheckpointSaveSeconds].value, 2'000'000'000u);
+  EXPECT_EQ(snap[Id::kCheckpointSaveSeconds].count, 2u);
+  EXPECT_DOUBLE_EQ(snap[Id::kCheckpointSaveSeconds].seconds(), 2.0);
+  const obs::MetricValue& hist = snap[Id::kCombinerRecordsPerMessage];
+  EXPECT_EQ(hist.count, 3u);
+  EXPECT_EQ(hist.sum, 403u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 403.0 / 3.0);
+  EXPECT_EQ(hist.buckets[obs::histogram_bucket(0)], 1u);
+  EXPECT_EQ(hist.buckets[obs::histogram_bucket(3)], 1u);
+  EXPECT_EQ(hist.buckets[obs::histogram_bucket(400)], 1u);
+  obs::reset();
+}
+
+TEST(Registry, SnapshotDeltaSubtractsCountersKeepsGauges) {
+  obs::reset();
+  obs::Registry& reg = obs::Registry::instance();
+  reg.add(Id::kEngineZeroFilled, 10);
+  reg.set(Id::kDriverRanks, 4);
+  const obs::Snapshot before = obs::snapshot();
+  reg.add(Id::kEngineZeroFilled, 7);
+  reg.set(Id::kDriverRanks, 8);
+  reg.observe(Id::kCombinerRecordsPerMessage, 5);
+  const obs::Snapshot delta = obs::snapshot() - before;
+  EXPECT_EQ(delta[Id::kEngineZeroFilled].value, 7u);
+  EXPECT_EQ(delta[Id::kDriverRanks].value, 8u);  // latest, not difference
+  EXPECT_EQ(delta[Id::kCombinerRecordsPerMessage].count, 1u);
+  obs::reset();
+}
+
+TEST(Registry, ConcurrentIncrementsAreExact) {
+  obs::reset();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncrements = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      obs::Registry& reg = obs::Registry::instance();
+      for (std::uint64_t i = 0; i < kIncrements; ++i) {
+        reg.add(Id::kCombinerRecords);
+        reg.observe(Id::kCombinerRecordsPerMessage, i & 1023);
+        reg.add_time_ns(Id::kDriverLevelSeconds, 3);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const obs::Snapshot snap = obs::snapshot();
+  const std::uint64_t total = kThreads * kIncrements;
+  EXPECT_EQ(snap[Id::kCombinerRecords].value, total);
+  EXPECT_EQ(snap[Id::kCombinerRecordsPerMessage].count, total);
+  EXPECT_EQ(snap[Id::kDriverLevelSeconds].value, 3 * total);
+  EXPECT_EQ(snap[Id::kDriverLevelSeconds].count, total);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t b : snap[Id::kCombinerRecordsPerMessage].buckets) {
+    bucket_sum += b;
+  }
+  EXPECT_EQ(bucket_sum, total);
+  obs::reset();
+}
+
+// --- JSON ----------------------------------------------------------------
+
+TEST(Json, WriterEscapesAndNests) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("quote\"back\\slash", "line\nbreak\ttab");
+  w.key("list").begin_array().value(std::uint64_t{1}).value(2.5).end_array();
+  w.end_object();
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(w.str(), doc, &error)) << error;
+  const obs::JsonValue* s = doc.find("quote\"back\\slash");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->string, "line\nbreak\ttab");
+  const obs::JsonValue* list = doc.find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->array.size(), 2u);
+  EXPECT_TRUE(list->array[0].is_unsigned);
+  EXPECT_DOUBLE_EQ(list->array[1].number, 2.5);
+}
+
+TEST(Json, LargeIntegersSurviveRoundTrip) {
+  const std::uint64_t big = (1ull << 63) + 12345;
+  obs::JsonWriter w;
+  w.begin_object().kv("big", big).end_object();
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::json_parse(w.str(), doc, nullptr));
+  const obs::JsonValue* v = doc.find("big");
+  ASSERT_NE(v, nullptr);
+  ASSERT_TRUE(v->is_unsigned);
+  EXPECT_EQ(v->unsigned_value, big);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  obs::JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(obs::json_parse("", doc, &error));
+  EXPECT_FALSE(obs::json_parse("{", doc, &error));
+  EXPECT_FALSE(obs::json_parse("{\"a\":}", doc, &error));
+  EXPECT_FALSE(obs::json_parse("[1,]", doc, &error));
+  EXPECT_FALSE(obs::json_parse("\"unterminated", doc, &error));
+  EXPECT_FALSE(obs::json_parse("{} trailing", doc, &error));
+  EXPECT_FALSE(obs::json_parse("nul", doc, &error));
+  // Depth guard: deeper nesting than the parser's limit is an error, not a
+  // stack overflow.
+  EXPECT_FALSE(
+      obs::json_parse(std::string(200, '[') + std::string(200, ']'), doc,
+                      &error));
+}
+
+TEST(Json, MetricsDumpParsesAndCoversCatalog) {
+  obs::reset();
+  obs::Registry::instance().add(Id::kEngineAssignments, 42);
+  const std::string json = obs::dump_json(obs::snapshot());
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(json, doc, &error)) << error;
+  const obs::JsonValue* schema = doc.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string, "retra-metrics-v1");
+  const obs::JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  ASSERT_EQ(metrics->array.size(), obs::kMetricCount);
+  for (std::size_t i = 0; i < obs::kMetricCount; ++i) {
+    const obs::JsonValue* name = metrics->array[i].find("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(name->string, obs::kCatalog[i].name);
+  }
+  obs::reset();
+}
+
+// --- documentation contract ----------------------------------------------
+
+// Every runtime metric must be documented in docs/METRICS.md (the path is
+// injected by CMake).  The check is on the backticked metric name, so the
+// doc cannot drift silently when the catalog grows.
+TEST(Docs, EveryMetricAppearsInMetricsDoc) {
+  std::ifstream in(RETRA_METRICS_DOC);
+  ASSERT_TRUE(in.good()) << "cannot open " << RETRA_METRICS_DOC;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+  for (const obs::Desc& d : obs::kCatalog) {
+    const std::string token = "`" + std::string(d.name) + "`";
+    EXPECT_NE(doc.find(token), std::string::npos)
+        << "metric " << d.name << " is not documented in docs/METRICS.md";
+  }
+  EXPECT_NE(doc.find("retra-metrics-v1"), std::string::npos);
+  EXPECT_NE(doc.find("retra-bench-v1"), std::string::npos);
+}
+
+// --- driver agreement ----------------------------------------------------
+
+// The obs counters and the LevelRunInfo totals are produced by the same
+// finalize_level_info call, so a build's snapshot delta must agree exactly
+// with the per-level statistics the drivers return.  Under
+// -DRETRA_METRICS=OFF the macros publish nothing, so the agreement only
+// holds (and is only checked) in the instrumented build.
+#if RETRA_METRICS_ENABLED
+TEST(DriverAgreement, ObsDeltaMatchesLevelRunInfo) {
+  const obs::Snapshot before = obs::snapshot();
+  para::ParallelConfig config;
+  config.ranks = 3;
+  config.combine_bytes = 256;
+  const para::ParallelResult result =
+      para::build_parallel(game::AwariFamily{}, 5, config);
+  const obs::Snapshot delta = obs::snapshot() - before;
+
+  para::EngineStats total;
+  std::uint64_t positions = 0, rounds = 0;
+  for (const para::LevelRunInfo& info : result.levels) {
+    total += info.total;
+    positions += info.size;
+    rounds += info.rounds;
+  }
+  EXPECT_EQ(delta[Id::kEngineUpdatesLocal].value, total.updates_local);
+  EXPECT_EQ(delta[Id::kEngineUpdatesRemote].value, total.updates_remote);
+  EXPECT_EQ(delta[Id::kEngineLookupsLocal].value, total.lookups_local);
+  EXPECT_EQ(delta[Id::kEngineLookupsRemote].value, total.lookups_remote);
+  EXPECT_EQ(delta[Id::kEngineRepliesSent].value, total.replies_sent);
+  EXPECT_EQ(delta[Id::kEngineAssignments].value, total.assignments);
+  EXPECT_EQ(delta[Id::kEngineZeroFilled].value, total.zero_filled);
+  EXPECT_EQ(delta[Id::kEngineMessagesSent].value, total.messages_sent);
+  EXPECT_EQ(delta[Id::kEnginePayloadBytes].value, total.payload_bytes);
+  EXPECT_EQ(delta[Id::kDriverLevelsBuilt].value, result.levels.size());
+  EXPECT_EQ(delta[Id::kDriverPositions].value, positions);
+  EXPECT_EQ(delta[Id::kDriverRounds].value, rounds);
+  EXPECT_EQ(delta[Id::kDriverRanks].value, 3u);
+  // Without replication every combiner belongs to an engine, so the
+  // combiner-level counters agree with the engine totals too.
+  EXPECT_EQ(delta[Id::kCombinerMessages].value, total.messages_sent);
+  EXPECT_EQ(delta[Id::kCombinerPayloadBytes].value, total.payload_bytes);
+  EXPECT_EQ(delta[Id::kCombinerRecords].value, total.remote_records());
+  EXPECT_EQ(delta[Id::kCombinerRecordsPerMessage].count,
+            total.messages_sent);
+}
+#endif  // RETRA_METRICS_ENABLED
+
+// --- bench artifacts -----------------------------------------------------
+
+TEST(BenchArtifact, WriteValidateRoundTrip) {
+  const sim::ClusterModel model;
+  const obs::Snapshot before = obs::snapshot();
+  const para::SimBuildResult run = bench::simulate_build(4, 2, 512, model);
+  const obs::Snapshot delta = obs::snapshot() - before;
+  bench::BenchRunMeta meta;
+  meta.suite = "test";
+  meta.bench = "test_obs";
+  meta.max_level = 4;
+  meta.ranks = 2;
+  meta.combine_bytes = 512;
+  const std::string json = bench::bench_artifact_json(meta, model, run, delta);
+  std::string error;
+  EXPECT_TRUE(bench::validate_bench_artifact(json, &error)) << error;
+
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::json_parse(json, doc, &error)) << error;
+  const obs::JsonValue* levels = doc.find("levels");
+  ASSERT_NE(levels, nullptr);
+  ASSERT_EQ(levels->array.size(), run.levels.size());
+  const obs::JsonValue* top_messages =
+      levels->array.back().find("messages");
+  ASSERT_NE(top_messages, nullptr);
+  EXPECT_EQ(top_messages->unsigned_value,
+            run.levels.back().total.messages_sent);
+}
+
+TEST(BenchArtifact, ValidatorRejectsCorruptDocuments) {
+  std::string error;
+  EXPECT_FALSE(bench::validate_bench_artifact("[]", &error));
+  EXPECT_FALSE(bench::validate_bench_artifact("{\"schema\":\"x\"}", &error));
+  EXPECT_FALSE(bench::validate_bench_artifact("not json at all", &error));
+
+  // A real artifact stops validating when a required level field is
+  // renamed or a metric vanishes.
+  const sim::ClusterModel model;
+  const para::SimBuildResult run = bench::simulate_build(3, 2, 512, model);
+  bench::BenchRunMeta meta;
+  meta.suite = "test";
+  meta.bench = "test_obs";
+  meta.max_level = 3;
+  meta.ranks = 2;
+  meta.combine_bytes = 512;
+  const std::string good =
+      bench::bench_artifact_json(meta, model, run, obs::snapshot());
+  ASSERT_TRUE(bench::validate_bench_artifact(good, &error)) << error;
+
+  std::string renamed = good;
+  const std::size_t pos = renamed.find("\"updates_local\"");
+  ASSERT_NE(pos, std::string::npos);
+  renamed.replace(pos, 15, "\"updates_LOCAL\"");
+  EXPECT_FALSE(bench::validate_bench_artifact(renamed, &error));
+
+  std::string missing_metric = good;
+  const std::size_t mpos = missing_metric.find("\"combiner.records\"");
+  ASSERT_NE(mpos, std::string::npos);
+  missing_metric.replace(mpos, 18, "\"combiner.recordz\"");
+  EXPECT_FALSE(bench::validate_bench_artifact(missing_metric, &error));
+}
+
+}  // namespace
+}  // namespace retra

@@ -1,0 +1,143 @@
+// retra_bench — the bench-suite runner behind the BENCH_*.json artifacts.
+//
+// Runs a named suite of simulated builds and writes one retra-bench-v1
+// artifact (see docs/METRICS.md).  The "smoke" suite is small enough for
+// CI, where its artifact is cross-checked against bench_t3_comm run with
+// the same configuration: both go through simulate_build() and the shared
+// emitters in bench/bench_common.hpp, so the level arrays must agree
+// exactly.  --validate re-parses any artifact and checks it against the
+// schema without running anything.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace retra;
+using namespace retra::bench;
+
+struct Suite {
+  const char* name;
+  const char* help;
+  int max_level;
+  int ranks;
+  std::size_t combine_bytes;
+};
+
+constexpr Suite kSuites[] = {
+    {"smoke", "CI-sized build (level 7, 4 ranks, 4 KB combining)", 7, 4,
+     4096},
+    {"t3", "the T3 table's configuration (level 10, 16 ranks)", 10, 16,
+     4096},
+};
+
+const Suite* find_suite(const std::string& name) {
+  for (const Suite& suite : kSuites) {
+    if (name == suite.name) return &suite;
+  }
+  return nullptr;
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::string text;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ok = f != nullptr;
+  if (!f) return text;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Cli cli;
+  cli.describe(
+      "Bench-suite runner: builds awari levels under the cluster "
+      "simulator and writes a retra-bench-v1 JSON artifact (see "
+      "docs/METRICS.md).");
+  add_model_flags(cli);
+  cli.flag("suite", "smoke", "suite to run (--list shows all)");
+  cli.flag("json", "", "artifact path (default BENCH_<suite>.json)");
+  cli.flag("validate", "",
+           "validate an existing artifact against the schema and exit");
+  cli.flag("list", "false", "list the available suites and exit");
+  cli.parse(argc, argv);
+
+  if (cli.boolean("list")) {
+    for (const Suite& suite : kSuites) {
+      std::printf("%-8s %s\n", suite.name, suite.help);
+    }
+    return 0;
+  }
+
+  if (const std::string path = cli.str("validate"); !path.empty()) {
+    bool readable = false;
+    const std::string text = read_file(path, readable);
+    if (!readable) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::string error;
+    if (!validate_bench_artifact(text, &error)) {
+      std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::printf("%s: valid %s\n", path.c_str(), kBenchSchema);
+    return 0;
+  }
+
+  const std::string suite_name = cli.str("suite");
+  const Suite* suite = find_suite(suite_name);
+  if (!suite) {
+    std::fprintf(stderr, "unknown suite \"%s\" (--list shows all)\n",
+                 suite_name.c_str());
+    return 2;
+  }
+  const sim::ClusterModel model = model_from(cli);
+  std::string path = cli.str("json");
+  if (path.empty()) path = "BENCH_" + suite_name + ".json";
+
+  std::printf("suite %s: level %d, %d ranks, %zu-byte combining\n",
+              suite->name, suite->max_level, suite->ranks,
+              suite->combine_bytes);
+  print_model(model);
+
+  const obs::Snapshot before = obs::snapshot();
+  const auto run = simulate_build(suite->max_level, suite->ranks,
+                                  suite->combine_bytes, model);
+  const obs::Snapshot delta = obs::snapshot() - before;
+
+  BenchRunMeta meta;
+  meta.suite = suite_name;
+  meta.bench = "retra_bench";
+  meta.max_level = suite->max_level;
+  meta.ranks = suite->ranks;
+  meta.combine_bytes = suite->combine_bytes;
+  const std::string json = bench_artifact_json(meta, model, run, delta);
+  std::string error;
+  if (!validate_bench_artifact(json, &error)) {
+    std::fprintf(stderr, "internal error: artifact fails validation: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  if (!write_text_file(path, json)) return 1;
+
+  const para::LevelRunInfo& top = run.levels.back();
+  std::printf(
+      "built %zu levels, %.3f s virtual; top level: %llu positions, "
+      "%llu messages, %.1f records/msg\n",
+      run.levels.size(), run.total_time_s(),
+      static_cast<unsigned long long>(top.size),
+      static_cast<unsigned long long>(top.total.messages_sent),
+      top.total.records_per_message());
+  std::printf("wrote %s (%s)\n", path.c_str(), kBenchSchema);
+  return 0;
+}
