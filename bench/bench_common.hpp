@@ -181,6 +181,17 @@ inline std::string bench_artifact_json(const BenchRunMeta& meta,
   return w.str();
 }
 
+/// Artifact for benches that run no simulated build — the micro and
+/// query-serving benches.  The document is schema-identical to a build
+/// artifact (so one validator covers everything) with an empty `levels`
+/// array, zeroed `totals`, and the interesting content in `metrics`: the
+/// obs snapshot delta covering exactly the benched workload.
+inline std::string micro_artifact_json(const BenchRunMeta& meta,
+                                       const obs::Snapshot& delta,
+                                       const sim::ClusterModel& model = {}) {
+  return bench_artifact_json(meta, model, para::SimBuildResult{}, delta);
+}
+
 /// Structural check of a parsed retra-bench-v1 document: schema tag,
 /// config/levels/totals fields, and a metrics array that mirrors the obs
 /// catalog (every catalog metric present, kinds matching).  Returns false
@@ -354,6 +365,25 @@ inline bool write_artifact_if_requested(const support::Cli& cli,
   const std::string path = cli.str("json");
   if (path.empty()) return true;
   const std::string json = bench_artifact_json(meta, model, run, delta);
+  std::string error;
+  if (!validate_bench_artifact(json, &error)) {
+    std::fprintf(stderr, "internal error: artifact fails validation: %s\n",
+                 error.c_str());
+    return false;
+  }
+  if (!write_text_file(path, json)) return false;
+  std::printf("\nwrote %s (%s)\n", path.c_str(), kBenchSchema);
+  return true;
+}
+
+/// write_artifact_if_requested for micro/query benches: same validate-
+/// then-write discipline, empty levels (see micro_artifact_json).
+inline bool write_micro_artifact(const std::string& path,
+                                 const BenchRunMeta& meta,
+                                 const obs::Snapshot& delta,
+                                 const sim::ClusterModel& model = {}) {
+  if (path.empty()) return true;
+  const std::string json = micro_artifact_json(meta, delta, model);
   std::string error;
   if (!validate_bench_artifact(json, &error)) {
     std::fprintf(stderr, "internal error: artifact fails validation: %s\n",

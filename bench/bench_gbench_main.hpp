@@ -1,0 +1,48 @@
+// Custom main() for the google-benchmark binaries.
+//
+// Replaces BENCHMARK_MAIN() so these binaries honour the repo-wide --json
+// flag: google-benchmark rejects unrecognised flags in Initialize, so
+// --json / --json=PATH is stripped from argv first, and after the run the
+// obs snapshot delta is emitted as a retra-bench-v1 micro artifact (empty
+// levels array; the metrics delta is the content — see bench_common.hpp).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace retra::bench {
+
+/// Runs all registered google benchmarks; `meta` identifies the artifact
+/// written when --json is present.  Returns the process exit code.
+inline int gbench_main(int argc, char** argv, const BenchRunMeta& meta) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.starts_with("--json=")) {
+      json_path = arg.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  const obs::Snapshot before = obs::snapshot();
+  benchmark::RunSpecifiedBenchmarks();
+  const obs::Snapshot delta = obs::snapshot() - before;
+  benchmark::Shutdown();
+  return write_micro_artifact(json_path, meta, delta) ? 0 : 1;
+}
+
+}  // namespace retra::bench

@@ -5,6 +5,8 @@
 // counterparts of the abstract work units priced by the cluster model.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
+
 #include <vector>
 
 #include "retra/game/awari.hpp"
@@ -94,4 +96,11 @@ BENCHMARK(BM_FullBuild)->Arg(7)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  retra::bench::BenchRunMeta meta;
+  meta.suite = "m1";
+  meta.bench = "bench_m1_micro";
+  meta.max_level = 8;
+  meta.ranks = 1;
+  return retra::bench::gbench_main(argc, argv, meta);
+}

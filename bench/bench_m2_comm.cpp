@@ -6,6 +6,8 @@
 // the modern-hardware echo of the paper's argument.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
+
 #include <cstring>
 
 #include "retra/msg/combiner.hpp"
@@ -91,4 +93,11 @@ BENCHMARK(BM_PartitionOwner)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  retra::bench::BenchRunMeta meta;
+  meta.suite = "m2";
+  meta.bench = "bench_m2_comm";
+  meta.max_level = 0;
+  meta.ranks = 1;
+  return retra::bench::gbench_main(argc, argv, meta);
+}

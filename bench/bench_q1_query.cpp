@@ -1,0 +1,212 @@
+// Q1 — Query-serving throughput and cache behaviour.
+//
+// The finished database's whole purpose is query-time perfect play
+// (Romein & Bal 2003 serve the solved awari database interactively);
+// this bench measures what the serving layer delivers: single-lookup and
+// batched throughput against a file-backed QueryService, cold (every
+// level faulted from disk) and hot (resident within the byte budget),
+// with the dense in-memory database as the reference ceiling.
+//
+//   $ bench_q1_query --level=8 --budget-kb=16 --queries=200000
+//   $ bench_q1_query --db=/tmp/awari10.db --batch=64 --json=BENCH_q1.json
+//
+// --json writes a retra-bench-v1 artifact whose metrics array is the obs
+// delta of the served phases only — serve.lookups, serve.level_faults,
+// serve.level_evictions and friends reconcile exactly with the printed
+// table (tests/test_serve.cpp locks the same pipeline down).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "retra/ra/builder.hpp"
+#include "retra/serve/query_service.hpp"
+#include "retra/support/rng.hpp"
+#include "retra/support/timer.hpp"
+
+namespace {
+
+using namespace retra;
+
+struct Workload {
+  std::vector<int> levels;
+  std::vector<idx::Index> indices;
+};
+
+/// A reproducible query stream: uniform over levels 1..top (level 0 is a
+/// single position), uniform over each level's indices.
+Workload make_workload(const serve::ValueSource& source, int queries,
+                       std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  Workload work;
+  work.levels.reserve(static_cast<std::size_t>(queries));
+  work.indices.reserve(static_cast<std::size_t>(queries));
+  const int top = source.num_levels() - 1;
+  for (int q = 0; q < queries; ++q) {
+    const int level = 1 + static_cast<int>(rng.below(
+                              static_cast<std::uint64_t>(top)));
+    work.levels.push_back(level);
+    work.indices.push_back(rng.below(source.level_size(level)));
+  }
+  return work;
+}
+
+struct PhaseResult {
+  std::uint64_t lookups = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t evictions = 0;
+  double seconds = 0;
+};
+
+PhaseResult run_single(serve::QueryService& service, const Workload& work) {
+  const auto before = service.stats();
+  support::Timer timer;
+  db::Value sink = 0;
+  for (std::size_t i = 0; i < work.levels.size(); ++i) {
+    sink = static_cast<db::Value>(
+        sink ^ service.value(work.levels[i], work.indices[i]));
+  }
+  PhaseResult result;
+  result.seconds = timer.seconds();
+  const auto after = service.stats();
+  result.lookups = after.lookups - before.lookups;
+  result.faults = after.faults - before.faults;
+  result.evictions = after.evictions - before.evictions;
+  // Defeat dead-code elimination of the lookup loop.
+  if (sink == INT16_MIN) std::printf("(impossible sink)\n");
+  return result;
+}
+
+/// Replays the workload through values(): consecutive queries to the same
+/// level are coalesced into one batched call of up to `batch` lookups.
+PhaseResult run_batched(serve::QueryService& service, const Workload& work,
+                        int batch) {
+  const auto before = service.stats();
+  std::vector<idx::Index> indices;
+  std::vector<db::Value> out;
+  indices.reserve(static_cast<std::size_t>(batch));
+  out.resize(static_cast<std::size_t>(batch));
+  support::Timer timer;
+  std::size_t i = 0;
+  while (i < work.levels.size()) {
+    const int level = work.levels[i];
+    indices.clear();
+    while (i < work.levels.size() && work.levels[i] == level &&
+           indices.size() < static_cast<std::size_t>(batch)) {
+      indices.push_back(work.indices[i]);
+      ++i;
+    }
+    service.values(level, indices,
+                   std::span<db::Value>(out.data(), indices.size()));
+  }
+  PhaseResult result;
+  result.seconds = timer.seconds();
+  const auto after = service.stats();
+  result.lookups = after.lookups - before.lookups;
+  result.faults = after.faults - before.faults;
+  result.evictions = after.evictions - before.evictions;
+  return result;
+}
+
+void add_row(support::Table& table, const char* phase,
+             const PhaseResult& result) {
+  table.row()
+      .add(phase)
+      .add(static_cast<std::int64_t>(result.lookups))
+      .add(static_cast<std::int64_t>(result.faults))
+      .add(static_cast<std::int64_t>(result.evictions))
+      .add(result.seconds <= 0
+               ? 0.0
+               : static_cast<double>(result.lookups) / result.seconds / 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Cli cli;
+  cli.describe(
+      "Query-serving bench: cold/hot/batched lookup throughput of the "
+      "file-backed QueryService under a residency budget.");
+  cli.flag("db", "", "serve this database file (default: build and pack)");
+  cli.flag("level", "8", "levels to build when no --db is given");
+  cli.flag("budget-kb", "16", "resident-level budget (0 = unlimited)");
+  cli.flag("queries", "200000", "lookups per phase");
+  cli.flag("batch", "64", "max lookups per batched values() call");
+  cli.flag("seed", "7", "workload random seed");
+  bench::add_output_flags(cli);
+  cli.parse(argc, argv);
+
+  const int queries = static_cast<int>(cli.integer("queries"));
+  const int batch = static_cast<int>(cli.integer("batch"));
+
+  // Resolve the database file: an existing one via --db, otherwise build
+  // in memory and pack to a scratch RTRADB02 file.
+  std::string path = cli.str("db");
+  std::string scratch;
+  if (path.empty()) {
+    const int level = static_cast<int>(cli.integer("level"));
+    const db::Database database =
+        ra::build_database(game::AwariFamily{}, level);
+    scratch = (std::filesystem::temp_directory_path() /
+               ("bench_q1_awari" + std::to_string(level) + ".db"))
+                  .string();
+    db::SaveOptions options;
+    options.pack = true;
+    db::save(database, scratch, options);
+    path = scratch;
+    std::printf("built levels 0..%d and packed them to %s\n", level,
+                path.c_str());
+  }
+
+  serve::QueryServiceConfig config;
+  config.budget_bytes =
+      static_cast<std::uint64_t>(cli.integer("budget-kb")) * 1024;
+  auto opened = serve::QueryService::open(path, config);
+  if (!opened.ok) {
+    std::fprintf(stderr, "cannot serve %s: %s\n", path.c_str(),
+                 opened.error.c_str());
+    return 1;
+  }
+  serve::QueryService& service = *opened.service;
+  std::printf(
+      "serving %s: %d levels, %llu packed bytes, budget %llu bytes\n",
+      path.c_str(), service.num_levels(),
+      static_cast<unsigned long long>(service.index().total_payload_bytes()),
+      static_cast<unsigned long long>(config.budget_bytes));
+
+  const Workload work = make_workload(
+      service, queries, static_cast<std::uint64_t>(cli.integer("seed")));
+
+  const obs::Snapshot before = obs::snapshot();
+  // Cold: first touch of every level comes off the file.
+  const PhaseResult cold = run_single(service, work);
+  // Hot: identical stream again — faults now measure budget thrash only.
+  const PhaseResult hot = run_single(service, work);
+  // Batched: same stream through values() in level-coalesced batches.
+  const PhaseResult batched = run_batched(service, work, batch);
+  const obs::Snapshot delta = obs::snapshot() - before;
+
+  support::Table table(
+      {"phase", "lookups", "faults", "evictions", "Mlookups/s"});
+  add_row(table, "cold single", cold);
+  add_row(table, "hot single", hot);
+  add_row(table, std::string("batched x" + std::to_string(batch)).c_str(),
+          batched);
+  table.print();
+  std::printf(
+      "\nresident after run: %llu bytes in %zu levels\n",
+      static_cast<unsigned long long>(service.stats().resident_bytes),
+      service.resident_levels().size());
+
+  bench::BenchRunMeta meta;
+  meta.suite = "q1";
+  meta.bench = "bench_q1_query";
+  meta.max_level = service.num_levels() - 1;
+  meta.ranks = 1;
+  meta.combine_bytes = 0;
+  if (!bench::write_micro_artifact(cli.str("json"), meta, delta)) return 1;
+
+  if (!scratch.empty()) std::remove(scratch.c_str());
+  return 0;
+}

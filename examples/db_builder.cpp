@@ -94,8 +94,11 @@ int run(const Family& family, const support::Cli& cli) {
   table.print();
 
   if (const std::string out = cli.str("out"); !out.empty()) {
-    db::save(database, out);
-    std::printf("wrote %s\n", out.c_str());
+    db::SaveOptions options;
+    options.pack = cli.boolean("pack");
+    db::save(database, out, options);
+    std::printf("wrote %s (%s)\n", out.c_str(),
+                options.pack ? "RTRADB02 packed" : "RTRADB01");
   }
   return 0;
 }
@@ -114,6 +117,8 @@ int main(int argc, char** argv) {
   cli.flag("scheme", "cyclic", "partition scheme: block|cyclic|block-cyclic");
   cli.flag("checkpoint", "", "checkpoint directory (resume if present)");
   cli.flag("out", "", "write the database to this file");
+  cli.flag("pack", "false",
+           "write --out in the bit-packed RTRADB02 format (serving)");
   cli.parse(argc, argv);
 
   const std::string game = cli.str("game");

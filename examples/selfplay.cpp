@@ -4,12 +4,19 @@
 // short of the database value of the starting position — a full
 // end-to-end audit of rules, indexing and solver through actual play.
 //
+// The perfect player queries through serve::ValueSource, so the same
+// audit runs against an in-memory build or a file-backed database served
+// under a residency budget:
+//
 //   $ selfplay --level=8 --games=200
+//   $ selfplay --db=/tmp/awari8.db --budget-kb=64 --games=200
 #include <cstdio>
+#include <memory>
 
 #include "retra/game/awari_level.hpp"
 #include "retra/ra/builder.hpp"
 #include "retra/ra/oracle.hpp"
+#include "retra/serve/query_service.hpp"
 #include "retra/support/cli.hpp"
 #include "retra/support/rng.hpp"
 #include "retra/support/table.hpp"
@@ -40,17 +47,49 @@ int greedy_pick(const game::MoveList& moves) {
 
 int main(int argc, char** argv) {
   support::Cli cli;
+  cli.describe(
+      "Self-play audit: the database-perfect player (via any ValueSource "
+      "backend) against a greedy-capture heuristic.");
   cli.flag("level", "8", "stones on the board at the start");
   cli.flag("games", "200", "games per pairing");
   cli.flag("max-plies", "200", "cut cycling games off after this many plies");
   cli.flag("seed", "7", "random seed for starting positions");
+  cli.flag("db", "", "serve from this database file instead of building");
+  cli.flag("budget-kb", "0",
+           "resident-level budget for --db serving (0 = unlimited)");
   cli.parse(argc, argv);
-  const int level = static_cast<int>(cli.integer("level"));
+  int level = static_cast<int>(cli.integer("level"));
   const int games = static_cast<int>(cli.integer("games"));
   const int max_plies = static_cast<int>(cli.integer("max-plies"));
 
-  const db::Database database =
-      ra::build_database(game::AwariFamily{}, level);
+  // Pick the backend: a budgeted file-backed QueryService with --db, a
+  // freshly built in-memory database otherwise.
+  db::Database database;
+  std::unique_ptr<serve::DenseSource> dense;
+  std::unique_ptr<serve::QueryService> service;
+  serve::ValueSource* source = nullptr;
+  if (const std::string path = cli.str("db"); !path.empty()) {
+    serve::QueryServiceConfig config;
+    config.budget_bytes =
+        static_cast<std::uint64_t>(cli.integer("budget-kb")) * 1024;
+    auto opened = serve::QueryService::open(path, config);
+    if (!opened.ok) {
+      std::fprintf(stderr, "cannot serve %s: %s\n", path.c_str(),
+                   opened.error.c_str());
+      return 1;
+    }
+    service = std::move(opened.service);
+    if (!service->covers(level)) {
+      level = service->num_levels() - 1;
+      std::fprintf(stderr, "database covers up to %d stones; using that\n",
+                   level);
+    }
+    source = service.get();
+  } else {
+    database = ra::build_database(game::AwariFamily{}, level);
+    dense = std::make_unique<serve::DenseSource>(database);
+    source = dense.get();
+  }
   support::Xoshiro256 rng(static_cast<std::uint64_t>(cli.integer("seed")));
 
   std::printf(
@@ -62,7 +101,7 @@ int main(int argc, char** argv) {
   int value_violations = 0;
   for (int g = 0; g < games; ++g) {
     game::Board board = random_board(level, rng);
-    const db::Value predicted = ra::position_value(database, board);
+    const db::Value predicted = ra::position_value(*source, board);
 
     // The perfect player moves on even plies (it is "the player to move"
     // at the start); net counts stones from the perfect player's view.
@@ -76,7 +115,7 @@ int main(int argc, char** argv) {
         break;
       }
       if (sign > 0) {
-        const auto evals = ra::evaluate_moves(database, board);
+        const auto evals = ra::evaluate_moves(*source, board);
         net += sign * evals.front().captured;
         board = evals.front().after;
       } else {
@@ -92,7 +131,7 @@ int main(int argc, char** argv) {
     // holds after every ply of optimal play, so settle the residual from
     // the database when the game did not finish.
     if (!ended) {
-      net += sign * ra::position_value(database, board);
+      net += sign * ra::position_value(*source, board);
     }
 
     if (net > 0) {
@@ -117,6 +156,17 @@ int main(int argc, char** argv) {
       "\n(\"behind\" games start from positions whose database value is "
       "already negative: perfection limits the damage, it cannot erase "
       "it)\n");
+
+  if (service) {
+    const auto& stats = service->stats();
+    std::printf(
+        "\nserving: %llu lookups, %llu level faults, %llu evictions, "
+        "%llu bytes resident\n",
+        static_cast<unsigned long long>(stats.lookups),
+        static_cast<unsigned long long>(stats.faults),
+        static_cast<unsigned long long>(stats.evictions),
+        static_cast<unsigned long long>(stats.resident_bytes));
+  }
 
   std::printf(
       "\nrealised result fell below the database guarantee in %d/%d games "

@@ -20,12 +20,32 @@ namespace retra::db {
 
 class CompactLevel {
  public:
+  /// An empty level (size 0); assign a real one before querying.
+  CompactLevel() = default;
+
   /// Packs `values` at the narrowest supported width.
   explicit CompactLevel(const std::vector<Value>& values);
 
+  /// Adopts an already-packed payload — the representation the RTRADB02
+  /// file format stores, so file-backed serving can materialise a level
+  /// without a decode/re-pack round trip.  `packed` must hold exactly
+  /// packed_bytes(size, bits) bytes and `bits` must be 4, 8 or 16.
+  static CompactLevel from_packed(std::uint64_t size, int bits, Value offset,
+                                  std::vector<std::uint8_t> packed);
+
+  /// Packed payload bytes needed for `size` values at `bits` bits each.
+  static std::uint64_t packed_bytes(std::uint64_t size, int bits) {
+    return (size * static_cast<std::uint64_t>(bits) + 7) / 8;
+  }
+
   std::uint64_t size() const { return size_; }
   int bits() const { return bits_; }
+  /// Stored value = (v - offset()) in `bits()` bits.
+  Value offset() const { return offset_; }
   Value get(idx::Index index) const;
+
+  /// The packed payload (what RTRADB02 persists verbatim).
+  const std::vector<std::uint8_t>& packed() const { return packed_; }
 
   /// Bytes of packed payload (excluding the object header).
   std::uint64_t memory_bytes() const { return packed_.size(); }

@@ -1,21 +1,43 @@
 // Database persistence.
 //
-// Compact little-endian format with a per-level FNV-1a checksum; values are
-// narrowed to one byte when the level's range allows (always true for
-// awari), mirroring the storage the paper's memory figures assume.
+// Two compact little-endian on-disk formats, both with a per-level FNV-1a
+// checksum (docs/FORMAT.md is the byte-level reference):
 //
-//   magic "RTRADB01" | u32 level count
-//   per level: u64 size | u8 width (1 or 2) | payload | u64 checksum
+//   RTRADB01 — raw values, narrowed to one byte when the level's range
+//   allows (always true for awari):
+//     magic "RTRADB01" | u32 level count
+//     per level: u64 size | u8 width (1 or 2 bytes) | payload | u64 checksum
+//
+//   RTRADB02 — offset-coded bit-packed values, the CompactLevel
+//   representation persisted verbatim so a server can fault a level in
+//   without re-packing:
+//     magic "RTRADB02" | u32 level count
+//     per level: u64 size | u8 bits (4, 8 or 16) | i16 offset |
+//                u64 payload bytes | payload | u64 checksum
+//
+// load() accepts both; save() writes RTRADB01 by default and RTRADB02
+// with SaveOptions{.pack = true}.  scan()/read_level() expose the level
+// directory without materialising payloads — the serving layer
+// (retra/serve/file_source.hpp) uses them for on-demand residency.
 #pragma once
 
+#include <cstdio>
 #include <string>
+#include <vector>
 
+#include "retra/db/compact.hpp"
 #include "retra/db/database.hpp"
 
 namespace retra::db {
 
+struct SaveOptions {
+  /// Write the RTRADB02 bit-packed format instead of RTRADB01.
+  bool pack = false;
+};
+
 /// Writes the database; aborts on I/O failure (callers are CLI tools).
-void save(const Database& database, const std::string& path);
+void save(const Database& database, const std::string& path,
+          const SaveOptions& options = {});
 
 /// Result of load(): either a database or a diagnosis of why the file was
 /// rejected (missing, malformed, checksum mismatch).
@@ -26,6 +48,50 @@ struct LoadResult {
 };
 
 LoadResult load(const std::string& path);
+
+/// One level's placement inside an RTRADB file, as recorded by scan().
+struct LevelLocation {
+  int level = 0;
+  std::uint64_t size = 0;      // positions
+  int bits = 16;               // stored bits per value (8/16 for RTRADB01)
+  bool raw = false;            // RTRADB01: payload is raw int8/int16 values
+  Value offset = 0;            // RTRADB02 pack offset (0 for RTRADB01)
+  std::uint64_t payload_offset = 0;  // byte offset of the payload
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;  // stored FNV-1a of the payload
+};
+
+/// The level directory of an RTRADB file: everything needed to seek to
+/// and decode any level, built by reading headers only (payloads are
+/// skipped, so scanning a multi-gigabyte database touches a few KB).
+struct FileIndex {
+  bool ok = false;
+  std::string error;
+  int version = 0;  // 1 or 2
+  std::vector<LevelLocation> levels;
+
+  /// Sum of payload_bytes — the resident cost of the whole file.
+  std::uint64_t total_payload_bytes() const;
+};
+
+/// Scans the level directory of `file` (rewinds first).  Structural
+/// problems — bad magic, truncated headers, payloads running past the end
+/// of the file — are diagnosed here; payload corruption is only caught by
+/// the checksum verification in read_level().
+FileIndex scan(std::FILE* file);
+FileIndex scan(const std::string& path);
+
+/// Result of read_level(): the level in packed (serving) form.
+struct LevelReadResult {
+  bool ok = false;
+  std::string error;
+  CompactLevel level;
+};
+
+/// Reads, checksum-verifies and unpacks one level located by scan() from
+/// the same file.  RTRADB02 payloads are adopted as-is; RTRADB01 raw
+/// payloads are decoded and re-packed at the narrowest width.
+LevelReadResult read_level(std::FILE* file, const LevelLocation& location);
 
 /// FNV-1a over a byte range; exposed for tests.
 std::uint64_t fnv1a(const void* data, std::size_t size);

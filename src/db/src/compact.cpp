@@ -1,6 +1,7 @@
 #include "retra/db/compact.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "retra/support/check.hpp"
 #include "retra/support/numeric.hpp"
@@ -50,6 +51,21 @@ CompactLevel::CompactLevel(const std::vector<Value>& values) {
         break;
     }
   }
+}
+
+CompactLevel CompactLevel::from_packed(std::uint64_t size, int bits,
+                                       Value offset,
+                                       std::vector<std::uint8_t> packed) {
+  RETRA_CHECK_MSG(bits == 4 || bits == 8 || bits == 16,
+                  "unsupported pack width");
+  RETRA_CHECK_MSG(packed.size() == packed_bytes(size, bits),
+                  "packed payload does not match size * bits");
+  CompactLevel level;
+  level.size_ = size;
+  level.bits_ = bits;
+  level.offset_ = offset;
+  level.packed_ = std::move(packed);
+  return level;
 }
 
 Value CompactLevel::get(idx::Index index) const {

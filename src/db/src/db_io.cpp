@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <utility>
 
 #include "retra/support/check.hpp"
 
@@ -11,7 +12,14 @@ namespace retra::db {
 
 namespace {
 
-constexpr char kMagic[8] = {'R', 'T', 'R', 'A', 'D', 'B', '0', '1'};
+constexpr char kMagic01[8] = {'R', 'T', 'R', 'A', 'D', 'B', '0', '1'};
+constexpr char kMagic02[8] = {'R', 'T', 'R', 'A', 'D', 'B', '0', '2'};
+
+/// Level counts and sizes beyond these bounds mean a corrupt header, not
+/// a real database; rejecting early keeps a doctored file from driving a
+/// multi-terabyte allocation.
+constexpr std::uint32_t kMaxLevels = 4096;
+constexpr std::uint64_t kMaxLevelSize = std::uint64_t{1} << 40;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -38,6 +46,16 @@ bool read_pod(std::FILE* f, T& value) {
   return read_bytes(f, &value, sizeof value);
 }
 
+std::uint64_t file_position(std::FILE* f) {
+  const long pos = std::ftell(f);
+  RETRA_CHECK_MSG(pos >= 0, "ftell failed");
+  return static_cast<std::uint64_t>(pos);
+}
+
+bool seek_to(std::FILE* f, std::uint64_t offset) {
+  return std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a(const void* data, std::size_t size) {
@@ -50,16 +68,33 @@ std::uint64_t fnv1a(const void* data, std::size_t size) {
   return hash;
 }
 
-void save(const Database& database, const std::string& path) {
+std::uint64_t FileIndex::total_payload_bytes() const {
+  std::uint64_t total = 0;
+  for (const LevelLocation& location : levels) total += location.payload_bytes;
+  return total;
+}
+
+void save(const Database& database, const std::string& path,
+          const SaveOptions& options) {
   File file(std::fopen(path.c_str(), "wb"));
   RETRA_CHECK_MSG(file != nullptr, "cannot open for writing: " + path);
   std::FILE* f = file.get();
 
-  write_bytes(f, kMagic, sizeof kMagic);
+  write_bytes(f, options.pack ? kMagic02 : kMagic01, sizeof kMagic01);
   write_pod(f, static_cast<std::uint32_t>(database.num_levels()));
 
   for (int l = 0; l < database.num_levels(); ++l) {
     const auto& values = database.level(l);
+    if (options.pack) {
+      const CompactLevel packed(values);
+      write_pod(f, static_cast<std::uint64_t>(values.size()));
+      write_pod(f, static_cast<std::uint8_t>(packed.bits()));
+      write_pod(f, packed.offset());
+      write_pod(f, static_cast<std::uint64_t>(packed.packed().size()));
+      write_bytes(f, packed.packed().data(), packed.packed().size());
+      write_pod(f, fnv1a(packed.packed().data(), packed.packed().size()));
+      continue;
+    }
     bool narrow = true;
     for (const Value v : values) {
       if (v < INT8_MIN || v > INT8_MAX) {
@@ -83,6 +118,132 @@ void save(const Database& database, const std::string& path) {
   RETRA_CHECK_MSG(std::fflush(f) == 0, "flush failed: " + path);
 }
 
+FileIndex scan(std::FILE* file) {
+  FileIndex index;
+  const auto fail = [&index](const std::string& message) {
+    index.ok = false;
+    index.error = message;
+    return index;
+  };
+
+  if (std::fseek(file, 0, SEEK_END) != 0) return fail("seek failed");
+  const std::uint64_t file_size = file_position(file);
+  std::rewind(file);
+
+  char magic[8];
+  if (!read_bytes(file, magic, sizeof magic)) return fail("bad magic");
+  if (std::memcmp(magic, kMagic01, sizeof magic) == 0) {
+    index.version = 1;
+  } else if (std::memcmp(magic, kMagic02, sizeof magic) == 0) {
+    index.version = 2;
+  } else {
+    return fail("bad magic");
+  }
+
+  std::uint32_t level_count = 0;
+  if (!read_pod(file, level_count) || level_count > kMaxLevels) {
+    return fail("bad level count");
+  }
+
+  for (std::uint32_t l = 0; l < level_count; ++l) {
+    const std::string where = " in level " + std::to_string(l);
+    LevelLocation location;
+    location.level = static_cast<int>(l);
+    std::uint8_t stored_width = 0;
+    if (!read_pod(file, location.size) || !read_pod(file, stored_width)) {
+      return fail("bad level header" + where);
+    }
+    if (location.size > kMaxLevelSize) {
+      return fail("bad level header" + where);
+    }
+    if (index.version == 1) {
+      if (stored_width != 1 && stored_width != 2) {
+        return fail("bad level header" + where);
+      }
+      location.raw = true;
+      location.bits = stored_width * 8;
+      location.payload_bytes = location.size * stored_width;
+    } else {
+      if (stored_width != 4 && stored_width != 8 && stored_width != 16) {
+        return fail("bad level header" + where);
+      }
+      location.bits = stored_width;
+      if (!read_pod(file, location.offset) ||
+          !read_pod(file, location.payload_bytes)) {
+        return fail("bad level header" + where);
+      }
+      if (location.payload_bytes !=
+          CompactLevel::packed_bytes(location.size, location.bits)) {
+        return fail("bad level header" + where);
+      }
+    }
+    location.payload_offset = file_position(file);
+    if (location.payload_offset + location.payload_bytes + sizeof(std::uint64_t) >
+        file_size) {
+      return fail("truncated level payload" + where);
+    }
+    if (!seek_to(file, location.payload_offset + location.payload_bytes)) {
+      return fail("truncated level payload" + where);
+    }
+    if (!read_pod(file, location.checksum)) {
+      return fail("missing checksum" + where);
+    }
+    index.levels.push_back(location);
+  }
+  index.ok = true;
+  return index;
+}
+
+FileIndex scan(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (!file) {
+    FileIndex index;
+    index.error = "cannot open: " + path;
+    return index;
+  }
+  return scan(file.get());
+}
+
+LevelReadResult read_level(std::FILE* file, const LevelLocation& location) {
+  LevelReadResult result;
+  const auto fail = [&result](const std::string& message) {
+    result.ok = false;
+    result.error = message;
+    return result;
+  };
+  const std::string where = " in level " + std::to_string(location.level);
+
+  if (!seek_to(file, location.payload_offset)) {
+    return fail("truncated level payload" + where);
+  }
+  std::vector<std::uint8_t> payload(location.payload_bytes);
+  if (!read_bytes(file, payload.data(), payload.size())) {
+    return fail("truncated level payload" + where);
+  }
+  if (fnv1a(payload.data(), payload.size()) != location.checksum) {
+    return fail("checksum mismatch" + where);
+  }
+
+  if (!location.raw) {
+    result.level = CompactLevel::from_packed(location.size, location.bits,
+                                             location.offset,
+                                             std::move(payload));
+    result.ok = true;
+    return result;
+  }
+  std::vector<Value> values(location.size);
+  if (location.bits == 8) {
+    for (std::uint64_t i = 0; i < location.size; ++i) {
+      values[i] = static_cast<std::int8_t>(payload[i]);
+    }
+  } else {
+    std::memcpy(values.data(), payload.data(), payload.size());
+  }
+  result.level = CompactLevel(values);
+  result.ok = true;
+  return result;
+}
+
 LoadResult load(const std::string& path) {
   LoadResult result;
   File file(std::fopen(path.c_str(), "rb"));
@@ -92,54 +253,18 @@ LoadResult load(const std::string& path) {
   }
   std::FILE* f = file.get();
 
-  char magic[8];
-  if (!read_bytes(f, magic, sizeof magic) ||
-      std::memcmp(magic, kMagic, sizeof magic) != 0) {
-    result.error = "bad magic";
+  const FileIndex index = scan(f);
+  if (!index.ok) {
+    result.error = index.error;
     return result;
   }
-  std::uint32_t level_count = 0;
-  if (!read_pod(f, level_count) || level_count > 4096) {
-    result.error = "bad level count";
-    return result;
-  }
-
-  for (std::uint32_t l = 0; l < level_count; ++l) {
-    std::uint64_t size = 0;
-    std::uint8_t width = 0;
-    if (!read_pod(f, size) || !read_pod(f, width) ||
-        (width != 1 && width != 2)) {
-      result.error = "bad level header";
+  for (const LevelLocation& location : index.levels) {
+    LevelReadResult level = read_level(f, location);
+    if (!level.ok) {
+      result.error = level.error;
       return result;
     }
-    std::vector<Value> values;
-    std::uint64_t checksum = 0;
-    if (width == 1) {
-      std::vector<std::int8_t> packed(size);
-      if (!read_bytes(f, packed.data(), size)) {
-        result.error = "truncated level payload";
-        return result;
-      }
-      checksum = fnv1a(packed.data(), packed.size());
-      values.assign(packed.begin(), packed.end());
-    } else {
-      values.resize(size);
-      if (!read_bytes(f, values.data(), size * sizeof(Value))) {
-        result.error = "truncated level payload";
-        return result;
-      }
-      checksum = fnv1a(values.data(), size * sizeof(Value));
-    }
-    std::uint64_t stored = 0;
-    if (!read_pod(f, stored)) {
-      result.error = "missing checksum";
-      return result;
-    }
-    if (stored != checksum) {
-      result.error = "checksum mismatch in level " + std::to_string(l);
-      return result;
-    }
-    result.database.push_level(static_cast<int>(l), std::move(values));
+    result.database.push_level(location.level, level.level.expand());
   }
   result.ok = true;
   return result;

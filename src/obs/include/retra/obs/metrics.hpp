@@ -108,6 +108,13 @@ enum class Id : int {
   kDriverPositions,
   kDriverRounds,
   kDriverLevelSeconds,
+  // serve.query — the query-serving subsystem (QueryService).
+  kServeLookups,
+  kServeBatchSize,
+  kServeLevelFaults,
+  kServeLevelEvictions,
+  kServeResidentBytes,
+  kServeFaultSeconds,
   kCount
 };
 
@@ -179,6 +186,18 @@ inline constexpr std::array<Desc, kMetricCount> kCatalog = {{
      "BSP rounds (or async supersteps) across completed levels"},
     {"driver.level_seconds", Kind::kTimer, "seconds", "para.driver", "T2",
      "host wall time per completed level build"},
+    {"serve.lookups", Kind::kCounter, "lookups", "serve.query", "-",
+     "positions answered by QueryService (single and batched)"},
+    {"serve.batch_size", Kind::kHistogram, "lookups", "serve.query", "-",
+     "lookups per values() batch"},
+    {"serve.level_faults", Kind::kCounter, "levels", "serve.query", "-",
+     "levels materialised from the database file on demand"},
+    {"serve.level_evictions", Kind::kCounter, "levels", "serve.query", "-",
+     "resident levels evicted to stay within the byte budget"},
+    {"serve.resident_bytes", Kind::kGauge, "bytes", "serve.query", "-",
+     "packed level payload bytes currently resident"},
+    {"serve.fault_seconds", Kind::kTimer, "seconds", "serve.query", "-",
+     "wall time spent reading and unpacking faulted levels"},
 }};
 
 constexpr const Desc& desc(Id id) {

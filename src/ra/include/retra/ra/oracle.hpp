@@ -3,6 +3,12 @@
 // This is what an endgame database is *for*: given any awari position
 // whose stone count is covered, report its game-theoretic value and rank
 // the moves by the value they guarantee.
+//
+// The oracle queries through serve::ValueSource, so the same code serves
+// from the dense in-memory Database, the bit-packed CompactDatabase, or
+// an on-disk RTRADB file behind a residency budget (serve::QueryService).
+// Successor lookups are batched per level through values().  Thin
+// overloads keep `const db::Database&` call sites compiling unchanged.
 #pragma once
 
 #include <string>
@@ -10,6 +16,7 @@
 
 #include "retra/db/database.hpp"
 #include "retra/game/awari.hpp"
+#include "retra/serve/value_source.hpp"
 
 namespace retra::ra {
 
@@ -20,20 +27,20 @@ struct MoveEval {
   game::Board after{};  // successor position (next mover's view)
 };
 
-/// Game-theoretic value of `board`; aborts if the database does not cover
+/// Game-theoretic value of `board`; aborts if the source does not cover
 /// the board's stone count.
-db::Value position_value(const db::Database& database,
+db::Value position_value(serve::ValueSource& source,
                          const game::Board& board);
 
 /// All legal moves, best first (value, then lower pit index as the tie
 /// break).  Empty for terminal positions.
-std::vector<MoveEval> evaluate_moves(const db::Database& database,
+std::vector<MoveEval> evaluate_moves(serve::ValueSource& source,
                                      const game::Board& board);
 
 /// Plays optimal moves from `board` until the game ends or `max_plies` is
 /// reached (cycling positions never end), returning a human-readable
 /// transcript line per ply.
-std::vector<std::string> optimal_line(const db::Database& database,
+std::vector<std::string> optimal_line(serve::ValueSource& source,
                                       game::Board board, int max_plies = 32);
 
 /// Depth-to-conversion tables for every level of an awari database (see
@@ -41,12 +48,47 @@ std::vector<std::string> optimal_line(const db::Database& database,
 struct DtcTables {
   std::vector<std::vector<std::uint32_t>> levels;
 };
-DtcTables compute_awari_dtc(const db::Database& database);
+DtcTables compute_awari_dtc(serve::ValueSource& source);
 
 /// Like evaluate_moves, but value ties are broken by conversion depth:
 /// winning movers convert as fast as possible, losing movers delay.
-std::vector<MoveEval> evaluate_moves_shortest(const db::Database& database,
+std::vector<MoveEval> evaluate_moves_shortest(serve::ValueSource& source,
                                               const DtcTables& dtc,
                                               const game::Board& board);
+
+// ---------------------------------------------------------------------------
+// Dense-database overloads: existing call sites keep compiling; each one
+// wraps the database in a stack DenseSource adapter.
+
+inline db::Value position_value(const db::Database& database,
+                                const game::Board& board) {
+  serve::DenseSource source(database);
+  return position_value(source, board);
+}
+
+inline std::vector<MoveEval> evaluate_moves(const db::Database& database,
+                                            const game::Board& board) {
+  serve::DenseSource source(database);
+  return evaluate_moves(source, board);
+}
+
+inline std::vector<std::string> optimal_line(const db::Database& database,
+                                             game::Board board,
+                                             int max_plies = 32) {
+  serve::DenseSource source(database);
+  return optimal_line(source, board, max_plies);
+}
+
+inline DtcTables compute_awari_dtc(const db::Database& database) {
+  serve::DenseSource source(database);
+  return compute_awari_dtc(source);
+}
+
+inline std::vector<MoveEval> evaluate_moves_shortest(
+    const db::Database& database, const DtcTables& dtc,
+    const game::Board& board) {
+  serve::DenseSource source(database);
+  return evaluate_moves_shortest(source, dtc, board);
+}
 
 }  // namespace retra::ra

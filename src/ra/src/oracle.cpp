@@ -1,6 +1,7 @@
 #include "retra/ra/oracle.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "retra/game/awari_level.hpp"
 #include "retra/ra/dtc.hpp"
@@ -9,26 +10,60 @@
 
 namespace retra::ra {
 
-db::Value position_value(const db::Database& database,
+db::Value position_value(serve::ValueSource& source,
                          const game::Board& board) {
   const int stones = idx::stones_on(board);
-  RETRA_CHECK_MSG(database.has_level(stones),
+  RETRA_CHECK_MSG(source.covers(stones),
                   "database does not cover this stone count");
-  return database.value(stones, idx::rank(board));
+  return source.value(stones, idx::rank(board));
 }
 
-std::vector<MoveEval> evaluate_moves(const db::Database& database,
+std::vector<MoveEval> evaluate_moves(serve::ValueSource& source,
                                      const game::Board& board) {
   std::vector<MoveEval> evals;
+  std::array<int, game::kPits / 2> levels{};
+  std::array<idx::Index, game::kPits / 2> ranks{};
   for (const auto& move : game::legal_moves(board)) {
     MoveEval eval;
     eval.pit = move.pit;
     eval.captured = move.captured;
     eval.after = move.after;
-    eval.value = static_cast<db::Value>(
-        move.captured - position_value(database, move.after));
+    levels[evals.size()] = idx::stones_on(move.after);
+    ranks[evals.size()] = idx::rank(move.after);
     evals.push_back(eval);
   }
+
+  // Batch successor lookups per level: a capture and a plain sowing move
+  // land in different levels, so gather each level's indices and resolve
+  // them with one values() call — one residency check per level instead
+  // of per move when the source is file-backed.
+  std::array<bool, game::kPits / 2> resolved{};
+  std::array<idx::Index, game::kPits / 2> batch{};
+  std::array<db::Value, game::kPits / 2> batch_values{};
+  std::array<std::size_t, game::kPits / 2> batch_slot{};
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    if (resolved[i]) continue;
+    const int level = levels[i];
+    RETRA_CHECK_MSG(source.covers(level),
+                    "database does not cover this stone count");
+    std::size_t count = 0;
+    for (std::size_t j = i; j < evals.size(); ++j) {
+      if (!resolved[j] && levels[j] == level) {
+        batch[count] = ranks[j];
+        batch_slot[count] = j;
+        ++count;
+      }
+    }
+    source.values(level, std::span<const idx::Index>(batch.data(), count),
+                  std::span<db::Value>(batch_values.data(), count));
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t j = batch_slot[k];
+      evals[j].value = static_cast<db::Value>(evals[j].captured -
+                                              batch_values[k]);
+      resolved[j] = true;
+    }
+  }
+
   std::sort(evals.begin(), evals.end(),
             [](const MoveEval& a, const MoveEval& b) {
               if (a.value != b.value) return a.value > b.value;
@@ -37,18 +72,18 @@ std::vector<MoveEval> evaluate_moves(const db::Database& database,
   return evals;
 }
 
-std::vector<std::string> optimal_line(const db::Database& database,
+std::vector<std::string> optimal_line(serve::ValueSource& source,
                                       game::Board board, int max_plies) {
   std::vector<std::string> transcript;
   for (int ply = 0; ply < max_plies; ++ply) {
-    const db::Value value = position_value(database, board);
+    const db::Value value = position_value(source, board);
     if (game::is_terminal(board)) {
       transcript.push_back(game::board_to_string(board) +
                            "  terminal, reward " +
                            std::to_string(game::terminal_reward(board)));
       break;
     }
-    const auto evals = evaluate_moves(database, board);
+    const auto evals = evaluate_moves(source, board);
     const MoveEval& best = evals.front();
     RETRA_CHECK_MSG(best.value == value,
                     "database inconsistent: best move misses the value");
@@ -62,24 +97,24 @@ std::vector<std::string> optimal_line(const db::Database& database,
   return transcript;
 }
 
-DtcTables compute_awari_dtc(const db::Database& database) {
+DtcTables compute_awari_dtc(serve::ValueSource& source) {
   DtcTables tables;
-  tables.levels.reserve(support::to_size(database.num_levels()));
-  for (int level = 0; level < database.num_levels(); ++level) {
+  tables.levels.reserve(support::to_size(source.num_levels()));
+  for (int level = 0; level < source.num_levels(); ++level) {
     const game::AwariLevel game(level);
-    auto lower = [&database](int l, idx::Index i) {
-      return database.value(l, i);
+    auto lower = [&source](int l, idx::Index i) {
+      return source.value(l, i);
     };
     tables.levels.push_back(
-        compute_dtc(game, lower, database.level(level)));
+        compute_dtc(game, lower, source.level_values(level)));
   }
   return tables;
 }
 
-std::vector<MoveEval> evaluate_moves_shortest(const db::Database& database,
+std::vector<MoveEval> evaluate_moves_shortest(serve::ValueSource& source,
                                               const DtcTables& dtc,
                                               const game::Board& board) {
-  std::vector<MoveEval> evals = evaluate_moves(database, board);
+  std::vector<MoveEval> evals = evaluate_moves(source, board);
   if (evals.empty()) return evals;
   const db::Value best = evals.front().value;
 

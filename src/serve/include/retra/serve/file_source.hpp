@@ -1,0 +1,82 @@
+// File-backed ValueSource with lazy level residency.
+//
+// open() scans the RTRADB level directory (headers only — a few KB even
+// for a multi-gigabyte database) and answers queries by faulting whole
+// levels in on first touch: seek, read, checksum-verify, and keep the
+// level resident in bit-packed CompactLevel form.  RTRADB02 payloads are
+// adopted verbatim; RTRADB01 raw payloads are re-packed once at fault
+// time.  Nothing is ever dropped implicitly — eviction policy lives one
+// layer up, in QueryService, which drives drop_level() against a byte
+// budget.
+//
+// Not thread-safe: one FileSource per serving thread.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "retra/db/db_io.hpp"
+#include "retra/serve/value_source.hpp"
+
+namespace retra::serve {
+
+class FileSource final : public ValueSource {
+ public:
+  /// Result of open(): either a ready source or a diagnosis of why the
+  /// file was rejected (missing, malformed, truncated).
+  struct OpenResult {
+    bool ok = false;
+    std::string error;
+    std::unique_ptr<FileSource> source;
+  };
+  static OpenResult open(const std::string& path);
+
+  ~FileSource() override;
+  FileSource(const FileSource&) = delete;
+  FileSource& operator=(const FileSource&) = delete;
+
+  int num_levels() const override {
+    return static_cast<int>(index_.levels.size());
+  }
+  std::uint64_t level_size(int level) const override;
+  Value value(int level, idx::Index index) override;
+  void values(int level, std::span<const idx::Index> indices,
+              std::span<Value> out) override;
+
+  /// The scanned level directory (format version, offsets, sizes).
+  const db::FileIndex& index() const { return index_; }
+
+  /// Faults the level in if absent and returns it; aborts if the payload
+  /// fails its checksum (open() already vetted the file's structure).
+  const db::CompactLevel& ensure_level(int level);
+
+  bool is_resident(int level) const;
+  /// Releases a resident level; a later query faults it back in.
+  void drop_level(int level);
+
+  /// Packed payload bytes currently resident across all levels.
+  std::uint64_t resident_bytes() const { return resident_bytes_; }
+  /// Packed payload bytes level `l` costs while resident.
+  std::uint64_t level_bytes(int level) const;
+
+  /// Lifetime fault count (levels materialised from disk).
+  std::uint64_t faults() const { return faults_; }
+
+ private:
+  struct Passkey {};  // lets open() use make_unique on a private-ish ctor
+
+ public:
+  FileSource(Passkey, std::FILE* file, db::FileIndex index);
+
+ private:
+  std::FILE* file_ = nullptr;
+  db::FileIndex index_;
+  std::vector<std::optional<db::CompactLevel>> resident_;
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t faults_ = 0;
+};
+
+}  // namespace retra::serve

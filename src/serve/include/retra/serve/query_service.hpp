@@ -1,0 +1,88 @@
+// The query-serving layer: a budgeted, metered, file-backed ValueSource.
+//
+// QueryService owns a FileSource and keeps its resident packed bytes
+// under a configurable budget with LRU level eviction: answering a query
+// against a non-resident level faults the level in, then evicts
+// least-recently-used levels until the budget holds again.  A level
+// larger than the whole budget is still served — it is faulted in and
+// everything else is evicted — so a small budget degrades to thrashing,
+// never to wrong answers.  Eviction order is deterministic: it depends
+// only on the query sequence.
+//
+// Every lookup, batch, fault and eviction is published through the obs
+// registry (serve.* metrics, docs/METRICS.md) and mirrored in the local
+// Stats struct, so a bench artifact and the service's own counters can
+// be reconciled exactly.
+//
+// Not thread-safe: one QueryService per serving thread.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+
+#include "retra/serve/file_source.hpp"
+
+namespace retra::serve {
+
+struct QueryServiceConfig {
+  /// Resident packed-payload budget in bytes; 0 means unlimited (every
+  /// level stays resident once faulted, nothing is ever evicted).
+  std::uint64_t budget_bytes = 0;
+};
+
+class QueryService final : public ValueSource {
+ public:
+  /// Result of open(): either a ready service or the FileSource's
+  /// diagnosis of why the database file was rejected.
+  struct OpenResult {
+    bool ok = false;
+    std::string error;
+    std::unique_ptr<QueryService> service;
+  };
+  static OpenResult open(const std::string& path,
+                         const QueryServiceConfig& config = {});
+
+  int num_levels() const override { return file_->num_levels(); }
+  std::uint64_t level_size(int level) const override {
+    return file_->level_size(level);
+  }
+  Value value(int level, idx::Index index) override;
+  void values(int level, std::span<const idx::Index> indices,
+              std::span<Value> out) override;
+
+  /// Local mirror of the serve.* obs metrics for this instance.
+  struct Stats {
+    std::uint64_t lookups = 0;    // positions answered (single + batched)
+    std::uint64_t batches = 0;    // values() calls
+    std::uint64_t faults = 0;     // levels materialised from disk
+    std::uint64_t evictions = 0;  // levels dropped to respect the budget
+    std::uint64_t resident_bytes = 0;  // packed payload bytes resident
+  };
+  const Stats& stats() const { return stats_; }
+
+  const QueryServiceConfig& config() const { return config_; }
+  const db::FileIndex& index() const { return file_->index(); }
+
+  /// Resident levels, most recently used first (tests, introspection).
+  std::vector<int> resident_levels() const;
+
+ private:
+  struct Passkey {};
+
+ public:
+  QueryService(Passkey, std::unique_ptr<FileSource> file,
+               const QueryServiceConfig& config);
+
+ private:
+  /// Marks `level` most recently used, faulting it in and evicting LRU
+  /// levels as needed; returns the resident level.
+  const db::CompactLevel& touch(int level);
+
+  std::unique_ptr<FileSource> file_;
+  QueryServiceConfig config_;
+  std::list<int> lru_;  // front = most recently used
+  Stats stats_;
+};
+
+}  // namespace retra::serve

@@ -1,0 +1,91 @@
+#include "retra/serve/file_source.hpp"
+
+#include <utility>
+
+#include "retra/support/check.hpp"
+#include "retra/support/numeric.hpp"
+
+namespace retra::serve {
+
+using support::to_size;
+
+FileSource::FileSource(Passkey, std::FILE* file, db::FileIndex index)
+    : file_(file), index_(std::move(index)) {
+  resident_.resize(index_.levels.size());
+}
+
+FileSource::~FileSource() {
+  if (file_) std::fclose(file_);
+}
+
+FileSource::OpenResult FileSource::open(const std::string& path) {
+  OpenResult result;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (!file) {
+    result.error = "cannot open: " + path;
+    return result;
+  }
+  db::FileIndex index = db::scan(file);
+  if (!index.ok) {
+    std::fclose(file);
+    result.error = index.error;
+    return result;
+  }
+  result.ok = true;
+  result.source =
+      std::make_unique<FileSource>(Passkey{}, file, std::move(index));
+  return result;
+}
+
+std::uint64_t FileSource::level_size(int level) const {
+  RETRA_CHECK_MSG(covers(level), "level not covered by this file");
+  return index_.levels[to_size(level)].size;
+}
+
+std::uint64_t FileSource::level_bytes(int level) const {
+  RETRA_CHECK_MSG(covers(level), "level not covered by this file");
+  if (const auto& resident = resident_[to_size(level)]; resident) {
+    return resident->memory_bytes();
+  }
+  return index_.levels[to_size(level)].payload_bytes;
+}
+
+bool FileSource::is_resident(int level) const {
+  return covers(level) && resident_[to_size(level)].has_value();
+}
+
+const db::CompactLevel& FileSource::ensure_level(int level) {
+  RETRA_CHECK_MSG(covers(level), "level not covered by this file");
+  auto& slot = resident_[to_size(level)];
+  if (!slot) {
+    db::LevelReadResult read =
+        db::read_level(file_, index_.levels[to_size(level)]);
+    RETRA_CHECK_MSG(read.ok, read.error);
+    slot.emplace(std::move(read.level));
+    resident_bytes_ += slot->memory_bytes();
+    ++faults_;
+  }
+  return *slot;
+}
+
+void FileSource::drop_level(int level) {
+  if (!is_resident(level)) return;
+  auto& slot = resident_[to_size(level)];
+  resident_bytes_ -= slot->memory_bytes();
+  slot.reset();
+}
+
+Value FileSource::value(int level, idx::Index index) {
+  return ensure_level(level).get(index);
+}
+
+void FileSource::values(int level, std::span<const idx::Index> indices,
+                        std::span<Value> out) {
+  RETRA_CHECK(out.size() >= indices.size());
+  const db::CompactLevel& stored = ensure_level(level);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[i] = stored.get(indices[i]);
+  }
+}
+
+}  // namespace retra::serve

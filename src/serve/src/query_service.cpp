@@ -1,0 +1,84 @@
+#include "retra/serve/query_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "retra/obs/metrics.hpp"
+#include "retra/support/check.hpp"
+
+namespace retra::serve {
+
+QueryService::QueryService(Passkey, std::unique_ptr<FileSource> file,
+                           const QueryServiceConfig& config)
+    : file_(std::move(file)), config_(config) {}
+
+QueryService::OpenResult QueryService::open(const std::string& path,
+                                            const QueryServiceConfig& config) {
+  OpenResult result;
+  FileSource::OpenResult file = FileSource::open(path);
+  if (!file.ok) {
+    result.error = std::move(file.error);
+    return result;
+  }
+  result.ok = true;
+  result.service = std::make_unique<QueryService>(
+      Passkey{}, std::move(file.source), config);
+  return result;
+}
+
+const db::CompactLevel& QueryService::touch(int level) {
+  if (const auto it = std::find(lru_.begin(), lru_.end(), level);
+      it != lru_.end()) {
+    lru_.splice(lru_.begin(), lru_, it);
+    return file_->ensure_level(level);
+  }
+
+  // Fault the level in, then shed least-recently-used levels until the
+  // budget holds.  The just-touched level is never the victim, so one
+  // oversized level still gets served (with everything else evicted).
+  const db::CompactLevel* resident;
+  {
+    RETRA_OBS_SCOPED_TIMER(timer, obs::Id::kServeFaultSeconds);
+    resident = &file_->ensure_level(level);
+  }
+  ++stats_.faults;
+  RETRA_OBS_INC(obs::Id::kServeLevelFaults);
+  lru_.push_front(level);
+  while (config_.budget_bytes != 0 &&
+         file_->resident_bytes() > config_.budget_bytes && lru_.size() > 1) {
+    const int victim = lru_.back();
+    lru_.pop_back();
+    file_->drop_level(victim);
+    ++stats_.evictions;
+    RETRA_OBS_INC(obs::Id::kServeLevelEvictions);
+  }
+  stats_.resident_bytes = file_->resident_bytes();
+  RETRA_OBS_SET(obs::Id::kServeResidentBytes, stats_.resident_bytes);
+  return *resident;
+}
+
+Value QueryService::value(int level, idx::Index index) {
+  const db::CompactLevel& stored = touch(level);
+  ++stats_.lookups;
+  RETRA_OBS_INC(obs::Id::kServeLookups);
+  return stored.get(index);
+}
+
+void QueryService::values(int level, std::span<const idx::Index> indices,
+                          std::span<Value> out) {
+  RETRA_CHECK(out.size() >= indices.size());
+  const db::CompactLevel& stored = touch(level);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[i] = stored.get(indices[i]);
+  }
+  ++stats_.batches;
+  stats_.lookups += indices.size();
+  RETRA_OBS_ADD(obs::Id::kServeLookups, indices.size());
+  RETRA_OBS_OBSERVE(obs::Id::kServeBatchSize, indices.size());
+}
+
+std::vector<int> QueryService::resident_levels() const {
+  return {lru_.begin(), lru_.end()};
+}
+
+}  // namespace retra::serve

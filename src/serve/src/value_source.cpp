@@ -1,0 +1,55 @@
+#include "retra/serve/value_source.hpp"
+
+#include <numeric>
+
+#include "retra/support/check.hpp"
+
+namespace retra::serve {
+
+void ValueSource::values(int level, std::span<const idx::Index> indices,
+                         std::span<Value> out) {
+  RETRA_CHECK(out.size() >= indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[i] = value(level, indices[i]);
+  }
+}
+
+std::vector<Value> ValueSource::level_values(int level) {
+  RETRA_CHECK_MSG(covers(level), "level not covered by this source");
+  const std::uint64_t size = level_size(level);
+  std::vector<Value> out(size);
+  // Chunked so the scratch index vector stays cache-sized even for the
+  // hundred-million-position levels of the paper's big builds.
+  constexpr std::uint64_t kChunk = 1 << 16;
+  std::vector<idx::Index> indices(static_cast<std::size_t>(
+      size < kChunk ? (size ? size : 1) : kChunk));
+  for (std::uint64_t begin = 0; begin < size; begin += kChunk) {
+    const auto count = static_cast<std::size_t>(
+        size - begin < kChunk ? size - begin : kChunk);
+    std::iota(indices.begin(), indices.begin() + static_cast<std::ptrdiff_t>(count),
+              begin);
+    values(level, std::span<const idx::Index>(indices.data(), count),
+           std::span<Value>(out.data() + begin, count));
+  }
+  return out;
+}
+
+void DenseSource::values(int level, std::span<const idx::Index> indices,
+                         std::span<Value> out) {
+  RETRA_CHECK(out.size() >= indices.size());
+  const std::vector<Value>& stored = database_->level(level);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[i] = stored[indices[i]];
+  }
+}
+
+void CompactSource::values(int level, std::span<const idx::Index> indices,
+                           std::span<Value> out) {
+  RETRA_CHECK(out.size() >= indices.size());
+  const db::CompactLevel& stored = database_->level(level);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[i] = stored.get(indices[i]);
+  }
+}
+
+}  // namespace retra::serve

@@ -31,7 +31,7 @@ TEST(CompactLevel, SixteenBitRange) {
 }
 
 TEST(CompactLevel, EmptyAndSingle) {
-  EXPECT_EQ(CompactLevel({}).size(), 0u);
+  EXPECT_EQ(CompactLevel(std::vector<Value>{}).size(), 0u);
   const CompactLevel one({Value{42}});
   EXPECT_EQ(one.get(0), 42);
   EXPECT_EQ(one.bits(), 4);  // zero span packs minimally

@@ -1,0 +1,287 @@
+// The query-serving layer: ValueSource backends, lazy residency, LRU
+// eviction, and metrics reconciliation.
+//
+// The anchor is the backend-agreement sweep: every value of the full
+// awari database up to 6 stones must be identical through the dense
+// adapter, the bit-packed adapter, a file served from either on-disk
+// format, and a budget-squeezed QueryService — the serving stack may
+// change representation, never answers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "retra/db/compact.hpp"
+#include "retra/db/db_io.hpp"
+#include "retra/game/awari_level.hpp"
+#include "retra/ra/builder.hpp"
+#include "retra/serve/query_service.hpp"
+
+namespace retra::serve {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// The solved awari database shared by the agreement tests; built once.
+const db::Database& solved() {
+  static const db::Database database =
+      ra::build_database(game::AwariFamily{}, 6);
+  return database;
+}
+
+/// Saves `solved()` to a scratch file in the requested format.
+std::string save_solved(const char* name, bool pack) {
+  const std::string path = temp_path(name);
+  db::SaveOptions options;
+  options.pack = pack;
+  db::save(solved(), path, options);
+  return path;
+}
+
+void expect_full_agreement(ValueSource& source, const db::Database& oracle) {
+  ASSERT_EQ(source.num_levels(), oracle.num_levels());
+  for (int level = 0; level < oracle.num_levels(); ++level) {
+    ASSERT_EQ(source.level_size(level), oracle.level(level).size());
+    // level_values() exercises the batched path for the whole level.
+    EXPECT_EQ(source.level_values(level), oracle.level(level))
+        << "level " << level;
+  }
+}
+
+TEST(ValueSource, DenseAdapterAgreesEverywhere) {
+  DenseSource source(solved());
+  expect_full_agreement(source, solved());
+}
+
+TEST(ValueSource, CompactAdapterAgreesEverywhere) {
+  const db::CompactDatabase compact(solved());
+  CompactSource source(compact);
+  expect_full_agreement(source, solved());
+}
+
+TEST(ValueSource, FileSourceAgreesOnBothFormats) {
+  for (const bool pack : {false, true}) {
+    const std::string path = save_solved("retra_serve_agree.db", pack);
+    auto opened = FileSource::open(path);
+    ASSERT_TRUE(opened.ok) << opened.error;
+    expect_full_agreement(*opened.source, solved());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ValueSource, QueryServiceUnderBudgetAgreesEverywhere) {
+  const std::string path = save_solved("retra_serve_budget.db", true);
+  // A budget that fits only a sliver of the file: every level sweep
+  // evicts others, so agreement here proves fault/evict round-trips.
+  QueryServiceConfig config;
+  config.budget_bytes = 4096;
+  auto opened = QueryService::open(path, config);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  expect_full_agreement(*opened.service, solved());
+  EXPECT_GT(opened.service->stats().evictions, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ValueSource, BatchedMatchesSingleLookups) {
+  const std::string path = save_solved("retra_serve_batch.db", true);
+  auto batched = QueryService::open(path);
+  auto single = QueryService::open(path);
+  ASSERT_TRUE(batched.ok && single.ok);
+  for (int level = 0; level < solved().num_levels(); ++level) {
+    // A strided sample, batched in one call vs looked up one by one.
+    std::vector<idx::Index> indices;
+    for (idx::Index i = 0; i < solved().level(level).size(); i += 7) {
+      indices.push_back(i);
+    }
+    std::vector<db::Value> out(indices.size());
+    batched.service->values(level, indices, out);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      EXPECT_EQ(out[i], single.service->value(level, indices[i]));
+    }
+  }
+  // Both services answered the same positions; the batched one did it in
+  // one values() call per level.
+  EXPECT_EQ(batched.service->stats().lookups,
+            single.service->stats().lookups);
+  EXPECT_EQ(batched.service->stats().batches,
+            static_cast<std::uint64_t>(solved().num_levels()));
+  std::remove(path.c_str());
+}
+
+TEST(ValueSource, CoversMatchesStoredLevels) {
+  DenseSource source(solved());
+  EXPECT_TRUE(source.covers(0));
+  EXPECT_TRUE(source.covers(6));
+  EXPECT_FALSE(source.covers(7));
+  EXPECT_FALSE(source.covers(-1));
+}
+
+TEST(FileSource, FaultsLazilyAndDropsExplicitly) {
+  const std::string path = save_solved("retra_serve_lazy.db", true);
+  auto opened = FileSource::open(path);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  FileSource& source = *opened.source;
+  EXPECT_EQ(source.resident_bytes(), 0u);
+  EXPECT_EQ(source.faults(), 0u);
+  for (int level = 0; level < source.num_levels(); ++level) {
+    EXPECT_FALSE(source.is_resident(level));
+  }
+
+  (void)source.value(5, 0);
+  EXPECT_TRUE(source.is_resident(5));
+  EXPECT_EQ(source.faults(), 1u);
+  EXPECT_EQ(source.resident_bytes(), source.level_bytes(5));
+
+  (void)source.value(5, 1);  // same level: no second fault
+  EXPECT_EQ(source.faults(), 1u);
+
+  source.drop_level(5);
+  EXPECT_FALSE(source.is_resident(5));
+  EXPECT_EQ(source.resident_bytes(), 0u);
+  (void)source.value(5, 0);  // faults back in
+  EXPECT_EQ(source.faults(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(FileSource, RejectsMissingAndMalformedFiles) {
+  EXPECT_FALSE(FileSource::open(temp_path("retra_serve_missing.db")).ok);
+  const std::string path = temp_path("retra_serve_badmagic.db");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("NOTADB00garbage", f);
+    std::fclose(f);
+  }
+  auto opened = FileSource::open(path);
+  EXPECT_FALSE(opened.ok);
+  EXPECT_NE(opened.error.find("magic"), std::string::npos) << opened.error;
+  std::remove(path.c_str());
+}
+
+TEST(QueryService, EvictionOrderIsDeterministicLru) {
+  const std::string path = save_solved("retra_serve_lru.db", true);
+  // Budget sized for levels 4+5+6 (683+2184+6188 bytes) but not a fourth
+  // level on top.
+  auto opened = QueryService::open(path);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  const std::uint64_t budget = opened.service->index().levels[4].payload_bytes +
+                               opened.service->index().levels[5].payload_bytes +
+                               opened.service->index().levels[6].payload_bytes;
+  QueryServiceConfig config;
+  config.budget_bytes = budget;
+  auto squeezed = QueryService::open(path, config);
+  ASSERT_TRUE(squeezed.ok) << squeezed.error;
+  QueryService& service = *squeezed.service;
+
+  (void)service.value(4, 0);
+  (void)service.value(5, 0);
+  (void)service.value(6, 0);
+  EXPECT_EQ(service.resident_levels(), (std::vector<int>{6, 5, 4}));
+  EXPECT_EQ(service.stats().evictions, 0u);
+
+  // Touch 4 again, then fault level 3: the LRU victim must now be 5.
+  (void)service.value(4, 1);
+  (void)service.value(3, 0);
+  EXPECT_EQ(service.resident_levels(), (std::vector<int>{3, 4, 6}));
+  EXPECT_EQ(service.stats().evictions, 1u);
+
+  // Re-running the same query sequence on a fresh service reproduces the
+  // same residency, byte for byte: eviction depends only on the queries.
+  auto replay = QueryService::open(path, config);
+  ASSERT_TRUE(replay.ok);
+  (void)replay.service->value(4, 0);
+  (void)replay.service->value(5, 0);
+  (void)replay.service->value(6, 0);
+  (void)replay.service->value(4, 1);
+  (void)replay.service->value(3, 0);
+  EXPECT_EQ(replay.service->resident_levels(), service.resident_levels());
+  EXPECT_EQ(replay.service->stats().resident_bytes,
+            service.stats().resident_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(QueryService, ServesLevelLargerThanWholeBudget) {
+  const std::string path = save_solved("retra_serve_oversize.db", true);
+  QueryServiceConfig config;
+  config.budget_bytes = 64;  // smaller than every level above 2
+  auto opened = QueryService::open(path, config);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  QueryService& service = *opened.service;
+  // The just-touched level is never the eviction victim, so an oversized
+  // level still answers (and is the only resident afterwards).
+  EXPECT_EQ(service.value(6, 0), solved().value(6, 0));
+  EXPECT_EQ(service.resident_levels(), (std::vector<int>{6}));
+  EXPECT_GT(service.stats().resident_bytes, config.budget_bytes);
+  // Touching another level evicts the oversized one.
+  (void)service.value(5, 0);
+  EXPECT_EQ(service.resident_levels(), (std::vector<int>{5}));
+  std::remove(path.c_str());
+}
+
+TEST(QueryService, StatsReconcileWithObsMetricsAndArtifact) {
+  const std::string path = save_solved("retra_serve_metrics.db", true);
+  QueryServiceConfig config;
+  config.budget_bytes = 4096;
+  auto opened = QueryService::open(path, config);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  QueryService& service = *opened.service;
+
+  const obs::Snapshot before = obs::snapshot();
+  (void)service.value(6, 0);
+  (void)service.value(6, 1);
+  std::vector<idx::Index> indices(100);
+  std::iota(indices.begin(), indices.end(), idx::Index{0});
+  std::vector<db::Value> out(indices.size());
+  service.values(5, indices, out);
+  service.values(6, indices, out);
+  const obs::Snapshot delta = obs::snapshot() - before;
+
+  const QueryService::Stats& stats = service.stats();
+  EXPECT_EQ(stats.lookups, 202u);
+  EXPECT_EQ(stats.batches, 2u);
+#if RETRA_METRICS_ENABLED
+  // The obs delta tells the same story as the local mirror (under
+  // -DRETRA_METRICS=OFF the macros publish nothing; only the local Stats
+  // mirror and the artifact schema below are checked).
+  EXPECT_EQ(delta[obs::Id::kServeLookups].value, stats.lookups);
+  EXPECT_EQ(delta[obs::Id::kServeLevelFaults].value, stats.faults);
+  EXPECT_EQ(delta[obs::Id::kServeLevelEvictions].value, stats.evictions);
+  EXPECT_EQ(delta[obs::Id::kServeBatchSize].count, stats.batches);
+  EXPECT_EQ(delta[obs::Id::kServeBatchSize].sum, 200u);
+  EXPECT_EQ(delta[obs::Id::kServeFaultSeconds].count, stats.faults);
+#endif  // RETRA_METRICS_ENABLED
+
+  // And the same delta renders as a valid retra-bench-v1 micro artifact —
+  // the exact pipeline bench_q1_query --json uses.
+  bench::BenchRunMeta meta;
+  meta.suite = "serve-test";
+  meta.bench = "test_serve";
+  meta.max_level = 6;
+  meta.ranks = 1;
+  std::string error;
+  EXPECT_TRUE(
+      bench::validate_bench_artifact(bench::micro_artifact_json(meta, delta),
+                                     &error))
+      << error;
+  std::remove(path.c_str());
+}
+
+TEST(QueryService, UnlimitedBudgetNeverEvicts) {
+  const std::string path = save_solved("retra_serve_unlimited.db", true);
+  auto opened = QueryService::open(path);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  QueryService& service = *opened.service;
+  for (int level = 0; level < service.num_levels(); ++level) {
+    (void)service.value(level, 0);
+  }
+  EXPECT_EQ(service.stats().evictions, 0u);
+  EXPECT_EQ(service.stats().resident_bytes,
+            service.index().total_payload_bytes());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace retra::serve

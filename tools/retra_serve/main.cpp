@@ -1,0 +1,165 @@
+// retra_serve — inspect and serve an RTRADB database file.
+//
+// Three things, composable in one invocation:
+//
+//   * inspect: with no boards and no --selfcheck, print the file's level
+//     directory (format version, per-level packing, payload bytes) from a
+//     header scan that never materialises a payload;
+//   * answer: each positional argument is a board ("1 2 0 0 1 0  0 1 0 2
+//     0 1", mover's pits first) answered through the budgeted
+//     QueryService — value and best moves;
+//   * --selfcheck=N: rebuild the database in memory and compare N random
+//     (level, index) samples against the served answers, exit 1 on any
+//     mismatch.  CI's serve_smoke job runs this under a deliberately tiny
+//     --budget-kb so every sample exercises fault + evict paths.
+//
+//   $ retra_serve --db=/tmp/awari8.db
+//   $ retra_serve --db=/tmp/awari8.db --budget-kb=16 --selfcheck=5000
+//   $ retra_serve --db=/tmp/awari8.db "1 2 0 0 1 0  0 1 0 2 0 1"
+#include <cstdio>
+#include <string>
+
+#include "retra/game/awari_level.hpp"
+#include "retra/ra/builder.hpp"
+#include "retra/ra/oracle.hpp"
+#include "retra/serve/query_service.hpp"
+#include "retra/support/cli.hpp"
+#include "retra/support/rng.hpp"
+#include "retra/support/table.hpp"
+
+namespace {
+
+using namespace retra;
+
+void print_index(const std::string& path, const db::FileIndex& index) {
+  std::printf("%s: RTRADB%02d, %zu levels\n\n", path.c_str(), index.version,
+              index.levels.size());
+  support::Table table(
+      {"level", "positions", "bits", "offset", "payload bytes"});
+  for (const db::LevelLocation& location : index.levels) {
+    table.row()
+        .add(location.level)
+        .add(support::with_thousands(location.size))
+        .add(location.raw ? std::to_string(location.bits) + " raw"
+                          : std::to_string(location.bits))
+        .add(static_cast<std::int64_t>(location.offset))
+        .add(support::with_thousands(location.payload_bytes));
+  }
+  table.print();
+  std::printf("\ntotal payload: %s bytes\n",
+              support::with_thousands(index.total_payload_bytes()).c_str());
+}
+
+void answer(serve::ValueSource& source, const game::Board& board) {
+  std::printf("%s\n", game::board_to_string(board).c_str());
+  if (game::is_terminal(board)) {
+    std::printf("  terminal: mover nets %d\n", game::terminal_reward(board));
+    return;
+  }
+  if (const int stones = idx::stones_on(board); !source.covers(stones)) {
+    std::printf("  not covered: %d stones on board, database stops at %d\n",
+                stones, source.num_levels() - 1);
+    return;
+  }
+  std::printf("  value: %+d stones net for the player to move\n",
+              static_cast<int>(ra::position_value(source, board)));
+  for (const auto& eval : ra::evaluate_moves(source, board)) {
+    std::printf("  pit %d -> %+d%s\n", eval.pit,
+                static_cast<int>(eval.value),
+                eval.captured
+                    ? (" (captures " + std::to_string(eval.captured) + ")")
+                          .c_str()
+                    : "");
+  }
+}
+
+/// Compares `samples` random served values against a fresh in-memory
+/// rebuild; returns the number of mismatches (each printed).
+int selfcheck(serve::QueryService& service, int samples,
+              std::uint64_t seed) {
+  const int top = service.num_levels() - 1;
+  std::printf("selfcheck: rebuilding levels 0..%d in memory...\n", top);
+  const db::Database database =
+      ra::build_database(game::AwariFamily{}, top);
+  support::Xoshiro256 rng(seed);
+  int mismatches = 0;
+  for (int s = 0; s < samples; ++s) {
+    const int level =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(top + 1)));
+    const idx::Index index = rng.below(service.level_size(level));
+    const db::Value served = service.value(level, index);
+    const db::Value built = database.value(level, index);
+    if (served != built) {
+      ++mismatches;
+      std::printf(
+          "  MISMATCH level %d index %llu: served %d, rebuilt %d\n", level,
+          static_cast<unsigned long long>(index), static_cast<int>(served),
+          static_cast<int>(built));
+    }
+  }
+  std::printf("selfcheck: %d samples, %d mismatches\n", samples, mismatches);
+  return mismatches;
+}
+
+void print_stats(const serve::QueryService& service) {
+  const auto& stats = service.stats();
+  std::printf(
+      "\nserving: %llu lookups in %llu batches, %llu level faults, "
+      "%llu evictions, %llu bytes resident\n",
+      static_cast<unsigned long long>(stats.lookups),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.faults),
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.resident_bytes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Cli cli;
+  cli.describe(
+      "Inspect and serve an RTRADB database file: level directory, board "
+      "queries, and a rebuild-and-compare selfcheck.");
+  cli.flag("db", "", "database file to serve (required)");
+  cli.flag("budget-kb", "0", "resident-level budget (0 = unlimited)");
+  cli.flag("selfcheck", "0",
+           "compare this many random samples against an in-memory rebuild");
+  cli.flag("seed", "7", "selfcheck sampling seed");
+  cli.flag("stats", "true", "print serving counters after queries");
+  cli.parse(argc, argv);
+
+  const std::string path = cli.str("db");
+  if (path.empty()) {
+    std::fprintf(stderr, "--db is required (see --help)\n");
+    return 1;
+  }
+  serve::QueryServiceConfig config;
+  config.budget_bytes =
+      static_cast<std::uint64_t>(cli.integer("budget-kb")) * 1024;
+  auto opened = serve::QueryService::open(path, config);
+  if (!opened.ok) {
+    std::fprintf(stderr, "cannot serve %s: %s\n", path.c_str(),
+                 opened.error.c_str());
+    return 1;
+  }
+  serve::QueryService& service = *opened.service;
+
+  const int samples = static_cast<int>(cli.integer("selfcheck"));
+  const bool inspect_only = cli.positional().empty() && samples == 0;
+  if (inspect_only) {
+    print_index(path, service.index());
+    return 0;
+  }
+
+  for (const std::string& text : cli.positional()) {
+    answer(service, game::board_from_string(text.c_str()));
+  }
+
+  int mismatches = 0;
+  if (samples > 0) {
+    mismatches = selfcheck(
+        service, samples, static_cast<std::uint64_t>(cli.integer("seed")));
+  }
+  if (cli.boolean("stats")) print_stats(service);
+  return mismatches == 0 ? 0 : 1;
+}
