@@ -57,12 +57,15 @@ inline para::SimBuildResult simulate_build(int level, int ranks,
                                            const sim::ClusterModel& model,
                                            para::PartitionScheme scheme =
                                                para::PartitionScheme::kCyclic,
-                                           bool replicate_lower = false) {
+                                           bool replicate_lower = false,
+                                           int threads_per_rank = 1) {
   para::ParallelConfig config;
   config.ranks = ranks;
   config.combine_bytes = combine_bytes;
   config.scheme = scheme;
   config.replicate_lower = replicate_lower;
+  config.threads_per_rank = threads_per_rank;
+  config.oversubscribe = threads_per_rank > 1;
   return para::build_parallel_simulated(game::AwariFamily{}, level, config,
                                         model);
 }

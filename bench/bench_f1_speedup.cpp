@@ -7,6 +7,9 @@
 //  (b) projected: the measured workload densities rescaled to a
 //      paper-scale database (--paper-level), where the abstract reports a
 //      speedup of 48 on 64 processors.
+//  (c) projected P x T: the same paper-scale level with T worker threads
+//      per node (two-level parallelism) — what multiprocessor nodes would
+//      have bought the 1995 cluster.
 #include <cstdio>
 #include <optional>
 #include <vector>
@@ -26,11 +29,15 @@ int main(int argc, char** argv) {
   cli.flag("level", "10", "awari level actually built under the simulator");
   cli.flag("paper-level", "21", "level for the projected paper-scale panel");
   cli.flag("combine-bytes", "4096", "combining buffer size");
+  cli.flag("threads-per-rank", "1",
+           "worker threads per rank in the measured panel");
   cli.parse(argc, argv);
   const int level = static_cast<int>(cli.integer("level"));
   const int paper_level = static_cast<int>(cli.integer("paper-level"));
   const auto combine = static_cast<std::size_t>(cli.integer("combine-bytes"));
-  const sim::ClusterModel model = model_from(cli);
+  const int threads = static_cast<int>(cli.integer("threads-per-rank"));
+  sim::ClusterModel model = model_from(cli);
+  model.machine.worker_threads = threads;
 
   std::printf("F1: speedup of the distributed build, combining on\n");
   print_model(model);
@@ -51,7 +58,9 @@ int main(int argc, char** argv) {
   obs::Snapshot artifact_delta;
   for (const int ranks : rank_counts) {
     const obs::Snapshot before = obs::snapshot();
-    auto run = simulate_build(level, ranks, combine, model);
+    auto run = simulate_build(level, ranks, combine, model,
+                              para::PartitionScheme::kCyclic,
+                              /*replicate_lower=*/false, threads);
     double time = run.total_time_s();
     std::uint64_t messages = 0, payload = 0;
     for (const auto& t : run.timings) {
@@ -109,6 +118,29 @@ int main(int argc, char** argv) {
         .add(support::human_seconds(p.barrier_s));
   }
   projected.print();
+
+  // P x T: the same projection with each node's chunk-parallel phases
+  // divided across T workers.  Speedups are against the T=1 uniprocessor,
+  // so the table reads as "total speedup bought by P nodes x T workers".
+  std::printf(
+      "\n(c) projected P x T at paper scale: T worker threads per node, "
+      "speedup vs the T=1 uniprocessor\n\n");
+  const std::vector<int> worker_counts{1, 2, 4};
+  support::Table pxt({"P", "T=1 time", "T=1 speedup", "T=2 time",
+                      "T=2 speedup", "T=4 time", "T=4 speedup"});
+  sim::ClusterModel pxt_model = model;
+  pxt_model.machine.worker_threads = 1;
+  const double pxt_base =
+      sim::project_level(paper, 1, pxt_model, combine).time_s;
+  for (const int ranks : rank_counts) {
+    pxt.row().add(ranks);
+    for (const int t : worker_counts) {
+      pxt_model.machine.worker_threads = t;
+      const auto p = sim::project_level(paper, ranks, pxt_model, combine);
+      pxt.add(support::human_seconds(p.time_s)).add(pxt_base / p.time_s, 2);
+    }
+  }
+  pxt.print();
   std::printf(
       "\npaper reference points: speedup 48 at P=64; uniprocessor run of "
       "the same database took 40 h.\n");

@@ -1,0 +1,244 @@
+// P1 — Scan throughput under two-level parallelism (P ranks × T workers).
+//
+// Three panels:
+//  (a) host: the real awari build runs once per worker count with the
+//      chunked engine phases live; the engine.scan/seed/zero_fill phase
+//      timers (host wall time) give the measured throughput.  On a
+//      single-core container these rows are flat — the panel exists to
+//      measure real hardware when it is there.
+//  (b) modelled: the same builds priced on the 1995 cluster, where the
+//      chunk-parallel scan divides across the T workers of each node
+//      (sim::MachineModel::worker_threads).  By the engines' determinism
+//      guarantee the work meters are identical for every T, so this panel
+//      isolates the algorithmic speedup of the chunked scan.
+//  (c) end-to-end: virtual wall clock of the full build at --e2e-ranks
+//      with T=1 vs T=2 workers per node — the two-level counterpart of
+//      F1's measured speedup panel.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct ScanRow {
+  int threads = 0;
+  // Host wall-clock phase seconds (obs timer deltas).
+  double host_scan_s = 0;
+  double host_drain_s = 0;
+  double host_seed_s = 0;
+  double host_zero_fill_s = 0;
+  double host_build_s = 0;
+  std::uint64_t scan_positions = 0;
+  // Modelled 1995-cluster numbers.
+  double model_scan_s = 0;
+  double model_drain_s = 0;
+  double model_build_s = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace retra;
+  using namespace retra::bench;
+  support::Cli cli;
+  cli.describe(
+      "P1: scan throughput of the chunked rank engine at T workers per "
+      "rank — host phase timers plus the modelled 1995 cluster, and an "
+      "end-to-end PxT build comparison. --json writes the artifact.");
+  add_model_flags(cli);
+  add_output_flags(cli);
+  cli.flag("level", "8", "awari level built for the thread sweep");
+  cli.flag("e2e-level", "8", "awari level of the end-to-end PxT panel");
+  cli.flag("e2e-ranks", "4", "ranks of the end-to-end PxT panel");
+  cli.flag("combine-bytes", "4096", "combining buffer size");
+  cli.parse(argc, argv);
+  const int level = static_cast<int>(cli.integer("level"));
+  const int e2e_level = static_cast<int>(cli.integer("e2e-level"));
+  const int e2e_ranks = static_cast<int>(cli.integer("e2e-ranks"));
+  const auto combine = static_cast<std::size_t>(cli.integer("combine-bytes"));
+  sim::ClusterModel model = model_from(cli);
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf(
+      "P1: two-level parallelism — chunked scan throughput, awari level "
+      "%d, %u hardware thread(s) on this host\n",
+      level, hw);
+  print_model(model);
+
+  const std::vector<int> thread_counts{1, 2, 4, 8};
+  std::vector<ScanRow> rows;
+  const obs::Snapshot run_start = obs::snapshot();
+  obs::Snapshot before = run_start;
+  for (const int threads : thread_counts) {
+    ScanRow row;
+    row.threads = threads;
+
+    // Host build: the chunked phases really run on T threads (the cap is
+    // bypassed so the T>cores rows still exercise the chunk machinery).
+    para::ParallelConfig config;
+    config.ranks = 1;
+    config.combine_bytes = combine;
+    config.threads_per_rank = threads;
+    config.oversubscribe = true;
+    support::Timer wall;
+    const para::ParallelResult host =
+        para::build_parallel(game::AwariFamily{}, level, config);
+    row.host_build_s = wall.seconds();
+    const obs::Snapshot host_delta = obs::snapshot() - before;
+    row.host_scan_s = host_delta[obs::Id::kEngineScanSeconds].seconds();
+    row.host_drain_s = host_delta[obs::Id::kEngineDrainSeconds].seconds();
+    row.host_seed_s = host_delta[obs::Id::kEngineSeedSeconds].seconds();
+    row.host_zero_fill_s =
+        host_delta[obs::Id::kEngineZeroFillSeconds].seconds();
+    row.scan_positions = host_delta[obs::Id::kEngineScanPositions].value;
+
+    // Modelled: identical work meters by the determinism guarantee, so T
+    // enters only through the pricing.  The scan phase is the scan-kind
+    // ops of all levels divided across the workers; the drain is the
+    // predecessor-generation ops likewise.
+    model.machine.worker_threads = threads;
+    para::ParallelConfig sim_config = config;
+    const para::SimBuildResult sim = para::build_parallel_simulated(
+        game::AwariFamily{}, level, sim_config, model);
+    row.model_build_s = sim.total_time_s();
+    const auto kind_ops = [&](msg::WorkKind kind) {
+      double ops = 0;
+      for (const para::LevelRunInfo& info : sim.levels) {
+        ops += model.machine.op_cost[static_cast<std::size_t>(kind)] *
+               static_cast<double>(info.work_total.count(kind));
+      }
+      return ops;
+    };
+    const double scan_ops = kind_ops(msg::WorkKind::kScanPosition) +
+                            kind_ops(msg::WorkKind::kExitOption) +
+                            kind_ops(msg::WorkKind::kLevelEdge);
+    row.model_scan_s =
+        scan_ops / model.machine.cpu_ops_per_second / threads;
+    row.model_drain_s = kind_ops(msg::WorkKind::kPredEdge) /
+                        model.machine.cpu_ops_per_second / threads;
+
+    before = obs::snapshot();
+    rows.push_back(row);
+    (void)host;
+  }
+  model.machine.worker_threads = 1;
+
+  const double positions = static_cast<double>(rows.front().scan_positions);
+  std::printf(
+      "\n(a+b) scan phase at T workers: modelled 1995 node vs this "
+      "host\n\n");
+  support::Table scan_table({"T", "scan (model)", "pos/s (model)", "speedup",
+                             "drain (model)", "scan (host)", "pos/s (host)",
+                             "drain (host)", "seed (host)"});
+  for (const ScanRow& row : rows) {
+    scan_table.row()
+        .add(row.threads)
+        .add(support::human_seconds(row.model_scan_s))
+        .add(positions / row.model_scan_s, 0)
+        .add(rows.front().model_scan_s / row.model_scan_s, 2)
+        .add(support::human_seconds(row.model_drain_s))
+        .add(support::human_seconds(row.host_scan_s))
+        .add(positions / row.host_scan_s, 0)
+        .add(support::human_seconds(row.host_drain_s))
+        .add(support::human_seconds(row.host_seed_s));
+  }
+  scan_table.print();
+  if (hw <= 1) {
+    std::printf(
+        "\nnote: 1 hardware thread — the host columns cannot speed up; "
+        "the modelled columns carry the two-level speedup claim.\n");
+  }
+
+  // (c) End-to-end PxT: the full distributed build under the cluster
+  // simulator, one worker vs two workers per node.
+  std::printf(
+      "\n(c) end-to-end build at P=%d ranks, level %d, virtual cluster "
+      "time\n\n",
+      e2e_ranks, e2e_level);
+  double e2e_seconds[2] = {0, 0};
+  obs::Snapshot artifact_delta;
+  para::SimBuildResult artifact_run;
+  support::Table e2e_table({"T", "time", "speedup"});
+  for (int i = 0; i < 2; ++i) {
+    const int threads = i + 1;
+    model.machine.worker_threads = threads;
+    para::ParallelConfig config;
+    config.ranks = e2e_ranks;
+    config.combine_bytes = combine;
+    config.threads_per_rank = threads;
+    config.oversubscribe = true;
+    const obs::Snapshot e2e_before = obs::snapshot();
+    para::SimBuildResult run = para::build_parallel_simulated(
+        game::AwariFamily{}, e2e_level, config, model);
+    e2e_seconds[i] = run.total_time_s();
+    e2e_table.row()
+        .add(threads)
+        .add(support::human_seconds(e2e_seconds[i]))
+        .add(e2e_seconds[0] / e2e_seconds[i], 2);
+    if (threads == 2) {
+      artifact_delta = obs::snapshot() - e2e_before;
+      artifact_run = std::move(run);
+    }
+  }
+  model.machine.worker_threads = 1;
+  e2e_table.print();
+
+  const std::string path = cli.str("json");
+  if (!path.empty()) {
+    BenchRunMeta meta;
+    meta.suite = "p1";
+    meta.bench = "bench_p1_scan";
+    meta.max_level = level;
+    meta.ranks = e2e_ranks;
+    meta.combine_bytes = combine;
+    // Standard retra-bench-v1 document (levels/totals of the T=2 e2e run,
+    // metrics of the whole bench) plus the "p1" extension object with the
+    // throughput grid; validators tolerate the extra key.
+    std::string json = bench_artifact_json(
+        meta, model, artifact_run, obs::snapshot() - run_start);
+    obs::JsonWriter extra;
+    extra.begin_object();
+    extra.kv("hw_concurrency", static_cast<std::uint64_t>(hw));
+    extra.kv("level", level);
+    extra.key("scan").begin_array();
+    for (const ScanRow& row : rows) {
+      extra.begin_object();
+      extra.kv("threads", row.threads);
+      extra.kv("scan_s", row.model_scan_s);
+      extra.kv("scan_pps", positions / row.model_scan_s);
+      extra.kv("speedup", rows.front().model_scan_s / row.model_scan_s);
+      extra.kv("drain_s", row.model_drain_s);
+      extra.kv("seed_s", row.host_seed_s);
+      extra.kv("zero_fill_s", row.host_zero_fill_s);
+      extra.kv("host_scan_s", row.host_scan_s);
+      extra.kv("host_drain_s", row.host_drain_s);
+      extra.kv("host_scan_pps", positions / row.host_scan_s);
+      extra.kv("host_build_s", row.host_build_s);
+      extra.kv("model_build_s", row.model_build_s);
+      extra.end_object();
+    }
+    extra.end_array();
+    extra.key("e2e").begin_object();
+    extra.kv("ranks", e2e_ranks);
+    extra.kv("level", e2e_level);
+    extra.kv("t1_s", e2e_seconds[0]);
+    extra.kv("t2_s", e2e_seconds[1]);
+    extra.kv("speedup", e2e_seconds[0] / e2e_seconds[1]);
+    extra.end_object();
+    extra.end_object();
+    RETRA_CHECK(json.size() > 1 && json.back() == '}');
+    json.pop_back();
+    json += ",\"p1\":" + extra.str() + "}";
+    std::string error;
+    if (!validate_bench_artifact(json, &error)) {
+      std::fprintf(stderr, "internal error: artifact fails validation: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    if (!write_text_file(path, json)) return 1;
+    std::printf("\nwrote %s (%s)\n", path.c_str(), kBenchSchema);
+  }
+  return 0;
+}

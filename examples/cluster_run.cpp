@@ -93,6 +93,8 @@ int main(int argc, char** argv) {
   cli.flag("level", "10", "largest stone count to solve");
   cli.flag("ranks", "64", "simulated processors");
   cli.flag("combine-bytes", "4096", "combining buffer size (1 = off)");
+  cli.flag("threads-per-rank", "1",
+           "worker threads inside each rank (two-level parallelism)");
   cli.flag("segments", "4", "bridged Ethernet segments");
   cli.flag("trace", "", "write a per-round CSV trace to this file");
   cli.flag("fault-seed", "0", "fault-plan seed (0 keeps the default)");
@@ -113,6 +115,8 @@ int main(int argc, char** argv) {
   config.ranks = ranks;
   config.combine_bytes =
       static_cast<std::size_t>(cli.integer("combine-bytes"));
+  config.threads_per_rank =
+      static_cast<int>(cli.integer("threads-per-rank"));
   config.checkpoint_dir = cli.str("checkpoint");
 
   msg::FaultPlan plan;
@@ -143,11 +147,12 @@ int main(int argc, char** argv) {
 
   sim::ClusterModel model;
   model.net.segments = static_cast<int>(cli.integer("segments"));
+  model.machine.worker_threads = config.threads_per_rank;
 
   std::printf(
-      "simulating %d workstations (%d Ethernet segments, combining %s) "
-      "building awari levels 0..%d\n\n",
-      ranks, model.net.segments,
+      "simulating %d workstations x %d worker thread(s) (%d Ethernet "
+      "segments, combining %s) building awari levels 0..%d\n\n",
+      ranks, config.threads_per_rank, model.net.segments,
       config.combine_bytes > 1
           ? support::human_bytes(config.combine_bytes).c_str()
           : "OFF",

@@ -45,6 +45,8 @@ int run(const Family& family, const support::Cli& cli) {
     config.combine_bytes =
         static_cast<std::size_t>(cli.integer("combine-bytes"));
     config.use_threads = true;
+    config.threads_per_rank =
+        static_cast<int>(cli.integer("threads-per-rank"));
     config.async = cli.boolean("async");
     config.checkpoint_dir = cli.str("checkpoint");
     const std::string scheme = cli.str("scheme");
@@ -110,6 +112,8 @@ int main(int argc, char** argv) {
   cli.flag("game", "awari", "awari or kalah");
   cli.flag("level", "9", "largest stone count to solve");
   cli.flag("ranks", "4", "ranks for the distributed build");
+  cli.flag("threads-per-rank", "1",
+           "worker threads inside each rank (two-level parallelism)");
   cli.flag("sequential", "false", "use the sequential solver instead");
   cli.flag("verify", "true", "run the self-verifier on every level");
   cli.flag("async", "false", "barrier-free distributed driver");

@@ -1,0 +1,89 @@
+// A small reusable worker pool for intra-rank parallelism.
+//
+// The rank engines' embarrassingly-parallel phases (Init scan, magnitude
+// seeding, zero-fill) split the rank's local index range into contiguous
+// chunks and run one chunk per pool slot.  The pool is deliberately
+// minimal: persistent threads, one job at a time, the caller participates
+// as slot 0 so a T-thread configuration spawns only T − 1 OS threads and a
+// T = 1 pool spawns none.
+//
+// Determinism contract: the pool decides only *where* a chunk runs, never
+// what it observes — chunk boundaries come from chunk_range(), which
+// depends on (total, chunks) alone, so the same configuration always
+// produces the same chunk decomposition regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace retra::exec {
+
+/// Contiguous slice [begin, end) of a [0, total) index range.
+struct ChunkRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  std::uint64_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+/// Deterministic contiguous chunking of [0, total) into `chunks` slices,
+/// balanced to within one element, earlier chunks taking the remainder.
+/// Depends only on its arguments — never on thread count or scheduling —
+/// so chunk decompositions are reproducible across machines.
+inline ChunkRange chunk_range(std::uint64_t total, unsigned chunks,
+                              unsigned chunk) {
+  const std::uint64_t base = total / chunks;
+  const std::uint64_t rem = total % chunks;
+  const std::uint64_t extra = chunk < rem ? chunk : rem;
+  ChunkRange range;
+  range.begin = chunk * base + extra;
+  range.end = range.begin + base + (chunk < rem ? 1 : 0);
+  return range;
+}
+
+/// Persistent thread team executing one fork-join job at a time.
+///
+/// run(fn) calls fn(slot) once for every slot in [0, threads()); slot 0
+/// runs on the calling thread.  run() returns after every slot finished
+/// (mutex/condvar join, so writes made by the slots happen-before the
+/// return).  If any slot throws, run() rethrows the first exception after
+/// the join; the pool stays usable.
+class WorkerPool {
+ public:
+  /// A pool presenting `threads` slots (>= 1); spawns `threads - 1` OS
+  /// threads.
+  explicit WorkerPool(unsigned threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  void run(const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned slot);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;  // guarded by mutex_
+  std::uint64_t generation_ = 0;                        // guarded by mutex_
+  unsigned unfinished_ = 0;                             // guarded by mutex_
+  bool stopping_ = false;                               // guarded by mutex_
+  std::exception_ptr first_error_;                      // guarded by mutex_
+};
+
+}  // namespace retra::exec

@@ -1,0 +1,85 @@
+#include "retra/exec/worker_pool.hpp"
+
+#include "retra/support/check.hpp"
+
+namespace retra::exec {
+
+WorkerPool::WorkerPool(unsigned threads) {
+  RETRA_CHECK(threads >= 1);
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkerPool::run(const std::function<void(unsigned)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    unfinished_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is slot 0.  If it throws, still join the workers first —
+  // they may be touching caller-owned chunk state.
+  std::exception_ptr caller_error;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::exception_ptr worker_error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+    job_ = nullptr;
+    worker_error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (worker_error) std::rethrow_exception(worker_error);
+}
+
+void WorkerPool::worker_loop(unsigned slot) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = job_;
+    }
+    std::exception_ptr error;
+    try {
+      (*job)(slot);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      --unfinished_;
+      if (unfinished_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace retra::exec

@@ -30,12 +30,15 @@ class AwariLevel {
       return;
     }
     for (const auto& m : moves) {
+      // The mover's stone totals are known from the level, so rank without
+      // re-summing the board: captures drop to the (n − captured)-stone
+      // level, plain sows stay on this one.
       if (m.captured > 0) {
         on_exit(Exit{static_cast<std::int16_t>(m.captured),
                      static_cast<std::int16_t>(stones_ - m.captured),
-                     idx::rank(m.after)});
+                     idx::rank_in_level(stones_ - m.captured, m.after)});
       } else {
-        on_succ(idx::rank(m.after));
+        on_succ(idx::rank_in_level(stones_, m.after));
       }
     }
   }
@@ -63,11 +66,37 @@ class AwariLevel {
     }
   }
 
+  /// Stateful option visitor for callers that touch monotonically
+  /// increasing indices (a rank's local scan under any partition scheme):
+  /// bridges the index gaps with next_board() instead of unranking every
+  /// position from scratch.
+  class OptionCursor {
+   public:
+    explicit OptionCursor(const AwariLevel& game)
+        : game_(game), walker_(game.level()) {}
+
+    template <typename ExitFn, typename SuccFn>
+    void visit_options(idx::Index index, ExitFn&& on_exit,
+                       SuccFn&& on_succ) {
+      game_.visit_options_board(walker_.seek(index),
+                                static_cast<ExitFn&&>(on_exit),
+                                static_cast<SuccFn&&>(on_succ));
+    }
+
+   private:
+    const AwariLevel& game_;
+    idx::LevelWalker walker_;
+  };
+
+  OptionCursor option_cursor() const { return OptionCursor(*this); }
+
   template <typename PredFn>
   void visit_predecessors_board(const Board& board, PredFn&& on_pred) const {
     static thread_local std::vector<Board> scratch;
     game::predecessors(board, scratch);
-    for (const Board& q : scratch) on_pred(idx::rank(q));
+    // Predecessors stay on this level by construction, so batch-rank them
+    // with the level's known stone count.
+    for (const Board& q : scratch) on_pred(idx::rank_in_level(stones_, q));
   }
 
   template <typename PredFn>

@@ -54,6 +54,26 @@ class GraphLevel {
     }
   }
 
+  /// Index-addressed levels have no board to walk; the cursor is a plain
+  /// forwarder so scanning code can use game.option_cursor() uniformly
+  /// across game adapters.
+  class OptionCursor {
+   public:
+    explicit OptionCursor(const GraphLevel& game) : game_(game) {}
+
+    template <typename ExitFn, typename SuccFn>
+    void visit_options(idx::Index index, ExitFn&& on_exit,
+                       SuccFn&& on_succ) {
+      game_.visit_options(index, static_cast<ExitFn&&>(on_exit),
+                          static_cast<SuccFn&&>(on_succ));
+    }
+
+   private:
+    const GraphLevel& game_;
+  };
+
+  OptionCursor option_cursor() const { return OptionCursor(*this); }
+
   /// Bulk scan counterpart of AwariLevel::scan.
   template <typename Fn>
   void scan(Fn&& fn) const {

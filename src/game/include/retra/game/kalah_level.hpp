@@ -30,14 +30,15 @@ class KalahLevel {
       return;
     }
     for (const auto& m : kalah::legal_moves(board)) {
+      // stones_ − banked is m.after's level, so rank without re-summing.
       if (m.banked == 0 && !m.extra_turn) {
-        on_succ(idx::rank(m.after));
+        on_succ(idx::rank_in_level(stones_, m.after));
         continue;
       }
       Exit exit;
       exit.reward = static_cast<std::int16_t>(m.banked);
       exit.lower_level = static_cast<std::int16_t>(stones_ - m.banked);
-      exit.lower_index = idx::rank(m.after);
+      exit.lower_index = idx::rank_in_level(stones_ - m.banked, m.after);
       exit.same_mover = m.extra_turn;
       on_exit(exit);
     }
@@ -62,11 +63,34 @@ class KalahLevel {
     }
   }
 
+  /// Stateful option visitor for monotonically increasing indices; see
+  /// AwariLevel::OptionCursor.
+  class OptionCursor {
+   public:
+    explicit OptionCursor(const KalahLevel& game)
+        : game_(game), walker_(game.level()) {}
+
+    template <typename ExitFn, typename SuccFn>
+    void visit_options(idx::Index index, ExitFn&& on_exit,
+                       SuccFn&& on_succ) {
+      game_.visit_options_board(walker_.seek(index),
+                                static_cast<ExitFn&&>(on_exit),
+                                static_cast<SuccFn&&>(on_succ));
+    }
+
+   private:
+    const KalahLevel& game_;
+    idx::LevelWalker walker_;
+  };
+
+  OptionCursor option_cursor() const { return OptionCursor(*this); }
+
   template <typename PredFn>
   void visit_predecessors_board(const Board& board, PredFn&& on_pred) const {
     static thread_local std::vector<Board> scratch;
     kalah::predecessors(board, scratch);
-    for (const Board& q : scratch) on_pred(idx::rank(q));
+    // Same-level predecessors: rank with the known stone count.
+    for (const Board& q : scratch) on_pred(idx::rank_in_level(stones_, q));
   }
 
   template <typename PredFn>

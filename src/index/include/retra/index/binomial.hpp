@@ -2,10 +2,14 @@
 //
 // Retrograde analysis indexes the n-stone level of awari through the
 // combinatorial number system; every rank/unrank operation is a handful of
-// table lookups, so the table is precomputed once at static-init time.
+// table lookups.  The table is a constexpr inline variable so the lookups
+// inline into the scan kernels instead of crossing a translation-unit
+// boundary per position.
 #pragma once
 
 #include <cstdint>
+
+#include "retra/support/check.hpp"
 
 namespace retra::idx {
 
@@ -15,8 +19,40 @@ inline constexpr int kMaxN = 80;
 /// Largest k tabulated (we only ever need k ≤ 12 + 1).
 inline constexpr int kMaxK = 14;
 
+namespace detail {
+
+struct BinomialTable {
+  // at[n][k] for 0 <= n <= kMaxN, 0 <= k <= kMaxK.
+  std::uint64_t at[kMaxN + 1][kMaxK + 1];
+};
+
+constexpr BinomialTable make_binomial_table() {
+  BinomialTable t{};
+  for (int n = 0; n <= kMaxN; ++n) {
+    t.at[n][0] = 1;
+    for (int k = 1; k <= kMaxK; ++k) {
+      if (k > n) {
+        t.at[n][k] = 0;
+      } else if (k == n) {
+        t.at[n][k] = 1;
+      } else {
+        t.at[n][k] = t.at[n - 1][k - 1] + t.at[n - 1][k];
+      }
+    }
+  }
+  return t;
+}
+
+inline constexpr BinomialTable kBinomial = make_binomial_table();
+
+}  // namespace detail
+
 /// C(n, k); 0 outside the valid triangle (including negative arguments),
 /// which lets the ranking formulas avoid edge-case branches.
-std::uint64_t binomial(int n, int k);
+constexpr std::uint64_t binomial(int n, int k) {
+  if (k < 0 || n < 0 || k > n) return 0;
+  RETRA_CHECK_MSG(n <= kMaxN && k <= kMaxK, "binomial table exceeded");
+  return detail::kBinomial.at[n][k];
+}
 
 }  // namespace retra::idx

@@ -54,4 +54,40 @@ class Combiner {
   Stats stats_;
 };
 
+/// Thread-private staging buffer for records that will later be fed to a
+/// shared Combiner.
+///
+/// The rank engines' chunked phases run on worker threads that must not
+/// touch the rank's combiner (it owns comm-facing buffers and the work
+/// meter).  Each chunk stages its (dest, record) appends here in
+/// discovery order; after the fork-join the owning thread replays the
+/// stages *in chunk order* through Combiner::append.  Because the global
+/// replay sequence equals the order a single-threaded sweep would have
+/// produced, message framing, flush boundaries, stats, and meter charges
+/// are bit-identical to the T = 1 run.
+class CombinerStage {
+ public:
+  /// Stages one fixed-size record bound for `dest`.
+  void append(int dest, const void* record, std::size_t record_size);
+
+  std::uint64_t records() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Replays every staged record, in staging order, through
+  /// combiner.append().  The stage keeps its contents; call clear() to
+  /// reuse it.
+  void replay_into(Combiner& combiner) const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    int dest;
+    std::uint32_t offset;
+    std::uint32_t size;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::byte> bytes_;
+};
+
 }  // namespace retra::msg

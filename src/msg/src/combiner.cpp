@@ -53,4 +53,26 @@ void Combiner::flush_all() {
   }
 }
 
+void CombinerStage::append(int dest, const void* record,
+                           std::size_t record_size) {
+  const std::size_t offset = bytes_.size();
+  RETRA_CHECK_MSG(offset + record_size <= UINT32_MAX,
+                  "combiner stage exceeds 4 GiB");
+  bytes_.resize(offset + record_size);
+  std::memcpy(bytes_.data() + offset, record, record_size);
+  entries_.push_back(Entry{dest, static_cast<std::uint32_t>(offset),
+                           static_cast<std::uint32_t>(record_size)});
+}
+
+void CombinerStage::replay_into(Combiner& combiner) const {
+  for (const Entry& entry : entries_) {
+    combiner.append(entry.dest, bytes_.data() + entry.offset, entry.size);
+  }
+}
+
+void CombinerStage::clear() {
+  entries_.clear();
+  bytes_.clear();
+}
+
 }  // namespace retra::msg

@@ -93,6 +93,14 @@ enum class Id : int {
   kEngineZeroFilled,
   kEngineMessagesSent,
   kEnginePayloadBytes,
+  // para.engine — intra-rank parallel phase kernels (P1).
+  kEngineScanPositions,
+  kEngineScanChunks,
+  kEngineScanThreads,
+  kEngineScanSeconds,
+  kEngineSeedSeconds,
+  kEngineZeroFillSeconds,
+  kEngineDrainSeconds,
   // para.exchange — shard replication (ablation A3).
   kExchangeRecordsBroadcast,
   // para.dist_db — lower-level database reads.
@@ -163,6 +171,20 @@ inline constexpr std::array<Desc, kMetricCount> kCatalog = {{
      "T3/F2", "combined messages shipped by the engines' combiners"},
     {"engine.payload_bytes", Kind::kCounter, "bytes", "para.rank_engine",
      "T3/F2", "payload bytes shipped by the engines' combiners"},
+    {"engine.scan.positions", Kind::kCounter, "positions",
+     "para.rank_engine", "P1", "positions visited by Init scans"},
+    {"engine.scan.chunks", Kind::kCounter, "chunks", "para.rank_engine",
+     "P1", "worker-pool chunks executed by parallel engine phases"},
+    {"engine.scan.threads", Kind::kGauge, "threads", "para.rank_engine",
+     "P1", "threads per rank of the most recently constructed engine"},
+    {"engine.scan.seconds", Kind::kTimer, "seconds", "para.rank_engine",
+     "P1", "host wall time in Init scans"},
+    {"engine.seed.seconds", Kind::kTimer, "seconds", "para.rank_engine",
+     "P1", "host wall time in magnitude seeding sweeps"},
+    {"engine.zero_fill.seconds", Kind::kTimer, "seconds", "para.rank_engine",
+     "P1", "host wall time in zero-fill sweeps"},
+    {"engine.drain.seconds", Kind::kTimer, "seconds", "para.rank_engine",
+     "P1", "host wall time draining propagation queues"},
     {"exchange.records_broadcast", Kind::kCounter, "records",
      "para.shard_exchange", "A3",
      "shard records broadcast while replicating a solved level"},

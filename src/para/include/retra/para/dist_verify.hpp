@@ -139,10 +139,13 @@ class VerifyEngine {
 
   void scan(StepReport& step) {
     const std::uint64_t local_size = partition_.local_size(rank());
+    // to_global is monotonic in `local`, so the cursor walks boards with
+    // next_board() hops instead of unranking every index.
+    auto cursor = game_.option_cursor();
     for (std::uint64_t local = 0; local < local_size; ++local) {
       const idx::Index global = partition_.to_global(rank(), local);
       comm_.meter().charge(msg::WorkKind::kScanPosition);
-      game_.visit_options(
+      cursor.visit_options(
           global,
           [&](const game::Exit& exit) {
             comm_.meter().charge(msg::WorkKind::kExitOption);

@@ -29,12 +29,42 @@
 #include "retra/para/rank_engine.hpp"
 #include "retra/support/access_check.hpp"
 #include "retra/support/check.hpp"
+#include "retra/support/log.hpp"
 
 namespace retra::para {
 
 /// Ceiling on rounds per level; hitting it means a termination-detection
 /// bug, not a big workload.
 inline constexpr std::uint64_t kRoundLimit = 100'000'000;
+
+/// The thread count the engines should actually use for a requested
+/// threads_per_rank.  With the threaded driver every rank runs
+/// concurrently, so the active parallelism is ranks × threads; silently
+/// oversubscribing the host would produce misleading speedup curves, so
+/// the request is capped against the hardware concurrency and the cap is
+/// logged.  `allow_oversubscribe` bypasses the cap (correctness tests run
+/// T > cores deliberately — results are bit-identical either way).
+inline int effective_threads_per_rank(int requested, int ranks,
+                                      bool use_threads,
+                                      bool allow_oversubscribe) {
+  int threads = requested > 1 ? requested : 1;
+  if (allow_oversubscribe || threads == 1) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return threads;  // unknown topology: trust the caller
+  const int concurrent_ranks = use_threads && ranks > 1 ? ranks : 1;
+  const int cap =
+      static_cast<int>(hw) / concurrent_ranks > 1
+          ? static_cast<int>(hw) / concurrent_ranks
+          : 1;
+  if (threads > cap) {
+    support::log_info(
+        "threads_per_rank %d x %d concurrent ranks oversubscribes %u "
+        "hardware threads; capping at %d threads per rank",
+        requested, concurrent_ranks, hw, cap);
+    threads = cap;
+  }
+  return threads;
+}
 
 // Crash semantics (fault injection): a scheduled rank crash surfaces as a
 // msg::RankCrash exception out of superstep().  The sequential driver lets
@@ -51,8 +81,7 @@ std::uint64_t run_bsp_sequential(std::vector<std::unique_ptr<Engine>>& engines) 
   while (true) {
     ++rounds;
     RETRA_CHECK_MSG(rounds < kRoundLimit, "BSP round limit exceeded");
-    StepReport global;
-    global.ready = true;
+    StepReport global = StepReport::reduction_identity();
     for (std::size_t rank = 0; rank < engines.size(); ++rank) {
       const support::ScopedActor actor(static_cast<int>(rank));
       global += engines[rank]->superstep();
@@ -96,8 +125,7 @@ std::uint64_t run_bsp_threads(std::vector<std::unique_ptr<Engine>>& engines) {
       decision = Decision::kStop;
       return;
     }
-    StepReport global;
-    global.ready = true;
+    StepReport global = StepReport::reduction_identity();
     for (const StepReport& report : reports) global += report;
     cum_sent += global.records_sent;
     cum_received += global.records_received;

@@ -37,6 +37,15 @@ struct ParallelConfig {
   /// Execute ranks on real OS threads (otherwise deterministic
   /// round-robin in the calling thread).
   bool use_threads = false;
+  /// Worker threads inside each rank for the engines' parallel phases
+  /// (Init scan, magnitude seeding, zero-fill).  The produced database and
+  /// every message/record count are bit-identical for any value; only wall
+  /// clock changes.  Capped against the hardware concurrency (ranks ×
+  /// threads must not silently oversubscribe) unless `oversubscribe`.
+  int threads_per_rank = 1;
+  /// Skip the hardware-concurrency cap on threads_per_rank.  Correctness
+  /// tests use this to force T > cores and T > chunk-count configurations.
+  bool oversubscribe = false;
   /// With use_threads: drop the per-round barrier and run fully
   /// asynchronously (message-driven, coordinator-based termination
   /// detection) — ablation A2.
@@ -161,6 +170,9 @@ ParallelResult build_parallel(const Family& family, int max_level,
   }
   DistributedDatabase& ddb = *result.database;
   msg::ThreadWorld world(config.ranks);
+  const int threads_per_rank =
+      effective_threads_per_rank(config.threads_per_rank, config.ranks,
+                                 config.use_threads, config.oversubscribe);
 
   // With an active fault plan the engines run on FaultyComm + ReliableComm
   // stacks.  The stacks live for the whole build (not per level) so that
@@ -183,6 +195,7 @@ ParallelResult build_parallel(const Family& family, int max_level,
 
     EngineConfig engine_config;
     engine_config.combine_bytes = config.combine_bytes;
+    engine_config.threads_per_rank = threads_per_rank;
 
     std::vector<std::unique_ptr<RankEngine<Game>>> engines;
     engines.reserve(nranks);

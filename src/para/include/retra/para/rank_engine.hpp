@@ -25,17 +25,40 @@
 //               initialisation.
 //   Zero-fill   surviving positions can cycle forever: value 0.
 //
+// Two-level parallelism: with threads_per_rank > 1 the embarrassingly
+// parallel phases — the Init scan, each magnitude's seeding sweep, and the
+// zero-fill — split the rank's local range into one contiguous chunk per
+// thread (exec::chunk_range) and run on a persistent exec::WorkerPool.
+// Chunks write only their own slice of values_/best_/cnt_; everything
+// with global order — outgoing records, queue pushes, stats, work-meter
+// charges — is staged per chunk and merged *in chunk order* after the
+// join.  Since the merged sequence equals what a single-threaded sweep
+// would have produced, the database bits, the message framing, and every
+// published count are independent of T.
+//
+// The queue drain parallelises the same way in *waves*: the queue is
+// snapshotted, predecessor generation (the most expensive kernel) runs
+// chunk-parallel over the snapshot with updates staged per chunk, and the
+// staged updates are applied serially in chunk order — newly finalised
+// positions form the next wave.  Every queued position is popped exactly
+// once, so the update multiset — and with it the final values and all
+// counters — is the same as a LIFO drain's, and the chunk-order merge
+// makes the record stream identical for every T.
+//
 // This mirrors the sequential sweep solver exactly; tests require the
 // gathered distributed database to be bit-identical to the sequential one.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "retra/db/database.hpp"
+#include "retra/exec/worker_pool.hpp"
 #include "retra/game/level_game.hpp"
 #include "retra/msg/combiner.hpp"
 #include "retra/msg/comm.hpp"
+#include "retra/obs/metrics.hpp"
 #include "retra/para/dist_db.hpp"
 #include "retra/para/partition.hpp"
 #include "retra/para/records.hpp"
@@ -53,6 +76,16 @@ struct StepReport {
   std::uint64_t work = 0;  // local state transitions this step
   bool ready = false;      // rank finished its local phase obligations
 
+  /// The identity of the += reduction.  A default-constructed report has
+  /// ready = false (a rank that did not report is not ready), which makes
+  /// it an absorbing element, not an identity — folding into it yields
+  /// ready == false forever.  Reductions must start from this seed.
+  static StepReport reduction_identity() {
+    StepReport identity;
+    identity.ready = true;
+    return identity;
+  }
+
   StepReport& operator+=(const StepReport& other) {
     records_sent += other.records_sent;
     records_received += other.records_received;
@@ -67,6 +100,9 @@ struct EngineConfig {
   /// Combining buffer size in bytes; 1 disables combining (one record per
   /// message — the paper's naive baseline).
   std::size_t combine_bytes = 4096;
+  /// Worker threads for the intra-rank parallel phases; 1 runs everything
+  /// on the rank's own thread.  Results are bit-identical for every value.
+  int threads_per_rank = 1;
 };
 
 /// Per-engine cumulative statistics for the communication tables.
@@ -118,6 +154,7 @@ class RankEngine {
         comm_(comm),
         lower_(lower),
         bound_(game.max_value()),
+        threads_(config.threads_per_rank > 1 ? config.threads_per_rank : 1),
         lookup_combiner_(comm, kTagLookup, config.combine_bytes),
         reply_combiner_(comm, kTagReply, config.combine_bytes),
         update_combiner_(comm, kTagUpdate, config.combine_bytes) {
@@ -125,6 +162,12 @@ class RankEngine {
     values_.assign(local, db::kUnknown);
     best_.assign(local, ra::kNoOption);
     cnt_.assign(local, 0);
+    if (threads_ > 1) {
+      pool_ = std::make_unique<exec::WorkerPool>(
+          static_cast<unsigned>(threads_));
+    }
+    RETRA_OBS_SET(obs::Id::kEngineScanThreads,
+                  static_cast<std::uint64_t>(threads_));
   }
 
   /// One bulk-synchronous superstep; see the file comment for the phase
@@ -209,55 +252,140 @@ class RankEngine {
   int rank() const { return comm_.rank(); }
 
   // ------------------------------------------------------------------
+  // Chunked fork-join execution of the embarrassingly parallel phases.
+
+  /// A local predecessor update generated by a drain chunk, applied on the
+  /// rank's own thread during the merge.
+  struct LocalUpdate {
+    std::uint64_t local;
+    db::Value contribution;
+  };
+
+  /// Everything a chunk produces besides its own slice of the value
+  /// arrays.  Merged into the engine strictly in chunk order so the global
+  /// sequence of records, queue pushes, stats, and meter charges matches
+  /// the single-threaded sweep bit for bit.
+  struct ChunkOut {
+    EngineStats stats;
+    msg::WorkMeter meter;
+    msg::CombinerStage staged;  // scan: lookups; drain: update records
+    std::vector<std::uint64_t> seeded;  // locals assigned, ascending
+    std::vector<LocalUpdate> applies;   // drain: local updates, edge order
+    std::uint64_t work = 0;
+  };
+
+  /// Runs body(range, out) for every chunk of [0, total).  One chunk per
+  /// thread; with threads_ == 1 the rank's own thread runs the single
+  /// chunk inline through the same code path.
+  template <typename Body>
+  void run_chunked(std::uint64_t total, std::vector<ChunkOut>& outs,
+                   Body&& body) {
+    const auto chunks = static_cast<unsigned>(threads_);
+    outs.clear();
+    outs.resize(chunks);
+    auto run_one = [&](unsigned c) {
+      // Worker threads act on behalf of this rank and own exactly their
+      // chunk's local slice; both tags make the access checker enforce it.
+      const support::ScopedActor actor(rank());
+      const exec::ChunkRange range = exec::chunk_range(total, chunks, c);
+      const support::ScopedChunk chunk(range.begin, range.end);
+      body(range, outs[c]);
+    };
+    if (pool_) {
+      pool_->run(run_one);
+    } else {
+      run_one(0);
+    }
+    RETRA_OBS_ADD(obs::Id::kEngineScanChunks, chunks);
+  }
+
+  /// Deterministic merge — chunk order, never completion order.  Staged
+  /// records replay into `combiner` (lookups for the scan, updates for the
+  /// drain); staged local updates are applied here, on the rank's thread.
+  void merge_chunks(std::vector<ChunkOut>& outs, StepReport& step,
+                    msg::Combiner& combiner) {
+    for (ChunkOut& out : outs) {
+      stats_ += out.stats;
+      comm_.meter() += out.meter;
+      step.work += out.work;
+      step.records_sent += out.staged.records();
+      // Replaying through the live combiner reproduces the T = 1 flush
+      // boundaries, message framing, and kRecordPack charges exactly.
+      out.staged.replay_into(combiner);
+      for (const std::uint64_t local : out.seeded) queue_.push_back(local);
+      for (const LocalUpdate& u : out.applies) {
+        apply_update(u.local, u.contribution, step);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
   // Initialisation scan.
 
   void scan_local(StepReport& step) {
     support::check_mutable(rank(), "engine.scan_local");
+    RETRA_OBS_SCOPED_TIMER(timer, obs::Id::kEngineScanSeconds);
     const std::uint64_t local_size = partition_.local_size(rank());
-    for (std::uint64_t local = 0; local < local_size; ++local) {
-      const idx::Index global = partition_.to_global(rank(), local);
-      comm_.meter().charge(msg::WorkKind::kScanPosition);
-      db::Value b = ra::kNoOption;
-      std::uint32_t edges = 0;
-      game_.visit_options(
-          global,
-          [&](const game::Exit& exit) {
-            comm_.meter().charge(msg::WorkKind::kExitOption);
-            if (exit.is_terminal()) {
-              if (exit.reward > b) b = exit.reward;
-              return;
-            }
-            if (lower_.is_local(rank(), exit.lower_level, exit.lower_index)) {
-              ++stats_.lookups_local;
-              const db::Value value = game::exit_value(
-                  exit, [&](int level, idx::Index index) {
-                    return lower_.value_local(rank(), level, index);
-                  });
-              if (value > b) b = value;
-              return;
-            }
-            // Remote lower-level position: ship a combined lookup to its
-            // owner; the reply folds into best_ when it arrives.
-            ++stats_.lookups_remote;
-            LookupRecord record;
-            record.target = exit.lower_index;
-            record.requester = global;
-            record.reward = exit.reward;
-            record.level = static_cast<std::uint8_t>(exit.lower_level);
-            record.same_mover = exit.same_mover ? 1 : 0;
-            append(lookup_combiner_,
-                   lower_.owner(exit.lower_level, exit.lower_index), record,
-                   step);
-          },
-          [&](idx::Index) {
-            comm_.meter().charge(msg::WorkKind::kLevelEdge);
-            ++edges;
-          });
-      RETRA_CHECK_MSG(edges <= UINT16_MAX, "successor edge count overflow");
-      best_[local] = b;
-      cnt_[local] = static_cast<std::uint16_t>(edges);
-      ++step.work;
-    }
+    std::vector<ChunkOut> outs;
+    run_chunked(
+        local_size, outs,
+        [&](const exec::ChunkRange& range, ChunkOut& out) {
+          // The cursor walks boards incrementally: to_global is monotonic
+          // in `local` under every partition scheme, so successive seeks
+          // are short forward hops instead of full unranks.
+          auto cursor = game_.option_cursor();
+          for (std::uint64_t local = range.begin; local < range.end;
+               ++local) {
+            support::check_chunk(local, "engine.scan_chunk");
+            const idx::Index global = partition_.to_global(rank(), local);
+            out.meter.charge(msg::WorkKind::kScanPosition);
+            db::Value b = ra::kNoOption;
+            std::uint32_t edges = 0;
+            cursor.visit_options(
+                global,
+                [&](const game::Exit& exit) {
+                  out.meter.charge(msg::WorkKind::kExitOption);
+                  if (exit.is_terminal()) {
+                    if (exit.reward > b) b = exit.reward;
+                    return;
+                  }
+                  if (lower_.is_local(rank(), exit.lower_level,
+                                      exit.lower_index)) {
+                    ++out.stats.lookups_local;
+                    const db::Value value = game::exit_value(
+                        exit, [&](int level, idx::Index index) {
+                          return lower_.value_local(rank(), level, index);
+                        });
+                    if (value > b) b = value;
+                    return;
+                  }
+                  // Remote lower-level position: stage a combined lookup
+                  // for its owner; the reply folds into best_ when it
+                  // arrives.
+                  ++out.stats.lookups_remote;
+                  LookupRecord record;
+                  record.target = exit.lower_index;
+                  record.requester = global;
+                  record.reward = exit.reward;
+                  record.level = static_cast<std::uint8_t>(exit.lower_level);
+                  record.same_mover = exit.same_mover ? 1 : 0;
+                  stage(out.staged,
+                        lower_.owner(exit.lower_level, exit.lower_index),
+                        record);
+                },
+                [&](idx::Index) {
+                  out.meter.charge(msg::WorkKind::kLevelEdge);
+                  ++edges;
+                });
+            RETRA_CHECK_MSG(edges <= UINT16_MAX,
+                            "successor edge count overflow");
+            best_[local] = b;
+            cnt_[local] = static_cast<std::uint16_t>(edges);
+            ++out.work;
+          }
+        });
+    merge_chunks(outs, step, lookup_combiner_);
+    RETRA_OBS_ADD(obs::Id::kEngineScanPositions, local_size);
   }
 
   // ------------------------------------------------------------------
@@ -337,20 +465,42 @@ class RankEngine {
 
   void seed_magnitude(StepReport& step) {
     support::check_mutable(rank(), "engine.seed_magnitude");
+    RETRA_OBS_SCOPED_TIMER(timer, obs::Id::kEngineSeedSeconds);
     const auto mag = static_cast<db::Value>(magnitude_);
-    const std::uint64_t local_size = values_.size();
-    for (std::uint64_t local = 0; local < local_size; ++local) {
-      if (values_[local] != db::kUnknown) continue;
-      if (finalize_init_ && cnt_[local] == 0) {
-        // All options were exits; the position is exact already.
-        RETRA_CHECK(best_[local] != ra::kNoOption);
-        assign(local, best_[local], step);
-        continue;
-      }
-      RETRA_DCHECK(best_[local] <= mag);
-      if (best_[local] == mag) assign(local, mag, step);
-    }
+    const bool finalize_init = finalize_init_;
+    std::vector<ChunkOut> outs;
+    run_chunked(values_.size(), outs,
+                [&](const exec::ChunkRange& range, ChunkOut& out) {
+                  for (std::uint64_t local = range.begin; local < range.end;
+                       ++local) {
+                    if (values_[local] != db::kUnknown) continue;
+                    if (finalize_init && cnt_[local] == 0) {
+                      // All options were exits; the position is exact
+                      // already.
+                      RETRA_CHECK(best_[local] != ra::kNoOption);
+                      chunk_assign(local, best_[local], out);
+                      continue;
+                    }
+                    RETRA_DCHECK(best_[local] <= mag);
+                    if (best_[local] == mag) chunk_assign(local, mag, out);
+                  }
+                });
+    // Chunks stage their assignments in ascending local order and merge in
+    // chunk order, so the queue matches the sequential sweep exactly.
+    merge_chunks(outs, step, lookup_combiner_);
     finalize_init_ = false;
+  }
+
+  /// assign() for the chunked seeding sweep: the value write is chunk-local
+  /// (disjoint slices); the queue push and the counters are staged.
+  void chunk_assign(std::uint64_t local, db::Value value, ChunkOut& out) {
+    support::check_chunk(local, "engine.seed_assign");
+    RETRA_DCHECK(values_[local] == db::kUnknown);
+    values_[local] = value;
+    out.seeded.push_back(local);
+    ++out.stats.assignments;
+    ++out.work;
+    out.meter.charge(msg::WorkKind::kAssign);
   }
 
   void assign(std::uint64_t local, db::Value value, StepReport& step) {
@@ -386,38 +536,65 @@ class RankEngine {
   }
 
   void process_queue(StepReport& step) {
+    if (queue_.empty()) return;
+    RETRA_OBS_SCOPED_TIMER(timer, obs::Id::kEngineDrainSeconds);
+    // Wave drain: predecessor generation — the dominant kernel — runs
+    // chunk-parallel over a snapshot of the queue; the staged updates are
+    // applied in chunk order on this thread and refill the queue with the
+    // next wave.  Each position is popped exactly once, so the update
+    // multiset (and every counter) matches a LIFO drain; the chunk-order
+    // merge makes the record stream identical for every T.
     while (!queue_.empty()) {
-      const std::uint64_t local = queue_.back();
-      queue_.pop_back();
-      const auto contribution = static_cast<db::Value>(-values_[local]);
-      const idx::Index global = partition_.to_global(rank(), local);
-      game_.visit_predecessors(global, [&](idx::Index pred) {
-        comm_.meter().charge(msg::WorkKind::kPredEdge);
-        const int owner = partition_.owner(pred);
-        if (owner == rank()) {
-          ++stats_.updates_local;
-          apply_update(partition_.to_local(pred), contribution, step);
-        } else {
-          ++stats_.updates_remote;
-          UpdateRecord record;
-          record.target = pred;
-          record.contribution = contribution;
-          append(update_combiner_, owner, record, step);
-        }
-      });
+      wave_.clear();
+      wave_.swap(queue_);
+      std::vector<ChunkOut> outs;
+      run_chunked(
+          wave_.size(), outs,
+          [&](const exec::ChunkRange& range, ChunkOut& out) {
+            for (std::uint64_t i = range.begin; i < range.end; ++i) {
+              const std::uint64_t local = wave_[i];
+              const auto contribution =
+                  static_cast<db::Value>(-values_[local]);
+              const idx::Index global = partition_.to_global(rank(), local);
+              game_.visit_predecessors(global, [&](idx::Index pred) {
+                out.meter.charge(msg::WorkKind::kPredEdge);
+                const int owner = partition_.owner(pred);
+                if (owner == rank()) {
+                  ++out.stats.updates_local;
+                  out.applies.push_back(
+                      LocalUpdate{partition_.to_local(pred), contribution});
+                } else {
+                  ++out.stats.updates_remote;
+                  UpdateRecord record;
+                  record.target = pred;
+                  record.contribution = contribution;
+                  stage(out.staged, owner, record);
+                }
+              });
+            }
+          });
+      merge_chunks(outs, step, update_combiner_);
     }
   }
 
   void zero_fill(StepReport& step) {
     support::check_mutable(rank(), "engine.zero_fill");
-    for (std::uint64_t local = 0; local < values_.size(); ++local) {
-      if (values_[local] == db::kUnknown) {
-        values_[local] = 0;
-        ++stats_.zero_filled;
-        ++step.work;
-        comm_.meter().charge(msg::WorkKind::kAssign);
-      }
-    }
+    RETRA_OBS_SCOPED_TIMER(timer, obs::Id::kEngineZeroFillSeconds);
+    std::vector<ChunkOut> outs;
+    run_chunked(values_.size(), outs,
+                [&](const exec::ChunkRange& range, ChunkOut& out) {
+                  for (std::uint64_t local = range.begin; local < range.end;
+                       ++local) {
+                    if (values_[local] == db::kUnknown) {
+                      support::check_chunk(local, "engine.zero_fill_chunk");
+                      values_[local] = 0;
+                      ++out.stats.zero_filled;
+                      ++out.work;
+                      out.meter.charge(msg::WorkKind::kAssign);
+                    }
+                  }
+                });
+    merge_chunks(outs, step, lookup_combiner_);
   }
 
   // ------------------------------------------------------------------
@@ -431,6 +608,17 @@ class RankEngine {
     record.encode(buffer);
     combiner.append(dest, buffer, Record::kWireSize);
     ++step.records_sent;
+  }
+
+  /// Stages a record into a chunk's CombinerStage (worker-thread safe: the
+  /// stage is chunk-private and replayed later on the rank's own thread).
+  template <typename Record>
+  static void stage(msg::CombinerStage& staged, int dest,
+                    const Record& record) {
+    std::byte buffer[32];
+    static_assert(Record::kWireSize <= sizeof(buffer));
+    record.encode(buffer);
+    staged.append(dest, buffer, Record::kWireSize);
   }
 
   void flush_combiners() {
@@ -450,6 +638,7 @@ class RankEngine {
   msg::Comm& comm_;
   const DistributedDatabase& lower_;
   const int bound_;
+  const int threads_;
 
   Phase phase_ = Phase::kInit;
   bool scan_done_ = false;
@@ -462,6 +651,9 @@ class RankEngine {
   std::vector<db::Value> best_;
   std::vector<std::uint16_t> cnt_;
   std::vector<std::uint64_t> queue_;  // local offsets awaiting propagation
+  std::vector<std::uint64_t> wave_;   // drain snapshot, reused per wave
+
+  std::unique_ptr<exec::WorkerPool> pool_;  // only when threads_ > 1
 
   msg::Combiner lookup_combiner_;
   msg::Combiner reply_combiner_;

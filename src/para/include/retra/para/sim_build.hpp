@@ -80,6 +80,11 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
 
     EngineConfig engine_config;
     engine_config.combine_bytes = config.combine_bytes;
+    // The simulated cluster executes its ranks one at a time on the host,
+    // so only that single rank's pool is ever active.
+    engine_config.threads_per_rank = effective_threads_per_rank(
+        config.threads_per_rank, config.ranks, /*use_threads=*/false,
+        config.oversubscribe);
 
     std::vector<std::unique_ptr<RankEngine<Game>>> engines;
     engines.reserve(nranks);

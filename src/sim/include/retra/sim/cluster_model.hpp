@@ -46,11 +46,37 @@ struct MachineModel {
   double send_overhead_s = 1.0e-3;
   double recv_overhead_s = 1.0e-3;
 
+  /// Worker threads inside each rank (two-level parallelism, P×T).  The
+  /// engines' chunk-parallel phases — the Init scan with its option
+  /// pricing — divide across the workers; queue propagation, predecessor
+  /// generation and message handling stay on the rank thread, exactly as
+  /// in para::RankEngine.  1 models the paper's single-threaded nodes.
+  int worker_threads = 1;
+
+  /// Work kinds charged by the chunk-parallel phases — the Init scan with
+  /// its option pricing and the drain waves' predecessor generation —
+  /// divided by `worker_threads` when pricing.  kAssign is excluded even
+  /// though the seeding sweep is chunked too: most assignments happen
+  /// while applying staged updates on the rank thread and the meter does
+  /// not distinguish them.  kUpdateApply and record pack/unpack stay
+  /// serial, exactly as in para::RankEngine.
+  static constexpr bool chunk_parallel_kind(msg::WorkKind kind) {
+    return kind == msg::WorkKind::kScanPosition ||
+           kind == msg::WorkKind::kExitOption ||
+           kind == msg::WorkKind::kLevelEdge ||
+           kind == msg::WorkKind::kPredEdge;
+  }
+
   /// Seconds of CPU for a meter full of work.
   double cpu_seconds(const msg::WorkMeter& meter) const {
+    const double threads = worker_threads > 1 ? worker_threads : 1;
     double ops = 0.0;
     for (std::size_t k = 0; k < msg::kWorkKinds; ++k) {
-      ops += op_cost[k] * static_cast<double>(meter.counts[k]);
+      double cost = op_cost[k] * static_cast<double>(meter.counts[k]);
+      if (chunk_parallel_kind(static_cast<msg::WorkKind>(k))) {
+        cost /= threads;
+      }
+      ops += cost;
     }
     return ops / cpu_ops_per_second;
   }

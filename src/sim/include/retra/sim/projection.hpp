@@ -82,13 +82,22 @@ inline Projection project_level(const LevelProfile& profile, int ranks,
 
   // Compute: every position is scanned, its options priced, its
   // predecessors generated on finalisation; remote records additionally
-  // pay pack+unpack.
-  double ops = 0;
-  ops += positions * cost(msg::WorkKind::kScanPosition);
-  ops += positions * profile.exits_pp * cost(msg::WorkKind::kExitOption);
-  ops += positions * profile.edges_pp * cost(msg::WorkKind::kLevelEdge);
+  // pay pack+unpack.  The scan and predecessor-generation terms divide
+  // across each rank's worker threads (two-level parallelism); update
+  // application and record handling stay on the rank thread, as in the
+  // engine.
+  const double T =
+      model.machine.worker_threads > 1 ? model.machine.worker_threads : 1;
+  double parallel_ops = 0;
+  parallel_ops += positions * cost(msg::WorkKind::kScanPosition);
+  parallel_ops +=
+      positions * profile.exits_pp * cost(msg::WorkKind::kExitOption);
+  parallel_ops +=
+      positions * profile.edges_pp * cost(msg::WorkKind::kLevelEdge);
+  parallel_ops +=
+      positions * profile.preds_pp * cost(msg::WorkKind::kPredEdge);
+  double ops = parallel_ops / T;
   ops += positions * profile.assigns_pp * cost(msg::WorkKind::kAssign);
-  ops += positions * profile.preds_pp * cost(msg::WorkKind::kPredEdge);
   ops += positions * profile.updates_pp * cost(msg::WorkKind::kUpdateApply);
   ops += remote_records * (cost(msg::WorkKind::kRecordPack) +
                            cost(msg::WorkKind::kRecordUnpack));

@@ -28,9 +28,13 @@
 //                               kExchange
 //   check_serial(site)          store restructuring only in kSerial with
 //                               no actor tag active
+//   check_chunk(local, site)    inside a worker-pool chunk (ScopedChunk),
+//                               a thread may write only its own local
+//                               index slice
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -130,6 +134,59 @@ inline void check_serial(const char* site, int level = -1) {
   }
 }
 
+namespace access_detail {
+inline thread_local bool t_chunk_active = false;
+inline thread_local std::uint64_t t_chunk_begin = 0;
+inline thread_local std::uint64_t t_chunk_end = 0;
+}  // namespace access_detail
+
+/// Tags the calling thread as owning the local index slice [begin, end)
+/// of the current fork-join chunk (RAII).  While active, check_chunk
+/// aborts on writes outside the slice — the per-thread counterpart of
+/// rank ownership.
+class ScopedChunk {
+ public:
+  ScopedChunk(std::uint64_t begin, std::uint64_t end)
+      : prev_active_(access_detail::t_chunk_active),
+        prev_begin_(access_detail::t_chunk_begin),
+        prev_end_(access_detail::t_chunk_end) {
+    access_detail::t_chunk_active = true;
+    access_detail::t_chunk_begin = begin;
+    access_detail::t_chunk_end = end;
+  }
+  ~ScopedChunk() {
+    access_detail::t_chunk_active = prev_active_;
+    access_detail::t_chunk_begin = prev_begin_;
+    access_detail::t_chunk_end = prev_end_;
+  }
+  ScopedChunk(const ScopedChunk&) = delete;
+  ScopedChunk& operator=(const ScopedChunk&) = delete;
+
+ private:
+  bool prev_active_;
+  std::uint64_t prev_begin_;
+  std::uint64_t prev_end_;
+};
+
+/// Chunk-owned data: while a ScopedChunk is active on this thread, the
+/// thread may write only local indices inside its slice.  Outside any
+/// chunk the check passes (single-threaded phases own the whole range).
+inline void check_chunk(std::uint64_t local, const char* site) {
+  if (!access_detail::t_chunk_active) return;
+  if (local < access_detail::t_chunk_begin ||
+      local >= access_detail::t_chunk_end) {
+    std::fprintf(stderr,
+                 "RETRA_CHECK_ACCESS: write outside the thread's chunk at "
+                 "%s (local %llu, chunk [%llu, %llu), actor rank %d)\n",
+                 site, static_cast<unsigned long long>(local),
+                 static_cast<unsigned long long>(
+                     access_detail::t_chunk_begin),
+                 static_cast<unsigned long long>(access_detail::t_chunk_end),
+                 current_actor());
+    std::abort();
+  }
+}
+
 #else  // !RETRA_CHECK_ACCESS — zero-cost stubs
 
 class ScopedPhase {
@@ -140,10 +197,15 @@ class ScopedActor {
  public:
   explicit ScopedActor(int) {}
 };
+class ScopedChunk {
+ public:
+  ScopedChunk(std::uint64_t, std::uint64_t) {}
+};
 
 inline void check_owned(int, const char*, int = -1) {}
 inline void check_mutable(int, const char*, int = -1) {}
 inline void check_serial(const char*, int = -1) {}
+inline void check_chunk(std::uint64_t, const char*) {}
 
 #endif  // RETRA_CHECK_ACCESS
 

@@ -90,6 +90,23 @@ TEST(AccessCheckDeath, StoreMutationDuringExchangeAborts) {
       "outside the serial window");
 }
 
+TEST(AccessCheckDeath, WriteOutsideTheThreadChunkAborts) {
+  // In-range locals pass under an active chunk...
+  {
+    const support::ScopedChunk chunk(0, 4);
+    support::check_chunk(0, "test");
+    support::check_chunk(3, "test");
+  }
+  // ...and without a chunk the hook is inert (serial single-chunk code).
+  support::check_chunk(999, "test");
+  EXPECT_DEATH(
+      {
+        const support::ScopedChunk chunk(0, 4);
+        support::check_chunk(7, "test");
+      },
+      "outside the thread's chunk");
+}
+
 #else
 
 TEST(AccessCheck, DisabledHooksAreNoOps) {
@@ -100,6 +117,8 @@ TEST(AccessCheck, DisabledHooksAreNoOps) {
   const support::ScopedPhase phase(BspPhase::kCompute);
   const support::ScopedActor actor((owner + 1) % 3);
   EXPECT_EQ(ddb.value_local(owner, 0, 4), 4);
+  const support::ScopedChunk chunk(0, 4);
+  support::check_chunk(999, "test");  // no-op stub
 }
 
 #endif  // RETRA_CHECK_ACCESS

@@ -1,0 +1,121 @@
+// exec::WorkerPool and the deterministic chunk decomposition.
+//
+// The engines' bit-identity guarantee rests on two properties tested
+// here: chunk_range depends only on (total, chunks, chunk), and
+// WorkerPool::run executes every slot exactly once with a proper join
+// (worker writes visible to the caller afterwards), surviving exceptions
+// and reuse.
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "retra/exec/worker_pool.hpp"
+
+namespace retra::exec {
+namespace {
+
+TEST(ChunkRange, CoversTheRangeExactlyInOrder) {
+  const std::uint64_t totals[] = {0, 1, 7, 64, 1000, 1001, 123457};
+  const unsigned chunk_counts[] = {1, 2, 3, 8, 16, 100};
+  for (const std::uint64_t total : totals) {
+    for (const unsigned chunks : chunk_counts) {
+      std::uint64_t next_begin = 0;
+      for (unsigned c = 0; c < chunks; ++c) {
+        const ChunkRange range = chunk_range(total, chunks, c);
+        EXPECT_EQ(range.begin, next_begin);
+        EXPECT_LE(range.begin, range.end);
+        next_begin = range.end;
+      }
+      EXPECT_EQ(next_begin, total);
+    }
+  }
+}
+
+TEST(ChunkRange, BalancedToWithinOneElement) {
+  for (const unsigned chunks : {2u, 3u, 7u, 16u}) {
+    std::uint64_t smallest = UINT64_MAX;
+    std::uint64_t largest = 0;
+    for (unsigned c = 0; c < chunks; ++c) {
+      const ChunkRange range = chunk_range(1001, chunks, c);
+      smallest = range.size() < smallest ? range.size() : smallest;
+      largest = range.size() > largest ? range.size() : largest;
+    }
+    EXPECT_LE(largest - smallest, 1u);
+  }
+}
+
+TEST(ChunkRange, MoreChunksThanElementsLeavesTrailersEmpty) {
+  unsigned nonempty = 0;
+  for (unsigned c = 0; c < 8; ++c) {
+    const ChunkRange range = chunk_range(3, 8, c);
+    if (!range.empty()) {
+      EXPECT_EQ(range.size(), 1u);
+      ++nonempty;
+    }
+  }
+  EXPECT_EQ(nonempty, 3u);
+}
+
+TEST(WorkerPool, RunsEverySlotExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](unsigned slot) { hits[slot].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(WorkerPool, SingleSlotPoolRunsInlineOnTheCaller) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::thread::id ran_on;
+  pool.run([&](unsigned slot) {
+    EXPECT_EQ(slot, 0u);
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(WorkerPool, JoinMakesWorkerWritesVisible) {
+  // No atomics on the data: the run() join must order these writes.
+  WorkerPool pool(8);
+  std::vector<std::uint64_t> data(8 * 1024, 0);
+  pool.run([&](unsigned slot) {
+    const ChunkRange range = chunk_range(data.size(), 8, slot);
+    for (std::uint64_t i = range.begin; i < range.end; ++i) data[i] = i + 1;
+  });
+  for (std::uint64_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i], i + 1);
+  }
+}
+
+TEST(WorkerPool, ReusableAcrossManyJobs) {
+  WorkerPool pool(3);
+  std::atomic<std::uint64_t> total{0};
+  for (int job = 0; job < 200; ++job) {
+    pool.run([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 600u);
+}
+
+TEST(WorkerPool, PropagatesWorkerExceptionAndStaysUsable) {
+  WorkerPool pool(3);
+  EXPECT_THROW(pool.run([](unsigned slot) {
+                 if (slot == 2) throw std::runtime_error("worker");
+               }),
+               std::runtime_error);
+  // A caller-slot exception still joins the workers first.
+  EXPECT_THROW(pool.run([](unsigned slot) {
+                 if (slot == 0) throw std::runtime_error("caller");
+               }),
+               std::runtime_error);
+  std::atomic<unsigned> count{0};
+  pool.run([&](unsigned) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3u);
+}
+
+}  // namespace
+}  // namespace retra::exec

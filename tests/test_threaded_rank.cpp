@@ -1,0 +1,205 @@
+// Two-level parallelism: threads_per_rank must be invisible in every
+// observable output.  For any (P, T, scheme, combine_bytes, driver) the
+// gathered database must be bit-identical to the sequential sweep
+// solver's, and the per-rank EngineStats and work meters must be
+// *identical* across T — the chunked phases stage their records, queue
+// pushes, and counters per chunk and merge in chunk order, so T only ever
+// changes wall clock.
+#include <cstddef>
+#include <cstdint>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "retra/game/awari_level.hpp"
+#include "retra/game/graph_game.hpp"
+#include "retra/game/kalah_level.hpp"
+#include "retra/para/parallel_solver.hpp"
+#include "retra/ra/builder.hpp"
+
+namespace retra::para {
+namespace {
+
+// ------------------------------------------------------------------
+// StepReport reduction identity (the += seeding bug).
+
+TEST(StepReport, DefaultConstructedIsAbsorbingForReady) {
+  // This is why reduction_identity() exists: a default-constructed report
+  // has ready == false, so folding any number of ready ranks into it can
+  // never report a quiescent round.
+  StepReport fold;
+  StepReport ready_rank;
+  ready_rank.ready = true;
+  fold += ready_rank;
+  EXPECT_FALSE(fold.ready);
+}
+
+TEST(StepReport, ReductionIdentityIsAnIdentity) {
+  StepReport rank;
+  rank.records_sent = 3;
+  rank.records_received = 2;
+  rank.work = 7;
+  rank.ready = true;
+
+  StepReport fold = StepReport::reduction_identity();
+  fold += rank;
+  EXPECT_EQ(fold.records_sent, 3u);
+  EXPECT_EQ(fold.records_received, 2u);
+  EXPECT_EQ(fold.work, 7u);
+  EXPECT_TRUE(fold.ready);
+
+  // Folding a not-ready rank clears readiness; counters keep summing.
+  StepReport busy_rank;
+  busy_rank.work = 1;
+  fold += busy_rank;
+  EXPECT_FALSE(fold.ready);
+  EXPECT_EQ(fold.work, 8u);
+
+  // The identity contributes nothing to itself.
+  StepReport zero = StepReport::reduction_identity();
+  zero += StepReport::reduction_identity();
+  EXPECT_TRUE(zero.ready);
+  EXPECT_EQ(zero.records_sent, 0u);
+  EXPECT_EQ(zero.work, 0u);
+}
+
+// ------------------------------------------------------------------
+// Bit-identity across T.
+
+ParallelConfig with_threads(int ranks, int threads) {
+  ParallelConfig config;
+  config.ranks = ranks;
+  config.threads_per_rank = threads;
+  // Correctness tests need the exact requested T even on small CI hosts.
+  config.oversubscribe = true;
+  return config;
+}
+
+TEST(ThreadedRank, SingleRankMatchesSequentialForAllAwariLevels) {
+  const db::Database expected = ra::build_database(game::AwariFamily{}, 6);
+  for (const int threads : {1, 2, 4, 8}) {
+    const ParallelResult result =
+        build_parallel(game::AwariFamily{}, 6, with_threads(1, threads));
+    EXPECT_EQ(result.database->gather(), expected) << "T=" << threads;
+  }
+}
+
+class PxTSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, PartitionScheme, std::size_t>> {};
+
+TEST_P(PxTSweep, AwariBitIdenticalToSequentialSolver) {
+  const auto [ranks, threads, scheme, combine_bytes] = GetParam();
+  ParallelConfig config = with_threads(ranks, threads);
+  config.scheme = scheme;
+  config.block_size = 16;
+  config.combine_bytes = combine_bytes;
+  const ParallelResult result =
+      build_parallel(game::AwariFamily{}, 6, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PxTSweep,
+    ::testing::Values(
+        std::make_tuple(2, 2, PartitionScheme::kCyclic, std::size_t{4096}),
+        std::make_tuple(4, 3, PartitionScheme::kBlock, std::size_t{4096}),
+        std::make_tuple(3, 2, PartitionScheme::kBlockCyclic, std::size_t{1}),
+        std::make_tuple(4, 8, PartitionScheme::kCyclic, std::size_t{1}),
+        std::make_tuple(2, 4, PartitionScheme::kBlock, std::size_t{64})));
+
+TEST(ThreadedRank, ThreadedDriverTimesThreadsPerRank) {
+  // Real rank threads, each with its own worker pool: P×T OS-level
+  // parallelism.
+  ParallelConfig config = with_threads(3, 2);
+  config.use_threads = true;
+  const ParallelResult result =
+      build_parallel(game::AwariFamily{}, 6, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 6));
+}
+
+TEST(ThreadedRank, AsyncDriverTimesThreadsPerRank) {
+  ParallelConfig config = with_threads(3, 2);
+  config.use_threads = true;
+  config.async = true;
+  const ParallelResult result =
+      build_parallel(game::AwariFamily{}, 6, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 6));
+}
+
+TEST(ThreadedRank, ThreadsFarBeyondTheChunkCount) {
+  // Graph-game levels are tiny: with 4 ranks many local shards hold fewer
+  // positions than T = 16, so most chunks are empty.
+  game::GraphGameConfig graph_config;
+  graph_config.levels = 4;
+  graph_config.size0 = 14;
+  graph_config.seed = 77;
+  const game::GraphGame graph(graph_config);
+  ParallelConfig config = with_threads(4, 16);
+  const ParallelResult result =
+      build_parallel(graph, graph.num_levels() - 1, config);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(graph, graph.num_levels() - 1));
+
+  // Degenerate extreme: T = 32 against awari level 3 (level sizes <= 364).
+  const ParallelResult tiny =
+      build_parallel(game::AwariFamily{}, 3, with_threads(1, 32));
+  EXPECT_EQ(tiny.database->gather(),
+            ra::build_database(game::AwariFamily{}, 3));
+}
+
+TEST(ThreadedRank, KalahMatchesSequential) {
+  const db::Database expected = ra::build_database(game::KalahFamily{}, 5);
+  for (const int threads : {1, 4}) {
+    const ParallelResult result =
+        build_parallel(game::KalahFamily{}, 5, with_threads(2, threads));
+    EXPECT_EQ(result.database->gather(), expected) << "T=" << threads;
+  }
+}
+
+// ------------------------------------------------------------------
+// Deterministic stats merge.
+
+void expect_same_stats(const EngineStats& a, const EngineStats& b,
+                       int level, int rank) {
+  EXPECT_EQ(a.updates_remote, b.updates_remote) << level << "/" << rank;
+  EXPECT_EQ(a.updates_local, b.updates_local) << level << "/" << rank;
+  EXPECT_EQ(a.lookups_remote, b.lookups_remote) << level << "/" << rank;
+  EXPECT_EQ(a.lookups_local, b.lookups_local) << level << "/" << rank;
+  EXPECT_EQ(a.replies_sent, b.replies_sent) << level << "/" << rank;
+  EXPECT_EQ(a.assignments, b.assignments) << level << "/" << rank;
+  EXPECT_EQ(a.zero_filled, b.zero_filled) << level << "/" << rank;
+  EXPECT_EQ(a.messages_sent, b.messages_sent) << level << "/" << rank;
+  EXPECT_EQ(a.payload_bytes, b.payload_bytes) << level << "/" << rank;
+}
+
+TEST(ThreadedRank, StatsAndMetersIdenticalAcrossThreadCounts) {
+  const ParallelResult reference =
+      build_parallel(game::AwariFamily{}, 6, with_threads(2, 1));
+  for (const int threads : {2, 8}) {
+    const ParallelResult result =
+        build_parallel(game::AwariFamily{}, 6, with_threads(2, threads));
+    ASSERT_EQ(result.levels.size(), reference.levels.size());
+    for (std::size_t l = 0; l < reference.levels.size(); ++l) {
+      const LevelRunInfo& expect = reference.levels[l];
+      const LevelRunInfo& got = result.levels[l];
+      EXPECT_EQ(got.rounds, expect.rounds) << "level " << expect.level;
+      ASSERT_EQ(got.per_rank.size(), expect.per_rank.size());
+      for (std::size_t r = 0; r < expect.per_rank.size(); ++r) {
+        expect_same_stats(got.per_rank[r], expect.per_rank[r], expect.level,
+                          static_cast<int>(r));
+        for (std::size_t k = 0; k < msg::kWorkKinds; ++k) {
+          EXPECT_EQ(got.work_per_rank[r].counts[k],
+                    expect.work_per_rank[r].counts[k])
+              << "level " << expect.level << " rank " << r << " kind " << k;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace retra::para

@@ -24,13 +24,16 @@ struct Suite {
   int max_level;
   int ranks;
   std::size_t combine_bytes;
+  int worker_threads;
 };
 
 constexpr Suite kSuites[] = {
     {"smoke", "CI-sized build (level 7, 4 ranks, 4 KB combining)", 7, 4,
-     4096},
+     4096, 1},
     {"t3", "the T3 table's configuration (level 10, 16 ranks)", 10, 16,
-     4096},
+     4096, 1},
+    {"p1", "the P1 end-to-end configuration (level 8, 4 ranks x 2 workers)",
+     8, 4, 4096, 2},
 };
 
 const Suite* find_suite(const std::string& name) {
@@ -101,18 +104,23 @@ int main(int argc, char** argv) {
                  suite_name.c_str());
     return 2;
   }
-  const sim::ClusterModel model = model_from(cli);
+  sim::ClusterModel model = model_from(cli);
+  model.machine.worker_threads = suite->worker_threads;
   std::string path = cli.str("json");
   if (path.empty()) path = "BENCH_" + suite_name + ".json";
 
-  std::printf("suite %s: level %d, %d ranks, %zu-byte combining\n",
+  std::printf("suite %s: level %d, %d ranks x %d workers, %zu-byte "
+              "combining\n",
               suite->name, suite->max_level, suite->ranks,
-              suite->combine_bytes);
+              suite->worker_threads, suite->combine_bytes);
   print_model(model);
 
   const obs::Snapshot before = obs::snapshot();
   const auto run = simulate_build(suite->max_level, suite->ranks,
-                                  suite->combine_bytes, model);
+                                  suite->combine_bytes, model,
+                                  para::PartitionScheme::kCyclic,
+                                  /*replicate_lower=*/false,
+                                  suite->worker_threads);
   const obs::Snapshot delta = obs::snapshot() - before;
 
   BenchRunMeta meta;
