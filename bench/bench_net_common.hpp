@@ -1,0 +1,152 @@
+// Shared load-generator core for the Q2 server bench.
+//
+// Drives a running retra-net-v1 server with N concurrent client
+// threads, each on its own connection.  Two shapes per thread:
+//
+//   * closed loop (pipeline == 1) — one QUERY in flight, latency is the
+//     full round trip including the wait for the response;
+//   * pipelined (pipeline > 1) — `pipeline` QUERYs written back-to-back
+//     before reading, approximating an open load: latency is the whole
+//     window, throughput is what the pipe sustains.
+//
+// Both bench_q2_server (full CLI, several connection counts) and the
+// retra_bench "q2" suite (one fixed CI-sized configuration) run this
+// core, so their artifacts are directly comparable.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "retra/net/client.hpp"
+#include "retra/support/rng.hpp"
+#include "retra/support/timer.hpp"
+
+namespace retra::bench {
+
+struct NetLoadConfig {
+  int connections = 4;
+  /// Round trips per connection (each carries `pipeline` lookups).
+  int requests_per_connection = 2000;
+  /// QUERY frames in flight per round trip; 1 is the closed loop.
+  std::size_t pipeline = 1;
+  std::uint64_t seed = 7;
+};
+
+struct NetLoadResult {
+  bool ok = true;
+  std::string error;
+  /// One entry per completed round trip, all connections merged.
+  std::vector<double> latencies_us;
+  double seconds = 0;          // wall time of the whole run
+  std::uint64_t lookups = 0;   // positions answered
+  std::uint64_t busy = 0;      // kBusy sheds observed (not retried here)
+
+  double percentile(double p) const {
+    if (latencies_us.empty()) return 0.0;
+    std::vector<double> sorted = latencies_us;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(rank + 0.5)];
+  }
+  double round_trips_per_second() const {
+    return seconds > 0
+               ? static_cast<double>(latencies_us.size()) / seconds
+               : 0.0;
+  }
+  double lookups_per_second() const {
+    return seconds > 0 ? static_cast<double>(lookups) / seconds : 0.0;
+  }
+};
+
+/// Runs the configured load against `host:port`.  `level_sizes` is the
+/// server's level directory (from a STATS round trip); the workload is
+/// uniform over levels 1..top and uniform over each level's indices,
+/// reproducible from the seed.
+inline NetLoadResult run_net_load(const std::string& host,
+                                  std::uint16_t port,
+                                  const std::vector<std::uint64_t>& sizes,
+                                  const NetLoadConfig& config) {
+  NetLoadResult result;
+  if (sizes.size() < 2) {
+    result.ok = false;
+    result.error = "need at least two served levels";
+    return result;
+  }
+  std::mutex merge_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.connections));
+  support::Timer run_timer;
+  for (int c = 0; c < config.connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto connected = net::Client::connect(host, port);
+      if (!connected.ok) {
+        const std::lock_guard lock(merge_mutex);
+        result.ok = false;
+        result.error = connected.error;
+        return;
+      }
+      net::Client& client = *connected.client;
+      support::Xoshiro256 rng(config.seed +
+                              static_cast<std::uint64_t>(c) * 0x9E3779B9u);
+      const auto top = static_cast<std::uint64_t>(sizes.size() - 1);
+      std::vector<double> latencies;
+      latencies.reserve(
+          static_cast<std::size_t>(config.requests_per_connection));
+      std::uint64_t lookups = 0;
+      std::uint64_t busy = 0;
+      std::vector<idx::Index> indices(config.pipeline);
+      std::vector<db::Value> values(config.pipeline);
+      std::vector<net::ErrorCode> codes;
+      for (int r = 0; r < config.requests_per_connection; ++r) {
+        const auto level = 1 + rng.below(top);
+        for (auto& index : indices) {
+          index = rng.below(sizes[static_cast<std::size_t>(level)]);
+        }
+        support::Timer timer;
+        net::Client::Status status;
+        std::uint64_t round_busy = 0;
+        if (config.pipeline == 1) {
+          status = client.query(static_cast<std::uint32_t>(level),
+                                indices[0], values[0]);
+          if (status.code == net::ErrorCode::kBusy) {
+            round_busy = 1;
+            status.code = net::ErrorCode::kNone;
+          }
+        } else {
+          status = client.pipelined_queries(
+              static_cast<std::uint32_t>(level), indices, values, &codes);
+          for (const net::ErrorCode code : codes) {
+            if (code == net::ErrorCode::kBusy) ++round_busy;
+          }
+        }
+        if (!status.ok()) {
+          const std::lock_guard lock(merge_mutex);
+          result.ok = false;
+          result.error = status.transport.empty()
+                             ? std::string(net::error_name(status.code))
+                             : status.transport;
+          return;
+        }
+        // A shed round trip is still a measured round trip; only the
+        // answered lookups count as throughput.
+        latencies.push_back(timer.seconds() * 1e6);
+        busy += round_busy;
+        lookups += config.pipeline - round_busy;
+      }
+      const std::lock_guard lock(merge_mutex);
+      result.latencies_us.insert(result.latencies_us.end(),
+                                 latencies.begin(), latencies.end());
+      result.lookups += lookups;
+      result.busy += busy;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  result.seconds = run_timer.seconds();
+  return result;
+}
+
+}  // namespace retra::bench

@@ -1,0 +1,129 @@
+// The retra-net-v1 client: a blocking TCP connection speaking the
+// protocol in protocol.hpp.
+//
+// Two usage shapes:
+//   * sync ops — ping/query/batch_query/stats, one round trip each;
+//   * pipelined_queries — writes every QUERY frame back-to-back before
+//     reading any response, then matches responses to slots by the
+//     echoed request_id (the server does not promise per-connection
+//     ordering when it coalesces lookups across connections).
+//
+// Every op returns a Status: `code` carries the server's typed error
+// (kBusy is the retryable admission shed), `transport` is non-empty
+// when the connection itself failed.  ClientValueSource adapts a Client
+// to the serve::ValueSource interface — with a bounded kBusy retry loop
+// — so retra_serve --connect can reuse the in-process answer/selfcheck
+// paths unchanged against a remote server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "retra/net/protocol.hpp"
+#include "retra/net/socket.hpp"
+#include "retra/serve/value_source.hpp"
+
+namespace retra::net {
+
+class Client {
+ public:
+  struct ConnectResult {
+    bool ok = false;
+    std::string error;
+    std::unique_ptr<Client> client;
+  };
+  /// Blocking TCP connect to `host:port` (numeric IPv4 host).
+  static ConnectResult connect(const std::string& host, std::uint16_t port);
+
+  /// Outcome of one op.  ok() means a well-typed success response
+  /// arrived; otherwise exactly one of `code` (server-reported error)
+  /// or `transport` (connection failure; the client is dead) is set.
+  struct Status {
+    ErrorCode code = ErrorCode::kNone;
+    std::string transport;
+
+    bool ok() const { return code == ErrorCode::kNone && transport.empty(); }
+  };
+
+  Status ping();
+  Status query(std::uint32_t level, idx::Index index, db::Value& out);
+  Status query_board(const idx::Board& board, db::Value& out);
+  Status batch_query(std::uint32_t level, std::span<const idx::Index> indices,
+                     std::vector<db::Value>& out);
+  Status stats(StatsReply& out);
+
+  /// Pipelines one QUERY frame per index: all writes first, then all
+  /// reads, matched by request_id.  out[i] is valid where
+  /// (*per_query)[i] == kNone; with `per_query` null, the first
+  /// per-request error is returned as the overall Status instead.
+  Status pipelined_queries(std::uint32_t level,
+                           std::span<const idx::Index> indices,
+                           std::span<db::Value> out,
+                           std::vector<ErrorCode>* per_query = nullptr);
+
+  /// True until a transport error or EOF kills the connection.
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  struct Passkey {};
+
+ public:
+  Client(Passkey, FdHandle fd) : fd_(std::move(fd)) {}
+
+ private:
+  Status send_frame(const std::vector<std::byte>& frame);
+  Status read_frame(Frame& out);
+  /// One request, one response; checks the echoed id and expected op.
+  Status round_trip(const std::vector<std::byte>& request,
+                    std::uint32_t request_id, Op expected, Frame& response);
+  std::uint32_t next_id() { return next_id_++; }
+
+  FdHandle fd_;
+  std::uint32_t next_id_ = 1;
+};
+
+/// serve::ValueSource over a remote server: every lookup is a network
+/// round trip (values() batches through BATCH_QUERY in protocol-sized
+/// chunks).  kBusy sheds are retried with a short backoff up to
+/// `busy_retries` times; transport errors and exhausted retries abort —
+/// this adapter exists for tools and tests, which want loud failure.
+class ClientValueSource final : public serve::ValueSource {
+ public:
+  struct OpenResult {
+    bool ok = false;
+    std::string error;
+    std::unique_ptr<ClientValueSource> source;
+  };
+  /// Fetches the server's level directory (one STATS round trip).
+  static OpenResult open(Client& client, int busy_retries = 64);
+
+  int num_levels() const override {
+    return static_cast<int>(level_sizes_.size());
+  }
+  std::uint64_t level_size(int level) const override {
+    return level_sizes_[static_cast<std::size_t>(level)];
+  }
+  serve::Value value(int level, idx::Index index) override;
+  void values(int level, std::span<const idx::Index> indices,
+              std::span<serve::Value> out) override;
+
+ private:
+  struct Passkey {};
+
+ public:
+  ClientValueSource(Passkey, Client& client,
+                    std::vector<std::uint64_t> level_sizes, int busy_retries)
+      : client_(&client),
+        level_sizes_(std::move(level_sizes)),
+        busy_retries_(busy_retries) {}
+
+ private:
+  Client* client_;
+  std::vector<std::uint64_t> level_sizes_;
+  int busy_retries_;
+};
+
+}  // namespace retra::net

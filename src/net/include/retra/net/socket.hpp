@@ -1,0 +1,80 @@
+// Thin RAII wrappers over POSIX TCP sockets.
+//
+// Everything the server and client need and nothing more: an owning fd
+// handle, bind/listen with ephemeral-port discovery (port 0 binds, then
+// getsockname reports what the kernel chose — how every loopback test
+// avoids port collisions), a blocking connect, and full-buffer
+// read/write loops that hide EINTR.  Failures are returned as
+// {ok, error} results, never exceptions: callers are servers and tools
+// that want to print a diagnosis and move on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace retra::net {
+
+/// Owning file descriptor; closes on destruction.  Move-only.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { reset(); }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+  FdHandle(FdHandle&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int get() const { return fd_; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+struct ListenResult {
+  bool ok = false;
+  std::string error;
+  FdHandle fd;
+  std::uint16_t port = 0;  // the bound port (kernel-chosen when asked for 0)
+};
+
+/// Binds and listens on `host:port` (TCP, SO_REUSEADDR).  Port 0 asks
+/// the kernel for an ephemeral port; the result reports the choice.
+ListenResult listen_tcp(const std::string& host, std::uint16_t port,
+                        int backlog = 64);
+
+struct ConnectResult {
+  bool ok = false;
+  std::string error;
+  FdHandle fd;
+};
+
+/// Blocking TCP connect to `host:port` (numeric IPv4 host).
+ConnectResult connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Puts `fd` in non-blocking mode; returns false on fcntl failure.
+bool set_nonblocking(int fd);
+
+/// Writes all `n` bytes (restarting on EINTR); false on error or a
+/// closed peer.
+bool write_full(int fd, const void* data, std::size_t n);
+
+/// Reads exactly `n` bytes; false on error or EOF before `n`.
+bool read_full(int fd, void* data, std::size_t n);
+
+/// One read() of at most `n` bytes.  Returns bytes read, 0 on orderly
+/// EOF, -1 on error (EINTR restarted).
+long read_some(int fd, void* data, std::size_t n);
+
+}  // namespace retra::net

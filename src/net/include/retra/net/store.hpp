@@ -1,0 +1,92 @@
+// The server-side lookup store: a thread-safe facade over QueryService
+// with a shared read-mostly hot-level tier.
+//
+// QueryService is single-threaded by design (one residency list, one
+// LRU).  A network server has many worker threads answering lookups
+// concurrently, so Store layers two paths over one service:
+//
+//   * hot path — a small tier of bit-packed level copies under its own
+//     byte budget, guarded by a shared_mutex taken shared: any number
+//     of workers answer hot levels in parallel without touching the
+//     service or its residency state;
+//   * miss path — the service itself behind a plain mutex: the level is
+//     faulted/touched/answered exactly as in-process serving does
+//     (serve.* metrics included), then promoted into the hot tier if it
+//     fits.
+//
+// Hot-tier eviction is promotion-order FIFO, not LRU: reordering on
+// every hit would turn the shared lock exclusive and serialise the very
+// path the tier exists to parallelise.  Promotion copies the packed
+// payload, so a hot level survives the service evicting its original.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "retra/serve/query_service.hpp"
+
+namespace retra::net {
+
+class Store {
+ public:
+  /// `hot_bytes` caps the packed payload the hot tier may copy; 0
+  /// disables the tier (every lookup takes the locked miss path).
+  Store(std::unique_ptr<serve::QueryService> service,
+        std::uint64_t hot_bytes);
+
+  int num_levels() const { return num_levels_; }
+  std::uint64_t level_size(int level) const { return level_sizes_[static_cast<std::size_t>(level)]; }
+  const std::vector<std::uint64_t>& level_sizes() const {
+    return level_sizes_;
+  }
+  /// Packed payload bytes serving `level` costs (from the file index).
+  std::uint64_t level_payload_bytes(int level) const {
+    return level_payload_bytes_[static_cast<std::size_t>(level)];
+  }
+
+  /// Answers out[i] = value(level, indices[i]).  `level` must be
+  /// covered and every index in range (the server validates before
+  /// calling).  Returns the number of lookups answered by the hot tier
+  /// (0 on the miss path, indices.size() on a hit).
+  std::uint64_t values(int level, std::span<const idx::Index> indices,
+                       std::span<db::Value> out);
+
+  /// True when `level` is answerable without touching the service.
+  bool is_hot(int level) const;
+
+  /// Point-in-time copy of the underlying service's counters.
+  serve::QueryService::Stats service_stats() const;
+
+  /// Levels currently in the hot tier, most recently promoted first
+  /// (tests, introspection).
+  std::vector<int> hot_levels() const;
+
+ private:
+  std::shared_ptr<const db::CompactLevel> hot_find(int level) const;
+  void hot_promote(int level, const db::CompactLevel& resident);
+
+  std::unique_ptr<serve::QueryService> service_;
+  mutable std::mutex service_mutex_;
+
+  const std::uint64_t hot_bytes_;
+  int num_levels_ = 0;
+  std::vector<std::uint64_t> level_sizes_;
+  std::vector<std::uint64_t> level_payload_bytes_;
+
+  mutable std::shared_mutex hot_mutex_;
+  struct HotEntry {
+    std::shared_ptr<const db::CompactLevel> level;
+    std::list<int>::iterator order;  // position in hot_order_
+  };
+  std::unordered_map<int, HotEntry> hot_;
+  std::list<int> hot_order_;  // front = most recently promoted
+  std::uint64_t hot_resident_ = 0;
+};
+
+}  // namespace retra::net

@@ -1,0 +1,275 @@
+#include "retra/net/client.hpp"
+
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+
+#include "retra/support/check.hpp"
+
+namespace retra::net {
+
+Client::ConnectResult Client::connect(const std::string& host,
+                                      std::uint16_t port) {
+  ConnectResult result;
+  auto connected = connect_tcp(host, port);
+  if (!connected.ok) {
+    result.error = connected.error;
+    return result;
+  }
+  result.ok = true;
+  result.client =
+      std::make_unique<Client>(Passkey{}, std::move(connected.fd));
+  return result;
+}
+
+Client::Status Client::send_frame(const std::vector<std::byte>& frame) {
+  Status status;
+  if (!fd_.valid()) {
+    status.transport = "connection closed";
+    return status;
+  }
+  if (!write_full(fd_.get(), frame.data(), frame.size())) {
+    fd_.reset();
+    status.transport = "short write";
+  }
+  return status;
+}
+
+Client::Status Client::read_frame(Frame& out) {
+  Status status;
+  if (!fd_.valid()) {
+    status.transport = "connection closed";
+    return status;
+  }
+  std::byte header_bytes[FrameHeader::kWireSize];
+  if (!read_full(fd_.get(), header_bytes, sizeof header_bytes)) {
+    fd_.reset();
+    status.transport = "connection closed mid-frame";
+    return status;
+  }
+  msg::WireReader reader(header_bytes);
+  out.header = FrameHeader::decode(reader);
+  if (out.header.magic != kMagic || out.header.version != kVersion ||
+      !is_response(static_cast<Op>(out.header.op)) ||
+      out.header.payload_bytes > kMaxPayloadBytes) {
+    fd_.reset();
+    status.transport = "garbled response header";
+    return status;
+  }
+  out.payload.resize(out.header.payload_bytes);
+  if (out.header.payload_bytes != 0 &&
+      !read_full(fd_.get(), out.payload.data(), out.payload.size())) {
+    fd_.reset();
+    status.transport = "connection closed mid-frame";
+    return status;
+  }
+  return status;
+}
+
+Client::Status Client::round_trip(const std::vector<std::byte>& request,
+                                  std::uint32_t request_id, Op expected,
+                                  Frame& response) {
+  Status status = send_frame(request);
+  if (!status.ok()) return status;
+  status = read_frame(response);
+  if (!status.ok()) return status;
+  if (response.header.request_id != request_id) {
+    fd_.reset();
+    status.transport = "response for a different request";
+    return status;
+  }
+  if (response.op() == Op::kError) {
+    status.code = static_cast<ErrorCode>(response.header.code);
+    if (status.code == ErrorCode::kNone) status.code = ErrorCode::kMalformed;
+    return status;
+  }
+  if (response.op() != expected) {
+    fd_.reset();
+    status.transport = "unexpected response op";
+  }
+  return status;
+}
+
+Client::Status Client::ping() {
+  const std::uint32_t id = next_id();
+  Frame response;
+  return round_trip(encode_ping(id), id, Op::kPong, response);
+}
+
+Client::Status Client::query(std::uint32_t level, idx::Index index,
+                             db::Value& out) {
+  const std::uint32_t id = next_id();
+  Frame response;
+  Status status =
+      round_trip(encode_query(id, level, index), id, Op::kValue, response);
+  if (!status.ok()) return status;
+  if (decode_value(response.payload, out) != ErrorCode::kNone) {
+    fd_.reset();
+    status.transport = "garbled VALUE payload";
+  }
+  return status;
+}
+
+Client::Status Client::query_board(const idx::Board& board, db::Value& out) {
+  const std::uint32_t id = next_id();
+  Frame response;
+  Status status =
+      round_trip(encode_board_query(id, board), id, Op::kValue, response);
+  if (!status.ok()) return status;
+  if (decode_value(response.payload, out) != ErrorCode::kNone) {
+    fd_.reset();
+    status.transport = "garbled VALUE payload";
+  }
+  return status;
+}
+
+Client::Status Client::batch_query(std::uint32_t level,
+                                   std::span<const idx::Index> indices,
+                                   std::vector<db::Value>& out) {
+  const std::uint32_t id = next_id();
+  Frame response;
+  Status status = round_trip(encode_batch_query(id, level, indices), id,
+                             Op::kBatchValues, response);
+  if (!status.ok()) return status;
+  if (decode_batch_values(response.payload, out) != ErrorCode::kNone ||
+      out.size() != indices.size()) {
+    fd_.reset();
+    status.transport = "garbled BATCH_VALUES payload";
+  }
+  return status;
+}
+
+Client::Status Client::stats(StatsReply& out) {
+  const std::uint32_t id = next_id();
+  Frame response;
+  Status status =
+      round_trip(encode_stats(id), id, Op::kStatsReply, response);
+  if (!status.ok()) return status;
+  if (decode_stats_reply(response.payload, out) != ErrorCode::kNone) {
+    fd_.reset();
+    status.transport = "garbled STATS_REPLY payload";
+  }
+  return status;
+}
+
+Client::Status Client::pipelined_queries(std::uint32_t level,
+                                         std::span<const idx::Index> indices,
+                                         std::span<db::Value> out,
+                                         std::vector<ErrorCode>* per_query) {
+  RETRA_CHECK(out.size() >= indices.size());
+  Status status;
+  if (per_query != nullptr) {
+    per_query->assign(indices.size(), ErrorCode::kNone);
+  }
+  std::unordered_map<std::uint32_t, std::size_t> slot_of_id;
+  slot_of_id.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::uint32_t id = next_id();
+    slot_of_id.emplace(id, i);
+    status = send_frame(encode_query(id, level, indices[i]));
+    if (!status.ok()) return status;
+  }
+  ErrorCode first_error = ErrorCode::kNone;
+  for (std::size_t n = 0; n < indices.size(); ++n) {
+    Frame response;
+    status = read_frame(response);
+    if (!status.ok()) return status;
+    const auto it = slot_of_id.find(response.header.request_id);
+    if (it == slot_of_id.end()) {
+      fd_.reset();
+      status.transport = "response for an unknown request";
+      return status;
+    }
+    const std::size_t slot = it->second;
+    slot_of_id.erase(it);
+    if (response.op() == Op::kError) {
+      ErrorCode code = static_cast<ErrorCode>(response.header.code);
+      if (code == ErrorCode::kNone) code = ErrorCode::kMalformed;
+      if (per_query != nullptr) {
+        (*per_query)[slot] = code;
+      } else if (first_error == ErrorCode::kNone) {
+        first_error = code;
+      }
+      continue;
+    }
+    if (response.op() != Op::kValue ||
+        decode_value(response.payload, out[slot]) != ErrorCode::kNone) {
+      fd_.reset();
+      status.transport = "unexpected response op";
+      return status;
+    }
+  }
+  status.code = first_error;
+  return status;
+}
+
+// --------------------------------------------------------------------------
+// ClientValueSource.
+
+namespace {
+
+/// Runs `op` until it succeeds, retrying kBusy sheds with a short
+/// backoff.  Aborts (loudly) on transport errors or exhausted retries:
+/// ValueSource has no error channel, and the tools that use this
+/// adapter prefer a diagnosis over a silent wrong answer.
+template <typename Operation>
+void with_busy_retry(int busy_retries, Operation&& op) {
+  for (int attempt = 0;; ++attempt) {
+    const Client::Status status = op();
+    if (status.ok()) return;
+    RETRA_CHECK_MSG(status.transport.empty(),
+                    "net transport error: " + status.transport);
+    RETRA_CHECK_MSG(status.code == ErrorCode::kBusy,
+                    "server error: " + std::string(error_name(status.code)));
+    RETRA_CHECK_MSG(attempt < busy_retries, "server still BUSY after retries");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + attempt / 8));
+  }
+}
+
+}  // namespace
+
+ClientValueSource::OpenResult ClientValueSource::open(Client& client,
+                                                      int busy_retries) {
+  OpenResult result;
+  StatsReply reply;
+  const Client::Status status = client.stats(reply);
+  if (!status.ok()) {
+    result.error = status.transport.empty()
+                       ? std::string(error_name(status.code))
+                       : status.transport;
+    return result;
+  }
+  result.ok = true;
+  result.source = std::make_unique<ClientValueSource>(
+      Passkey{}, client, std::move(reply.level_sizes), busy_retries);
+  return result;
+}
+
+serve::Value ClientValueSource::value(int level, idx::Index index) {
+  RETRA_CHECK(covers(level));
+  db::Value out = 0;
+  with_busy_retry(busy_retries_, [&] {
+    return client_->query(static_cast<std::uint32_t>(level), index, out);
+  });
+  return out;
+}
+
+void ClientValueSource::values(int level, std::span<const idx::Index> indices,
+                               std::span<serve::Value> out) {
+  RETRA_CHECK(covers(level));
+  RETRA_CHECK(out.size() >= indices.size());
+  std::vector<db::Value> chunk_values;
+  for (std::size_t begin = 0; begin < indices.size();
+       begin += kMaxBatchLookups) {
+    const std::size_t count =
+        std::min<std::size_t>(kMaxBatchLookups, indices.size() - begin);
+    const auto chunk = indices.subspan(begin, count);
+    with_busy_retry(busy_retries_, [&] {
+      return client_->batch_query(static_cast<std::uint32_t>(level), chunk,
+                                  chunk_values);
+    });
+    for (std::size_t i = 0; i < count; ++i) out[begin + i] = chunk_values[i];
+  }
+}
+
+}  // namespace retra::net

@@ -1,0 +1,150 @@
+#include "retra/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace retra::net {
+
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool parse_addr(const std::string& host, std::uint16_t port,
+                sockaddr_in& addr, std::string* error) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "not a numeric IPv4 address: " + host;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void FdHandle::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenResult listen_tcp(const std::string& host, std::uint16_t port,
+                        int backlog) {
+  ListenResult result;
+  sockaddr_in addr;
+  if (!parse_addr(host, port, addr, &result.error)) return result;
+
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    result.error = errno_message("socket");
+    return result;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    result.error = errno_message("bind");
+    return result;
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    result.error = errno_message("listen");
+    return result;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    result.error = errno_message("getsockname");
+    return result;
+  }
+  result.ok = true;
+  result.port = ntohs(bound.sin_port);
+  result.fd = std::move(fd);
+  return result;
+}
+
+ConnectResult connect_tcp(const std::string& host, std::uint16_t port) {
+  ConnectResult result;
+  sockaddr_in addr;
+  if (!parse_addr(host, port, addr, &result.error)) return result;
+
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    result.error = errno_message("socket");
+    return result;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    result.error = errno_message("connect");
+    return result;
+  }
+  // Lookup frames are tiny; answering them promptly matters more than
+  // coalescing them into full segments.
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  result.ok = true;
+  result.fd = std::move(fd);
+  return result;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool write_full(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a peer closing mid-write must surface as EPIPE, not
+    // kill the process with SIGPIPE.
+    const ssize_t written = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (written == 0) return false;
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+bool read_full(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t got = ::read(fd, p, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+long read_some(int fd, void* data, std::size_t n) {
+  ssize_t got;
+  do {
+    got = ::read(fd, data, n);
+  } while (got < 0 && errno == EINTR);
+  return got;
+}
+
+}  // namespace retra::net

@@ -1,0 +1,77 @@
+#include "retra/net/store.hpp"
+
+#include "retra/support/check.hpp"
+
+namespace retra::net {
+
+Store::Store(std::unique_ptr<serve::QueryService> service,
+             std::uint64_t hot_bytes)
+    : service_(std::move(service)), hot_bytes_(hot_bytes) {
+  RETRA_CHECK(service_ != nullptr);
+  num_levels_ = service_->num_levels();
+  level_sizes_.reserve(static_cast<std::size_t>(num_levels_));
+  level_payload_bytes_.reserve(static_cast<std::size_t>(num_levels_));
+  for (int level = 0; level < num_levels_; ++level) {
+    level_sizes_.push_back(service_->level_size(level));
+    level_payload_bytes_.push_back(
+        service_->index().levels[static_cast<std::size_t>(level)]
+            .payload_bytes);
+  }
+}
+
+std::shared_ptr<const db::CompactLevel> Store::hot_find(int level) const {
+  if (hot_bytes_ == 0) return nullptr;
+  const std::shared_lock lock(hot_mutex_);
+  const auto it = hot_.find(level);
+  return it == hot_.end() ? nullptr : it->second.level;
+}
+
+void Store::hot_promote(int level, const db::CompactLevel& resident) {
+  const std::uint64_t bytes = resident.memory_bytes();
+  if (bytes > hot_bytes_) return;  // would evict the whole tier for one level
+  const std::unique_lock lock(hot_mutex_);
+  if (hot_.contains(level)) return;  // raced with another promoter
+  while (hot_resident_ + bytes > hot_bytes_) {
+    const int victim = hot_order_.back();
+    hot_order_.pop_back();
+    const auto it = hot_.find(victim);
+    hot_resident_ -= it->second.level->memory_bytes();
+    hot_.erase(it);
+  }
+  // Copy: the service may evict (and destroy) its resident level at any
+  // later query; hot readers hold this shared copy instead.
+  auto copy = std::make_shared<const db::CompactLevel>(resident);
+  hot_order_.push_front(level);
+  hot_.emplace(level, HotEntry{std::move(copy), hot_order_.begin()});
+  hot_resident_ += bytes;
+}
+
+std::uint64_t Store::values(int level, std::span<const idx::Index> indices,
+                            std::span<db::Value> out) {
+  RETRA_DCHECK(level >= 0 && level < num_levels_);
+  RETRA_DCHECK(out.size() >= indices.size());
+  if (const auto hot = hot_find(level)) {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      out[i] = hot->get(indices[i]);
+    }
+    return indices.size();
+  }
+  const std::lock_guard lock(service_mutex_);
+  service_->values(level, indices, out);
+  hot_promote(level, service_->resident_level(level));
+  return 0;
+}
+
+bool Store::is_hot(int level) const { return hot_find(level) != nullptr; }
+
+serve::QueryService::Stats Store::service_stats() const {
+  const std::lock_guard lock(service_mutex_);
+  return service_->stats();
+}
+
+std::vector<int> Store::hot_levels() const {
+  const std::shared_lock lock(hot_mutex_);
+  return {hot_order_.begin(), hot_order_.end()};
+}
+
+}  // namespace retra::net

@@ -123,6 +123,18 @@ enum class Id : int {
   kServeLevelEvictions,
   kServeResidentBytes,
   kServeFaultSeconds,
+  // net.server — the retra-net-v1 TCP server.
+  kNetConnections,
+  kNetRequests,
+  kNetErrors,
+  kNetShed,
+  kNetHotHits,
+  kNetBytesIn,
+  kNetBytesOut,
+  kNetCoalescedLookups,
+  kNetQueryMicros,
+  kNetBatchMicros,
+  kNetOtherMicros,
   kCount
 };
 
@@ -220,6 +232,28 @@ inline constexpr std::array<Desc, kMetricCount> kCatalog = {{
      "packed level payload bytes currently resident"},
     {"serve.fault_seconds", Kind::kTimer, "seconds", "serve.query", "-",
      "wall time spent reading and unpacking faulted levels"},
+    {"net.connections", Kind::kCounter, "connections", "net.server", "-",
+     "TCP connections accepted since server start"},
+    {"net.requests", Kind::kCounter, "frames", "net.server", "-",
+     "request frames admitted past admission control"},
+    {"net.errors", Kind::kCounter, "frames", "net.server", "-",
+     "ERROR responses sent (malformed frames, bad addresses, sheds)"},
+    {"net.shed", Kind::kCounter, "frames", "net.server", "-",
+     "requests refused with BUSY by admission control"},
+    {"net.hot_hits", Kind::kCounter, "lookups", "net.server", "-",
+     "lookups answered by the shared hot-level tier"},
+    {"net.bytes_in", Kind::kCounter, "bytes", "net.server", "-",
+     "bytes read from client sockets"},
+    {"net.bytes_out", Kind::kCounter, "bytes", "net.server", "-",
+     "bytes written to client sockets"},
+    {"net.coalesced_lookups", Kind::kHistogram, "lookups", "net.server", "-",
+     "lookups per coalesced Store batch (cross-connection coalescing)"},
+    {"net.query_us", Kind::kHistogram, "microseconds", "net.server", "-",
+     "QUERY latency from admission to response enqueue"},
+    {"net.batch_us", Kind::kHistogram, "microseconds", "net.server", "-",
+     "BATCH_QUERY latency from admission to response enqueue"},
+    {"net.other_us", Kind::kHistogram, "microseconds", "net.server", "-",
+     "PING/STATS latency from admission to response enqueue"},
 }};
 
 constexpr const Desc& desc(Id id) {

@@ -64,6 +64,13 @@ class QueryService final : public ValueSource {
   const QueryServiceConfig& config() const { return config_; }
   const db::FileIndex& index() const { return file_->index(); }
 
+  /// Touches `level` exactly as a query would (fault in, mark most
+  /// recently used, evict LRU victims) and returns the resident packed
+  /// level.  The reference stays valid until the next query.  This is
+  /// how the network layer's shared hot tier snapshots a level it wants
+  /// to promote above the service's single-threaded path.
+  const db::CompactLevel& resident_level(int level) { return touch(level); }
+
   /// Resident levels, most recently used first (tests, introspection).
   std::vector<int> resident_levels() const;
 

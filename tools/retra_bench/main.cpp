@@ -8,10 +8,14 @@
 // exactly.  --validate re-parses any artifact and checks it against the
 // schema without running anything.
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_net_common.hpp"
+#include "retra/net/server.hpp"
+#include "retra/ra/builder.hpp"
 
 namespace {
 
@@ -35,6 +39,69 @@ constexpr Suite kSuites[] = {
     {"p1", "the P1 end-to-end configuration (level 8, 4 ranks x 2 workers)",
      8, 4, 4096, 2},
 };
+
+/// The "q2" suite is not a simulated build: it packs a small database,
+/// serves it over loopback through the in-process retra-net-v1 server,
+/// and runs one CI-sized closed-loop plus pipelined load
+/// (bench_net_common.hpp — the same core bench_q2_server sweeps with a
+/// full CLI).  Its artifact is a micro artifact: empty levels, the net.*
+/// and serve.* obs delta in `metrics`.
+int run_q2_suite(const std::string& json_path) {
+  constexpr int kMaxLevel = 6;
+  const db::Database database =
+      ra::build_database(game::AwariFamily{}, kMaxLevel);
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() / "retra_bench_q2.db")
+          .string();
+  db::SaveOptions options;
+  options.pack = true;
+  db::save(database, scratch, options);
+
+  net::ServerConfig config;
+  config.workers = 2;
+  auto opened = net::Server::open(scratch, config);
+  if (!opened.ok) {
+    std::fprintf(stderr, "cannot serve %s: %s\n", scratch.c_str(),
+                 opened.error.c_str());
+    return 1;
+  }
+  net::Server& server = *opened.server;
+  std::printf("suite q2: levels 0..%d over 127.0.0.1:%u, %d workers\n",
+              kMaxLevel, static_cast<unsigned>(server.port()),
+              config.workers);
+
+  NetLoadConfig load;
+  load.connections = 2;
+  load.requests_per_connection = 400;
+  const obs::Snapshot before = obs::snapshot();
+  for (const std::size_t pipeline : {std::size_t{1}, std::size_t{4}}) {
+    load.pipeline = pipeline;
+    const NetLoadResult result = run_net_load(
+        "127.0.0.1", server.port(), server.store().level_sizes(), load);
+    if (!result.ok) {
+      std::fprintf(stderr, "q2 load failed: %s\n", result.error.c_str());
+      return 1;
+    }
+    std::printf(
+        "  pipeline %zu: %zu round trips, p50 %.1f us, p99 %.1f us, "
+        "%.1f klookups/s\n",
+        pipeline, result.latencies_us.size(), result.percentile(0.50),
+        result.percentile(0.99), result.lookups_per_second() / 1e3);
+  }
+  const obs::Snapshot delta = obs::snapshot() - before;
+  server.stop();
+  std::remove(scratch.c_str());
+
+  BenchRunMeta meta;
+  meta.suite = "q2";
+  meta.bench = "retra_bench";
+  meta.max_level = kMaxLevel;
+  meta.ranks = 1;
+  meta.combine_bytes = 0;
+  std::string path = json_path;
+  if (path.empty()) path = "BENCH_q2.json";
+  return write_micro_artifact(path, meta, delta) ? 0 : 1;
+}
 
 const Suite* find_suite(const std::string& name) {
   for (const Suite& suite : kSuites) {
@@ -77,6 +144,8 @@ int main(int argc, char** argv) {
     for (const Suite& suite : kSuites) {
       std::printf("%-8s %s\n", suite.name, suite.help);
     }
+    std::printf("%-8s %s\n", "q2",
+                "loopback network serving load (level 6, 2 connections)");
     return 0;
   }
 
@@ -98,6 +167,7 @@ int main(int argc, char** argv) {
   }
 
   const std::string suite_name = cli.str("suite");
+  if (suite_name == "q2") return run_q2_suite(cli.str("json"));
   const Suite* suite = find_suite(suite_name);
   if (!suite) {
     std::fprintf(stderr, "unknown suite \"%s\" (--list shows all)\n",

@@ -13,13 +13,22 @@
 //     mismatch.  CI's serve_smoke job runs this under a deliberately tiny
 //     --budget-kb so every sample exercises fault + evict paths.
 //
+// With --connect=host:port the same answer/selfcheck paths run against a
+// remote retra_server instead of a local file: lookups travel as
+// retra-net-v1 frames through net::ClientValueSource (kBusy sheds are
+// retried), so the selfcheck proves the whole network stack returns the
+// same bytes the in-memory rebuild does.
+//
 //   $ retra_serve --db=/tmp/awari8.db
 //   $ retra_serve --db=/tmp/awari8.db --budget-kb=16 --selfcheck=5000
 //   $ retra_serve --db=/tmp/awari8.db "1 2 0 0 1 0  0 1 0 2 0 1"
+//   $ retra_serve --connect=127.0.0.1:7411 --selfcheck=2000
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "retra/game/awari_level.hpp"
+#include "retra/net/client.hpp"
 #include "retra/ra/builder.hpp"
 #include "retra/ra/oracle.hpp"
 #include "retra/serve/query_service.hpp"
@@ -75,9 +84,8 @@ void answer(serve::ValueSource& source, const game::Board& board) {
 
 /// Compares `samples` random served values against a fresh in-memory
 /// rebuild; returns the number of mismatches (each printed).
-int selfcheck(serve::QueryService& service, int samples,
-              std::uint64_t seed) {
-  const int top = service.num_levels() - 1;
+int selfcheck(serve::ValueSource& source, int samples, std::uint64_t seed) {
+  const int top = source.num_levels() - 1;
   std::printf("selfcheck: rebuilding levels 0..%d in memory...\n", top);
   const db::Database database =
       ra::build_database(game::AwariFamily{}, top);
@@ -86,8 +94,8 @@ int selfcheck(serve::QueryService& service, int samples,
   for (int s = 0; s < samples; ++s) {
     const int level =
         static_cast<int>(rng.below(static_cast<std::uint64_t>(top + 1)));
-    const idx::Index index = rng.below(service.level_size(level));
-    const db::Value served = service.value(level, index);
+    const idx::Index index = rng.below(source.level_size(level));
+    const db::Value served = source.value(level, index);
     const db::Value built = database.value(level, index);
     if (served != built) {
       ++mismatches;
@@ -99,6 +107,84 @@ int selfcheck(serve::QueryService& service, int samples,
   }
   std::printf("selfcheck: %d samples, %d mismatches\n", samples, mismatches);
   return mismatches;
+}
+
+void print_remote_index(const std::string& target,
+                        const serve::ValueSource& source) {
+  std::printf("%s: %d served levels\n\n", target.c_str(),
+              source.num_levels());
+  support::Table table({"level", "positions"});
+  for (int level = 0; level < source.num_levels(); ++level) {
+    table.row().add(level).add(
+        support::with_thousands(source.level_size(level)));
+  }
+  table.print();
+}
+
+void print_remote_stats(const net::StatsReply& stats) {
+  std::printf(
+      "\nserver: %llu connections, %llu requests, %llu errors (%llu "
+      "shed), %llu hot hits; service: %llu lookups, %llu faults, %llu "
+      "evictions, %llu bytes resident\n",
+      static_cast<unsigned long long>(stats.connections),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.errors),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.hot_hits),
+      static_cast<unsigned long long>(stats.lookups),
+      static_cast<unsigned long long>(stats.level_faults),
+      static_cast<unsigned long long>(stats.level_evictions),
+      static_cast<unsigned long long>(stats.resident_bytes));
+}
+
+/// The whole --connect mode: dial, adapt, and run the same inspect /
+/// answer / selfcheck paths the local mode runs.
+int run_connected(const std::string& target, const support::Cli& cli) {
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect wants host:port, got %s\n",
+                 target.c_str());
+    return 1;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "--connect: bad port in %s\n", target.c_str());
+    return 1;
+  }
+  auto connected =
+      net::Client::connect(host, static_cast<std::uint16_t>(port));
+  if (!connected.ok) {
+    std::fprintf(stderr, "cannot connect to %s: %s\n", target.c_str(),
+                 connected.error.c_str());
+    return 1;
+  }
+  auto adapted = net::ClientValueSource::open(*connected.client);
+  if (!adapted.ok) {
+    std::fprintf(stderr, "handshake with %s failed: %s\n", target.c_str(),
+                 adapted.error.c_str());
+    return 1;
+  }
+  serve::ValueSource& source = *adapted.source;
+
+  const int samples = static_cast<int>(cli.integer("selfcheck"));
+  if (cli.positional().empty() && samples == 0) {
+    print_remote_index(target, source);
+    return 0;
+  }
+  for (const std::string& text : cli.positional()) {
+    answer(source, game::board_from_string(text.c_str()));
+  }
+  int mismatches = 0;
+  if (samples > 0) {
+    mismatches = selfcheck(source, samples,
+                           static_cast<std::uint64_t>(cli.integer("seed")));
+  }
+  if (cli.boolean("stats")) {
+    net::StatsReply stats;
+    if (connected.client->stats(stats).ok()) print_remote_stats(stats);
+  }
+  return mismatches == 0 ? 0 : 1;
 }
 
 void print_stats(const serve::QueryService& service) {
@@ -120,7 +206,10 @@ int main(int argc, char** argv) {
   cli.describe(
       "Inspect and serve an RTRADB database file: level directory, board "
       "queries, and a rebuild-and-compare selfcheck.");
-  cli.flag("db", "", "database file to serve (required)");
+  cli.flag("db", "", "database file to serve (required unless --connect)");
+  cli.flag("connect", "",
+           "host:port of a running retra_server to query instead of a "
+           "local file");
   cli.flag("budget-kb", "0", "resident-level budget (0 = unlimited)");
   cli.flag("selfcheck", "0",
            "compare this many random samples against an in-memory rebuild");
@@ -128,9 +217,16 @@ int main(int argc, char** argv) {
   cli.flag("stats", "true", "print serving counters after queries");
   cli.parse(argc, argv);
 
+  if (const std::string target = cli.str("connect"); !target.empty()) {
+    if (!cli.str("db").empty()) {
+      std::fprintf(stderr, "--db and --connect are mutually exclusive\n");
+      return 1;
+    }
+    return run_connected(target, cli);
+  }
   const std::string path = cli.str("db");
   if (path.empty()) {
-    std::fprintf(stderr, "--db is required (see --help)\n");
+    std::fprintf(stderr, "--db or --connect is required (see --help)\n");
     return 1;
   }
   serve::QueryServiceConfig config;
