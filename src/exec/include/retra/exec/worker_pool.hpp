@@ -16,11 +16,11 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
-#include <condition_variable>
+#include "retra/support/sync.hpp"
+#include "retra/support/thread_annotations.hpp"
 
 namespace retra::exec {
 
@@ -69,21 +69,23 @@ class WorkerPool {
     return static_cast<unsigned>(workers_.size()) + 1;
   }
 
-  void run(const std::function<void(unsigned)>& fn);
+  void run(const std::function<void(unsigned)>& fn) RETRA_EXCLUDES(mutex_);
 
  private:
-  void worker_loop(unsigned slot);
+  void worker_loop(unsigned slot) RETRA_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
+  // Sized in the constructor before any worker runs, joined in the
+  // destructor after all of them stop.
+  std::vector<std::thread> workers_ RETRA_NOT_GUARDED;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(unsigned)>* job_ = nullptr;  // guarded by mutex_
-  std::uint64_t generation_ = 0;                        // guarded by mutex_
-  unsigned unfinished_ = 0;                             // guarded by mutex_
-  bool stopping_ = false;                               // guarded by mutex_
-  std::exception_ptr first_error_;                      // guarded by mutex_
+  support::Mutex mutex_;
+  support::CondVar work_cv_;
+  support::CondVar done_cv_;
+  const std::function<void(unsigned)>* job_ RETRA_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ RETRA_GUARDED_BY(mutex_) = 0;
+  unsigned unfinished_ RETRA_GUARDED_BY(mutex_) = 0;
+  bool stopping_ RETRA_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ RETRA_GUARDED_BY(mutex_);
 };
 
 }  // namespace retra::exec

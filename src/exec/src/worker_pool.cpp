@@ -14,7 +14,7 @@ WorkerPool::WorkerPool(unsigned threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -27,7 +27,7 @@ void WorkerPool::run(const std::function<void(unsigned)>& fn) {
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     job_ = &fn;
     unfinished_ = static_cast<unsigned>(workers_.size());
     ++generation_;
@@ -45,8 +45,8 @@ void WorkerPool::run(const std::function<void(unsigned)>& fn) {
 
   std::exception_ptr worker_error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+    const support::MutexLock lock(mutex_);
+    while (unfinished_ != 0) done_cv_.wait(mutex_);
     job_ = nullptr;
     worker_error = first_error_;
     first_error_ = nullptr;
@@ -60,9 +60,8 @@ void WorkerPool::worker_loop(unsigned slot) {
   while (true) {
     const std::function<void(unsigned)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock,
-                    [&] { return stopping_ || generation_ != seen; });
+      const support::MutexLock lock(mutex_);
+      while (!stopping_ && generation_ == seen) work_cv_.wait(mutex_);
       if (stopping_) return;
       seen = generation_;
       job = job_;
@@ -74,7 +73,7 @@ void WorkerPool::worker_loop(unsigned slot) {
       error = std::current_exception();
     }
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const support::MutexLock lock(mutex_);
       if (error && !first_error_) first_error_ = error;
       --unfinished_;
       if (unfinished_ == 0) done_cv_.notify_one();

@@ -2,23 +2,24 @@
 #pragma once
 
 #include <deque>
-#include <mutex>
 
 #include "retra/msg/message.hpp"
+#include "retra/support/sync.hpp"
+#include "retra/support/thread_annotations.hpp"
 
 namespace retra::msg {
 
 class Mailbox {
  public:
-  void push(Message message);
-  bool try_pop(Message& out);
+  void push(Message message) RETRA_EXCLUDES(mutex_);
+  bool try_pop(Message& out) RETRA_EXCLUDES(mutex_);
   /// Number of queued messages (racy snapshot; used by tests and idle
   /// detection heuristics only).
-  std::size_t approximate_size() const;
+  std::size_t approximate_size() const RETRA_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<Message> queue_;
+  mutable support::Mutex mutex_;
+  std::deque<Message> queue_ RETRA_GUARDED_BY(mutex_);
 };
 
 }  // namespace retra::msg

@@ -3,12 +3,12 @@
 namespace retra::msg {
 
 void Mailbox::push(Message message) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   queue_.push_back(std::move(message));
 }
 
 bool Mailbox::try_pop(Message& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   if (queue_.empty()) return false;
   out = std::move(queue_.front());
   queue_.pop_front();
@@ -16,7 +16,7 @@ bool Mailbox::try_pop(Message& out) {
 }
 
 std::size_t Mailbox::approximate_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return queue_.size();
 }
 

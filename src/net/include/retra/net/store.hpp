@@ -23,13 +23,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "retra/serve/query_service.hpp"
+#include "retra/support/sync.hpp"
+#include "retra/support/thread_annotations.hpp"
 
 namespace retra::net {
 
@@ -55,38 +55,47 @@ class Store {
   /// calling).  Returns the number of lookups answered by the hot tier
   /// (0 on the miss path, indices.size() on a hit).
   std::uint64_t values(int level, std::span<const idx::Index> indices,
-                       std::span<db::Value> out);
+                       std::span<db::Value> out)
+      RETRA_EXCLUDES(service_mutex_, hot_mutex_);
 
   /// True when `level` is answerable without touching the service.
-  bool is_hot(int level) const;
+  bool is_hot(int level) const RETRA_EXCLUDES(hot_mutex_);
 
   /// Point-in-time copy of the underlying service's counters.
-  serve::QueryService::Stats service_stats() const;
+  serve::QueryService::Stats service_stats() const
+      RETRA_EXCLUDES(service_mutex_);
 
   /// Levels currently in the hot tier, most recently promoted first
   /// (tests, introspection).
-  std::vector<int> hot_levels() const;
+  std::vector<int> hot_levels() const RETRA_EXCLUDES(hot_mutex_);
 
  private:
-  std::shared_ptr<const db::CompactLevel> hot_find(int level) const;
-  void hot_promote(int level, const db::CompactLevel& resident);
+  std::shared_ptr<const db::CompactLevel> hot_find(int level) const
+      RETRA_EXCLUDES(hot_mutex_);
+  void hot_promote(int level, const db::CompactLevel& resident)
+      RETRA_EXCLUDES(hot_mutex_);
 
-  std::unique_ptr<serve::QueryService> service_;
-  mutable std::mutex service_mutex_;
+  // QueryService is single-threaded by design; the pointer is set once
+  // in the constructor, the pointee is only touched under service_mutex_.
+  std::unique_ptr<serve::QueryService> service_
+      RETRA_PT_GUARDED_BY(service_mutex_);
+  mutable support::Mutex service_mutex_;
 
   const std::uint64_t hot_bytes_;
-  int num_levels_ = 0;
-  std::vector<std::uint64_t> level_sizes_;
-  std::vector<std::uint64_t> level_payload_bytes_;
+  // Level geometry: filled in the constructor, immutable afterwards.
+  int num_levels_ RETRA_NOT_GUARDED = 0;
+  std::vector<std::uint64_t> level_sizes_ RETRA_NOT_GUARDED;
+  std::vector<std::uint64_t> level_payload_bytes_ RETRA_NOT_GUARDED;
 
-  mutable std::shared_mutex hot_mutex_;
+  mutable support::SharedMutex hot_mutex_;
   struct HotEntry {
     std::shared_ptr<const db::CompactLevel> level;
     std::list<int>::iterator order;  // position in hot_order_
   };
-  std::unordered_map<int, HotEntry> hot_;
-  std::list<int> hot_order_;  // front = most recently promoted
-  std::uint64_t hot_resident_ = 0;
+  std::unordered_map<int, HotEntry> hot_ RETRA_GUARDED_BY(hot_mutex_);
+  // front = most recently promoted
+  std::list<int> hot_order_ RETRA_GUARDED_BY(hot_mutex_);
+  std::uint64_t hot_resident_ RETRA_GUARDED_BY(hot_mutex_) = 0;
 };
 
 }  // namespace retra::net

@@ -8,16 +8,16 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 
 #include "retra/net/socket.hpp"
 #include "retra/obs/metrics.hpp"
 #include "retra/support/check.hpp"
+#include "retra/support/sync.hpp"
+#include "retra/support/thread_annotations.hpp"
 #include "retra/support/timer.hpp"
 
 namespace retra::net {
@@ -30,16 +30,23 @@ namespace {
 struct Connection {
   explicit Connection(FdHandle in_fd) : fd(std::move(in_fd)) {}
 
-  FdHandle fd;
-  FrameBuffer input;
+  // I/O-thread-only (reset under `mutex` at teardown so workers racing
+  // on `closed` observe the socket gone atomically with the flag).
+  FdHandle fd RETRA_NOT_GUARDED;
+  FrameBuffer input RETRA_NOT_GUARDED;
 
-  std::mutex mutex;
-  std::deque<std::vector<std::byte>> output;
-  std::size_t output_offset = 0;  // bytes of output.front() already sent
-  bool closed = false;            // fd gone; workers drop responses
+  support::Mutex mutex;
+  std::deque<std::vector<std::byte>> output RETRA_GUARDED_BY(mutex);
+  // bytes of output.front() already sent
+  std::size_t output_offset RETRA_GUARDED_BY(mutex) = 0;
+  // fd gone; workers drop responses
+  bool closed RETRA_GUARDED_BY(mutex) = false;
 
-  bool close_after_flush = false;  // protocol error: answer, flush, close
-  bool want_write = false;         // EPOLLOUT currently armed
+  // I/O-thread-only: protocol error — answer, flush, close.
+  bool close_after_flush RETRA_NOT_GUARDED = false;
+  // I/O-thread-only: EPOLLOUT currently armed (written under `mutex`
+  // because flush_output decides it mid-drain).
+  bool want_write RETRA_GUARDED_BY(mutex) = false;
   std::atomic<bool> wake_queued{false};
 };
 
@@ -61,33 +68,37 @@ struct Request {
 struct Server::Impl {
   explicit Impl(Server& in_server) : server(in_server) {}
 
-  Server& server;
+  Server& server RETRA_NOT_GUARDED;
 
-  FdHandle listen_fd;
-  FdHandle epoll_fd;
-  FdHandle wake_fd;  // eventfd: workers (and stop()) poke the I/O thread
+  // start()-time setup, then I/O-thread-only (wake_fd is written from
+  // any thread, which eventfd allows).
+  FdHandle listen_fd RETRA_NOT_GUARDED;
+  FdHandle epoll_fd RETRA_NOT_GUARDED;
+  FdHandle wake_fd RETRA_NOT_GUARDED;  // workers/stop() poke the I/O thread
 
-  std::thread io_thread;
-  std::vector<std::thread> worker_threads;
+  std::thread io_thread RETRA_NOT_GUARDED;
+  std::vector<std::thread> worker_threads RETRA_NOT_GUARDED;
 
   // Request queue: I/O thread produces, workers consume.
-  std::mutex queue_mutex;
-  std::condition_variable queue_cv;
-  std::deque<Request> queue;
-  bool workers_stop = false;
+  support::Mutex queue_mutex;
+  support::CondVar queue_cv;
+  std::deque<Request> queue RETRA_GUARDED_BY(queue_mutex);
+  bool workers_stop RETRA_GUARDED_BY(queue_mutex) = false;
 
   std::atomic<std::uint64_t> fault_debt{0};
-  std::uint64_t debt_limit = 0;  // resolved from the config at start()
+  // Resolved from the config at start(), before any thread exists.
+  std::uint64_t debt_limit RETRA_NOT_GUARDED = 0;
 
   // Connections the workers produced output for since the last wake.
-  std::mutex wake_mutex;
-  std::vector<std::shared_ptr<Connection>> pending_wakes;
+  support::Mutex wake_mutex;
+  std::vector<std::shared_ptr<Connection>> pending_wakes
+      RETRA_GUARDED_BY(wake_mutex);
 
   std::atomic<bool> accepting{true};
   std::atomic<bool> io_stop{false};
   std::atomic<bool> stopped{false};
 
-  support::Timer uptime;
+  support::Timer uptime RETRA_NOT_GUARDED;
 
   struct Counters {
     std::atomic<std::uint64_t> connections{0};
@@ -100,25 +111,27 @@ struct Server::Impl {
     std::atomic<std::uint64_t> shed{0};
     std::atomic<std::uint64_t> hot_hits{0};
   };
-  Counters counters;
+  Counters counters RETRA_NOT_GUARDED;  // struct of atomics
 
   // I/O-thread-only state.
-  std::unordered_map<int, std::shared_ptr<Connection>> connections;
+  std::unordered_map<int, std::shared_ptr<Connection>> connections
+      RETRA_NOT_GUARDED;
 
   void io_loop();
   void accept_ready();
   void handle_readable(const std::shared_ptr<Connection>& conn);
   void handle_request(const std::shared_ptr<Connection>& conn,
                       const Frame& frame);
-  void enqueue_request(Request request);
+  void enqueue_request(Request request) RETRA_EXCLUDES(queue_mutex);
   void respond_error(const std::shared_ptr<Connection>& conn,
                      std::uint32_t id, ErrorCode code);
   void flush_output(const std::shared_ptr<Connection>& conn);
-  void set_want_write(Connection& conn, bool want);
+  void set_want_write(Connection& conn, bool want)
+      RETRA_REQUIRES(conn.mutex);
   void close_connection(const std::shared_ptr<Connection>& conn);
   bool any_pending_output() const;
 
-  void worker_loop();
+  void worker_loop() RETRA_EXCLUDES(queue_mutex);
   void process_batch(std::vector<Request>& batch);
   void respond(const std::shared_ptr<Connection>& conn,
                std::vector<std::byte> frame,
@@ -215,7 +228,7 @@ void Server::stop() {
   impl_->wake_io();
   // Phase 2: drain the queue — workers exit once it is empty.
   {
-    const std::lock_guard lock(impl_->queue_mutex);
+    const support::MutexLock lock(impl_->queue_mutex);
     impl_->workers_stop = true;
   }
   impl_->queue_cv.notify_all();
@@ -246,7 +259,7 @@ StatsReply Server::stats_reply() const { return impl_->build_stats_reply(); }
 // --------------------------------------------------------------------------
 // I/O thread.
 
-void Server::Impl::io_loop() {
+void Server::Impl::io_loop() RETRA_IO_THREAD_ONLY {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   bool listen_open = true;
@@ -290,29 +303,31 @@ void Server::Impl::io_loop() {
         continue;
       }
       if (events[i].events & EPOLLIN) handle_readable(conn);
-      if (!conn->closed && (events[i].events & EPOLLOUT)) flush_output(conn);
+      // flush_output re-checks `closed` under the connection lock, so
+      // no unlocked pre-check here.
+      if (events[i].events & EPOLLOUT) flush_output(conn);
     }
     // Flush connections the workers filled since the last pass.
     std::vector<std::shared_ptr<Connection>> woken;
     {
-      const std::lock_guard lock(wake_mutex);
+      const support::MutexLock lock(wake_mutex);
       woken.swap(pending_wakes);
     }
     for (const auto& conn : woken) {
       conn->wake_queued.store(false);
-      if (!conn->closed) flush_output(conn);
+      flush_output(conn);
     }
   }
 
   for (const auto& [fd, conn] : connections) {
-    const std::lock_guard lock(conn->mutex);
+    const support::MutexLock lock(conn->mutex);
     conn->closed = true;
     conn->fd.reset();
   }
   connections.clear();
 }
 
-void Server::Impl::accept_ready() {
+void Server::Impl::accept_ready() RETRA_IO_THREAD_ONLY {
   for (;;) {
     const int fd = ::accept4(listen_fd.get(), nullptr, nullptr,
                              SOCK_NONBLOCK);
@@ -335,7 +350,8 @@ void Server::Impl::accept_ready() {
   }
 }
 
-void Server::Impl::handle_readable(const std::shared_ptr<Connection>& conn) {
+void Server::Impl::handle_readable(const std::shared_ptr<Connection>& conn)
+    RETRA_IO_THREAD_ONLY {
   if (conn->close_after_flush) return;  // framing lost; draining only
   std::byte buffer[65536];
   for (;;) {
@@ -373,7 +389,7 @@ void Server::Impl::handle_readable(const std::shared_ptr<Connection>& conn) {
 }
 
 void Server::Impl::handle_request(const std::shared_ptr<Connection>& conn,
-                                  const Frame& frame) {
+                                  const Frame& frame) RETRA_IO_THREAD_ONLY {
   const std::uint32_t id = frame.header.request_id;
   if (!is_request(frame.op())) {
     respond_error(conn, id, ErrorCode::kBadOp);
@@ -452,41 +468,47 @@ void Server::Impl::handle_request(const std::shared_ptr<Connection>& conn,
   enqueue_request(std::move(request));
 }
 
-void Server::Impl::enqueue_request(Request request) {
+void Server::Impl::enqueue_request(Request request) RETRA_IO_THREAD_ONLY {
   const std::uint64_t debt = request.debt;
+  bool shed = false;
   {
-    std::unique_lock lock(queue_mutex);
+    const support::MutexLock lock(queue_mutex);
     if (queue.size() >= server.config_.max_queue_depth ||
         (debt_limit != 0 && debt != 0 &&
          fault_debt.load() + debt > debt_limit)) {
-      lock.unlock();
-      counters.shed.fetch_add(1);
-      RETRA_OBS_INC(obs::Id::kNetShed);
-      respond_error(request.conn, request.id, ErrorCode::kBusy);
-      return;
+      shed = true;
+    } else {
+      fault_debt.fetch_add(debt);
+      request.enqueue_ns = uptime.nanoseconds();
+      // Count before publishing: a worker may serialise a STATS reply
+      // the instant the queue holds the request, and that reply must
+      // already include it.
+      counters.requests.fetch_add(1);
+      RETRA_OBS_INC(obs::Id::kNetRequests);
+      queue.push_back(std::move(request));
     }
-    fault_debt.fetch_add(debt);
-    request.enqueue_ns = uptime.nanoseconds();
-    // Count before publishing: a worker may serialise a STATS reply the
-    // instant the queue holds the request, and that reply must already
-    // include it.
-    counters.requests.fetch_add(1);
-    RETRA_OBS_INC(obs::Id::kNetRequests);
-    queue.push_back(std::move(request));
+  }
+  if (shed) {
+    counters.shed.fetch_add(1);
+    RETRA_OBS_INC(obs::Id::kNetShed);
+    respond_error(request.conn, request.id, ErrorCode::kBusy);
+    return;
   }
   queue_cv.notify_one();
 }
 
 void Server::Impl::respond_error(const std::shared_ptr<Connection>& conn,
-                                 std::uint32_t id, ErrorCode code) {
+                                 std::uint32_t id, ErrorCode code)
+    RETRA_IO_THREAD_ONLY {
   counters.errors.fetch_add(1);
   RETRA_OBS_INC(obs::Id::kNetErrors);
   std::vector<std::byte> frame = encode_error(id, code);
-  const std::lock_guard lock(conn->mutex);
+  const support::MutexLock lock(conn->mutex);
   if (!conn->closed) conn->output.push_back(std::move(frame));
 }
 
-void Server::Impl::set_want_write(Connection& conn, bool want) {
+void Server::Impl::set_want_write(Connection& conn, bool want)
+    RETRA_IO_THREAD_ONLY {
   if (conn.want_write == want || conn.closed) return;
   epoll_event event{};
   event.events = want ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
@@ -497,10 +519,11 @@ void Server::Impl::set_want_write(Connection& conn, bool want) {
   }
 }
 
-void Server::Impl::flush_output(const std::shared_ptr<Connection>& conn) {
+void Server::Impl::flush_output(const std::shared_ptr<Connection>& conn)
+    RETRA_IO_THREAD_ONLY {
   bool failed = false;
   {
-    const std::lock_guard lock(conn->mutex);
+    const support::MutexLock lock(conn->mutex);
     if (conn->closed) return;
     while (!conn->output.empty()) {
       const std::vector<std::byte>& front = conn->output.front();
@@ -535,8 +558,9 @@ void Server::Impl::flush_output(const std::shared_ptr<Connection>& conn) {
   close_connection(conn);
 }
 
-void Server::Impl::close_connection(const std::shared_ptr<Connection>& conn) {
-  const std::lock_guard lock(conn->mutex);
+void Server::Impl::close_connection(const std::shared_ptr<Connection>& conn)
+    RETRA_IO_THREAD_ONLY {
+  const support::MutexLock lock(conn->mutex);
   if (conn->closed) return;
   (void)::epoll_ctl(epoll_fd.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
   connections.erase(conn->fd.get());
@@ -545,9 +569,9 @@ void Server::Impl::close_connection(const std::shared_ptr<Connection>& conn) {
   conn->output.clear();
 }
 
-bool Server::Impl::any_pending_output() const {
+bool Server::Impl::any_pending_output() const RETRA_IO_THREAD_ONLY {
   for (const auto& [fd, conn] : connections) {
-    const std::lock_guard lock(conn->mutex);
+    const support::MutexLock lock(conn->mutex);
     if (!conn->output.empty()) return true;
   }
   return false;
@@ -561,9 +585,8 @@ void Server::Impl::worker_loop() {
   for (;;) {
     batch.clear();
     {
-      std::unique_lock lock(queue_mutex);
-      queue_cv.wait(lock,
-                    [this] { return workers_stop || !queue.empty(); });
+      const support::MutexLock lock(queue_mutex);
+      while (!workers_stop && queue.empty()) queue_cv.wait(queue_mutex);
       if (queue.empty()) {
         if (workers_stop) return;
         continue;
@@ -651,12 +674,12 @@ void Server::Impl::respond(const std::shared_ptr<Connection>& conn,
                            std::vector<std::byte> frame,
                            std::vector<std::shared_ptr<Connection>>& woken) {
   {
-    const std::lock_guard lock(conn->mutex);
+    const support::MutexLock lock(conn->mutex);
     if (conn->closed) return;
     conn->output.push_back(std::move(frame));
   }
   if (!conn->wake_queued.exchange(true)) {
-    const std::lock_guard lock(wake_mutex);
+    const support::MutexLock lock(wake_mutex);
     pending_wakes.push_back(conn);
     woken.push_back(conn);
   }

@@ -8,6 +8,9 @@ Store::Store(std::unique_ptr<serve::QueryService> service,
              std::uint64_t hot_bytes)
     : service_(std::move(service)), hot_bytes_(hot_bytes) {
   RETRA_CHECK(service_ != nullptr);
+  // No other thread can see this Store yet; the lock only satisfies the
+  // static pt_guarded_by contract on service_.
+  const support::MutexLock lock(service_mutex_);
   num_levels_ = service_->num_levels();
   level_sizes_.reserve(static_cast<std::size_t>(num_levels_));
   level_payload_bytes_.reserve(static_cast<std::size_t>(num_levels_));
@@ -21,7 +24,7 @@ Store::Store(std::unique_ptr<serve::QueryService> service,
 
 std::shared_ptr<const db::CompactLevel> Store::hot_find(int level) const {
   if (hot_bytes_ == 0) return nullptr;
-  const std::shared_lock lock(hot_mutex_);
+  const support::ReaderMutexLock lock(hot_mutex_);
   const auto it = hot_.find(level);
   return it == hot_.end() ? nullptr : it->second.level;
 }
@@ -29,7 +32,7 @@ std::shared_ptr<const db::CompactLevel> Store::hot_find(int level) const {
 void Store::hot_promote(int level, const db::CompactLevel& resident) {
   const std::uint64_t bytes = resident.memory_bytes();
   if (bytes > hot_bytes_) return;  // would evict the whole tier for one level
-  const std::unique_lock lock(hot_mutex_);
+  const support::WriterMutexLock lock(hot_mutex_);
   if (hot_.contains(level)) return;  // raced with another promoter
   while (hot_resident_ + bytes > hot_bytes_) {
     const int victim = hot_order_.back();
@@ -56,7 +59,7 @@ std::uint64_t Store::values(int level, std::span<const idx::Index> indices,
     }
     return indices.size();
   }
-  const std::lock_guard lock(service_mutex_);
+  const support::MutexLock lock(service_mutex_);
   service_->values(level, indices, out);
   hot_promote(level, service_->resident_level(level));
   return 0;
@@ -65,12 +68,12 @@ std::uint64_t Store::values(int level, std::span<const idx::Index> indices,
 bool Store::is_hot(int level) const { return hot_find(level) != nullptr; }
 
 serve::QueryService::Stats Store::service_stats() const {
-  const std::lock_guard lock(service_mutex_);
+  const support::MutexLock lock(service_mutex_);
   return service_->stats();
 }
 
 std::vector<int> Store::hot_levels() const {
-  const std::shared_lock lock(hot_mutex_);
+  const support::ReaderMutexLock lock(hot_mutex_);
   return {hot_order_.begin(), hot_order_.end()};
 }
 

@@ -21,7 +21,6 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -30,6 +29,7 @@
 #include "retra/support/access_check.hpp"
 #include "retra/support/check.hpp"
 #include "retra/support/log.hpp"
+#include "retra/support/sync.hpp"
 
 namespace retra::para {
 
@@ -113,7 +113,7 @@ std::uint64_t run_bsp_threads(std::vector<std::unique_ptr<Engine>>& engines) {
   Decision decision = Decision::kContinue;
   std::atomic<bool> crashed{false};
   std::exception_ptr crash;
-  std::mutex crash_mutex;
+  support::Mutex crash_mutex;
 
   auto on_round_complete = [&]() noexcept {
     // The completion step runs on one of the worker threads but acts as
@@ -151,7 +151,7 @@ std::uint64_t run_bsp_threads(std::vector<std::unique_ptr<Engine>>& engines) {
         reports[rank] = engines[rank]->superstep();
       } catch (const msg::RankCrash&) {
         {
-          const std::lock_guard<std::mutex> lock(crash_mutex);
+          const support::MutexLock lock(crash_mutex);
           if (!crash) crash = std::current_exception();
         }
         crashed.store(true, std::memory_order_release);
@@ -209,7 +209,7 @@ std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
   };
   std::vector<RankState> state(ranks);
   std::exception_ptr crash;
-  std::mutex crash_mutex;
+  support::Mutex crash_mutex;
 
   auto loop = [&](std::size_t rank) {
     std::uint64_t local_steps = 0;
@@ -315,7 +315,7 @@ std::uint64_t run_async_threads(std::vector<std::unique_ptr<Engine>>& engines) {
       loop(rank);
     } catch (const msg::RankCrash&) {
       {
-        const std::lock_guard<std::mutex> lock(crash_mutex);
+        const support::MutexLock lock(crash_mutex);
         if (!crash) crash = std::current_exception();
       }
       stop.store(true, std::memory_order_release);

@@ -14,7 +14,11 @@
 // Stats struct, so a bench artifact and the service's own counters can
 // be reconciled exactly.
 //
-// Not thread-safe: one QueryService per serving thread.
+// Not thread-safe: one QueryService per serving thread.  Concurrent
+// callers must go through net::Store, whose service_mutex_ carries the
+// RETRA_PT_GUARDED_BY contract for the shared instance — this class
+// deliberately has no mutex members, so the lock-coverage analysis
+// (docs/ANALYSIS.md) does not apply here.
 #pragma once
 
 #include <list>

@@ -1,0 +1,124 @@
+#pragma once
+
+// Annotated synchronisation primitives (see docs/ANALYSIS.md).
+//
+// Thin wrappers over the std primitives that carry Clang thread-safety
+// capability attributes.  libstdc++'s std::mutex has no such
+// attributes, so clang cannot check `RETRA_GUARDED_BY(some_std_mutex)`;
+// these types make the annotations in src/net, src/exec and src/msg
+// checkable under -Wthread-safety while compiling to the identical code
+// under GCC.
+//
+// CondVar keeps a plain std::condition_variable underneath: wait()
+// adopts the already-held Mutex into a std::unique_lock for the
+// duration of the wait and releases it back afterwards, so there is no
+// extra state and no second lock.  Clang's analysis does not look into
+// lambda bodies, so there is deliberately no predicate overload — write
+// the `while (!cond) cv.wait(m);` loop at the call site.
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "retra/support/thread_annotations.hpp"
+
+namespace retra::support {
+
+class CondVar;
+
+// Exclusive mutex with the `capability` attribute.
+class RETRA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RETRA_ACQUIRE() { m_.lock(); }
+  void unlock() RETRA_RELEASE() { m_.unlock(); }
+  bool try_lock() RETRA_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+// Reader/writer mutex with the `capability` attribute.
+class RETRA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() RETRA_ACQUIRE() { m_.lock(); }
+  void unlock() RETRA_RELEASE() { m_.unlock(); }
+  void lock_shared() RETRA_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() RETRA_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+// RAII exclusive lock over Mutex.
+class RETRA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) RETRA_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() RETRA_RELEASE() { m_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+// RAII shared (reader) lock over SharedMutex.
+class RETRA_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& m) RETRA_ACQUIRE_SHARED(m) : m_(m) {
+    m_.lock_shared();
+  }
+  ~ReaderMutexLock() RETRA_RELEASE() { m_.unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+// RAII exclusive (writer) lock over SharedMutex.
+class RETRA_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& m) RETRA_ACQUIRE(m) : m_(m) {
+    m_.lock();
+  }
+  ~WriterMutexLock() RETRA_RELEASE() { m_.unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+// Condition variable usable with Mutex while the caller keeps holding
+// the annotated capability across the wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `m`, waits, and reacquires `m` before
+  // returning.  Spurious wakeups happen; always wait in a loop.
+  void wait(Mutex& m) RETRA_REQUIRES(m) {
+    std::unique_lock<std::mutex> lock(m.m_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace retra::support

@@ -1,0 +1,75 @@
+#pragma once
+
+// Clang thread-safety annotation macros (see docs/ANALYSIS.md).
+//
+// Under clang with -Wthread-safety these expand to the capability
+// attributes that let the compiler prove lock discipline statically; on
+// every other compiler they expand to nothing.  `retra_analyze` reads
+// the same spellings lexically, so the coverage rule (every member of a
+// mutex-holding class must be annotated) holds even in GCC-only builds.
+//
+// The macros follow the Abseil/LLVM naming for the underlying
+// attributes.  Use them with the annotated types in
+// retra/support/sync.hpp — bare std::mutex carries no capability
+// attribute, so clang cannot check expressions that name one.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RETRA_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define RETRA_THREAD_ANNOTATION_IMPL(x)  // no-op outside clang
+#endif
+
+// Type annotations: a class that represents a lockable capability, and
+// an RAII class whose lifetime acquires/releases one.
+#define RETRA_CAPABILITY(name) RETRA_THREAD_ANNOTATION_IMPL(capability(name))
+#define RETRA_SCOPED_CAPABILITY RETRA_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+// Data-member annotations.
+#define RETRA_GUARDED_BY(x) RETRA_THREAD_ANNOTATION_IMPL(guarded_by(x))
+#define RETRA_PT_GUARDED_BY(x) RETRA_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+// Function annotations: locks the caller must hold / must not hold.
+#define RETRA_REQUIRES(...) \
+  RETRA_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+#define RETRA_REQUIRES_SHARED(...) \
+  RETRA_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+#define RETRA_EXCLUDES(...) \
+  RETRA_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+// Function annotations for lock implementations (sync.hpp).
+#define RETRA_ACQUIRE(...) \
+  RETRA_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#define RETRA_ACQUIRE_SHARED(...) \
+  RETRA_THREAD_ANNOTATION_IMPL(acquire_shared_capability(__VA_ARGS__))
+#define RETRA_RELEASE(...) \
+  RETRA_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+#define RETRA_RELEASE_SHARED(...) \
+  RETRA_THREAD_ANNOTATION_IMPL(release_shared_capability(__VA_ARGS__))
+#define RETRA_TRY_ACQUIRE(...) \
+  RETRA_THREAD_ANNOTATION_IMPL(try_acquire_capability(__VA_ARGS__))
+#define RETRA_ASSERT_CAPABILITY(x) \
+  RETRA_THREAD_ANNOTATION_IMPL(assert_capability(x))
+#define RETRA_RETURN_CAPABILITY(x) \
+  RETRA_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (use sparingly, with
+// a comment saying why).
+#define RETRA_NO_THREAD_SAFETY_ANALYSIS \
+  RETRA_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+// Markers read only by retra_analyze; both expand to nothing under
+// every compiler.
+//
+// RETRA_NOT_GUARDED documents that a member of a mutex-holding class is
+// deliberately outside the lock's footprint (single-thread-owned,
+// const-after-construction, or a struct of atomics).  The lock-coverage
+// rule requires every non-exempt member to carry either a
+// RETRA_GUARDED_BY-family annotation or this marker.
+#define RETRA_NOT_GUARDED
+
+// RETRA_IO_THREAD_ONLY tags a function definition (between the `)` of
+// the parameter list and the `{` of the body) as running on an event
+// (epoll) thread.  retra_analyze rejects blocking calls — the sleep
+// family, blocking waits, select/poll, thread joins — inside such
+// bodies.
+#define RETRA_IO_THREAD_ONLY

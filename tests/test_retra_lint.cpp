@@ -119,6 +119,32 @@ TEST(Determinism, SeededXoshiroPasses) {
   EXPECT_FALSE(has_rule(findings, "determinism"));
 }
 
+// Regression: the pre-tokenizer stripper tracked quotes character by
+// character, so the inner `"` of a raw string ended its string state
+// early and banned words inside the literal leaked into the token scan.
+TEST(Determinism, RawStringContentsAreIgnored) {
+  // The banned words sit after an embedded quote, exactly where the old
+  // stripper had already (wrongly) left its string state.
+  const auto findings = lint_file(
+      "src/para/src/x.cpp",
+      "const char* s = R\"(say \" then rand and mt19937 loudly)\";\n"
+      "int y = 0;\n");
+  EXPECT_FALSE(has_rule(findings, "determinism"));
+}
+
+// Regression: a digit separator used to be read as the start of a char
+// literal, swallowing the code after it (hiding real findings) or
+// un-hiding literal text (creating false ones).
+TEST(Determinism, DigitSeparatorDoesNotDesyncStripping) {
+  const auto no_fp = lint_file("src/para/src/x.cpp",
+                               "int n = 1'000'000;\nconst char* s = \"rand\";\n");
+  EXPECT_FALSE(has_rule(no_fp, "determinism"));
+
+  const auto real = lint_file("src/para/src/x.cpp",
+                              "int n = 1'000'000;\nint r = std::rand();\n");
+  EXPECT_TRUE(has_rule(real, "determinism"));
+}
+
 // ------------------------------------------------------------------
 // raw-alloc
 

@@ -1,0 +1,66 @@
+// The pluggable cross-file analyses (see docs/ANALYSIS.md).
+//
+// Each analysis is a pure function over an AnalysisInput — loaded
+// sources plus the two spec documents — returning findings.  Rules:
+//
+//   lock-coverage   any class with a mutex member must annotate every
+//                   other non-exempt member with RETRA_GUARDED_BY /
+//                   RETRA_PT_GUARDED_BY / RETRA_NOT_GUARDED, and mutex
+//                   members in src/ must use the annotated
+//                   support::Mutex types
+//   io-blocking     no blocking calls inside RETRA_IO_THREAD_ONLY
+//                   function bodies
+//   layer-order     retra/... includes must respect the declared module
+//                   layering (docs/ANALYSIS.md); back-edges and
+//                   same-layer cross-includes are rejected
+//   include-cycle   the retra/... header include graph must be acyclic
+//   protocol-doc    net/protocol.hpp constants/enums must match the
+//                   tables in docs/PROTOCOL.md
+//   metrics-doc     the obs metric catalog must match the table in
+//                   docs/METRICS.md
+//
+// Suppression: `// retra-analyze: allow(<rule>)` on the finding's line
+// or the line above.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "source_model.hpp"
+
+namespace retra::analyze {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct AnalysisInput {
+  std::vector<SourceFile> files;
+  std::string protocol_doc;  // docs/PROTOCOL.md contents
+  std::string metrics_doc;   // docs/METRICS.md contents
+};
+
+/// Lock discipline: annotation coverage of mutex-holding classes plus
+/// the blocking-call check for I/O-thread-only functions.
+std::vector<Finding> analyze_locks(const AnalysisInput& input);
+
+/// Layering DAG over retra/... includes: module order + include cycles.
+std::vector<Finding> analyze_layering(const AnalysisInput& input);
+
+/// Spec consistency: protocol.hpp vs PROTOCOL.md, obs catalog vs
+/// METRICS.md.
+std::vector<Finding> analyze_spec(const AnalysisInput& input);
+
+/// All analyses, findings ordered by (file, line).
+std::vector<Finding> analyze_all(const AnalysisInput& input);
+
+/// Loads a repository checkout: every analyzable file under src/,
+/// tools/, tests/, bench/ and examples/ (paths made repo-relative) plus
+/// the two spec documents.  Shared by the CLI and the self-test.
+AnalysisInput load_repo(const std::filesystem::path& root);
+
+}  // namespace retra::analyze

@@ -1,0 +1,184 @@
+// Layering analysis (rules layer-order and include-cycle).
+//
+// The module DAG is declared here and documented in docs/ANALYSIS.md.
+// A retra/... include is legal when it stays inside the including
+// module or points at a strictly lower layer; same-layer cross-module
+// includes and back-edges are findings.  Independently, the retra/...
+// header include graph must be acyclic.
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis.hpp"
+
+namespace retra::analyze {
+
+namespace {
+
+// Lower index = lower layer.  Modules sharing an entry may not include
+// each other.  The order reflects the repo as built (see
+// docs/ANALYSIS.md for the rationale): support is the base; serve sits
+// below ra (solvers publish results through the serving API); exec sits
+// below para (the driver schedules onto the worker pool); net is the
+// outermost library since its server composes store + serve + exec.
+const std::vector<std::vector<std::string>> kLayers = {
+    {"support"},
+    {"obs", "index", "exec"},
+    {"game", "msg"},
+    {"db", "sim"},
+    {"serve"},
+    {"ra"},
+    {"net"},
+    {"para"},
+};
+
+constexpr int kTopLayer = 100;  // tools / tests / bench / examples
+
+int layer_of(const std::string& module) {
+  for (std::size_t i = 0; i < kLayers.size(); ++i) {
+    for (const std::string& m : kLayers[i]) {
+      if (m == module) return static_cast<int>(i);
+    }
+  }
+  if (module == "tools" || module == "tests" || module == "bench" ||
+      module == "examples") {
+    return kTopLayer;
+  }
+  return -1;
+}
+
+void check_layer_order(const AnalysisInput& input,
+                       std::vector<Finding>& findings) {
+  for (const SourceFile& file : input.files) {
+    const std::string mod = module_of_path(file.path);
+    if (mod.empty()) continue;
+    const int rank = layer_of(mod);
+    if (rank < 0) {
+      findings.push_back({file.path, 1, "layer-order",
+                          "module '" + mod +
+                              "' is not in the layering table "
+                              "(docs/ANALYSIS.md); add it to a layer"});
+      continue;
+    }
+    const std::vector<std::string> lines = split_lines(file.content);
+    for (const IncludeEdge& edge : includes_of(file.content)) {
+      const std::string target_mod = module_of_include(edge.target);
+      if (target_mod.empty() || target_mod == mod) continue;
+      const int target_rank = layer_of(target_mod);
+      if (target_rank < 0) {
+        if (analyze_allowed(lines, edge.line, "layer-order")) continue;
+        findings.push_back({file.path, edge.line, "layer-order",
+                            "include of unknown module 'retra/" +
+                                target_mod + "/...'"});
+        continue;
+      }
+      if (target_rank < rank) continue;
+      if (analyze_allowed(lines, edge.line, "layer-order")) continue;
+      const char* why = target_rank == rank
+                            ? "same-layer cross-module include"
+                            : "back-edge against the layering DAG";
+      findings.push_back(
+          {file.path, edge.line, "layer-order",
+           std::string(why) + ": module '" + mod + "' (layer " +
+               std::to_string(rank) + ") includes '" + edge.target +
+               "' (module '" + target_mod + "', layer " +
+               std::to_string(target_rank) + ")"});
+    }
+  }
+}
+
+// --- include-cycle -------------------------------------------------
+
+// Headers are keyed by their "retra/..." install identity so the edge
+// targets and the on-disk include/ paths meet in one namespace.
+std::string header_identity(const std::string& path) {
+  const std::size_t pos = path.find("retra/");
+  if (pos == std::string::npos) return {};
+  if (pos != 0 && path[pos - 1] != '/') return {};
+  return path.substr(pos);
+}
+
+struct HeaderNode {
+  std::string file_path;  // repo-relative path, for findings
+  std::vector<IncludeEdge> edges;
+  std::vector<std::string> lines;
+};
+
+class CycleFinder {
+ public:
+  explicit CycleFinder(const AnalysisInput& input) {
+    for (const SourceFile& file : input.files) {
+      const std::string id = header_identity(file.path);
+      if (id.empty()) continue;
+      HeaderNode node;
+      node.file_path = file.path;
+      node.lines = split_lines(file.content);
+      for (const IncludeEdge& edge : includes_of(file.content)) {
+        if (edge.target.rfind("retra/", 0) == 0) node.edges.push_back(edge);
+      }
+      nodes_.emplace(id, std::move(node));
+    }
+  }
+
+  void run(std::vector<Finding>& findings) {
+    // std::map keeps iteration (and therefore reporting) deterministic.
+    for (const auto& [id, node] : nodes_) {
+      if (color_[id] == kWhite) dfs(id, findings);
+    }
+  }
+
+ private:
+  enum Color { kWhite = 0, kGray, kBlack };
+
+  void dfs(const std::string& id, std::vector<Finding>& findings) {
+    color_[id] = kGray;
+    stack_.push_back(id);
+    const HeaderNode& node = nodes_.at(id);
+    for (const IncludeEdge& edge : node.edges) {
+      const auto it = nodes_.find(edge.target);
+      if (it == nodes_.end()) continue;  // not analyzed (e.g. .cpp-only)
+      const Color c = color_[edge.target];
+      if (c == kBlack) continue;
+      if (c == kGray) {
+        report_cycle(node, edge, findings);
+        continue;
+      }
+      dfs(edge.target, findings);
+    }
+    stack_.pop_back();
+    color_[id] = kBlack;
+  }
+
+  void report_cycle(const HeaderNode& from, const IncludeEdge& edge,
+                    std::vector<Finding>& findings) {
+    if (analyze_allowed(from.lines, edge.line, "include-cycle")) return;
+    // Reconstruct the cycle from the DFS stack for the message.
+    std::string path;
+    bool in_cycle = false;
+    for (const std::string& id : stack_) {
+      if (id == edge.target) in_cycle = true;
+      if (in_cycle) path += id + " -> ";
+    }
+    path += edge.target;
+    findings.push_back({from.file_path, edge.line, "include-cycle",
+                        "header include cycle: " + path});
+  }
+
+  std::map<std::string, HeaderNode> nodes_;
+  std::map<std::string, Color> color_;
+  std::vector<std::string> stack_;
+};
+
+}  // namespace
+
+std::vector<Finding> analyze_layering(const AnalysisInput& input) {
+  std::vector<Finding> findings;
+  check_layer_order(input, findings);
+  CycleFinder(input).run(findings);
+  return findings;
+}
+
+}  // namespace retra::analyze

@@ -1,0 +1,396 @@
+// Lock-discipline analysis (rules lock-coverage and io-blocking).
+//
+// Lexical, token-driven class parsing: good enough to segment member
+// declarations from member functions in this codebase's style, without
+// a real C++ parser.  Known approximations are documented inline; the
+// `// retra-analyze: allow(lock-coverage)` escape covers the rest.
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis.hpp"
+#include "tokenizer.hpp"
+
+namespace retra::analyze {
+
+namespace {
+
+const std::unordered_set<std::string> kStdMutexTypes = {
+    "mutex",           "shared_mutex",       "timed_mutex",
+    "recursive_mutex", "recursive_timed_mutex", "shared_timed_mutex"};
+const std::unordered_set<std::string> kAnnotatedMutexTypes = {"Mutex",
+                                                              "SharedMutex"};
+const std::unordered_set<std::string> kExemptTypes = {
+    "atomic",       "atomic_flag", "condition_variable",
+    "condition_variable_any", "CondVar", "once_flag"};
+const std::unordered_set<std::string> kMemberAnnotations = {
+    "RETRA_GUARDED_BY", "RETRA_PT_GUARDED_BY", "RETRA_NOT_GUARDED"};
+// Identifiers that may not appear inside a RETRA_IO_THREAD_ONLY body:
+// sleeps, blocking waits and joins, synchronous multiplexing, blocking
+// connection setup / name resolution, process spawning, and disk
+// flushes.  epoll_wait / accept4 / nonblocking read/send are distinct
+// identifiers and stay allowed.
+const std::unordered_set<std::string> kBlockingCalls = {
+    "sleep",       "usleep",     "nanosleep", "clock_nanosleep",
+    "sleep_for",   "sleep_until", "select",    "pselect",
+    "poll",        "ppoll",       "system",    "popen",
+    "fork",        "connect",     "accept",    "getaddrinfo",
+    "gethostbyname", "wait",      "wait_for",  "wait_until",
+    "arrive_and_wait", "join",    "fsync",     "fdatasync",
+    "flock",       "lockf"};
+
+struct MemberInfo {
+  std::string name;
+  int line = 0;
+  bool is_mutex = false;
+  bool std_mutex = false;  // std:: flavoured lockable type
+  bool exempt = false;     // const / atomic / condvar / once_flag
+  bool annotated = false;
+};
+
+bool ident_is(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool punct_is(const Token& t, char c) {
+  return t.kind == TokKind::kPunct && t.text.size() == 1 && t.text[0] == c;
+}
+
+class LockScanner {
+ public:
+  LockScanner(const SourceFile& file, std::vector<Finding>& findings)
+      : file_(file),
+        toks_(tokenize(file.content)),
+        lines_(split_lines(file.content)),
+        findings_(findings) {
+    const std::string mod = module_of_path(file.path);
+    in_src_ = file.path.rfind("src/", 0) == 0;
+    in_support_ = in_src_ && mod == "support";
+  }
+
+  void run() {
+    // Pass 1: type scan (lock-coverage).
+    std::size_t i = 0;
+    while (i < toks_.size()) {
+      if (at_type_keyword(i)) {
+        i = scan_type(i);
+        continue;
+      }
+      ++i;
+    }
+    // Pass 2: independent linear sweep for I/O-thread markers, so
+    // in-class function definitions are covered too.
+    std::size_t k = 0;
+    while (k < toks_.size()) {
+      if (ident_is(toks_[k], "RETRA_IO_THREAD_ONLY")) {
+        k = scan_io_body(k);
+        continue;
+      }
+      ++k;
+    }
+  }
+
+ private:
+  bool at_type_keyword(std::size_t i) const {
+    const Token& t = toks_[i];
+    if (!(ident_is(t, "class") || ident_is(t, "struct") ||
+          ident_is(t, "union"))) {
+      return false;
+    }
+    // `enum class` / `enum struct` are enums, not classes.
+    return i == 0 || !ident_is(toks_[i - 1], "enum");
+  }
+
+  std::size_t skip_group(std::size_t i, char open, char close) const {
+    // toks_[i] is `open`; returns the index after the matching close.
+    int depth = 0;
+    for (; i < toks_.size(); ++i) {
+      if (punct_is(toks_[i], open)) ++depth;
+      if (punct_is(toks_[i], close) && --depth == 0) return i + 1;
+    }
+    return i;
+  }
+
+  std::size_t skip_to_semicolon(std::size_t i) const {
+    // Skips to past the next `;` at brace/paren depth 0 relative to the
+    // start, stepping over nested groups.
+    while (i < toks_.size()) {
+      if (punct_is(toks_[i], '{')) {
+        i = skip_group(i, '{', '}');
+        continue;
+      }
+      if (punct_is(toks_[i], '(')) {
+        i = skip_group(i, '(', ')');
+        continue;
+      }
+      if (punct_is(toks_[i], ';')) return i + 1;
+      ++i;
+    }
+    return i;
+  }
+
+  std::size_t skip_template_header(std::size_t i) const {
+    // toks_[i] == "template"; skips the <...> group by angle counting
+    // (adequate for this repo's template headers).
+    ++i;
+    if (i >= toks_.size() || !punct_is(toks_[i], '<')) return i;
+    int depth = 0;
+    for (; i < toks_.size(); ++i) {
+      if (punct_is(toks_[i], '<')) ++depth;
+      if (punct_is(toks_[i], '>') && --depth == 0) return i + 1;
+    }
+    return i;
+  }
+
+  // Scans a class/struct/union starting at the keyword.  Parses the
+  // body when one follows; returns the index after the declaration.
+  std::size_t scan_type(std::size_t i) {
+    std::size_t j = i + 1;
+    std::string name;
+    while (j < toks_.size()) {
+      const Token& t = toks_[j];
+      if (t.kind == TokKind::kIdent) {
+        // Attribute-style macro (RETRA_CAPABILITY("..."), alignas(64)):
+        // skip its argument group.
+        if (j + 1 < toks_.size() && punct_is(toks_[j + 1], '(') &&
+            (t.text.rfind("RETRA_", 0) == 0 || t.text == "alignas")) {
+          j = skip_group(j + 1, '(', ')');
+          continue;
+        }
+        if (name.empty() && t.text != "final") name = t.text;
+        ++j;
+        continue;
+      }
+      if (punct_is(t, ':') && j + 1 < toks_.size() &&
+          punct_is(toks_[j + 1], ':')) {
+        // Scope operator in an out-of-line name (Server::Impl).
+        if (j + 2 < toks_.size() &&
+            toks_[j + 2].kind == TokKind::kIdent) {
+          name += "::" + toks_[j + 2].text;
+        }
+        j += 3;
+        continue;
+      }
+      if (punct_is(t, '{')) {
+        return name.empty() ? skip_group(j, '{', '}')
+                            : parse_class_body(name, j);
+      }
+      if (punct_is(t, ';') || punct_is(t, '(') || punct_is(t, '=')) {
+        // Forward declaration, function parameter, or alias target.
+        return j + 1;
+      }
+      ++j;  // base clause tokens, '<' of a specialization, etc.
+    }
+    return j;
+  }
+
+  // Parses one class body starting at its '{'; returns the index after
+  // the closing '}'.
+  std::size_t parse_class_body(const std::string& name, std::size_t i) {
+    const std::size_t body_end = skip_group(i, '{', '}');
+    ++i;  // past '{'
+    std::vector<MemberInfo> members;
+    while (i < body_end - 1 && i < toks_.size()) {
+      const Token& t = toks_[i];
+      if (punct_is(t, ';')) {
+        ++i;
+        continue;
+      }
+      if (punct_is(t, '}') || punct_is(t, '{')) {
+        // Stray nesting the segment parser already consumed.
+        ++i;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "public" || t.text == "private" ||
+           t.text == "protected") &&
+          i + 1 < toks_.size() && punct_is(toks_[i + 1], ':') &&
+          !(i + 2 < toks_.size() && punct_is(toks_[i + 2], ':'))) {
+        i += 2;
+        continue;
+      }
+      if (at_type_keyword(i)) {
+        i = scan_type(i);
+        continue;
+      }
+      if (ident_is(t, "enum")) {
+        i = skip_to_semicolon(i);
+        continue;
+      }
+      if (ident_is(t, "template")) {
+        i = skip_template_header(i);
+        continue;
+      }
+      if (ident_is(t, "using") || ident_is(t, "typedef") ||
+          ident_is(t, "friend") || ident_is(t, "static_assert")) {
+        i = skip_to_semicolon(i);
+        continue;
+      }
+      i = parse_member_segment(i, members);
+    }
+    evaluate(name, members);
+    return body_end;
+  }
+
+  // Parses one member declaration or member function starting at `i`;
+  // appends data members to `members`.  Returns the index after the
+  // segment.
+  std::size_t parse_member_segment(std::size_t i,
+                                   std::vector<MemberInfo>& members) {
+    MemberInfo info;
+    info.line = toks_[i].line;
+    std::vector<const Token*> decl;
+    bool is_function = false;
+    bool is_static = false;
+    while (i < toks_.size()) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kIdent) {
+        if (kMemberAnnotations.contains(t.text)) info.annotated = true;
+        if (t.text == "operator") is_function = true;
+        if (t.text == "static" || t.text == "constexpr") is_static = true;
+        // Annotation / attribute macro: its argument group is not a
+        // function parameter list.
+        if (i + 1 < toks_.size() && punct_is(toks_[i + 1], '(') &&
+            (t.text.rfind("RETRA_", 0) == 0 || t.text == "alignas")) {
+          decl.push_back(&t);
+          i = skip_group(i + 1, '(', ')');
+          continue;
+        }
+        decl.push_back(&t);
+        ++i;
+        continue;
+      }
+      if (punct_is(t, '(') && !is_function) {
+        is_function = true;
+        i = skip_group(i, '(', ')');
+        continue;
+      }
+      if (punct_is(t, '(')) {
+        i = skip_group(i, '(', ')');
+        continue;
+      }
+      if (punct_is(t, '{')) {
+        if (is_function) return skip_group(i, '{', '}');
+        // Brace initializer of a data member.
+        i = skip_group(i, '{', '}');
+        continue;
+      }
+      if (punct_is(t, '=')) {
+        // `= default`, `= delete`, `= 0` (pure), or a member
+        // initializer: the declarator is complete either way.
+        return finish_member(skip_to_semicolon(i), info, decl, is_function,
+                             is_static, members);
+      }
+      if (punct_is(t, ';')) {
+        return finish_member(i + 1, info, decl, is_function, is_static,
+                             members);
+      }
+      ++i;  // type tokens, '<' '>' '&' '*' '[' ']' ',' '~' ':' etc.
+    }
+    return i;
+  }
+
+  std::size_t finish_member(std::size_t next, MemberInfo& info,
+                            const std::vector<const Token*>& decl,
+                            bool is_function, bool is_static,
+                            std::vector<MemberInfo>& members) {
+    if (is_function || is_static || decl.empty()) return next;
+    // `decl` holds only identifier tokens (puncts such as the "::" pair
+    // are not recorded), so "std" directly followed by a lockable type
+    // name means a std:: flavoured mutex.
+    for (std::size_t k = 0; k < decl.size(); ++k) {
+      const std::string& text = decl[k]->text;
+      const bool last = k + 1 == decl.size();
+      if (text == "std" && k + 1 < decl.size() &&
+          kStdMutexTypes.contains(decl[k + 1]->text)) {
+        info.is_mutex = true;
+        info.std_mutex = true;
+      }
+      if (kAnnotatedMutexTypes.contains(text)) info.is_mutex = true;
+      if (!last && kStdMutexTypes.contains(text) && k > 0 &&
+          decl[k - 1]->text != "std") {
+        // Bare `mutex m_;` style (no std::) — still a lockable member.
+        info.is_mutex = true;
+        info.std_mutex = true;
+      }
+      if (kExemptTypes.contains(text)) info.exempt = true;
+    }
+    if (decl.front()->text == "const") info.exempt = true;
+    // Declarator name: last identifier that is not an annotation macro.
+    for (auto it = decl.rbegin(); it != decl.rend(); ++it) {
+      if (!kMemberAnnotations.contains((*it)->text) &&
+          (*it)->text.rfind("RETRA_", 0) != 0) {
+        info.name = (*it)->text;
+        break;
+      }
+    }
+    members.push_back(info);
+    return next;
+  }
+
+  void evaluate(const std::string& name,
+                const std::vector<MemberInfo>& members) {
+    if (!in_src_) return;  // coverage is a src/ contract
+    bool has_mutex = false;
+    for (const MemberInfo& m : members) has_mutex = has_mutex || m.is_mutex;
+    for (const MemberInfo& m : members) {
+      if (m.is_mutex && m.std_mutex && !in_support_ &&
+          !analyze_allowed(lines_, m.line, "lock-coverage")) {
+        findings_.push_back(
+            {file_.path, m.line, "lock-coverage",
+             "member '" + m.name + "' of '" + name +
+                 "' uses a std:: lockable type; use "
+                 "retra::support::Mutex/SharedMutex so clang "
+                 "-Wthread-safety can check it"});
+      }
+      if (!has_mutex) continue;
+      if (m.is_mutex || m.exempt || m.annotated) continue;
+      if (analyze_allowed(lines_, m.line, "lock-coverage")) continue;
+      findings_.push_back(
+          {file_.path, m.line, "lock-coverage",
+           "member '" + m.name + "' of mutex-holding class '" + name +
+               "' carries no RETRA_GUARDED_BY / RETRA_PT_GUARDED_BY / "
+               "RETRA_NOT_GUARDED annotation"});
+    }
+  }
+
+  // toks_[i] == RETRA_IO_THREAD_ONLY.  When a `{` follows, scan the
+  // body for blocking calls; otherwise (a declaration) skip the marker.
+  std::size_t scan_io_body(std::size_t i) {
+    if (i + 1 >= toks_.size() || !punct_is(toks_[i + 1], '{')) return i + 1;
+    const std::size_t body_end = skip_group(i + 1, '{', '}');
+    for (std::size_t k = i + 2; k < body_end; ++k) {
+      const Token& t = toks_[k];
+      if (t.kind != TokKind::kIdent || !kBlockingCalls.contains(t.text)) {
+        continue;
+      }
+      if (analyze_allowed(lines_, t.line, "io-blocking")) continue;
+      findings_.push_back(
+          {file_.path, t.line, "io-blocking",
+           "blocking call '" + t.text +
+               "' inside a RETRA_IO_THREAD_ONLY function body"});
+    }
+    return body_end;
+  }
+
+  const SourceFile& file_;
+  std::vector<Token> toks_;
+  std::vector<std::string> lines_;
+  std::vector<Finding>& findings_;
+  bool in_src_ = false;
+  bool in_support_ = false;
+};
+
+}  // namespace
+
+std::vector<Finding> analyze_locks(const AnalysisInput& input) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : input.files) {
+    LockScanner(file, findings).run();
+  }
+  return findings;
+}
+
+}  // namespace retra::analyze

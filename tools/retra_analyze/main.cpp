@@ -1,0 +1,110 @@
+// retra_analyze — cross-file static analysis for the retra codebase.
+//
+//   retra_analyze [--analysis=lock,layering,spec] <repo-root>
+//
+// Walks src/, tools/, tests/, bench/ and examples/ under the repo root,
+// loads docs/PROTOCOL.md and docs/METRICS.md, and runs the selected
+// analyses (default: all).  Findings print as
+//
+//   <file>:<line>: [<rule>] <message>
+//
+// Exit status: 0 clean, 1 findings, 2 usage error.  See
+// docs/ANALYSIS.md for the rules and the suppression syntax.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace retra::analyze;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: retra_analyze [--analysis=lock,layering,spec] "
+               "<repo-root>\n");
+  return 2;
+}
+
+bool parse_analyses(const std::string& list, bool& lock, bool& layering,
+                    bool& spec) {
+  lock = layering = spec = false;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    std::size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string name = list.substr(begin, end - begin);
+    if (name == "lock") {
+      lock = true;
+    } else if (name == "layering") {
+      layering = true;
+    } else if (name == "spec") {
+      spec = true;
+    } else if (!name.empty()) {
+      std::fprintf(stderr, "retra_analyze: unknown analysis '%s'\n",
+                   name.c_str());
+      return false;
+    }
+    begin = end + 1;
+  }
+  return lock || layering || spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool lock = true, layering = true, spec = true;
+  const char* root_arg = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--analysis=", 11) == 0) {
+      if (!parse_analyses(arg + 11, lock, layering, spec)) return usage();
+      continue;
+    }
+    if (arg[0] == '-') return usage();
+    if (root_arg != nullptr) return usage();
+    root_arg = arg;
+  }
+  if (root_arg == nullptr) return usage();
+  const fs::path root(root_arg);
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "retra_analyze: not a directory: %s\n", root_arg);
+    return 2;
+  }
+
+  const AnalysisInput input = load_repo(root);
+
+  std::vector<Finding> findings;
+  if (lock && layering && spec) {
+    findings = analyze_all(input);
+  } else {
+    if (lock) {
+      auto f = analyze_locks(input);
+      findings.insert(findings.end(), f.begin(), f.end());
+    }
+    if (layering) {
+      auto f = analyze_layering(input);
+      findings.insert(findings.end(), f.begin(), f.end());
+    }
+    if (spec) {
+      auto f = analyze_spec(input);
+      findings.insert(findings.end(), f.begin(), f.end());
+    }
+  }
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("retra_analyze: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  std::printf("retra_analyze: %zu files analyzed, clean\n",
+              input.files.size());
+  return 0;
+}

@@ -1,0 +1,305 @@
+#include "tokenizer.hpp"
+
+#include <cctype>
+
+namespace retra::analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+bool hex_digit(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c));
+}
+
+bool string_prefix(std::string_view s) {
+  return s == "R" || s == "L" || s == "u" || s == "U" || s == "u8" ||
+         s == "LR" || s == "uR" || s == "UR" || s == "u8R";
+}
+
+// One pass over the source driving both outputs: `tokens` (when
+// non-null) receives the token stream, `stripped` (when non-null) has
+// comment text and literal contents blanked in place.
+class Lexer {
+ public:
+  Lexer(std::string_view src, std::vector<Token>* tokens,
+        std::string* stripped)
+      : src_(src), tokens_(tokens), stripped_(stripped) {}
+
+  void run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '/') {
+          line_comment();
+          continue;
+        }
+        if (src_[pos_ + 1] == '*') {
+          block_comment();
+          continue;
+        }
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (digit(c) || (c == '.' && pos_ + 1 < src_.size() &&
+                       digit(src_[pos_ + 1]))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal(pos_, pos_, /*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      emit(TokKind::kPunct, pos_, pos_ + 1);
+      ++pos_;
+    }
+  }
+
+ private:
+  void emit(TokKind kind, std::size_t begin, std::size_t end) {
+    if (tokens_ != nullptr) {
+      tokens_->push_back(
+          Token{kind, std::string(src_.substr(begin, end - begin)), line_});
+    }
+  }
+
+  // Replaces [begin, end) with spaces in the stripped copy, newlines
+  // excepted so line numbers survive.
+  void blank(std::size_t begin, std::size_t end) {
+    if (stripped_ == nullptr) return;
+    for (std::size_t i = begin; i < end && i < stripped_->size(); ++i) {
+      if ((*stripped_)[i] != '\n') (*stripped_)[i] = ' ';
+    }
+  }
+
+  void advance_counting_lines(std::size_t to) {
+    for (; pos_ < to && pos_ < src_.size(); ++pos_) {
+      if (src_[pos_] == '\n') ++line_;
+    }
+  }
+
+  void line_comment() {
+    const std::size_t begin = pos_;
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == '\n' ||
+           (src_[pos_ + 1] == '\r' && pos_ + 2 < src_.size() &&
+            src_[pos_ + 2] == '\n'))) {
+        // Backslash-newline continues a line comment.
+        pos_ += src_[pos_ + 1] == '\n' ? 2u : 3u;
+        ++line_;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      ++pos_;
+    }
+    blank(begin, pos_);
+  }
+
+  void block_comment() {
+    const std::size_t begin = pos_;
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    blank(begin, pos_);
+  }
+
+  void identifier() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    const std::string_view text = src_.substr(begin, pos_ - begin);
+    if (pos_ < src_.size() && src_[pos_] == '"' && string_prefix(text)) {
+      const bool raw = text.back() == 'R';
+      string_literal(begin, pos_, raw);
+      return;
+    }
+    emit(TokKind::kIdent, begin, pos_);
+  }
+
+  void number() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.') {
+        // Exponent signs: 1e+9, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            pos_ + 1 < src_.size() &&
+            (src_[pos_ + 1] == '+' || src_[pos_ + 1] == '-')) {
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        continue;
+      }
+      // Digit separator: only inside a numeric literal, only between
+      // digits — never the start of a char literal.
+      if (c == '\'' && pos_ + 1 < src_.size() && hex_digit(src_[pos_ + 1])) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    emit(TokKind::kNumber, begin, pos_);
+  }
+
+  // `begin` is the token start (prefix included), `quote` the position
+  // of the opening double quote.
+  void string_literal(std::size_t begin, std::size_t quote, bool raw) {
+    const int start_line = line_;
+    pos_ = quote + 1;
+    if (raw) {
+      // R"delim( ... )delim"
+      const std::size_t delim_begin = pos_;
+      while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+      const std::string_view delim =
+          src_.substr(delim_begin, pos_ - delim_begin);
+      const std::string closer = ")" + std::string(delim) + "\"";
+      const std::size_t content_begin = pos_ < src_.size() ? pos_ + 1 : pos_;
+      const std::size_t close = src_.find(closer, content_begin);
+      const std::size_t end =
+          close == std::string_view::npos ? src_.size()
+                                          : close + closer.size();
+      blank(content_begin,
+            close == std::string_view::npos ? src_.size() : close);
+      pos_ = content_begin;
+      advance_counting_lines(end);
+      if (tokens_ != nullptr) {
+        tokens_->push_back(Token{TokKind::kString,
+                                 std::string(src_.substr(begin, end - begin)),
+                                 start_line});
+      }
+      return;
+    }
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"' || c == '\n') break;
+      ++pos_;
+    }
+    const std::size_t close = pos_;
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    blank(quote + 1, close);
+    if (tokens_ != nullptr) {
+      tokens_->push_back(Token{TokKind::kString,
+                               std::string(src_.substr(begin, pos_ - begin)),
+                               start_line});
+    }
+  }
+
+  void char_literal() {
+    const std::size_t begin = pos_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'' || c == '\n') break;
+      ++pos_;
+    }
+    const std::size_t close = pos_;
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    blank(begin + 1, close);
+    emit(TokKind::kChar, begin, pos_);
+  }
+
+  std::string_view src_;
+  std::vector<Token>* tokens_;
+  std::string* stripped_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  Lexer(source, &tokens, nullptr).run();
+  return tokens;
+}
+
+std::string strip_to_code(std::string_view source) {
+  std::string stripped(source);
+  Lexer(source, nullptr, &stripped).run();
+  return stripped;
+}
+
+std::string string_value(const Token& token) {
+  std::string_view text = token.text;
+  // Raw string: R"delim( ... )delim" — return the raw contents.
+  const std::size_t quote = text.find('"');
+  if (quote == std::string_view::npos) return std::string(text);
+  const bool raw = quote > 0 && text[quote - 1] == 'R';
+  if (raw) {
+    const std::size_t open = text.find('(', quote);
+    const std::size_t close = text.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      return {};
+    }
+    return std::string(text.substr(open + 1, close - open - 1));
+  }
+  text.remove_prefix(quote + 1);
+  if (!text.empty() && text.back() == '"') text.remove_suffix(1);
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 >= text.size()) {
+      out.push_back(text[i]);
+      continue;
+    }
+    ++i;
+    switch (text[i]) {
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case '0':
+        out.push_back('\0');
+        break;
+      default:
+        out.push_back(text[i]);  // \\ \" \' and everything else: literal
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace retra::analyze

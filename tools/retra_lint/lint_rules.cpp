@@ -5,6 +5,8 @@
 #include <cctype>
 #include <cstddef>
 
+#include "tokenizer.hpp"
+
 namespace retra::lint {
 
 namespace {
@@ -25,65 +27,14 @@ bool under(const std::string& path, std::string_view dir) {
          starts_with(path, needle);
 }
 
-/// Replaces comments and string/character literals with spaces (newlines
-/// preserved), so token scans cannot fire inside them.
+/// Replaces comments and string/character literal contents with spaces
+/// (newlines preserved), so token scans cannot fire inside them.
+/// Delegates to the retra_analyze lexer, which — unlike the state
+/// machine this replaced — understands raw strings, encoding prefixes,
+/// and digit separators, so `R"(call rand())"` or `1'000'000` cannot
+/// desynchronise the stripping and produce false positives.
 std::string strip_comments_and_literals(std::string_view in) {
-  std::string out(in);
-  enum class State { kCode, kLine, kBlock, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        const char quote = state == State::kString ? '"' : '\'';
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n') {
-            if (i + 1 < out.size()) out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == quote) {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      }
-    }
-  }
-  return out;
+  return analyze::strip_to_code(in);
 }
 
 std::vector<std::string_view> split_lines(std::string_view s) {

@@ -10,53 +10,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint_rules.hpp"
+#include "source_model.hpp"
 
 namespace fs = std::filesystem;
-
-namespace {
-
-bool lintable(const fs::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".hpp" || ext == ".cpp";
-}
-
-bool skipped_dir(const fs::path& path) {
-  const std::string name = path.filename().string();
-  return name == "build" || name == ".git" ||
-         name.rfind("cmake-build", 0) == 0;
-}
-
-std::string read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-void collect(const fs::path& root, std::vector<fs::path>& out) {
-  if (fs::is_regular_file(root)) {
-    if (lintable(root)) out.push_back(root);
-    return;
-  }
-  fs::recursive_directory_iterator it(root), end;
-  for (; it != end; ++it) {
-    if (it->is_directory() && skipped_dir(it->path())) {
-      it.disable_recursion_pending();
-      continue;
-    }
-    if (it->is_regular_file() && lintable(it->path())) {
-      out.push_back(it->path());
-    }
-  }
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
@@ -70,14 +30,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "retra_lint: no such path: %s\n", argv[i]);
       return 2;
     }
-    collect(root, files);
+    retra::analyze::collect_files(root, files);
   }
   std::sort(files.begin(), files.end());
 
   std::size_t total = 0;
   for (const fs::path& file : files) {
-    const auto findings =
-        retra::lint::lint_file(file.generic_string(), read_file(file));
+    const auto findings = retra::lint::lint_file(
+        file.generic_string(), retra::analyze::read_file(file));
     for (const auto& f : findings) {
       std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
                   f.rule.c_str(), f.message.c_str());
