@@ -10,10 +10,18 @@
 //   $ bench_q1_query --level=8 --budget-kb=16 --queries=200000
 //   $ bench_q1_query --db=/tmp/awari10.db --batch=64 --json=BENCH_q1.json
 //
+// When building its own scratch database (no --db), the bench also runs
+// a compressed-vs-raw sweep: the same levels saved as RTRADB02 and
+// block-compressed RTRADB03, per-level size ratios, and point-lookup
+// p50/p99 latency through each file under the same budget
+// (--compare=false skips it).
+//
 // --json writes a retra-bench-v1 artifact whose metrics array is the obs
-// delta of the served phases only — serve.lookups, serve.level_faults,
-// serve.level_evictions and friends reconcile exactly with the printed
-// table (tests/test_serve.cpp locks the same pipeline down).
+// delta of the served phases plus the sweep — serve.lookups and friends
+// cover both, and the sweep contributes db.compress.* (from the
+// compressed save) and serve.blockcache.* (from serving it); see
+// tests/test_serve.cpp for the exact-reconcile version of the pipeline.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -121,6 +129,121 @@ void add_row(support::Table& table, const char* phase,
                : static_cast<double>(result.lookups) / result.seconds / 1e6);
 }
 
+// ---- compressed-vs-raw sweep --------------------------------------
+
+struct LatencyStats {
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// Times each of the workload's first `samples` point lookups through a
+/// fresh budgeted service over `path` and reports exact percentiles.
+LatencyStats measure_latency(const std::string& path, std::uint64_t budget,
+                             const Workload& work, int samples) {
+  serve::QueryServiceConfig config;
+  config.budget_bytes = budget;
+  auto opened = serve::QueryService::open(path, config);
+  if (!opened.ok) {
+    std::fprintf(stderr, "sweep cannot serve %s: %s\n", path.c_str(),
+                 opened.error.c_str());
+    std::exit(1);
+  }
+  serve::QueryService& service = *opened.service;
+  const std::size_t n =
+      std::min(work.levels.size(), static_cast<std::size_t>(samples));
+  std::vector<double> lat;
+  lat.reserve(n);
+  db::Value sink = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    support::Timer timer;
+    sink = static_cast<db::Value>(
+        sink ^ service.value(work.levels[i], work.indices[i]));
+    lat.push_back(timer.seconds() * 1e6);
+  }
+  if (sink == INT16_MIN) std::printf("(impossible sink)\n");
+  std::sort(lat.begin(), lat.end());
+  LatencyStats stats;
+  if (!lat.empty()) {
+    stats.p50_us = lat[lat.size() / 2];
+    stats.p99_us = lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
+  }
+  return stats;
+}
+
+/// "raw:3 freq:12" — blocks of the level per compression scheme.
+std::string scheme_histogram(const db::LevelLocation& location) {
+  int counts[db::kBlockSchemeCount] = {};
+  for (const db::BlockLocation& block : location.blocks) {
+    ++counts[static_cast<int>(block.scheme)];
+  }
+  static constexpr const char* kNames[db::kBlockSchemeCount] = {"raw", "rle",
+                                                                "freq"};
+  std::string text;
+  for (int s = 0; s < db::kBlockSchemeCount; ++s) {
+    if (counts[s] == 0) continue;
+    if (!text.empty()) text += ' ';
+    text += kNames[s];
+    text += ':';
+    text += std::to_string(counts[s]);
+  }
+  return text.empty() ? "-" : text;
+}
+
+/// Saves `database` compressed next to the raw scratch file, prints the
+/// per-level ratio table and the p50/p99 point-lookup latencies of both
+/// files under the same budget.
+void run_sweep(const db::Database& database, const std::string& raw_path,
+               std::uint64_t budget, const Workload& work, int samples) {
+  const std::string compressed_path = raw_path + ".c";
+  db::SaveOptions options;
+  options.compress = true;
+  db::save(database, compressed_path, options);
+
+  auto scanned = [](const std::string& p) {
+    std::FILE* f = std::fopen(p.c_str(), "rb");
+    db::FileIndex index = db::scan(f);
+    std::fclose(f);
+    return index;
+  };
+  const db::FileIndex compressed = scanned(compressed_path);
+
+  std::printf("\ncompressed-vs-raw sweep (%d point lookups, same budget):\n",
+              samples);
+  support::Table table(
+      {"level", "raw bytes", "compressed", "ratio", "schemes"});
+  for (const db::LevelLocation& location : compressed.levels) {
+    table.row()
+        .add(location.level)
+        .add(support::with_thousands(location.decoded_bytes()))
+        .add(support::with_thousands(location.payload_bytes))
+        .add(location.payload_bytes == 0
+                 ? 1.0
+                 : static_cast<double>(location.decoded_bytes()) /
+                       static_cast<double>(location.payload_bytes))
+        .add(scheme_histogram(location));
+  }
+  table.print();
+  const auto file_bytes = [](const std::string& p) {
+    return static_cast<std::uint64_t>(std::filesystem::file_size(p));
+  };
+  const std::uint64_t raw_bytes = file_bytes(raw_path);
+  const std::uint64_t compressed_bytes = file_bytes(compressed_path);
+  std::printf("file bytes: raw %s, compressed %s (ratio %.2f)\n",
+              support::with_thousands(raw_bytes).c_str(),
+              support::with_thousands(compressed_bytes).c_str(),
+              static_cast<double>(raw_bytes) /
+                  static_cast<double>(compressed_bytes));
+
+  const LatencyStats raw = measure_latency(raw_path, budget, work, samples);
+  const LatencyStats comp =
+      measure_latency(compressed_path, budget, work, samples);
+  std::printf(
+      "latency: raw p50 %.2fus p99 %.2fus, compressed p50 %.2fus p99 "
+      "%.2fus\n",
+      raw.p50_us, raw.p99_us, comp.p50_us, comp.p99_us);
+  std::remove(compressed_path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -134,6 +257,9 @@ int main(int argc, char** argv) {
   cli.flag("queries", "200000", "lookups per phase");
   cli.flag("batch", "64", "max lookups per batched values() call");
   cli.flag("seed", "7", "workload random seed");
+  cli.flag("compare", "true",
+           "run the compressed-vs-raw sweep (build mode only)");
+  cli.flag("sweep-queries", "50000", "point lookups per sweep measurement");
   bench::add_output_flags(cli);
   cli.parse(argc, argv);
 
@@ -144,10 +270,10 @@ int main(int argc, char** argv) {
   // in memory and pack to a scratch RTRADB02 file.
   std::string path = cli.str("db");
   std::string scratch;
+  db::Database database;
   if (path.empty()) {
     const int level = static_cast<int>(cli.integer("level"));
-    const db::Database database =
-        ra::build_database(game::AwariFamily{}, level);
+    database = ra::build_database(game::AwariFamily{}, level);
     scratch = (std::filesystem::temp_directory_path() /
                ("bench_q1_awari" + std::to_string(level) + ".db"))
                   .string();
@@ -185,7 +311,6 @@ int main(int argc, char** argv) {
   const PhaseResult hot = run_single(service, work);
   // Batched: same stream through values() in level-coalesced batches.
   const PhaseResult batched = run_batched(service, work, batch);
-  const obs::Snapshot delta = obs::snapshot() - before;
 
   support::Table table(
       {"phase", "lookups", "faults", "evictions", "Mlookups/s"});
@@ -198,6 +323,14 @@ int main(int argc, char** argv) {
       "\nresident after run: %llu bytes in %zu levels\n",
       static_cast<unsigned long long>(service.stats().resident_bytes),
       service.resident_levels().size());
+
+  // Compressed-vs-raw sweep (inside the artifact's obs window, so the
+  // metrics delta carries db.compress.* and serve.blockcache.*).
+  if (cli.boolean("compare") && !scratch.empty()) {
+    run_sweep(database, scratch, config.budget_bytes, work,
+              static_cast<int>(cli.integer("sweep-queries")));
+  }
+  const obs::Snapshot delta = obs::snapshot() - before;
 
   bench::BenchRunMeta meta;
   meta.suite = "q1";

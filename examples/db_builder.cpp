@@ -98,9 +98,14 @@ int run(const Family& family, const support::Cli& cli) {
   if (const std::string out = cli.str("out"); !out.empty()) {
     db::SaveOptions options;
     options.pack = cli.boolean("pack");
+    options.compress = cli.boolean("compress");
+    options.block_positions =
+        static_cast<std::uint32_t>(cli.integer("block-positions"));
     db::save(database, out, options);
     std::printf("wrote %s (%s)\n", out.c_str(),
-                options.pack ? "RTRADB02 packed" : "RTRADB01");
+                options.compress  ? "RTRADB03 block-compressed"
+                : options.pack    ? "RTRADB02 packed"
+                                  : "RTRADB01");
   }
   return 0;
 }
@@ -123,6 +128,11 @@ int main(int argc, char** argv) {
   cli.flag("out", "", "write the database to this file");
   cli.flag("pack", "false",
            "write --out in the bit-packed RTRADB02 format (serving)");
+  cli.flag("compress", "false",
+           "write --out in the block-compressed RTRADB03 format "
+           "(implies --pack)");
+  cli.flag("block-positions", "4096",
+           "positions per RTRADB03 block (even, at most 65536)");
   cli.parse(argc, argv);
 
   const std::string game = cli.str("game");

@@ -1,0 +1,78 @@
+// RTRADB03 per-block codecs (docs/FORMAT.md has the bitstream grammar).
+//
+// A block is a run of `count` offset-subtracted codes, each below
+// 2^bits for the level's pack width (4, 8 or 16).  Three storage
+// schemes exist:
+//
+//   raw  — the codes bit-packed exactly as RTRADB02 packs a level;
+//   rle  — (code, varint run-length) pairs over maximal runs of equal
+//          codes; wins on the long solved/unknown stretches retrograde
+//          levels produce;
+//   freq — canonical-prefix (Huffman) coding over the block's symbol
+//          frequencies; wins on the heavily skewed value distributions
+//          of finished levels (most positions hold a handful of
+//          distinct values).
+//
+// encode_block() tries every applicable scheme and returns the
+// smallest, so raw is the transparent fallback when compression does
+// not pay.  decode_block() reverses any scheme back to raw bit-packed
+// bytes, diagnosing malformed streams instead of crashing — the serving
+// layer feeds it bytes straight from disk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "retra/db/format.hpp"
+
+namespace retra::db {
+
+/// One encoded block: the chosen scheme tag plus its stored bytes.
+struct EncodedBlock {
+  BlockScheme scheme = BlockScheme::kRaw;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Bit-packs `count` codes at `bits` bits each — the raw scheme and the
+/// RTRADB02 level payload layout (4-bit: two codes per byte, low nibble
+/// first; 16-bit: little-endian).
+std::vector<std::uint8_t> pack_codes(const std::uint16_t* codes,
+                                     std::size_t count, int bits);
+
+/// Run-length encodes: per maximal run, the code in ceil(bits/8)
+/// little-endian bytes followed by the run length as a LEB128 varint.
+std::vector<std::uint8_t> rle_encode(const std::uint16_t* codes,
+                                     std::size_t count, int bits);
+
+/// Canonical-prefix encodes (bits 4 or 8 only): u16 symbol count, the
+/// (symbol, code length) table in ascending symbol order, then the
+/// MSB-first bitstream, zero-padded to a byte.  Returns an empty vector
+/// when the scheme does not apply (16-bit packing or fewer than two
+/// distinct symbols).
+std::vector<std::uint8_t> freq_encode(const std::uint16_t* codes,
+                                      std::size_t count, int bits);
+
+/// Encodes one block under the smallest applicable scheme (ties prefer
+/// the lower scheme tag, so an incompressible block stays raw).
+EncodedBlock encode_block(const std::uint16_t* codes, std::size_t count,
+                          int bits);
+
+/// Result of decode_block(): raw bit-packed bytes — exactly
+/// CompactLevel::packed_bytes(count, bits) of them — or a diagnosis.
+struct BlockDecodeResult {
+  bool ok = false;
+  std::string error;
+  std::vector<std::uint8_t> packed;
+};
+
+/// Decodes `size` stored bytes of `scheme` back to bit-packed form.
+/// Every structural defect — truncated stream, trailing garbage, run
+/// lengths that do not sum to `count`, codes outside 2^bits, a
+/// non-canonical symbol table — is a diagnosed error, never UB.
+BlockDecodeResult decode_block(BlockScheme scheme, const std::uint8_t* data,
+                               std::size_t size, std::uint64_t count,
+                               int bits);
+
+}  // namespace retra::db

@@ -1,0 +1,424 @@
+#include "retra/db/block_codec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <utility>
+
+#include "retra/support/check.hpp"
+
+namespace retra::db {
+
+namespace {
+
+std::size_t packed_size(std::size_t count, int bits) {
+  return (count * static_cast<std::size_t>(bits) + 7) / 8;
+}
+
+/// Deposits code `i` into raw bit-packed output (zero-initialised) with
+/// the CompactLevel layout: 4-bit low nibble first, 16-bit little-endian.
+void put_code(std::vector<std::uint8_t>& out, std::size_t i,
+              std::uint32_t code, int bits) {
+  switch (bits) {
+    case 4: {
+      const std::size_t byte = i / 2;
+      if (i % 2 == 0) {
+        out[byte] |= static_cast<std::uint8_t>(code);
+      } else {
+        out[byte] |= static_cast<std::uint8_t>(code << 4);
+      }
+      break;
+    }
+    case 8:
+      out[i] = static_cast<std::uint8_t>(code);
+      break;
+    default:
+      out[2 * i] = static_cast<std::uint8_t>(code & 0xff);
+      out[2 * i + 1] = static_cast<std::uint8_t>(code >> 8);
+      break;
+  }
+}
+
+void append_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool read_varint(const std::uint8_t* data, std::size_t size,
+                 std::size_t& pos, std::uint64_t& out) {
+  out = 0;
+  unsigned shift = 0;
+  while (pos < size) {
+    const std::uint8_t b = data[pos++];
+    if (shift >= 63) return false;  // longer than any valid run length
+    out |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;  // stream ended mid-varint
+}
+
+/// MSB-first bit emitter for the frequency-coded stream.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+  void put(std::uint32_t code, std::uint32_t len) {
+    for (std::uint32_t i = len; i-- > 0;) {
+      acc_ = static_cast<std::uint8_t>((acc_ << 1) | ((code >> i) & 1u));
+      if (++nbits_ == 8) {
+        out_.push_back(acc_);
+        acc_ = 0;
+        nbits_ = 0;
+      }
+    }
+  }
+  void flush() {
+    if (nbits_ != 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ << (8u - nbits_)));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::uint8_t acc_ = 0;
+  unsigned nbits_ = 0;
+};
+
+/// MSB-first bit reader over the stored stream.
+struct BitReader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t byte = 0;
+  unsigned bit = 0;
+
+  bool next(std::uint32_t& out) {
+    if (byte >= size) return false;
+    out = (static_cast<std::uint32_t>(data[byte]) >> (7u - bit)) & 1u;
+    if (++bit == 8) {
+      bit = 0;
+      ++byte;
+    }
+    return true;
+  }
+};
+
+/// Huffman code lengths for `freqs` (all nonzero, size >= 2).  The
+/// two-smallest merge breaks ties on node index so the lengths — and
+/// therefore every compressed byte — are deterministic across runs.
+std::vector<std::uint32_t> huffman_lengths(
+    const std::vector<std::uint64_t>& freqs) {
+  struct Node {
+    std::uint64_t freq;
+    int parent;
+  };
+  const std::size_t n = freqs.size();
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n - 1);
+  for (const std::uint64_t f : freqs) nodes.push_back({f, -1});
+  std::vector<std::size_t> roots(n);
+  std::iota(roots.begin(), roots.end(), std::size_t{0});
+  while (roots.size() > 1) {
+    std::size_t a = 0, b = 1;  // positions in `roots` of the two smallest
+    const auto smaller = [&nodes, &roots](std::size_t x, std::size_t y) {
+      const Node& nx = nodes[roots[x]];
+      const Node& ny = nodes[roots[y]];
+      return nx.freq != ny.freq ? nx.freq < ny.freq : roots[x] < roots[y];
+    };
+    if (smaller(b, a)) std::swap(a, b);
+    for (std::size_t i = 2; i < roots.size(); ++i) {
+      if (smaller(i, a)) {
+        b = a;
+        a = i;
+      } else if (smaller(i, b)) {
+        b = i;
+      }
+    }
+    const std::size_t ra = roots[a], rb = roots[b];
+    const int merged = static_cast<int>(nodes.size());
+    nodes.push_back({nodes[ra].freq + nodes[rb].freq, -1});
+    nodes[ra].parent = merged;
+    nodes[rb].parent = merged;
+    if (a > b) std::swap(a, b);  // erase the higher position first
+    roots.erase(roots.begin() + static_cast<std::ptrdiff_t>(b));
+    roots[a] = static_cast<std::size_t>(merged);
+  }
+  std::vector<std::uint32_t> lens(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int p = nodes[i].parent; p != -1; p = nodes[static_cast<std::size_t>(p)].parent) {
+      ++lens[i];
+    }
+  }
+  return lens;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> pack_codes(const std::uint16_t* codes,
+                                     std::size_t count, int bits) {
+  RETRA_CHECK_MSG(bits == 4 || bits == 8 || bits == 16,
+                  "unsupported pack width");
+  std::vector<std::uint8_t> out(packed_size(count, bits), 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    put_code(out, i, codes[i], bits);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> rle_encode(const std::uint16_t* codes,
+                                     std::size_t count, int bits) {
+  std::vector<std::uint8_t> out;
+  std::size_t i = 0;
+  while (i < count) {
+    const std::uint16_t code = codes[i];
+    std::size_t j = i + 1;
+    while (j < count && codes[j] == code) ++j;
+    out.push_back(static_cast<std::uint8_t>(code & 0xff));
+    if (bits == 16) out.push_back(static_cast<std::uint8_t>(code >> 8));
+    append_varint(out, j - i);
+    i = j;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> freq_encode(const std::uint16_t* codes,
+                                      std::size_t count, int bits) {
+  if ((bits != 4 && bits != 8) || count == 0) return {};
+  std::array<std::uint64_t, kFreqMaxSymbols> counts{};
+  for (std::size_t i = 0; i < count; ++i) ++counts[codes[i]];
+  std::vector<std::uint32_t> symbols;
+  std::vector<std::uint64_t> freqs;
+  for (std::uint32_t s = 0; s < (1u << bits); ++s) {
+    if (counts[s] != 0) {
+      symbols.push_back(s);
+      freqs.push_back(counts[s]);
+    }
+  }
+  if (symbols.size() < 2) return {};  // a constant block is RLE's job
+
+  const std::vector<std::uint32_t> lens = huffman_lengths(freqs);
+  for (const std::uint32_t len : lens) {
+    if (len > kFreqMaxCodeBits) return {};
+  }
+
+  // Canonical code assignment over (length, symbol) order.
+  std::vector<std::size_t> order(symbols.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return lens[x] != lens[y] ? lens[x] < lens[y] : symbols[x] < symbols[y];
+  });
+  std::vector<std::uint32_t> codeword(symbols.size(), 0);
+  std::uint32_t code = 0;
+  std::uint32_t prev_len = lens[order[0]];
+  for (const std::size_t i : order) {
+    code <<= (lens[i] - prev_len);
+    codeword[i] = code;
+    ++code;
+    prev_len = lens[i];
+  }
+  std::array<std::uint32_t, kFreqMaxSymbols> sym_code{};
+  std::array<std::uint32_t, kFreqMaxSymbols> sym_len{};
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    sym_code[symbols[i]] = codeword[i];
+    sym_len[symbols[i]] = lens[i];
+  }
+
+  std::vector<std::uint8_t> out;
+  const auto num = static_cast<std::uint32_t>(symbols.size());
+  out.push_back(static_cast<std::uint8_t>(num & 0xff));
+  out.push_back(static_cast<std::uint8_t>(num >> 8));
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    out.push_back(static_cast<std::uint8_t>(symbols[i]));
+    out.push_back(static_cast<std::uint8_t>(lens[i]));
+  }
+  BitWriter writer(out);
+  for (std::size_t i = 0; i < count; ++i) {
+    writer.put(sym_code[codes[i]], sym_len[codes[i]]);
+  }
+  writer.flush();
+  return out;
+}
+
+EncodedBlock encode_block(const std::uint16_t* codes, std::size_t count,
+                          int bits) {
+  EncodedBlock best;
+  best.scheme = BlockScheme::kRaw;
+  best.bytes = pack_codes(codes, count, bits);
+  const auto consider = [&best](BlockScheme scheme,
+                                std::vector<std::uint8_t> bytes) {
+    if (bytes.empty()) return;  // scheme not applicable
+    if (bytes.size() < best.bytes.size()) {
+      best.scheme = scheme;
+      best.bytes = std::move(bytes);
+    }
+  };
+  consider(BlockScheme::kRle, rle_encode(codes, count, bits));
+  consider(BlockScheme::kFreq, freq_encode(codes, count, bits));
+  return best;
+}
+
+namespace {
+
+BlockDecodeResult decode_fail(std::string message) {
+  BlockDecodeResult result;
+  result.error = std::move(message);
+  return result;
+}
+
+BlockDecodeResult decode_raw(const std::uint8_t* data, std::size_t size,
+                             std::uint64_t count, int bits) {
+  if (size != packed_size(count, bits)) {
+    return decode_fail("raw block has wrong stored size");
+  }
+  BlockDecodeResult result;
+  result.packed.assign(data, data + size);
+  result.ok = true;
+  return result;
+}
+
+BlockDecodeResult decode_rle(const std::uint8_t* data, std::size_t size,
+                             std::uint64_t count, int bits) {
+  BlockDecodeResult result;
+  result.packed.assign(packed_size(count, bits), 0);
+  std::size_t pos = 0;
+  std::uint64_t filled = 0;
+  while (filled < count) {
+    if (pos >= size) return decode_fail("truncated rle stream");
+    std::uint32_t code = data[pos++];
+    if (bits == 16) {
+      if (pos >= size) return decode_fail("truncated rle stream");
+      code |= static_cast<std::uint32_t>(data[pos++]) << 8;
+    }
+    if (bits < 16 && code >= (1u << bits)) {
+      return decode_fail("rle code exceeds pack width");
+    }
+    std::uint64_t run = 0;
+    if (!read_varint(data, size, pos, run)) {
+      return decode_fail("truncated rle stream");
+    }
+    if (run == 0) return decode_fail("zero-length rle run");
+    if (run > count - filled) return decode_fail("rle run overflows block");
+    for (std::uint64_t i = 0; i < run; ++i) {
+      put_code(result.packed, filled++, code, bits);
+    }
+  }
+  if (pos != size) return decode_fail("trailing bytes after rle stream");
+  result.ok = true;
+  return result;
+}
+
+BlockDecodeResult decode_freq(const std::uint8_t* data, std::size_t size,
+                              std::uint64_t count, int bits) {
+  if (bits != 4 && bits != 8) {
+    return decode_fail("freq scheme invalid at 16-bit packing");
+  }
+  if (size < 2) return decode_fail("truncated frequency table");
+  const std::uint32_t num = static_cast<std::uint32_t>(data[0]) |
+                            (static_cast<std::uint32_t>(data[1]) << 8);
+  if (num < 2 || num > kFreqMaxSymbols) {
+    return decode_fail("bad frequency symbol count");
+  }
+  if (size < 2 + 2 * static_cast<std::size_t>(num)) {
+    return decode_fail("truncated frequency table");
+  }
+  std::vector<std::uint32_t> symbols(num);
+  std::vector<std::uint32_t> lens(num);
+  std::uint32_t max_len = 0;
+  for (std::uint32_t i = 0; i < num; ++i) {
+    symbols[i] = data[2 + 2 * i];
+    lens[i] = data[3 + 2 * i];
+    if (symbols[i] >= (1u << bits)) {
+      return decode_fail("frequency symbol exceeds pack width");
+    }
+    if (i > 0 && symbols[i] <= symbols[i - 1]) {
+      return decode_fail("frequency symbols not ascending");
+    }
+    if (lens[i] < 1 || lens[i] > kFreqMaxCodeBits) {
+      return decode_fail("bad frequency code length");
+    }
+    max_len = std::max(max_len, lens[i]);
+  }
+
+  // Canonical reconstruction: symbols in (length, symbol) order, first
+  // code and symbol offset per length, and the completeness (Kraft)
+  // check a Huffman table must satisfy.
+  std::array<std::uint32_t, kFreqMaxCodeBits + 1> len_count{};
+  for (const std::uint32_t len : lens) ++len_count[len];
+  std::uint64_t kraft = 0;
+  for (std::uint32_t len = 1; len <= max_len; ++len) {
+    kraft += static_cast<std::uint64_t>(len_count[len]) << (max_len - len);
+  }
+  if (kraft != (std::uint64_t{1} << max_len)) {
+    return decode_fail("frequency code is not complete");
+  }
+  std::vector<std::size_t> order(num);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return lens[x] != lens[y] ? lens[x] < lens[y] : symbols[x] < symbols[y];
+  });
+  std::array<std::uint32_t, kFreqMaxCodeBits + 1> first_code{};
+  std::array<std::uint32_t, kFreqMaxCodeBits + 1> first_index{};
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (std::uint32_t len = 1; len <= max_len; ++len) {
+    first_code[len] = code;
+    first_index[len] = index;
+    code = (code + len_count[len]) << 1;
+    index += len_count[len];
+  }
+
+  BlockDecodeResult result;
+  result.packed.assign(packed_size(count, bits), 0);
+  BitReader reader{data, size, 2 + 2 * static_cast<std::size_t>(num), 0};
+  for (std::uint64_t n = 0; n < count; ++n) {
+    std::uint32_t acc = 0;
+    std::uint32_t len = 0;
+    for (;;) {
+      std::uint32_t bit = 0;
+      if (!reader.next(bit)) return decode_fail("truncated frequency stream");
+      acc = (acc << 1) | bit;
+      ++len;
+      if (len > max_len) return decode_fail("unresolvable frequency code");
+      if (len_count[len] != 0 && acc - first_code[len] < len_count[len]) {
+        const std::size_t at = order[first_index[len] + (acc - first_code[len])];
+        put_code(result.packed, static_cast<std::size_t>(n), symbols[at],
+                 bits);
+        break;
+      }
+    }
+  }
+  if (reader.bit != 0) {
+    const std::uint8_t tail = data[reader.byte];
+    if ((tail & ((1u << (8u - reader.bit)) - 1u)) != 0) {
+      return decode_fail("nonzero padding in frequency stream");
+    }
+    ++reader.byte;
+  }
+  if (reader.byte != size) {
+    return decode_fail("trailing bytes after frequency stream");
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+BlockDecodeResult decode_block(BlockScheme scheme, const std::uint8_t* data,
+                               std::size_t size, std::uint64_t count,
+                               int bits) {
+  switch (scheme) {
+    case BlockScheme::kRaw:
+      return decode_raw(data, size, count, bits);
+    case BlockScheme::kRle:
+      return decode_rle(data, size, count, bits);
+    case BlockScheme::kFreq:
+      return decode_freq(data, size, count, bits);
+  }
+  return decode_fail("unknown block scheme");
+}
+
+}  // namespace retra::db

@@ -1,23 +1,27 @@
 // The server-side lookup store: a thread-safe facade over QueryService
-// with a shared read-mostly hot-level tier.
+// with a shared read-mostly hot tier of decoded blocks.
 //
 // QueryService is single-threaded by design (one residency list, one
 // LRU).  A network server has many worker threads answering lookups
 // concurrently, so Store layers two paths over one service:
 //
-//   * hot path — a small tier of bit-packed level copies under its own
+//   * hot path — a small tier of bit-packed block copies under its own
 //     byte budget, guarded by a shared_mutex taken shared: any number
-//     of workers answer hot levels in parallel without touching the
-//     service or its residency state;
-//   * miss path — the service itself behind a plain mutex: the level is
-//     faulted/touched/answered exactly as in-process serving does
-//     (serve.* metrics included), then promoted into the hot tier if it
-//     fits.
+//     of workers answer hot blocks in parallel without touching the
+//     service or its residency state.  For RTRADB01/02 files a level is
+//     one block; for RTRADB03 each fixed-size block is promoted
+//     independently, so a compressed level can be partially hot — a
+//     batch answers its hot blocks shared and takes the miss path only
+//     for the rest;
+//   * miss path — the service itself behind a plain mutex: the missing
+//     blocks are faulted/touched/answered exactly as in-process serving
+//     does (serve.* metrics included), then promoted into the hot tier
+//     if they fit.
 //
 // Hot-tier eviction is promotion-order FIFO, not LRU: reordering on
 // every hit would turn the shared lock exclusive and serialise the very
-// path the tier exists to parallelise.  Promotion copies the packed
-// payload, so a hot level survives the service evicting its original.
+// path the tier exists to parallelise.  Promotion copies the decoded
+// block, so a hot block survives the service evicting its original.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +39,7 @@ namespace retra::net {
 
 class Store {
  public:
-  /// `hot_bytes` caps the packed payload the hot tier may copy; 0
+  /// `hot_bytes` caps the decoded payload the hot tier may copy; 0
   /// disables the tier (every lookup takes the locked miss path).
   Store(std::unique_ptr<serve::QueryService> service,
         std::uint64_t hot_bytes);
@@ -45,7 +49,8 @@ class Store {
   const std::vector<std::uint64_t>& level_sizes() const {
     return level_sizes_;
   }
-  /// Packed payload bytes serving `level` costs (from the file index).
+  /// Decoded bytes serving all of `level` costs (from the file index) —
+  /// the fault debt a cold query against it can incur.
   std::uint64_t level_payload_bytes(int level) const {
     return level_payload_bytes_[static_cast<std::size_t>(level)];
   }
@@ -53,26 +58,45 @@ class Store {
   /// Answers out[i] = value(level, indices[i]).  `level` must be
   /// covered and every index in range (the server validates before
   /// calling).  Returns the number of lookups answered by the hot tier
-  /// (0 on the miss path, indices.size() on a hit).
+  /// (indices whose block was hot; the rest took the miss path).
   std::uint64_t values(int level, std::span<const idx::Index> indices,
                        std::span<db::Value> out)
       RETRA_EXCLUDES(service_mutex_, hot_mutex_);
 
-  /// True when `level` is answerable without touching the service.
+  /// True when every block of `level` is answerable without touching
+  /// the service.
   bool is_hot(int level) const RETRA_EXCLUDES(hot_mutex_);
 
   /// Point-in-time copy of the underlying service's counters.
   serve::QueryService::Stats service_stats() const
       RETRA_EXCLUDES(service_mutex_);
 
-  /// Levels currently in the hot tier, most recently promoted first
+  /// Levels with at least one hot block, most recently promoted first
   /// (tests, introspection).
   std::vector<int> hot_levels() const RETRA_EXCLUDES(hot_mutex_);
 
  private:
-  std::shared_ptr<const db::CompactLevel> hot_find(int level) const
-      RETRA_EXCLUDES(hot_mutex_);
-  void hot_promote(int level, const db::CompactLevel& resident)
+  /// Hot-tier key: one block of one level (block 0 for RTRADB01/02).
+  static std::uint64_t hot_key(int level, int block) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(level))
+            << 32) |
+           static_cast<std::uint32_t>(block);
+  }
+  static int key_level(std::uint64_t key) {
+    return static_cast<int>(key >> 32);
+  }
+
+  int block_of(int level, idx::Index index) const {
+    const std::uint32_t positions =
+        level_block_positions_[static_cast<std::size_t>(level)];
+    return positions == 0 ? 0 : static_cast<int>(index / positions);
+  }
+  std::uint64_t block_begin(int level, int block) const {
+    return static_cast<std::uint64_t>(block) *
+           level_block_positions_[static_cast<std::size_t>(level)];
+  }
+
+  void hot_promote(int level, int block, const db::CompactLevel& resident)
       RETRA_EXCLUDES(hot_mutex_);
 
   // QueryService is single-threaded by design; the pointer is set once
@@ -86,15 +110,21 @@ class Store {
   int num_levels_ RETRA_NOT_GUARDED = 0;
   std::vector<std::uint64_t> level_sizes_ RETRA_NOT_GUARDED;
   std::vector<std::uint64_t> level_payload_bytes_ RETRA_NOT_GUARDED;
+  std::vector<std::uint32_t> level_block_positions_ RETRA_NOT_GUARDED;
+  std::vector<int> level_block_counts_ RETRA_NOT_GUARDED;
 
   mutable support::SharedMutex hot_mutex_;
   struct HotEntry {
-    std::shared_ptr<const db::CompactLevel> level;
-    std::list<int>::iterator order;  // position in hot_order_
+    std::shared_ptr<const db::CompactLevel> block;
+    std::list<std::uint64_t>::iterator order;  // position in hot_order_
   };
-  std::unordered_map<int, HotEntry> hot_ RETRA_GUARDED_BY(hot_mutex_);
+  std::unordered_map<std::uint64_t, HotEntry> hot_
+      RETRA_GUARDED_BY(hot_mutex_);
   // front = most recently promoted
-  std::list<int> hot_order_ RETRA_GUARDED_BY(hot_mutex_);
+  std::list<std::uint64_t> hot_order_ RETRA_GUARDED_BY(hot_mutex_);
+  // hot blocks per level, for the all-blocks-hot test behind is_hot()
+  std::unordered_map<int, int> hot_level_blocks_
+      RETRA_GUARDED_BY(hot_mutex_);
   std::uint64_t hot_resident_ RETRA_GUARDED_BY(hot_mutex_) = 0;
 };
 

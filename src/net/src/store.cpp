@@ -11,61 +11,114 @@ Store::Store(std::unique_ptr<serve::QueryService> service,
   // No other thread can see this Store yet; the lock only satisfies the
   // static pt_guarded_by contract on service_.
   const support::MutexLock lock(service_mutex_);
-  num_levels_ = service_->num_levels();
-  level_sizes_.reserve(static_cast<std::size_t>(num_levels_));
-  level_payload_bytes_.reserve(static_cast<std::size_t>(num_levels_));
-  for (int level = 0; level < num_levels_; ++level) {
-    level_sizes_.push_back(service_->level_size(level));
-    level_payload_bytes_.push_back(
-        service_->index().levels[static_cast<std::size_t>(level)]
-            .payload_bytes);
+  const db::FileIndex& index = service_->index();
+  num_levels_ = static_cast<int>(index.levels.size());
+  level_sizes_.reserve(index.levels.size());
+  level_payload_bytes_.reserve(index.levels.size());
+  level_block_positions_.reserve(index.levels.size());
+  level_block_counts_.reserve(index.levels.size());
+  for (const db::LevelLocation& location : index.levels) {
+    level_sizes_.push_back(location.size);
+    level_payload_bytes_.push_back(location.decoded_bytes());
+    level_block_positions_.push_back(location.block_positions);
+    level_block_counts_.push_back(location.block_count());
   }
-}
-
-std::shared_ptr<const db::CompactLevel> Store::hot_find(int level) const {
-  if (hot_bytes_ == 0) return nullptr;
-  const support::ReaderMutexLock lock(hot_mutex_);
-  const auto it = hot_.find(level);
-  return it == hot_.end() ? nullptr : it->second.level;
-}
-
-void Store::hot_promote(int level, const db::CompactLevel& resident) {
-  const std::uint64_t bytes = resident.memory_bytes();
-  if (bytes > hot_bytes_) return;  // would evict the whole tier for one level
-  const support::WriterMutexLock lock(hot_mutex_);
-  if (hot_.contains(level)) return;  // raced with another promoter
-  while (hot_resident_ + bytes > hot_bytes_) {
-    const int victim = hot_order_.back();
-    hot_order_.pop_back();
-    const auto it = hot_.find(victim);
-    hot_resident_ -= it->second.level->memory_bytes();
-    hot_.erase(it);
-  }
-  // Copy: the service may evict (and destroy) its resident level at any
-  // later query; hot readers hold this shared copy instead.
-  auto copy = std::make_shared<const db::CompactLevel>(resident);
-  hot_order_.push_front(level);
-  hot_.emplace(level, HotEntry{std::move(copy), hot_order_.begin()});
-  hot_resident_ += bytes;
 }
 
 std::uint64_t Store::values(int level, std::span<const idx::Index> indices,
                             std::span<db::Value> out) {
   RETRA_DCHECK(level >= 0 && level < num_levels_);
   RETRA_DCHECK(out.size() >= indices.size());
-  if (const auto hot = hot_find(level)) {
-    for (std::size_t i = 0; i < indices.size(); ++i) {
-      out[i] = hot->get(indices[i]);
+
+  if (indices.empty()) {
+    // An empty batch still warms the level's first block, exactly as the
+    // in-process service does — unless the level is already fully hot.
+    if (is_hot(level)) return 0;
+    const support::MutexLock lock(service_mutex_);
+    service_->values(level, indices, out);
+    if (hot_bytes_ != 0 &&
+        level_block_counts_[static_cast<std::size_t>(level)] > 0) {
+      hot_promote(level, 0, service_->resident_block(level, 0));
     }
-    return indices.size();
+    return 0;
   }
+
+  // Hot pass: answer every index whose block is hot under the shared
+  // lock; remember the positions that missed.
+  std::vector<std::uint32_t> missed;
+  std::uint64_t hot_answered = 0;
+  if (hot_bytes_ != 0) {
+    const support::ReaderMutexLock lock(hot_mutex_);
+    int current = -1;
+    const db::CompactLevel* block = nullptr;
+    std::uint64_t begin = 0;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const int b = block_of(level, indices[i]);
+      if (b != current) {
+        current = b;
+        const auto it = hot_.find(hot_key(level, b));
+        block = it == hot_.end() ? nullptr : it->second.block.get();
+        begin = block_begin(level, b);
+      }
+      if (block) {
+        out[i] = block->get(indices[i] - begin);
+        ++hot_answered;
+      } else {
+        missed.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    if (missed.empty()) return hot_answered;
+  } else {
+    missed.resize(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      missed[i] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Miss pass: serve the cold indices through the locked service (so
+  // faults, evictions and serve.* metrics move exactly as in-process
+  // serving), then promote the blocks they touched.
   const support::MutexLock lock(service_mutex_);
-  service_->values(level, indices, out);
-  hot_promote(level, service_->resident_level(level));
-  return 0;
+  if (missed.size() == indices.size()) {
+    service_->values(level, indices, out);
+  } else {
+    std::vector<idx::Index> cold_indices(missed.size());
+    std::vector<db::Value> cold_out(missed.size());
+    for (std::size_t j = 0; j < missed.size(); ++j) {
+      cold_indices[j] = indices[missed[j]];
+    }
+    service_->values(level, cold_indices, cold_out);
+    for (std::size_t j = 0; j < missed.size(); ++j) {
+      out[missed[j]] = cold_out[j];
+    }
+  }
+  if (hot_bytes_ != 0) {
+    std::vector<int> cold_blocks;
+    for (const std::uint32_t j : missed) {
+      const int b = block_of(level, indices[j]);
+      bool seen = false;
+      for (const int known : cold_blocks) {
+        if (known == b) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) cold_blocks.push_back(b);
+    }
+    for (const int b : cold_blocks) {
+      hot_promote(level, b, service_->resident_block(level, b));
+    }
+  }
+  return hot_answered;
 }
 
-bool Store::is_hot(int level) const { return hot_find(level) != nullptr; }
+bool Store::is_hot(int level) const {
+  if (hot_bytes_ == 0) return false;
+  const support::ReaderMutexLock lock(hot_mutex_);
+  const auto it = hot_level_blocks_.find(level);
+  return it != hot_level_blocks_.end() &&
+         it->second == level_block_counts_[static_cast<std::size_t>(level)];
+}
 
 serve::QueryService::Stats Store::service_stats() const {
   const support::MutexLock lock(service_mutex_);
@@ -74,7 +127,47 @@ serve::QueryService::Stats Store::service_stats() const {
 
 std::vector<int> Store::hot_levels() const {
   const support::ReaderMutexLock lock(hot_mutex_);
-  return {hot_order_.begin(), hot_order_.end()};
+  std::vector<int> levels;
+  for (const std::uint64_t key : hot_order_) {
+    const int level = key_level(key);
+    bool seen = false;
+    for (const int known : levels) {
+      if (known == level) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) levels.push_back(level);
+  }
+  return levels;
+}
+
+void Store::hot_promote(int level, int block,
+                        const db::CompactLevel& resident) {
+  const std::uint64_t bytes = resident.memory_bytes();
+  if (bytes > hot_bytes_) return;  // would evict the whole tier for one block
+  const support::WriterMutexLock lock(hot_mutex_);
+  const std::uint64_t key = hot_key(level, block);
+  if (hot_.contains(key)) return;  // raced with another promoter
+  while (!hot_order_.empty() && hot_resident_ + bytes > hot_bytes_) {
+    const std::uint64_t victim = hot_order_.back();
+    hot_order_.pop_back();
+    const auto it = hot_.find(victim);
+    RETRA_CHECK(it != hot_.end());
+    hot_resident_ -= it->second.block->memory_bytes();
+    const auto count = hot_level_blocks_.find(key_level(victim));
+    RETRA_CHECK(count != hot_level_blocks_.end());
+    if (--count->second == 0) hot_level_blocks_.erase(count);
+    hot_.erase(it);
+  }
+  // Copy: the service may evict (and destroy) its resident block at any
+  // later query; hot readers hold this shared copy instead.
+  hot_order_.push_front(key);
+  hot_.emplace(key,
+               HotEntry{std::make_shared<const db::CompactLevel>(resident),
+                        hot_order_.begin()});
+  ++hot_level_blocks_[level];
+  hot_resident_ += bytes;
 }
 
 }  // namespace retra::net

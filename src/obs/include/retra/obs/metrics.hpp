@@ -116,6 +116,12 @@ enum class Id : int {
   kDriverPositions,
   kDriverRounds,
   kDriverLevelSeconds,
+  // db.io — RTRADB03 block compression at save time (C1).
+  kDbCompressBlocksRaw,
+  kDbCompressBlocksRle,
+  kDbCompressBlocksFreq,
+  kDbCompressBytesIn,
+  kDbCompressBytesOut,
   // serve.query — the query-serving subsystem (QueryService).
   kServeLookups,
   kServeBatchSize,
@@ -123,6 +129,12 @@ enum class Id : int {
   kServeLevelEvictions,
   kServeResidentBytes,
   kServeFaultSeconds,
+  // serve.query — the block cache fronting RTRADB03 files (C1).
+  kServeBlockHits,
+  kServeBlockFaults,
+  kServeBlockEvictions,
+  kServeBlockResidentBytes,
+  kServeBlockDecodeSeconds,
   // net.server — the retra-net-v1 TCP server.
   kNetConnections,
   kNetRequests,
@@ -220,6 +232,16 @@ inline constexpr std::array<Desc, kMetricCount> kCatalog = {{
      "BSP rounds (or async supersteps) across completed levels"},
     {"driver.level_seconds", Kind::kTimer, "seconds", "para.driver", "T2",
      "host wall time per completed level build"},
+    {"db.compress.blocks_raw", Kind::kCounter, "blocks", "db.io", "C1",
+     "blocks stored raw because compression did not pay"},
+    {"db.compress.blocks_rle", Kind::kCounter, "blocks", "db.io", "C1",
+     "blocks stored run-length coded"},
+    {"db.compress.blocks_freq", Kind::kCounter, "blocks", "db.io", "C1",
+     "blocks stored canonical-prefix (frequency) coded"},
+    {"db.compress.bytes_in", Kind::kCounter, "bytes", "db.io", "C1",
+     "bit-packed bytes presented to the block encoder"},
+    {"db.compress.bytes_out", Kind::kCounter, "bytes", "db.io", "C1",
+     "stored bytes written after per-block scheme choice"},
     {"serve.lookups", Kind::kCounter, "lookups", "serve.query", "-",
      "positions answered by QueryService (single and batched)"},
     {"serve.batch_size", Kind::kHistogram, "lookups", "serve.query", "-",
@@ -232,6 +254,17 @@ inline constexpr std::array<Desc, kMetricCount> kCatalog = {{
      "packed level payload bytes currently resident"},
     {"serve.fault_seconds", Kind::kTimer, "seconds", "serve.query", "-",
      "wall time spent reading and unpacking faulted levels"},
+    {"serve.blockcache.hits", Kind::kCounter, "touches", "serve.query", "C1",
+     "block-cache touches answered by an already-resident block"},
+    {"serve.blockcache.faults", Kind::kCounter, "blocks", "serve.query",
+     "C1", "blocks read, decoded and made resident on demand"},
+    {"serve.blockcache.evictions", Kind::kCounter, "blocks", "serve.query",
+     "C1", "resident blocks evicted to stay within the byte budget"},
+    {"serve.blockcache.resident_bytes", Kind::kGauge, "bytes", "serve.query",
+     "C1", "decoded block bytes currently resident for blocked files"},
+    {"serve.blockcache.decode_seconds", Kind::kTimer, "seconds",
+     "serve.query", "C1",
+     "wall time spent reading and decoding faulted blocks"},
     {"net.connections", Kind::kCounter, "connections", "net.server", "-",
      "TCP connections accepted since server start"},
     {"net.requests", Kind::kCounter, "frames", "net.server", "-",

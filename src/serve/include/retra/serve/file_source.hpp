@@ -1,13 +1,15 @@
-// File-backed ValueSource with lazy level residency.
+// File-backed ValueSource with lazy block residency.
 //
 // open() scans the RTRADB level directory (headers only — a few KB even
-// for a multi-gigabyte database) and answers queries by faulting whole
-// levels in on first touch: seek, read, checksum-verify, and keep the
-// level resident in bit-packed CompactLevel form.  RTRADB02 payloads are
-// adopted verbatim; RTRADB01 raw payloads are re-packed once at fault
-// time.  Nothing is ever dropped implicitly — eviction policy lives one
-// layer up, in QueryService, which drives drop_level() against a byte
-// budget.
+// for a multi-gigabyte database) and answers queries by faulting in the
+// smallest addressable unit on first touch: the whole level for
+// RTRADB01/02 (one implicit block per level) and a single fixed-size
+// block for RTRADB03, so a point lookup against a compressed file reads,
+// checksum-verifies and decodes exactly one block.  RTRADB02 payloads
+// are adopted verbatim; RTRADB01 raw payloads are re-packed once at
+// fault time; RTRADB03 blocks are decoded to bit-packed form.  Nothing
+// is ever dropped implicitly — eviction policy lives one layer up, in
+// QueryService, which drives drop_block() against a byte budget.
 //
 // Not thread-safe: one FileSource per serving thread.
 #pragma once
@@ -49,20 +51,48 @@ class FileSource final : public ValueSource {
   /// The scanned level directory (format version, offsets, sizes).
   const db::FileIndex& index() const { return index_; }
 
-  /// Faults the level in if absent and returns it; aborts if the payload
-  /// fails its checksum (open() already vetted the file's structure).
+  /// True when the file is block-granular (RTRADB03): residency, faults
+  /// and eviction all act on blocks instead of whole levels.
+  bool blocked() const { return index_.version == 3; }
+
+  /// Cacheable units in `level` (1 for RTRADB01/02).
+  int block_count(int level) const;
+  /// The block holding position `index` of `level` (0 for RTRADB01/02).
+  int block_of(int level, idx::Index index) const;
+  /// First position covered by block `block` of `level`.
+  std::uint64_t block_begin(int level, int block) const;
+
+  /// Faults the block in if absent and returns it; aborts if the stored
+  /// bytes fail their checksum or decode (open() already vetted the
+  /// file's structure).  The returned CompactLevel is indexed from the
+  /// block's first position — subtract block_begin() before get().
+  const db::CompactLevel& ensure_block(int level, int block);
+
+  bool is_block_resident(int level, int block) const;
+  /// Releases a resident block; a later query faults it back in.
+  void drop_block(int level, int block);
+
+  /// Resident cost of block `block` of `level`: its decoded bytes when
+  /// resident, the scan-time estimate otherwise.
+  std::uint64_t block_bytes(int level, int block) const;
+
+  /// Faults the level in if absent and returns it.  Only valid for
+  /// levels with a single block (always true for RTRADB01/02); callers
+  /// serving RTRADB03 use ensure_block().
   const db::CompactLevel& ensure_level(int level);
 
+  /// True when every block of `level` is resident.
   bool is_resident(int level) const;
-  /// Releases a resident level; a later query faults it back in.
+  /// Releases every resident block of `level`.
   void drop_level(int level);
 
-  /// Packed payload bytes currently resident across all levels.
+  /// Decoded bytes currently resident across all levels.
   std::uint64_t resident_bytes() const { return resident_bytes_; }
-  /// Packed payload bytes level `l` costs while resident.
+  /// Decoded bytes level `level` costs while fully resident.
   std::uint64_t level_bytes(int level) const;
 
-  /// Lifetime fault count (levels materialised from disk).
+  /// Lifetime fault count (blocks materialised from disk; one per level
+  /// for RTRADB01/02).
   std::uint64_t faults() const { return faults_; }
 
  private:
@@ -74,7 +104,8 @@ class FileSource final : public ValueSource {
  private:
   std::FILE* file_ = nullptr;
   db::FileIndex index_;
-  std::vector<std::optional<db::CompactLevel>> resident_;
+  // resident_[level][block]; RTRADB01/02 levels hold one block.
+  std::vector<std::vector<std::optional<db::CompactLevel>>> resident_;
   std::uint64_t resident_bytes_ = 0;
   std::uint64_t faults_ = 0;
 };

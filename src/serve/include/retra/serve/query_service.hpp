@@ -1,18 +1,20 @@
 // The query-serving layer: a budgeted, metered, file-backed ValueSource.
 //
-// QueryService owns a FileSource and keeps its resident packed bytes
-// under a configurable budget with LRU level eviction: answering a query
-// against a non-resident level faults the level in, then evicts
-// least-recently-used levels until the budget holds again.  A level
-// larger than the whole budget is still served — it is faulted in and
-// everything else is evicted — so a small budget degrades to thrashing,
-// never to wrong answers.  Eviction order is deterministic: it depends
-// only on the query sequence.
+// QueryService owns a FileSource and keeps its resident decoded bytes
+// under a configurable budget with LRU eviction over the file's
+// cacheable units: whole levels for RTRADB01/02, single blocks for
+// RTRADB03 (the block cache).  Answering a query against a non-resident
+// unit faults it in, then evicts least-recently-used units until the
+// budget holds again.  A unit larger than the whole budget is still
+// served — it is faulted in and everything else is evicted — so a small
+// budget degrades to thrashing, never to wrong answers.  Eviction order
+// is deterministic: it depends only on the query sequence.
 //
 // Every lookup, batch, fault and eviction is published through the obs
-// registry (serve.* metrics, docs/METRICS.md) and mirrored in the local
-// Stats struct, so a bench artifact and the service's own counters can
-// be reconciled exactly.
+// registry (serve.* for whole-level units, serve.blockcache.* for
+// blocks; docs/METRICS.md) and mirrored in the local Stats struct, so a
+// bench artifact and the service's own counters can be reconciled
+// exactly.
 //
 // Not thread-safe: one QueryService per serving thread.  Concurrent
 // callers must go through net::Store, whose service_mutex_ carries the
@@ -24,14 +26,15 @@
 #include <list>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "retra/serve/file_source.hpp"
 
 namespace retra::serve {
 
 struct QueryServiceConfig {
-  /// Resident packed-payload budget in bytes; 0 means unlimited (every
-  /// level stays resident once faulted, nothing is ever evicted).
+  /// Resident decoded-byte budget; 0 means unlimited (every unit stays
+  /// resident once faulted, nothing is ever evicted).
   std::uint64_t budget_bytes = 0;
 };
 
@@ -55,28 +58,50 @@ class QueryService final : public ValueSource {
   void values(int level, std::span<const idx::Index> indices,
               std::span<Value> out) override;
 
-  /// Local mirror of the serve.* obs metrics for this instance.
+  /// Local mirror of the serve.* obs metrics for this instance.  The
+  /// level counters move for RTRADB01/02 files, the block counters for
+  /// RTRADB03 files; resident_bytes covers both.
   struct Stats {
     std::uint64_t lookups = 0;    // positions answered (single + batched)
     std::uint64_t batches = 0;    // values() calls
     std::uint64_t faults = 0;     // levels materialised from disk
     std::uint64_t evictions = 0;  // levels dropped to respect the budget
-    std::uint64_t resident_bytes = 0;  // packed payload bytes resident
+    std::uint64_t resident_bytes = 0;   // decoded bytes resident
+    std::uint64_t block_hits = 0;       // touches of a resident block
+    std::uint64_t block_faults = 0;     // blocks decoded on demand
+    std::uint64_t block_evictions = 0;  // blocks dropped for the budget
   };
   const Stats& stats() const { return stats_; }
 
   const QueryServiceConfig& config() const { return config_; }
   const db::FileIndex& index() const { return file_->index(); }
 
-  /// Touches `level` exactly as a query would (fault in, mark most
-  /// recently used, evict LRU victims) and returns the resident packed
-  /// level.  The reference stays valid until the next query.  This is
-  /// how the network layer's shared hot tier snapshots a level it wants
-  /// to promote above the service's single-threaded path.
-  const db::CompactLevel& resident_level(int level) { return touch(level); }
+  /// True when the file is block-granular (RTRADB03).
+  bool blocked() const { return file_->blocked(); }
+  int block_count(int level) const { return file_->block_count(level); }
+  int block_of(int level, idx::Index index) const {
+    return file_->block_of(level, index);
+  }
+  std::uint64_t block_begin(int level, int block) const {
+    return file_->block_begin(level, block);
+  }
 
-  /// Resident levels, most recently used first (tests, introspection).
+  /// Touches block `block` of `level` exactly as a query would (fault
+  /// in, mark most recently used, evict LRU victims) and returns the
+  /// resident block, indexed from its first position.  The reference
+  /// stays valid until the next query.  This is how the network layer's
+  /// shared hot tier snapshots a block it wants to promote above the
+  /// service's single-threaded path.
+  const db::CompactLevel& resident_block(int level, int block) {
+    return touch(level, block);
+  }
+
+  /// Levels with at least one resident block, most recently used first
+  /// (tests, introspection).
   std::vector<int> resident_levels() const;
+
+  /// Resident (level, block) units, most recently used first.
+  std::vector<std::pair<int, int>> resident_blocks() const;
 
  private:
   struct Passkey {};
@@ -86,13 +111,19 @@ class QueryService final : public ValueSource {
                const QueryServiceConfig& config);
 
  private:
-  /// Marks `level` most recently used, faulting it in and evicting LRU
-  /// levels as needed; returns the resident level.
-  const db::CompactLevel& touch(int level);
+  struct BlockKey {
+    int level = 0;
+    int block = 0;
+    bool operator==(const BlockKey&) const = default;
+  };
+
+  /// Marks the unit most recently used, faulting it in and evicting LRU
+  /// units as needed; returns the resident block.
+  const db::CompactLevel& touch(int level, int block);
 
   std::unique_ptr<FileSource> file_;
   QueryServiceConfig config_;
-  std::list<int> lru_;  // front = most recently used
+  std::list<BlockKey> lru_;  // front = most recently used
   Stats stats_;
 };
 

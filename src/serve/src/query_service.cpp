@@ -26,50 +26,82 @@ QueryService::OpenResult QueryService::open(const std::string& path,
   return result;
 }
 
-const db::CompactLevel& QueryService::touch(int level) {
-  if (const auto it = std::find(lru_.begin(), lru_.end(), level);
+const db::CompactLevel& QueryService::touch(int level, int block) {
+  const BlockKey key{level, block};
+  const bool blocked = file_->blocked();
+  if (const auto it = std::find(lru_.begin(), lru_.end(), key);
       it != lru_.end()) {
     lru_.splice(lru_.begin(), lru_, it);
-    return file_->ensure_level(level);
+    if (blocked) {
+      ++stats_.block_hits;
+      RETRA_OBS_INC(obs::Id::kServeBlockHits);
+    }
+    return file_->ensure_block(level, block);
   }
 
-  // Fault the level in, then shed least-recently-used levels until the
-  // budget holds.  The just-touched level is never the victim, so one
-  // oversized level still gets served (with everything else evicted).
+  // Fault the unit in, then shed least-recently-used units until the
+  // budget holds.  The just-touched unit is never the victim, so one
+  // oversized unit still gets served (with everything else evicted).
   const db::CompactLevel* resident;
-  {
+  if (blocked) {
+    RETRA_OBS_SCOPED_TIMER(timer, obs::Id::kServeBlockDecodeSeconds);
+    resident = &file_->ensure_block(level, block);
+    ++stats_.block_faults;
+    RETRA_OBS_INC(obs::Id::kServeBlockFaults);
+  } else {
     RETRA_OBS_SCOPED_TIMER(timer, obs::Id::kServeFaultSeconds);
-    resident = &file_->ensure_level(level);
+    resident = &file_->ensure_block(level, block);
+    ++stats_.faults;
+    RETRA_OBS_INC(obs::Id::kServeLevelFaults);
   }
-  ++stats_.faults;
-  RETRA_OBS_INC(obs::Id::kServeLevelFaults);
-  lru_.push_front(level);
+  lru_.push_front(key);
   while (config_.budget_bytes != 0 &&
          file_->resident_bytes() > config_.budget_bytes && lru_.size() > 1) {
-    const int victim = lru_.back();
+    const BlockKey victim = lru_.back();
     lru_.pop_back();
-    file_->drop_level(victim);
-    ++stats_.evictions;
-    RETRA_OBS_INC(obs::Id::kServeLevelEvictions);
+    file_->drop_block(victim.level, victim.block);
+    if (blocked) {
+      ++stats_.block_evictions;
+      RETRA_OBS_INC(obs::Id::kServeBlockEvictions);
+    } else {
+      ++stats_.evictions;
+      RETRA_OBS_INC(obs::Id::kServeLevelEvictions);
+    }
   }
   stats_.resident_bytes = file_->resident_bytes();
   RETRA_OBS_SET(obs::Id::kServeResidentBytes, stats_.resident_bytes);
+  if (blocked) {
+    RETRA_OBS_SET(obs::Id::kServeBlockResidentBytes, stats_.resident_bytes);
+  }
   return *resident;
 }
 
 Value QueryService::value(int level, idx::Index index) {
-  const db::CompactLevel& stored = touch(level);
+  const int block = file_->block_of(level, index);
+  const db::CompactLevel& stored = touch(level, block);
   ++stats_.lookups;
   RETRA_OBS_INC(obs::Id::kServeLookups);
-  return stored.get(index);
+  return stored.get(index - file_->block_begin(level, block));
 }
 
 void QueryService::values(int level, std::span<const idx::Index> indices,
                           std::span<Value> out) {
   RETRA_CHECK(out.size() >= indices.size());
-  const db::CompactLevel& stored = touch(level);
+  int current = -1;
+  const db::CompactLevel* stored = nullptr;
+  std::uint64_t begin = 0;
   for (std::size_t i = 0; i < indices.size(); ++i) {
-    out[i] = stored.get(indices[i]);
+    const int block = file_->block_of(level, indices[i]);
+    if (block != current) {
+      stored = &touch(level, block);
+      begin = file_->block_begin(level, block);
+      current = block;
+    }
+    out[i] = stored->get(indices[i] - begin);
+  }
+  if (indices.empty() && file_->covers(level) &&
+      file_->block_count(level) > 0) {
+    touch(level, 0);  // an empty batch still warms the level
   }
   ++stats_.batches;
   stats_.lookups += indices.size();
@@ -78,7 +110,20 @@ void QueryService::values(int level, std::span<const idx::Index> indices,
 }
 
 std::vector<int> QueryService::resident_levels() const {
-  return {lru_.begin(), lru_.end()};
+  std::vector<int> levels;
+  for (const BlockKey& key : lru_) {
+    if (std::find(levels.begin(), levels.end(), key.level) == levels.end()) {
+      levels.push_back(key.level);
+    }
+  }
+  return levels;
+}
+
+std::vector<std::pair<int, int>> QueryService::resident_blocks() const {
+  std::vector<std::pair<int, int>> blocks;
+  blocks.reserve(lru_.size());
+  for (const BlockKey& key : lru_) blocks.emplace_back(key.level, key.block);
+  return blocks;
 }
 
 }  // namespace retra::serve

@@ -464,6 +464,141 @@ TEST(MetricsDoc, StaleDocMetricIsCaught) {
 }
 
 // ------------------------------------------------------------------
+// format-doc
+
+// A miniature db/format.hpp the parser understands, structurally
+// identical to the real one.
+constexpr const char* kMiniFormat = R"(#pragma once
+inline constexpr std::string_view kMagic01 = "RTRADB01";
+inline constexpr std::string_view kMagic03 = "RTRADB03";
+inline constexpr std::size_t kMagicBytes = 8;
+inline constexpr std::uint32_t kMaxLevels = 4096;
+inline constexpr std::uint64_t kMaxLevelSize = 1ull << 40;
+inline constexpr std::uint32_t kDefaultBlockPositions = 4096;
+inline constexpr std::uint32_t kMaxBlockPositions = 65536;
+inline constexpr std::uint32_t kMaxLevelBlocks = 1u << 20;
+enum class BlockScheme : std::uint8_t {
+  kRaw = 0,
+  kRle = 1,
+  kFreq = 2,
+};
+inline constexpr std::uint8_t kBlockSchemeCount = 3;
+inline constexpr std::uint32_t kFreqMaxSymbols = 256;
+inline constexpr std::uint32_t kFreqMaxCodeBits = 32;
+)";
+
+constexpr const char* kMiniFormatDoc = R"(# formats
+Every file starts with an 8-byte magic.  Readers accept
+at most 4096 levels per file and at most 2^40 positions per level.
+
+## Version negotiation
+
+| magic | version | writer |
+|---|---|---|
+| `RTRADB01` | 1 | save |
+| `RTRADB03` | 3 | compress |
+
+A block holds at most 65536 positions per block (default **4096**) and
+a level holds at most 2^20 blocks.  Frequency tables hold
+at most 256 distinct symbols with code lengths in 1..32.
+
+## Block schemes
+
+| tag | scheme |
+|---|---|
+| 0 | `raw` |
+| 1 | `rle` |
+| 2 | `freq` |
+)";
+
+AnalysisInput format_input(std::string hpp, std::string doc) {
+  AnalysisInput input;
+  input.files.push_back(
+      {"src/db/include/retra/db/format.hpp", std::move(hpp)});
+  input.format_doc = std::move(doc);
+  return input;
+}
+
+TEST(FormatDoc, ConsistentPairPasses) {
+  const auto findings =
+      analyze_format(format_input(kMiniFormat, kMiniFormatDoc));
+  EXPECT_TRUE(findings.empty()) << messages(findings);
+}
+
+TEST(FormatDoc, QuietWhenBothSidesAbsent) {
+  // Fixtures without the database layer have nothing to check — the
+  // protocol/metrics fixtures above stay clean through analyze_spec.
+  AnalysisInput input;
+  input.files.push_back({"src/support/timer.hpp", "struct T {};\n"});
+  EXPECT_TRUE(analyze_format(input).empty());
+}
+
+TEST(FormatDoc, MissingDocIsCaught) {
+  AnalysisInput input = format_input(kMiniFormat, "");
+  const auto findings = analyze_format(input);
+  ASSERT_TRUE(has_rule(findings, "format-doc")) << messages(findings);
+}
+
+TEST(FormatDoc, LimitDriftIsCaught) {
+  std::string hpp = kMiniFormat;
+  hpp.replace(hpp.find("kMaxLevels = 4096"), 17, "kMaxLevels = 2048");
+  const auto findings =
+      analyze_format(format_input(std::move(hpp), kMiniFormatDoc));
+  ASSERT_TRUE(has_rule(findings, "format-doc")) << messages(findings);
+  bool names_ceiling = false;
+  for (const Finding& f : findings) {
+    if (f.message.find("level-count ceiling") != std::string::npos) {
+      names_ceiling = true;
+    }
+  }
+  EXPECT_TRUE(names_ceiling) << messages(findings);
+}
+
+TEST(FormatDoc, UndocumentedMagicIsCaught) {
+  std::string doc = kMiniFormatDoc;
+  doc.erase(doc.find("| `RTRADB03` | 3 | compress |\n"), 30);
+  const auto findings = analyze_format(format_input(kMiniFormat, doc));
+  ASSERT_TRUE(has_rule(findings, "format-doc")) << messages(findings);
+}
+
+TEST(FormatDoc, VersionNumberDriftIsCaught) {
+  std::string doc = kMiniFormatDoc;
+  doc.replace(doc.find("| `RTRADB03` | 3 |"), 18, "| `RTRADB03` | 2 |");
+  const auto findings = analyze_format(format_input(kMiniFormat, doc));
+  ASSERT_TRUE(has_rule(findings, "format-doc")) << messages(findings);
+}
+
+TEST(FormatDoc, StaleDocMagicIsCaught) {
+  std::string doc = kMiniFormatDoc;
+  doc.insert(doc.find("| `RTRADB03`"), "| `RTRADB04` | 4 | future |\n");
+  const auto findings = analyze_format(format_input(kMiniFormat, doc));
+  ASSERT_TRUE(has_rule(findings, "format-doc")) << messages(findings);
+}
+
+TEST(FormatDoc, SchemeNameDriftIsCaught) {
+  std::string doc = kMiniFormatDoc;
+  doc.replace(doc.find("| 1 | `rle` |"), 13, "| 1 | `runlen` |");
+  const auto findings = analyze_format(format_input(kMiniFormat, doc));
+  ASSERT_TRUE(has_rule(findings, "format-doc")) << messages(findings);
+}
+
+TEST(FormatDoc, StaleSchemeRowIsCaught) {
+  std::string doc = kMiniFormatDoc;
+  doc += "| 3 | `lz` |\n";
+  const auto findings = analyze_format(format_input(kMiniFormat, doc));
+  ASSERT_TRUE(has_rule(findings, "format-doc")) << messages(findings);
+}
+
+TEST(FormatDoc, SchemeCountDriftIsCaught) {
+  std::string hpp = kMiniFormat;
+  hpp.replace(hpp.find("kBlockSchemeCount = 3"), 21,
+              "kBlockSchemeCount = 4");
+  const auto findings =
+      analyze_format(format_input(std::move(hpp), kMiniFormatDoc));
+  ASSERT_TRUE(has_rule(findings, "format-doc")) << messages(findings);
+}
+
+// ------------------------------------------------------------------
 // analyze_all ordering
 
 TEST(AnalyzeAll, FindingsAreSortedByFileAndLine) {

@@ -1,0 +1,232 @@
+// RTRADB03 block codecs: scheme round trips, the smallest-wins chooser,
+// and the malformed-stream diagnosis vocabulary (docs/FORMAT.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "retra/db/block_codec.hpp"
+#include "retra/support/rng.hpp"
+
+namespace retra::db {
+namespace {
+
+std::vector<std::uint16_t> constant_codes(std::size_t count,
+                                          std::uint16_t code) {
+  return std::vector<std::uint16_t>(count, code);
+}
+
+// Round-trips `codes` through one explicit scheme and expects the raw
+// bit-packed bytes back.
+void expect_round_trip(BlockScheme scheme,
+                       const std::vector<std::uint8_t>& encoded,
+                       const std::vector<std::uint16_t>& codes, int bits) {
+  const std::vector<std::uint8_t> packed =
+      pack_codes(codes.data(), codes.size(), bits);
+  const BlockDecodeResult decoded = decode_block(
+      scheme, encoded.data(), encoded.size(), codes.size(), bits);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.packed, packed);
+}
+
+TEST(BlockCodec, PackCodesMatchesCompactLayout) {
+  // 4-bit: two codes per byte, low nibble first; odd tail high nibble 0.
+  const std::vector<std::uint16_t> nibbles{0x5, 0x5, 0x2, 0x7, 0x3};
+  EXPECT_EQ(pack_codes(nibbles.data(), nibbles.size(), 4),
+            (std::vector<std::uint8_t>{0x55, 0x72, 0x03}));
+  // 8-bit: one code per byte.
+  const std::vector<std::uint16_t> bytes{0x00, 0xff, 0x10};
+  EXPECT_EQ(pack_codes(bytes.data(), bytes.size(), 8),
+            (std::vector<std::uint8_t>{0x00, 0xff, 0x10}));
+  // 16-bit: little-endian.
+  const std::vector<std::uint16_t> words{0x1234};
+  EXPECT_EQ(pack_codes(words.data(), words.size(), 16),
+            (std::vector<std::uint8_t>{0x34, 0x12}));
+}
+
+TEST(BlockCodec, RleRoundTripsAllWidths) {
+  for (const int bits : {4, 8, 16}) {
+    std::vector<std::uint16_t> codes;
+    for (int run = 0; run < 5; ++run) {
+      const auto code = static_cast<std::uint16_t>(run * 3);
+      codes.insert(codes.end(), static_cast<std::size_t>(1 + run * 40),
+                   code);
+    }
+    const std::vector<std::uint8_t> encoded =
+        rle_encode(codes.data(), codes.size(), bits);
+    expect_round_trip(BlockScheme::kRle, encoded, codes, bits);
+  }
+}
+
+TEST(BlockCodec, RleLongRunUsesMultiByteVarint) {
+  // A run of 300 needs a two-byte LEB128 varint (300 = 0xAC 0x02).
+  const auto codes = constant_codes(300, 9);
+  const std::vector<std::uint8_t> encoded =
+      rle_encode(codes.data(), codes.size(), 4);
+  EXPECT_EQ(encoded, (std::vector<std::uint8_t>{0x09, 0xAC, 0x02}));
+  expect_round_trip(BlockScheme::kRle, encoded, codes, 4);
+}
+
+TEST(BlockCodec, FreqRoundTripsSkewedBlock) {
+  for (const int bits : {4, 8}) {
+    support::Xoshiro256 rng(11);
+    std::vector<std::uint16_t> codes;
+    for (int i = 0; i < 2048; ++i) {
+      // ~90% zeros, the rest spread over a few symbols.
+      const std::uint64_t roll = rng.below(10);
+      codes.push_back(
+          roll < 9 ? 0 : static_cast<std::uint16_t>(1 + rng.below(7)));
+    }
+    const std::vector<std::uint8_t> encoded =
+        freq_encode(codes.data(), codes.size(), bits);
+    ASSERT_FALSE(encoded.empty());
+    expect_round_trip(BlockScheme::kFreq, encoded, codes, bits);
+    // Heavy skew must beat raw packing.
+    EXPECT_LT(encoded.size(), pack_codes(codes.data(), codes.size(), bits).size());
+  }
+}
+
+TEST(BlockCodec, FreqDoesNotApplyWhenUseless) {
+  const auto constant = constant_codes(64, 3);
+  EXPECT_TRUE(freq_encode(constant.data(), constant.size(), 4).empty())
+      << "single-symbol blocks have no prefix code";
+  std::vector<std::uint16_t> wide{1, 2, 3, 4};
+  EXPECT_TRUE(freq_encode(wide.data(), wide.size(), 16).empty())
+      << "freq scheme is 4/8-bit only";
+  EXPECT_TRUE(freq_encode(wide.data(), 0, 4).empty());
+}
+
+TEST(BlockCodec, EncodeBlockPicksSmallestScheme) {
+  // Constant block: rle wins outright.
+  const auto constant = constant_codes(512, 2);
+  const EncodedBlock rle = encode_block(constant.data(), constant.size(), 4);
+  EXPECT_EQ(rle.scheme, BlockScheme::kRle);
+  EXPECT_LE(rle.bytes.size(), 3u);
+
+  // High-entropy block with no repeats: nothing beats raw.
+  std::vector<std::uint16_t> noisy;
+  support::Xoshiro256 rng(3);
+  for (int i = 0; i < 512; ++i) {
+    noisy.push_back(static_cast<std::uint16_t>(rng.below(16)));
+  }
+  const EncodedBlock raw = encode_block(noisy.data(), noisy.size(), 4);
+  EXPECT_EQ(raw.scheme, BlockScheme::kRaw);
+  EXPECT_EQ(raw.bytes, pack_codes(noisy.data(), noisy.size(), 4));
+
+  // Skewed-but-not-constant block: freq wins.
+  std::vector<std::uint16_t> skewed;
+  for (int i = 0; i < 512; ++i) {
+    skewed.push_back(static_cast<std::uint16_t>(
+        rng.below(10) < 8 ? rng.below(2) : rng.below(16)));
+  }
+  const EncodedBlock freq = encode_block(skewed.data(), skewed.size(), 4);
+  EXPECT_EQ(freq.scheme, BlockScheme::kFreq);
+  expect_round_trip(freq.scheme, freq.bytes, skewed, 4);
+}
+
+TEST(BlockCodec, EncodeBlockNeverLosesToRaw) {
+  support::Xoshiro256 rng(17);
+  for (const int bits : {4, 8, 16}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<std::uint16_t> codes;
+      const std::size_t count = 1 + rng.below(600);
+      const std::uint64_t spread = 1 + rng.below(bits == 4 ? 15 : 200);
+      for (std::size_t i = 0; i < count; ++i) {
+        codes.push_back(static_cast<std::uint16_t>(rng.below(spread)));
+      }
+      const EncodedBlock encoded =
+          encode_block(codes.data(), codes.size(), bits);
+      EXPECT_LE(encoded.bytes.size(),
+                pack_codes(codes.data(), codes.size(), bits).size());
+      expect_round_trip(encoded.scheme, encoded.bytes, codes, bits);
+    }
+  }
+}
+
+TEST(BlockCodec, DecodeRawRejectsWrongSize) {
+  const std::vector<std::uint8_t> bytes{0x11, 0x22};
+  const BlockDecodeResult r =
+      decode_block(BlockScheme::kRaw, bytes.data(), bytes.size(), 16, 4);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("wrong stored size"), std::string::npos) << r.error;
+}
+
+TEST(BlockCodec, DecodeRleDiagnosesMalformedStreams) {
+  const auto codes = constant_codes(16, 3);
+  std::vector<std::uint8_t> good = rle_encode(codes.data(), codes.size(), 4);
+  ASSERT_EQ(good, (std::vector<std::uint8_t>{0x03, 0x10}));
+
+  const auto diagnose = [&](std::vector<std::uint8_t> bytes) {
+    return decode_block(BlockScheme::kRle, bytes.data(), bytes.size(), 16,
+                        4);
+  };
+  BlockDecodeResult r = diagnose({0x03});  // code with no run length
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("truncated"), std::string::npos) << r.error;
+
+  r = diagnose({0x03, 0x00});  // zero-length run
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("zero-length"), std::string::npos) << r.error;
+
+  r = diagnose({0x03, 0x20});  // run of 32 overflows the 16-position block
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("overflows"), std::string::npos) << r.error;
+
+  r = diagnose({0x03, 0x10, 0x01, 0x01});  // complete block, then more
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("trailing"), std::string::npos) << r.error;
+
+  r = diagnose({0x13, 0x10});  // code 0x13 exceeds 4-bit packing
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("exceeds"), std::string::npos) << r.error;
+}
+
+TEST(BlockCodec, DecodeFreqDiagnosesMalformedStreams) {
+  std::vector<std::uint16_t> codes;
+  for (int i = 0; i < 32; ++i) {
+    codes.push_back(static_cast<std::uint16_t>(i % 3));
+  }
+  std::vector<std::uint8_t> good =
+      freq_encode(codes.data(), codes.size(), 4);
+  ASSERT_FALSE(good.empty());
+  ASSERT_TRUE(decode_block(BlockScheme::kFreq, good.data(), good.size(),
+                           codes.size(), 4)
+                  .ok);
+
+  const auto diagnose = [&](std::vector<std::uint8_t> bytes,
+                            int bits = 4) {
+    return decode_block(BlockScheme::kFreq, bytes.data(), bytes.size(),
+                        codes.size(), bits);
+  };
+
+  BlockDecodeResult r = diagnose(good, 16);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("16-bit"), std::string::npos) << r.error;
+
+  r = diagnose({0x01, 0x00});  // symbol count below 2
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("symbol count"), std::string::npos) << r.error;
+
+  std::vector<std::uint8_t> unsorted = good;
+  std::swap(unsorted[2], unsorted[4]);  // swap the first two symbols
+  r = diagnose(unsorted);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("ascending"), std::string::npos) << r.error;
+
+  std::vector<std::uint8_t> overfull = good;
+  overfull[3] = 1;  // force every code length to 1: Kraft over-full
+  overfull[5] = 1;
+  overfull[7] = 1;
+  r = diagnose(overfull);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not complete"), std::string::npos) << r.error;
+
+  std::vector<std::uint8_t> truncated = good;
+  truncated.pop_back();
+  r = diagnose(truncated);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("truncated"), std::string::npos) << r.error;
+}
+
+}  // namespace
+}  // namespace retra::db

@@ -234,6 +234,225 @@ TEST(DbIo, ReadLevelExpandsEachLevel) {
   }
 }
 
+TEST(DbIo, CompressedRoundTripAllSchemes) {
+  // One level per scheme family: constant (rle), skewed (freq), plus a
+  // wide level that stays raw, all in one RTRADB03 file.
+  Database database;
+  database.push_level(0, {0});
+  database.push_level(1, std::vector<Value>(5000, 3));  // rle
+  std::vector<Value> skewed;
+  for (int i = 0; i < 5000; ++i) skewed.push_back(i % 11 == 0 ? 5 : -2);
+  database.push_level(2, skewed);  // freq
+  std::vector<Value> wide;
+  for (int i = 0; i < 5000; ++i) {
+    wide.push_back(static_cast<Value>((i * 7919) % 6007 - 3000));
+  }
+  database.push_level(3, wide);  // 16-bit, high entropy: raw
+
+  const std::string path = temp_path("retra_compressed.db");
+  SaveOptions options;
+  options.compress = true;
+  save(database, path, options);
+
+  const FileIndex index = scan(path);
+  ASSERT_TRUE(index.ok) << index.error;
+  EXPECT_EQ(index.version, 3);
+  ASSERT_EQ(index.levels.size(), 4u);
+  for (const LevelLocation& location : index.levels) {
+    EXPECT_EQ(location.block_positions, kDefaultBlockPositions);
+    EXPECT_EQ(location.block_count(),
+              static_cast<int>((location.size + kDefaultBlockPositions - 1) /
+                               kDefaultBlockPositions));
+    EXPECT_LE(location.payload_bytes, location.decoded_bytes());
+  }
+  // The mix of schemes actually happened.
+  EXPECT_EQ(index.levels[1].blocks[0].scheme, BlockScheme::kRle);
+  EXPECT_EQ(index.levels[2].blocks[0].scheme, BlockScheme::kFreq);
+  EXPECT_EQ(index.levels[3].blocks[0].scheme, BlockScheme::kRaw);
+  EXPECT_LT(index.total_payload_bytes(), index.total_decoded_bytes());
+
+  const LoadResult loaded = load(path);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.database, database);
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, CompressedMixedBlocksWithinOneLevel) {
+  // Small blocks so one level spans several, each compressing its own
+  // way: a constant stretch, a skewed stretch, and a noisy stretch.
+  Database database;
+  std::vector<Value> values;
+  values.insert(values.end(), 200, 1);  // block 0: constant
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(i % 13 == 0 ? 4 : 0);  // block 1: skewed
+  }
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(static_cast<Value>((i * 31) % 15));  // block 2: noisy
+  }
+  database.push_level(0, values);
+
+  const std::string path = temp_path("retra_mixed_blocks.db");
+  SaveOptions options;
+  options.compress = true;
+  options.block_positions = 200;
+  save(database, path, options);
+
+  const FileIndex index = scan(path);
+  ASSERT_TRUE(index.ok) << index.error;
+  ASSERT_EQ(index.levels.size(), 1u);
+  const LevelLocation& location = index.levels[0];
+  EXPECT_EQ(location.block_positions, 200u);
+  ASSERT_EQ(location.block_count(), 3);
+  EXPECT_EQ(location.blocks[0].scheme, BlockScheme::kRle);
+  EXPECT_EQ(location.blocks[1].scheme, BlockScheme::kFreq);
+  EXPECT_EQ(location.blocks[2].scheme, BlockScheme::kRaw);
+
+  // read_block hands back each block indexed from its first position.
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  for (int b = 0; b < 3; ++b) {
+    const LevelReadResult read = read_block(file, location, b);
+    ASSERT_TRUE(read.ok) << read.error;
+    const std::uint64_t begin = location.block_begin(b);
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      ASSERT_EQ(read.level.get(i), values[static_cast<std::size_t>(begin + i)])
+          << "block " << b << " position " << i;
+    }
+  }
+  std::fclose(file);
+
+  const LoadResult loaded = load(path);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.database, database);
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, CompressedDetectsPerBlockCorruption) {
+  Database database;
+  std::vector<Value> values;
+  for (int i = 0; i < 600; ++i) values.push_back(i % 13 == 0 ? 4 : 0);
+  database.push_level(0, values);
+  const std::string path = temp_path("retra_compressed_corrupt.db");
+  SaveOptions options;
+  options.compress = true;
+  options.block_positions = 200;
+  save(database, path, options);
+  const FileIndex index = scan(path);
+  ASSERT_TRUE(index.ok) << index.error;
+  const LevelLocation& location = index.levels[0];
+  ASSERT_EQ(location.block_count(), 3);
+  {
+    // Flip a byte inside block 1's stored bytes.
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    const auto at =
+        static_cast<std::streamoff>(location.blocks[1].offset + 1);
+    char byte;
+    file.seekg(at);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    file.seekp(at);
+    file.write(&byte, 1);
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  // The corrupt block is diagnosed with its block number...
+  const LevelReadResult bad = read_block(file, location, 1);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("block 1"), std::string::npos) << bad.error;
+  // ...while its neighbours still decode: corruption is block-local.
+  EXPECT_TRUE(read_block(file, location, 0).ok);
+  EXPECT_TRUE(read_block(file, location, 2).ok);
+  std::fclose(file);
+  const LoadResult loaded = load(path);
+  EXPECT_FALSE(loaded.ok);
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, CompressedRejectsDirectoryCorruption) {
+  Database database;
+  database.push_level(0, std::vector<Value>(500, 2));
+  const std::string path = temp_path("retra_dir_corrupt.db");
+  SaveOptions options;
+  options.compress = true;
+  save(database, path, options);
+  {
+    // The directory starts right after the fixed level header:
+    // magic(8) + count(4) + size(8) + bits(1) + offset(2) +
+    // block_positions(4) + block_count(4) + payload_bytes(8) = 39.
+    // Flip the scheme tag of entry 0.
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    char byte;
+    file.seekg(39);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    file.seekp(39);
+    file.write(&byte, 1);
+  }
+  const FileIndex index = scan(path);
+  EXPECT_FALSE(index.ok);
+  EXPECT_NE(index.error.find("directory checksum"), std::string::npos)
+      << index.error;
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, CompressedRejectsTruncation) {
+  Database database;
+  std::vector<Value> values;
+  for (int i = 0; i < 900; ++i) values.push_back(i % 7 == 0 ? 3 : -1);
+  database.push_level(0, values);
+  const std::string path = temp_path("retra_compressed_trunc.db");
+  SaveOptions options;
+  options.compress = true;
+  options.block_positions = 300;
+  save(database, path, options);
+  // Cut into the last block's stored bytes: the payload no longer fits.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 2);
+  const FileIndex index = scan(path);
+  EXPECT_FALSE(index.ok);
+  EXPECT_NE(index.error.find("truncated"), std::string::npos) << index.error;
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, CompressedRejectsBadGeometry) {
+  Database database;
+  database.push_level(0, std::vector<Value>(100, 1));
+  const std::string path = temp_path("retra_bad_geometry.db");
+  SaveOptions options;
+  options.compress = true;
+  save(database, path, options);
+  {
+    // block_positions lives at offset 8+4+8+1+2 = 23; make it odd.
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(23);
+    const char odd = 0x01;
+    file.write(&odd, 1);
+  }
+  const FileIndex index = scan(path);
+  EXPECT_FALSE(index.ok);
+  EXPECT_NE(index.error.find("geometry"), std::string::npos) << index.error;
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, CompressedStrictlySmallerOnAwari) {
+  // The acceptance check: the real database compresses, end to end.
+  const auto database = ra::build_database(game::AwariFamily{}, 5);
+  const std::string packed_path = temp_path("retra_awari_packed_cmp.db");
+  const std::string compressed_path = temp_path("retra_awari_compressed.db");
+  SaveOptions packed;
+  packed.pack = true;
+  save(database, packed_path, packed);
+  SaveOptions compressed;
+  compressed.compress = true;
+  save(database, compressed_path, compressed);
+  EXPECT_LT(std::filesystem::file_size(compressed_path),
+            std::filesystem::file_size(packed_path));
+  const LoadResult loaded = load(compressed_path);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.database, database);
+  std::remove(packed_path.c_str());
+  std::remove(compressed_path.c_str());
+}
+
 TEST(DbIo, AwariDatabaseSurvivesPackedRoundTrip) {
   const auto database = ra::build_database(game::AwariFamily{}, 4);
   const std::string path = temp_path("retra_awari_packed.db");

@@ -42,6 +42,17 @@ std::string save_solved(const char* name, bool pack) {
   return path;
 }
 
+/// Saves `solved()` as RTRADB03 with the given block geometry.
+std::string save_solved_compressed(const char* name,
+                                   std::uint32_t block_positions) {
+  const std::string path = temp_path(name);
+  db::SaveOptions options;
+  options.compress = true;
+  options.block_positions = block_positions;
+  db::save(solved(), path, options);
+  return path;
+}
+
 void expect_full_agreement(ValueSource& source, const db::Database& oracle) {
   ASSERT_EQ(source.num_levels(), oracle.num_levels());
   for (int level = 0; level < oracle.num_levels(); ++level) {
@@ -71,6 +82,38 @@ TEST(ValueSource, FileSourceAgreesOnBothFormats) {
     expect_full_agreement(*opened.source, solved());
     std::remove(path.c_str());
   }
+}
+
+TEST(ValueSource, FileSourceAgreesOnCompressedFormat) {
+  const std::string path =
+      save_solved_compressed("retra_serve_agree_c.db", 1024);
+  auto opened = FileSource::open(path);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  ASSERT_TRUE(opened.source->blocked());
+  expect_full_agreement(*opened.source, solved());
+  std::remove(path.c_str());
+}
+
+TEST(ValueSource, QueryServiceCompressedUnderBudgetAgreesEverywhere) {
+  // The fifth backend of the agreement sweep: a block-compressed file
+  // behind a budget that holds only a handful of blocks, so the sweep
+  // faults, decodes and evicts blocks constantly — agreement proves the
+  // block cache never changes an answer.
+  const std::string path =
+      save_solved_compressed("retra_serve_budget_c.db", 1024);
+  QueryServiceConfig config;
+  config.budget_bytes = 2048;
+  auto opened = QueryService::open(path, config);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  ASSERT_TRUE(opened.service->blocked());
+  expect_full_agreement(*opened.service, solved());
+  const QueryService::Stats& stats = opened.service->stats();
+  EXPECT_GT(stats.block_faults, 0u);
+  EXPECT_GT(stats.block_evictions, 0u);
+  // Block-granular files move the block counters, never the level ones.
+  EXPECT_EQ(stats.faults, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  std::remove(path.c_str());
 }
 
 TEST(ValueSource, QueryServiceUnderBudgetAgreesEverywhere) {
@@ -147,6 +190,41 @@ TEST(FileSource, FaultsLazilyAndDropsExplicitly) {
   std::remove(path.c_str());
 }
 
+TEST(FileSource, FaultsSingleBlocksOnCompressedFiles) {
+  const std::string path =
+      save_solved_compressed("retra_serve_lazy_c.db", 512);
+  auto opened = FileSource::open(path);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  FileSource& source = *opened.source;
+  ASSERT_TRUE(source.blocked());
+  ASSERT_GE(source.block_count(6), 2);
+  EXPECT_EQ(source.resident_bytes(), 0u);
+
+  // A point lookup faults exactly one block, not the level.
+  (void)source.value(6, 0);
+  EXPECT_EQ(source.faults(), 1u);
+  EXPECT_TRUE(source.is_block_resident(6, 0));
+  EXPECT_FALSE(source.is_block_resident(6, 1));
+  EXPECT_FALSE(source.is_resident(6));
+  EXPECT_EQ(source.resident_bytes(), source.block_bytes(6, 0));
+
+  // Another position in the same block: no second fault.
+  (void)source.value(6, 1);
+  EXPECT_EQ(source.faults(), 1u);
+
+  // A position in the next block faults just that block.
+  (void)source.value(6, source.block_begin(6, 1));
+  EXPECT_EQ(source.faults(), 2u);
+  EXPECT_EQ(source.resident_bytes(),
+            source.block_bytes(6, 0) + source.block_bytes(6, 1));
+
+  source.drop_block(6, 0);
+  EXPECT_FALSE(source.is_block_resident(6, 0));
+  EXPECT_TRUE(source.is_block_resident(6, 1));
+  EXPECT_EQ(source.resident_bytes(), source.block_bytes(6, 1));
+  std::remove(path.c_str());
+}
+
 TEST(FileSource, RejectsMissingAndMalformedFiles) {
   EXPECT_FALSE(FileSource::open(temp_path("retra_serve_missing.db")).ok);
   const std::string path = temp_path("retra_serve_badmagic.db");
@@ -200,6 +278,106 @@ TEST(QueryService, EvictionOrderIsDeterministicLru) {
   EXPECT_EQ(replay.service->resident_levels(), service.resident_levels());
   EXPECT_EQ(replay.service->stats().resident_bytes,
             service.stats().resident_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(QueryService, BlockEvictionOrderIsDeterministicLru) {
+  const std::string path =
+      save_solved_compressed("retra_serve_blocklru.db", 512);
+  auto probe = QueryService::open(path);
+  ASSERT_TRUE(probe.ok) << probe.error;
+  QueryService& probe_service = *probe.service;
+  ASSERT_TRUE(probe_service.blocked());
+  ASSERT_GE(probe_service.block_count(6), 4);
+  // Every awari level through 6 stones packs at 4 bits, so a full block
+  // decodes to 512 / 2 bytes; budget three of them, not a fourth.
+  ASSERT_EQ(probe_service.index().levels[6].bits, 4);
+  const std::uint64_t block_bytes = 512 / 2;
+  QueryServiceConfig config;
+  config.budget_bytes = 3 * block_bytes;
+  auto squeezed = QueryService::open(path, config);
+  ASSERT_TRUE(squeezed.ok) << squeezed.error;
+  QueryService& service = *squeezed.service;
+
+  const auto touch_block = [&](QueryService& s, int block) {
+    (void)s.value(6, s.block_begin(6, block));
+  };
+  touch_block(service, 0);
+  touch_block(service, 1);
+  touch_block(service, 2);
+  using Blocks = std::vector<std::pair<int, int>>;
+  EXPECT_EQ(service.resident_blocks(), (Blocks{{6, 2}, {6, 1}, {6, 0}}));
+  EXPECT_EQ(service.stats().block_evictions, 0u);
+
+  // Touch block 0 again, then fault block 3: the LRU victim must be 1.
+  touch_block(service, 0);
+  touch_block(service, 3);
+  EXPECT_EQ(service.resident_blocks(), (Blocks{{6, 3}, {6, 0}, {6, 2}}));
+  EXPECT_EQ(service.stats().block_evictions, 1u);
+
+  // Replaying the same query sequence on a fresh service reproduces the
+  // same block residency: eviction depends only on the queries.
+  auto replay = QueryService::open(path, config);
+  ASSERT_TRUE(replay.ok);
+  for (const int block : {0, 1, 2, 0, 3}) {
+    touch_block(*replay.service, block);
+  }
+  EXPECT_EQ(replay.service->resident_blocks(), service.resident_blocks());
+  EXPECT_EQ(replay.service->stats().resident_bytes,
+            service.stats().resident_bytes);
+  EXPECT_EQ(replay.service->stats().block_evictions,
+            service.stats().block_evictions);
+  std::remove(path.c_str());
+}
+
+TEST(QueryService, BlockStatsReconcileWithObsMetricsAndArtifact) {
+  const std::string path =
+      save_solved_compressed("retra_serve_metrics_c.db", 1024);
+  QueryServiceConfig config;
+  config.budget_bytes = 2048;
+  auto opened = QueryService::open(path, config);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  QueryService& service = *opened.service;
+  ASSERT_TRUE(service.blocked());
+
+  const obs::Snapshot before = obs::snapshot();
+  (void)service.value(6, 0);
+  (void)service.value(6, 1);
+  std::vector<idx::Index> indices(100);
+  std::iota(indices.begin(), indices.end(), idx::Index{0});
+  std::vector<db::Value> out(indices.size());
+  service.values(5, indices, out);
+  service.values(6, indices, out);
+  const obs::Snapshot delta = obs::snapshot() - before;
+
+  const QueryService::Stats& stats = service.stats();
+  EXPECT_EQ(stats.lookups, 202u);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_GT(stats.block_hits, 0u);
+  EXPECT_GT(stats.block_faults, 0u);
+  EXPECT_EQ(stats.faults, 0u);  // block-granular: level counters idle
+#if RETRA_METRICS_ENABLED
+  EXPECT_EQ(delta[obs::Id::kServeLookups].value, stats.lookups);
+  EXPECT_EQ(delta[obs::Id::kServeBlockHits].value, stats.block_hits);
+  EXPECT_EQ(delta[obs::Id::kServeBlockFaults].value, stats.block_faults);
+  EXPECT_EQ(delta[obs::Id::kServeBlockEvictions].value,
+            stats.block_evictions);
+  EXPECT_EQ(delta[obs::Id::kServeBlockDecodeSeconds].count,
+            stats.block_faults);
+  EXPECT_EQ(delta[obs::Id::kServeLevelFaults].value, 0u);
+  EXPECT_EQ(delta[obs::Id::kServeLevelEvictions].value, 0u);
+#endif  // RETRA_METRICS_ENABLED
+
+  bench::BenchRunMeta meta;
+  meta.suite = "serve-test";
+  meta.bench = "test_serve_blocked";
+  meta.max_level = 6;
+  meta.ranks = 1;
+  std::string error;
+  EXPECT_TRUE(
+      bench::validate_bench_artifact(bench::micro_artifact_json(meta, delta),
+                                     &error))
+      << error;
   std::remove(path.c_str());
 }
 

@@ -37,11 +37,15 @@ AnalysisInput load_repo(const std::filesystem::path& root) {
   }
   const fs::path protocol_doc = root / "docs" / "PROTOCOL.md";
   const fs::path metrics_doc = root / "docs" / "METRICS.md";
+  const fs::path format_doc = root / "docs" / "FORMAT.md";
   if (fs::is_regular_file(protocol_doc)) {
     input.protocol_doc = read_file(protocol_doc);
   }
   if (fs::is_regular_file(metrics_doc)) {
     input.metrics_doc = read_file(metrics_doc);
+  }
+  if (fs::is_regular_file(format_doc)) {
+    input.format_doc = read_file(format_doc);
   }
   return input;
 }

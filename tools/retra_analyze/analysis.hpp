@@ -18,6 +18,8 @@
 //                   tables in docs/PROTOCOL.md
 //   metrics-doc     the obs metric catalog must match the table in
 //                   docs/METRICS.md
+//   format-doc      db/format.hpp magics, limits and block schemes must
+//                   match the tables in docs/FORMAT.md
 //
 // Suppression: `// retra-analyze: allow(<rule>)` on the finding's line
 // or the line above.
@@ -42,6 +44,7 @@ struct AnalysisInput {
   std::vector<SourceFile> files;
   std::string protocol_doc;  // docs/PROTOCOL.md contents
   std::string metrics_doc;   // docs/METRICS.md contents
+  std::string format_doc;    // docs/FORMAT.md contents
 };
 
 /// Lock discipline: annotation coverage of mutex-holding classes plus
@@ -52,8 +55,12 @@ std::vector<Finding> analyze_locks(const AnalysisInput& input);
 std::vector<Finding> analyze_layering(const AnalysisInput& input);
 
 /// Spec consistency: protocol.hpp vs PROTOCOL.md, obs catalog vs
-/// METRICS.md.
+/// METRICS.md, db/format.hpp vs FORMAT.md.
 std::vector<Finding> analyze_spec(const AnalysisInput& input);
+
+/// Just the format-doc rule (db/format.hpp vs FORMAT.md); a subset of
+/// analyze_spec for `--analysis=format-doc`.
+std::vector<Finding> analyze_format(const AnalysisInput& input);
 
 /// All analyses, findings ordered by (file, line).
 std::vector<Finding> analyze_all(const AnalysisInput& input);

@@ -1,10 +1,11 @@
 // retra_analyze — cross-file static analysis for the retra codebase.
 //
-//   retra_analyze [--analysis=lock,layering,spec] <repo-root>
+//   retra_analyze [--analysis=lock,layering,spec,format-doc] <repo-root>
 //
 // Walks src/, tools/, tests/, bench/ and examples/ under the repo root,
-// loads docs/PROTOCOL.md and docs/METRICS.md, and runs the selected
-// analyses (default: all).  Findings print as
+// loads docs/PROTOCOL.md, docs/METRICS.md and docs/FORMAT.md, and runs
+// the selected analyses (default: all; `spec` covers all three *-doc
+// rules, `format-doc` just the on-disk-format one).  Findings print as
 //
 //   <file>:<line>: [<rule>] <message>
 //
@@ -26,14 +27,14 @@ using namespace retra::analyze;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: retra_analyze [--analysis=lock,layering,spec] "
-               "<repo-root>\n");
+               "usage: retra_analyze "
+               "[--analysis=lock,layering,spec,format-doc] <repo-root>\n");
   return 2;
 }
 
 bool parse_analyses(const std::string& list, bool& lock, bool& layering,
-                    bool& spec) {
-  lock = layering = spec = false;
+                    bool& spec, bool& format) {
+  lock = layering = spec = format = false;
   std::size_t begin = 0;
   while (begin <= list.size()) {
     std::size_t end = list.find(',', begin);
@@ -45,6 +46,8 @@ bool parse_analyses(const std::string& list, bool& lock, bool& layering,
       layering = true;
     } else if (name == "spec") {
       spec = true;
+    } else if (name == "format-doc") {
+      format = true;
     } else if (!name.empty()) {
       std::fprintf(stderr, "retra_analyze: unknown analysis '%s'\n",
                    name.c_str());
@@ -52,18 +55,20 @@ bool parse_analyses(const std::string& list, bool& lock, bool& layering,
     }
     begin = end + 1;
   }
-  return lock || layering || spec;
+  return lock || layering || spec || format;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool lock = true, layering = true, spec = true;
+  bool lock = true, layering = true, spec = true, format = false;
   const char* root_arg = nullptr;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--analysis=", 11) == 0) {
-      if (!parse_analyses(arg + 11, lock, layering, spec)) return usage();
+      if (!parse_analyses(arg + 11, lock, layering, spec, format)) {
+        return usage();
+      }
       continue;
     }
     if (arg[0] == '-') return usage();
@@ -93,6 +98,10 @@ int main(int argc, char** argv) {
     }
     if (spec) {
       auto f = analyze_spec(input);
+      findings.insert(findings.end(), f.begin(), f.end());
+    }
+    if (format && !spec) {  // spec already ran the format-doc rule
+      auto f = analyze_format(input);
       findings.insert(findings.end(), f.begin(), f.end());
     }
   }

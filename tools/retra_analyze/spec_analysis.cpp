@@ -1,9 +1,11 @@
-// Spec-consistency analysis (rules protocol-doc and metrics-doc).
+// Spec-consistency analysis (rules protocol-doc, metrics-doc and
+// format-doc).
 //
 // Parses the machine side of each contract from tokens — the protocol
-// constants/enums/StatsReply in net/protocol.hpp and the metric catalog
-// in obs/metrics.hpp — and the human side from the markdown tables in
-// docs/PROTOCOL.md and docs/METRICS.md, then diffs the two.  Prose is
+// constants/enums/StatsReply in net/protocol.hpp, the metric catalog in
+// obs/metrics.hpp and the on-disk format constants in db/format.hpp —
+// and the human side from the markdown tables in docs/PROTOCOL.md,
+// docs/METRICS.md and docs/FORMAT.md, then diffs the two.  Prose is
 // never compared; only names, numbers, kinds, units, components and
 // paper-table tags.
 
@@ -13,6 +15,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis.hpp"
@@ -637,12 +640,186 @@ void check_metrics(const AnalysisInput& input,
   }
 }
 
+// ---- format-doc ---------------------------------------------------
+
+// "2^40" for large powers of two, the decimal digits otherwise — how
+// FORMAT.md states the structural limits (4096 stays decimal, the
+// unwieldy allocation bounds read as powers).
+std::string pow2_or_decimal(std::uint64_t value) {
+  if (value != 0 && (value & (value - 1)) == 0) {
+    int log2 = 0;
+    while ((value >> log2) != 1) ++log2;
+    if (log2 >= 20) return "2^" + std::to_string(log2);
+  }
+  return std::to_string(value);
+}
+
+// `kMagic01 = "RTRADB01"` string constants: name -> (value, line).
+std::vector<std::pair<std::string, EnumEntry>> parse_magics(
+    const std::vector<Token>& toks) {
+  std::vector<std::pair<std::string, EnumEntry>> magics;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        toks[i].text.rfind("kMagic", 0) != 0) {
+      continue;
+    }
+    if (!punct_is(toks[i + 1], '=')) continue;
+    if (toks[i + 2].kind != TokKind::kString) continue;
+    magics.emplace_back(string_value(toks[i + 2]),
+                        EnumEntry{toks[i].text, 0, toks[i].line});
+  }
+  return magics;
+}
+
+void check_format(const AnalysisInput& input,
+                  std::vector<Finding>& findings) {
+  constexpr const char* kRule = "format-doc";
+  constexpr const char* kDocPath = "docs/FORMAT.md";
+  const SourceFile* hpp = find_file(input, "retra/db/format.hpp");
+  // Repositories without the database format layer (test fixtures) have
+  // neither side of the contract; nothing to check.
+  if (hpp == nullptr && input.format_doc.empty()) return;
+  if (hpp == nullptr) {
+    findings.push_back({kDocPath, 1, kRule,
+                        "db/format.hpp not found among analyzed files"});
+    return;
+  }
+  if (input.format_doc.empty()) {
+    findings.push_back(
+        {hpp->path, 1, kRule, "docs/FORMAT.md is missing or empty"});
+    return;
+  }
+  const std::vector<Token> toks = tokenize(hpp->content);
+  const std::vector<std::string> hpp_lines = split_lines(hpp->content);
+  const std::vector<std::string> doc_lines = split_lines(input.format_doc);
+
+  // Structural limits, phrased exactly as the doc states them.
+  struct Phrase {
+    const char* constant;
+    const char* prefix;
+    const char* suffix;
+    const char* what;
+  };
+  static constexpr Phrase kPhrases[] = {
+      {"kMagicBytes", "", "-byte magic", "magic width"},
+      {"kMaxLevels", "at most ", " levels", "level-count ceiling"},
+      {"kMaxLevelSize", "at most ", " positions", "level-size ceiling"},
+      {"kDefaultBlockPositions", "**", "**", "default block size"},
+      {"kMaxBlockPositions", "at most ", " positions per block",
+       "block-size ceiling"},
+      {"kMaxLevelBlocks", "at most ", " blocks", "block-count ceiling"},
+      {"kFreqMaxSymbols", "at most ", " distinct", "symbol-table ceiling"},
+      {"kFreqMaxCodeBits", "1..", "", "code-length range"},
+  };
+  for (const Phrase& p : kPhrases) {
+    std::uint64_t value = 0;
+    int line = 1;
+    if (!find_constant(toks, p.constant, value, &line)) continue;
+    const std::string needle =
+        p.prefix + pow2_or_decimal(value) + p.suffix;
+    if (input.format_doc.find(needle) != std::string::npos) continue;
+    emit(findings, hpp_lines, hpp->path, line, kRule,
+         std::string("docs/FORMAT.md does not state the ") + p.what +
+             " as '" + needle + "' (format.hpp changed, doc did not?)");
+  }
+
+  // Version-negotiation table: one row per magic, both directions.
+  const auto magics = parse_magics(toks);
+  const std::vector<DocRow> version_rows =
+      table_rows(doc_lines, "## Version negotiation");
+  std::map<std::string, const DocRow*> row_by_magic;
+  for (const DocRow& row : version_rows) {
+    if (row.cells.size() >= 2) {
+      row_by_magic[strip_backticks(row.cells[0])] = &row;
+    }
+  }
+  for (const auto& [magic, entry] : magics) {
+    const auto it = row_by_magic.find(magic);
+    if (it == row_by_magic.end()) {
+      emit(findings, hpp_lines, hpp->path, entry.line, kRule,
+           "magic '" + magic +
+               "' is not in the docs/FORMAT.md version-negotiation table");
+      continue;
+    }
+    // The magic's trailing digits are the version number the row must
+    // state ("RTRADB03" -> 3).
+    std::uint64_t suffix = 0, documented = 0;
+    if (magic.size() >= 2 &&
+        parse_number(magic.substr(magic.size() - 2), suffix) &&
+        (!parse_number(it->second->cells[1], documented) ||
+         documented != suffix)) {
+      emit(findings, doc_lines, kDocPath, it->second->line, kRule,
+           "magic '" + magic + "' documented as version " +
+               it->second->cells[1] + " but its magic spells version " +
+               std::to_string(suffix));
+    }
+    row_by_magic.erase(it);
+  }
+  for (const auto& [magic, row] : row_by_magic) {
+    emit(findings, doc_lines, kDocPath, row->line, kRule,
+         "magic '" + magic +
+             "' documented but absent from db/format.hpp");
+  }
+
+  // Block-scheme table: tag + kebab name per enumerator, both
+  // directions, and the count constant.
+  const std::vector<EnumEntry> schemes = parse_enum(toks, "BlockScheme");
+  std::uint64_t scheme_count = 0;
+  int count_line = 1;
+  if (find_constant(toks, "kBlockSchemeCount", scheme_count, &count_line) &&
+      scheme_count != schemes.size()) {
+    emit(findings, hpp_lines, hpp->path, count_line, kRule,
+         "kBlockSchemeCount is " + std::to_string(scheme_count) +
+             " but enum BlockScheme has " + std::to_string(schemes.size()) +
+             " enumerators");
+  }
+  const std::vector<DocRow> scheme_rows =
+      table_rows(doc_lines, "## Block schemes");
+  std::map<std::uint64_t, const DocRow*> row_by_tag;
+  for (const DocRow& row : scheme_rows) {
+    std::uint64_t tag = 0;
+    if (row.cells.size() >= 2 && parse_number(row.cells[0], tag)) {
+      row_by_tag[tag] = &row;
+    }
+  }
+  for (const EnumEntry& scheme : schemes) {
+    const std::string doc_name = kebab(scheme.name);
+    const auto it = row_by_tag.find(scheme.value);
+    if (it == row_by_tag.end()) {
+      emit(findings, hpp_lines, hpp->path, scheme.line, kRule,
+           "scheme tag " + std::to_string(scheme.value) + " (" + doc_name +
+               ") is not in the docs/FORMAT.md block-scheme table");
+      continue;
+    }
+    const std::string documented = strip_backticks(it->second->cells[1]);
+    if (documented != doc_name) {
+      emit(findings, doc_lines, kDocPath, it->second->line, kRule,
+           "scheme tag " + std::to_string(scheme.value) +
+               " documented as '" + documented +
+               "' but format.hpp names it '" + doc_name + "'");
+    }
+    row_by_tag.erase(it);
+  }
+  for (const auto& [tag, row] : row_by_tag) {
+    emit(findings, doc_lines, kDocPath, row->line, kRule,
+         "scheme tag " + std::to_string(tag) +
+             " documented but absent from enum BlockScheme");
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> analyze_spec(const AnalysisInput& input) {
   std::vector<Finding> findings;
   check_protocol(input, findings);
   check_metrics(input, findings);
+  check_format(input, findings);
+  return findings;
+}
+
+std::vector<Finding> analyze_format(const AnalysisInput& input) {
+  std::vector<Finding> findings;
+  check_format(input, findings);
   return findings;
 }
 

@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "retra/game/awari_level.hpp"
 #include "retra/net/client.hpp"
@@ -40,23 +41,66 @@ namespace {
 
 using namespace retra;
 
+/// "raw:3 rle:1 freq:12" — how many blocks of the level landed on each
+/// compression scheme.
+std::string scheme_histogram(const db::LevelLocation& location) {
+  int counts[db::kBlockSchemeCount] = {};
+  for (const db::BlockLocation& block : location.blocks) {
+    ++counts[static_cast<int>(block.scheme)];
+  }
+  std::string text;
+  static constexpr const char* kNames[db::kBlockSchemeCount] = {"raw", "rle",
+                                                                "freq"};
+  for (int s = 0; s < db::kBlockSchemeCount; ++s) {
+    if (counts[s] == 0) continue;
+    if (!text.empty()) text += ' ';
+    text += kNames[s];
+    text += ':';
+    text += std::to_string(counts[s]);
+  }
+  return text.empty() ? "-" : text;
+}
+
 void print_index(const std::string& path, const db::FileIndex& index) {
   std::printf("%s: RTRADB%02d, %zu levels\n\n", path.c_str(), index.version,
               index.levels.size());
-  support::Table table(
-      {"level", "positions", "bits", "offset", "payload bytes"});
+  const bool blocked = index.version == 3;
+  std::vector<std::string> headers = {"level", "positions", "bits", "offset",
+                                      "payload bytes"};
+  if (blocked) {
+    headers.insert(headers.end(), {"blocks", "ratio", "schemes"});
+  }
+  support::Table table(headers);
   for (const db::LevelLocation& location : index.levels) {
-    table.row()
-        .add(location.level)
+    auto& row = table.row();
+    row.add(location.level)
         .add(support::with_thousands(location.size))
         .add(location.raw ? std::to_string(location.bits) + " raw"
                           : std::to_string(location.bits))
         .add(static_cast<std::int64_t>(location.offset))
         .add(support::with_thousands(location.payload_bytes));
+    if (blocked) {
+      const double ratio =
+          location.payload_bytes == 0
+              ? 1.0
+              : static_cast<double>(location.decoded_bytes()) /
+                    static_cast<double>(location.payload_bytes);
+      row.add(location.block_count())
+          .add(ratio)
+          .add(scheme_histogram(location));
+    }
   }
   table.print();
   std::printf("\ntotal payload: %s bytes\n",
               support::with_thousands(index.total_payload_bytes()).c_str());
+  if (blocked) {
+    std::printf("total decoded: %s bytes (overall ratio %.2f)\n",
+                support::with_thousands(index.total_decoded_bytes()).c_str(),
+                index.total_payload_bytes() == 0
+                    ? 1.0
+                    : static_cast<double>(index.total_decoded_bytes()) /
+                          static_cast<double>(index.total_payload_bytes()));
+  }
 }
 
 void answer(serve::ValueSource& source, const game::Board& board) {
@@ -189,6 +233,18 @@ int run_connected(const std::string& target, const support::Cli& cli) {
 
 void print_stats(const serve::QueryService& service) {
   const auto& stats = service.stats();
+  if (service.blocked()) {
+    std::printf(
+        "\nserving: %llu lookups in %llu batches; block cache: %llu hits, "
+        "%llu faults, %llu evictions, %llu bytes resident\n",
+        static_cast<unsigned long long>(stats.lookups),
+        static_cast<unsigned long long>(stats.batches),
+        static_cast<unsigned long long>(stats.block_hits),
+        static_cast<unsigned long long>(stats.block_faults),
+        static_cast<unsigned long long>(stats.block_evictions),
+        static_cast<unsigned long long>(stats.resident_bytes));
+    return;
+  }
   std::printf(
       "\nserving: %llu lookups in %llu batches, %llu level faults, "
       "%llu evictions, %llu bytes resident\n",
