@@ -1,0 +1,187 @@
+// OC1 — Out-of-core build: memory budget vs spill/fault traffic.
+//
+// The paper's database (23 stones, ~10^9 positions) never fit one 1995
+// workstation's RAM; completed levels lived on disk.  This bench sweeps
+// the per-rank working-set budget from "everything resident" down to
+// less than one block and reports what the paging layer does: spills,
+// faults, evictions, peak residency — with every build checked
+// bit-identical to the unconstrained reference — plus the 1995 price of
+// the disk traffic under the modelled SCSI drive.
+//
+//   $ bench_oc1_outofcore --level=8 --ranks=4
+//   $ bench_oc1_outofcore --level=9 --ranks=8 --json=BENCH_oc1.json
+//
+// --json writes a retra-bench-v1 artifact: the levels/totals arrays come
+// from a simulated out-of-core build under the tightest budget (whose
+// virtual time includes the priced disk I/O), and the metrics array is
+// the obs delta of the whole sweep, carrying engine.store.*.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "retra/support/timer.hpp"
+
+namespace {
+
+using namespace retra;
+
+struct SweepRow {
+  std::string label;
+  std::uint64_t budget = 0;
+  para::StoreStats store;   // summed counters, max'd gauges across ranks
+  double real_s = 0;
+  double model_io_s = 0;    // max over ranks: the 1995 critical path
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Cli cli;
+  cli.describe(
+      "Out-of-core build bench: working-set budget sweep with "
+      "bit-identity checks and 1995 disk-time pricing.");
+  cli.flag("level", "8", "levels to build");
+  cli.flag("ranks", "4", "ranks for the distributed build");
+  cli.flag("threads-per-rank", "1", "worker threads inside each rank");
+  cli.flag("block-positions", "128",
+           "positions per spilled RTRADB03 block (small = fault traffic)");
+  bench::add_model_flags(cli);
+  bench::add_output_flags(cli);
+  cli.parse(argc, argv);
+
+  const int level = static_cast<int>(cli.integer("level"));
+  const int ranks = static_cast<int>(cli.integer("ranks"));
+  const sim::ClusterModel model = bench::model_from(cli);
+  bench::print_model(model);
+  std::printf(
+      "modelled disk: %.1f MB/s, %.0f ms/op "
+      "(one SCSI drive per workstation)\n\n",
+      model.machine.disk_bytes_per_second / 1e6,
+      model.machine.disk_op_overhead_s * 1e3);
+
+  para::ParallelConfig base;
+  base.ranks = ranks;
+  base.threads_per_rank = static_cast<int>(cli.integer("threads-per-rank"));
+  base.oversubscribe = base.threads_per_rank > 1;
+
+  const obs::Snapshot before = obs::snapshot();
+
+  // Reference: the unconstrained in-memory build.
+  support::Timer ref_timer;
+  const para::ParallelResult reference =
+      para::build_parallel(game::AwariFamily{}, level, base);
+  const double ref_s = ref_timer.seconds();
+  std::uint64_t full_bytes = 0;
+  for (int r = 0; r < ranks; ++r) {
+    full_bytes =
+        std::max(full_bytes, reference.database->store(r).stored_bytes());
+  }
+  const db::Database truth = reference.database->gather();
+  std::printf(
+      "reference build: levels 0..%d on %d ranks, %s of completed levels "
+      "on the largest rank, %.2fs\n\n",
+      level, ranks, support::human_bytes(full_bytes).c_str(), ref_s);
+
+  const std::string scratch_root =
+      (std::filesystem::temp_directory_path() /
+       ("bench_oc1_" + std::to_string(::getpid())))
+          .string();
+
+  struct Point {
+    const char* label;
+    double fraction;  // of full_bytes; <= 0 means a fixed tiny budget
+  };
+  static constexpr Point kPoints[] = {
+      {"100%", 1.0}, {"50%", 0.5}, {"25%", 0.25},
+      {"10%", 0.10}, {"5%", 0.05}, {"tiny", -1.0}};
+
+  std::vector<SweepRow> rows;
+  std::uint64_t tightest = 0;
+  for (const Point& point : kPoints) {
+    SweepRow row;
+    row.label = point.label;
+    row.budget = point.fraction > 0
+                     ? std::max<std::uint64_t>(
+                           1, static_cast<std::uint64_t>(
+                                  point.fraction *
+                                  static_cast<double>(full_bytes)))
+                     : 256;  // smaller than one decoded block: pure thrash
+    tightest = row.budget;
+
+    para::ParallelConfig config = base;
+    config.store.working_set_bytes = row.budget;
+    config.store.scratch_dir = scratch_root + "_" + point.label;
+    config.store.block_positions =
+        static_cast<std::uint32_t>(cli.integer("block-positions"));
+    support::Timer timer;
+    const para::ParallelResult run =
+        para::build_parallel(game::AwariFamily{}, level, config);
+    row.real_s = timer.seconds();
+    if (run.database->gather() != truth) {
+      std::fprintf(stderr,
+                   "FATAL: budget %llu build diverged from the reference\n",
+                   static_cast<unsigned long long>(row.budget));
+      return 1;
+    }
+    for (int r = 0; r < ranks; ++r) {
+      const para::StoreStats stats = run.database->store(r).stats();
+      row.store += stats;
+      row.model_io_s = std::max(
+          row.model_io_s,
+          model.machine.io_seconds(stats.levels_spilled + stats.faults,
+                                   stats.spill_bytes + stats.fault_bytes));
+    }
+    std::filesystem::remove_all(config.store.scratch_dir);
+    rows.push_back(row);
+  }
+
+  std::printf("all %zu budgeted builds bit-identical to the reference\n\n",
+              rows.size());
+  support::Table table({"budget/rank", "bytes", "spills", "spill B",
+                        "faults", "fault B", "evict", "peak res", "real",
+                        "1995 disk"});
+  for (const SweepRow& row : rows) {
+    table.row()
+        .add(row.label)
+        .add(row.budget)
+        .add(row.store.levels_spilled)
+        .add(row.store.spill_bytes)
+        .add(row.store.faults)
+        .add(row.store.fault_bytes)
+        .add(row.store.evictions)
+        .add(row.store.peak_resident_bytes)
+        .add(support::human_seconds(row.real_s))
+        .add(support::human_seconds(row.model_io_s));
+  }
+  table.print();
+
+  // The artifact's levels/totals: a simulated 1995 run under the
+  // tightest budget, so each level's virtual time includes the spill and
+  // fault traffic priced by MachineModel::io_seconds.
+  para::ParallelConfig sim_config = base;
+  sim_config.store.working_set_bytes = tightest;
+  sim_config.store.scratch_dir = scratch_root + "_sim";
+  sim_config.store.block_positions =
+      static_cast<std::uint32_t>(cli.integer("block-positions"));
+  const para::SimBuildResult sim_run = para::build_parallel_simulated(
+      game::AwariFamily{}, level, sim_config, model);
+  std::filesystem::remove_all(sim_config.store.scratch_dir);
+  std::printf(
+      "\nsimulated 1995 run under the %s budget: %s of virtual time\n",
+      support::human_bytes(tightest).c_str(),
+      support::human_seconds(sim_run.total_time_s()).c_str());
+  const obs::Snapshot delta = obs::snapshot() - before;
+
+  bench::BenchRunMeta meta;
+  meta.suite = "oc1";
+  meta.bench = "bench_oc1_outofcore";
+  meta.max_level = level;
+  meta.ranks = ranks;
+  meta.combine_bytes = base.combine_bytes;
+  if (!bench::write_artifact_if_requested(cli, meta, model, sim_run, delta)) {
+    return 1;
+  }
+  return 0;
+}

@@ -195,9 +195,7 @@ std::string scheme_histogram(const db::LevelLocation& location) {
 void run_sweep(const db::Database& database, const std::string& raw_path,
                std::uint64_t budget, const Workload& work, int samples) {
   const std::string compressed_path = raw_path + ".c";
-  db::SaveOptions options;
-  options.compress = true;
-  db::save(database, compressed_path, options);
+  db::save(database, compressed_path, db::Format{.version = 3});
 
   auto scanned = [](const std::string& p) {
     std::FILE* f = std::fopen(p.c_str(), "rb");
@@ -277,9 +275,7 @@ int main(int argc, char** argv) {
     scratch = (std::filesystem::temp_directory_path() /
                ("bench_q1_awari" + std::to_string(level) + ".db"))
                   .string();
-    db::SaveOptions options;
-    options.pack = true;
-    db::save(database, scratch, options);
+    db::save(database, scratch, db::Format{.version = 2});
     path = scratch;
     std::printf("built levels 0..%d and packed them to %s\n", level,
                 path.c_str());

@@ -86,9 +86,7 @@ int main(int argc, char** argv) {
     scratch = (std::filesystem::temp_directory_path() /
                ("bench_q2_awari" + std::to_string(level) + ".db"))
                   .string();
-    db::SaveOptions options;
-    options.pack = true;
-    db::save(database, scratch, options);
+    db::save(database, scratch, db::Format{.version = 2});
     path = scratch;
     std::printf("built levels 0..%d and packed them to %s\n", level,
                 path.c_str());

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   cli.parse(argc, argv);
 
   db::Database database;
-  std::unique_ptr<serve::DenseSource> dense;
+  std::unique_ptr<serve::DatabaseSource> dense;
   std::unique_ptr<serve::QueryService> service;
   serve::ValueSource* source = nullptr;
   if (const std::string path = cli.str("db"); !path.empty()) {
@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   } else {
     database = ra::build_database(game::AwariFamily{},
                                   static_cast<int>(cli.integer("level")));
-    dense = std::make_unique<serve::DenseSource>(database);
+    dense = std::make_unique<serve::DatabaseSource>(database);
     source = dense.get();
   }
 

@@ -107,6 +107,12 @@ int main(int argc, char** argv) {
   cli.flag("crash-level", "0", "level at which the scheduled crash fires");
   cli.flag("crash-after", "20", "sends of the crash level before dying");
   cli.flag("checkpoint", "", "checkpoint directory (written + resumed)");
+  cli.flag("working-set-kb", "0",
+           "per-rank byte budget for completed levels; >0 pages cold "
+           "levels out to --scratch-dir and prices the disk traffic "
+           "into the 1995 timeline (0 = all in memory)");
+  cli.flag("scratch-dir", "",
+           "directory for spilled levels and drain-queue run files");
   cli.parse(argc, argv);
   const int level = static_cast<int>(cli.integer("level"));
   const int ranks = static_cast<int>(cli.integer("ranks"));
@@ -118,6 +124,13 @@ int main(int argc, char** argv) {
   config.threads_per_rank =
       static_cast<int>(cli.integer("threads-per-rank"));
   config.checkpoint_dir = cli.str("checkpoint");
+  config.store.working_set_bytes =
+      static_cast<std::uint64_t>(cli.integer("working-set-kb")) * 1024;
+  config.store.scratch_dir = cli.str("scratch-dir");
+  if (config.store.out_of_core() && config.store.scratch_dir.empty()) {
+    std::fprintf(stderr, "--working-set-kb needs --scratch-dir\n");
+    return 2;
+  }
 
   msg::FaultPlan plan;
   if (cli.integer("fault-seed") != 0) {
@@ -187,6 +200,24 @@ int main(int argc, char** argv) {
         .add(support::human_seconds(cumulative));
   }
   table.print();
+
+  if (config.store.out_of_core()) {
+    para::StoreStats store;
+    for (int r = 0; r < ranks; ++r) {
+      store += run.database->store(r).stats();
+    }
+    std::printf(
+        "\nout-of-core: %llu level spills (%s) and %llu faults (%s) under "
+        "a %s/rank budget; the disk traffic is priced into the timeline "
+        "at %.1f MB/s + %.0f ms/op.\n",
+        static_cast<unsigned long long>(store.levels_spilled),
+        support::human_bytes(store.spill_bytes).c_str(),
+        static_cast<unsigned long long>(store.faults),
+        support::human_bytes(store.fault_bytes).c_str(),
+        support::human_bytes(config.store.working_set_bytes).c_str(),
+        model.machine.disk_bytes_per_second / 1e6,
+        model.machine.disk_op_overhead_s * 1e3);
+  }
 
   std::printf(
       "\ncluster finished in %s of 1995 wall-clock "

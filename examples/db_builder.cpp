@@ -5,7 +5,9 @@
 //   $ db_builder --level=10 --ranks=8 --out=/tmp/awari10.db
 //   $ db_builder --game=kalah --level=9 --sequential
 //   $ db_builder --level=12 --checkpoint=/tmp/ck   # crash-safe, resumable
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "retra/db/db_io.hpp"
 #include "retra/db/db_stats.hpp"
@@ -21,6 +23,35 @@
 namespace {
 
 using namespace retra;
+
+/// Resolves --format (v1|v2|v3) plus the deprecated --pack/--compress
+/// aliases, which can only raise the version and print a warning.
+db::Format output_format(const support::Cli& cli) {
+  db::Format format;
+  const std::string name = cli.str("format");
+  if (name == "v1") {
+    format.version = 1;
+  } else if (name == "v2") {
+    format.version = 2;
+  } else if (name == "v3") {
+    format.version = 3;
+  } else {
+    std::fprintf(stderr, "unknown --format=%s (want v1, v2 or v3)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  if (cli.boolean("compress")) {
+    std::fprintf(stderr,
+                 "warning: --compress is deprecated; use --format=v3\n");
+    format.version = std::max(format.version, 3);
+  } else if (cli.boolean("pack")) {
+    std::fprintf(stderr, "warning: --pack is deprecated; use --format=v2\n");
+    format.version = std::max(format.version, 2);
+  }
+  format.block_positions =
+      static_cast<std::uint32_t>(cli.integer("block-positions"));
+  return format;
+}
 
 template <typename Family>
 int run(const Family& family, const support::Cli& cli) {
@@ -49,6 +80,13 @@ int run(const Family& family, const support::Cli& cli) {
         static_cast<int>(cli.integer("threads-per-rank"));
     config.async = cli.boolean("async");
     config.checkpoint_dir = cli.str("checkpoint");
+    config.store.working_set_bytes =
+        static_cast<std::uint64_t>(cli.integer("working-set-kb")) * 1024;
+    config.store.scratch_dir = cli.str("scratch-dir");
+    if (config.store.out_of_core() && config.store.scratch_dir.empty()) {
+      std::fprintf(stderr, "--working-set-kb needs --scratch-dir\n");
+      return 2;
+    }
     const std::string scheme = cli.str("scheme");
     config.scheme = scheme == "block" ? para::PartitionScheme::kBlock
                     : scheme == "block-cyclic"
@@ -63,6 +101,22 @@ int run(const Family& family, const support::Cli& cli) {
         config.async ? "async" : "BSP", timer.seconds(),
         static_cast<unsigned long long>(result.total_messages()),
         support::human_bytes(result.total_payload_bytes()).c_str());
+    if (config.store.out_of_core()) {
+      para::StoreStats store;
+      for (int r = 0; r < config.ranks; ++r) {
+        store += result.database->store(r).stats();
+      }
+      std::printf(
+          "out-of-core: %llu level spills (%s), %llu faults (%s), "
+          "%llu evictions, peak resident %s/rank under a %s budget\n",
+          static_cast<unsigned long long>(store.levels_spilled),
+          support::human_bytes(store.spill_bytes).c_str(),
+          static_cast<unsigned long long>(store.faults),
+          support::human_bytes(store.fault_bytes).c_str(),
+          static_cast<unsigned long long>(store.evictions),
+          support::human_bytes(store.peak_resident_bytes).c_str(),
+          support::human_bytes(config.store.working_set_bytes).c_str());
+    }
     database = result.database->gather();
     if (cli.boolean("verify")) {
       for (int l = 0; l <= level; ++l) {
@@ -96,16 +150,12 @@ int run(const Family& family, const support::Cli& cli) {
   table.print();
 
   if (const std::string out = cli.str("out"); !out.empty()) {
-    db::SaveOptions options;
-    options.pack = cli.boolean("pack");
-    options.compress = cli.boolean("compress");
-    options.block_positions =
-        static_cast<std::uint32_t>(cli.integer("block-positions"));
-    db::save(database, out, options);
+    const db::Format format = output_format(cli);
+    db::save(database, out, format);
     std::printf("wrote %s (%s)\n", out.c_str(),
-                options.compress  ? "RTRADB03 block-compressed"
-                : options.pack    ? "RTRADB02 packed"
-                                  : "RTRADB01");
+                format.version == 3   ? "RTRADB03 block-compressed"
+                : format.version == 2 ? "RTRADB02 packed"
+                                      : "RTRADB01");
   }
   return 0;
 }
@@ -125,12 +175,17 @@ int main(int argc, char** argv) {
   cli.flag("combine-bytes", "4096", "combining buffer size");
   cli.flag("scheme", "cyclic", "partition scheme: block|cyclic|block-cyclic");
   cli.flag("checkpoint", "", "checkpoint directory (resume if present)");
+  cli.flag("working-set-kb", "0",
+           "per-rank byte budget for completed levels; >0 pages cold "
+           "levels out to --scratch-dir (0 = all in memory)");
+  cli.flag("scratch-dir", "",
+           "directory for spilled levels and drain-queue run files");
   cli.flag("out", "", "write the database to this file");
-  cli.flag("pack", "false",
-           "write --out in the bit-packed RTRADB02 format (serving)");
-  cli.flag("compress", "false",
-           "write --out in the block-compressed RTRADB03 format "
-           "(implies --pack)");
+  cli.flag("format", "v1",
+           "on-disk format of --out: v1 (raw), v2 (bit-packed RTRADB02), "
+           "v3 (block-compressed RTRADB03)");
+  cli.flag("pack", "false", "deprecated alias for --format=v2");
+  cli.flag("compress", "false", "deprecated alias for --format=v3");
   cli.flag("block-positions", "4096",
            "positions per RTRADB03 block (even, at most 65536)");
   cli.parse(argc, argv);

@@ -31,19 +31,21 @@ int main(int argc, char** argv) {
               timer.seconds());
 
   // 2. Query a position: the mover's pits are 0-5, the opponent's 6-11.
+  // The oracle queries any serve::ValueSource; wrap the database once.
+  serve::DatabaseSource source(database);
   const game::Board board =
       game::board_from_string("2 0 1 0 0 1  1 0 0 2 0 0");
   std::printf("\nposition %s\n", game::board_to_string(board).c_str());
   std::printf("value for the player to move: %d stones net\n",
-              static_cast<int>(ra::position_value(database, board)));
-  for (const auto& eval : ra::evaluate_moves(database, board)) {
+              static_cast<int>(ra::position_value(source, board)));
+  for (const auto& eval : ra::evaluate_moves(source, board)) {
     std::printf("  pit %d: captures %d, guarantees %+d\n", eval.pit,
                 eval.captured, static_cast<int>(eval.value));
   }
 
   // 3. Follow the optimal line for a few plies.
   std::printf("\noptimal play:\n");
-  for (const std::string& ply : ra::optimal_line(database, board, 10)) {
+  for (const std::string& ply : ra::optimal_line(source, board, 10)) {
     std::printf("  %s\n", ply.c_str());
   }
 

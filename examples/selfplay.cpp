@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   // Pick the backend: a budgeted file-backed QueryService with --db, a
   // freshly built in-memory database otherwise.
   db::Database database;
-  std::unique_ptr<serve::DenseSource> dense;
+  std::unique_ptr<serve::DatabaseSource> dense;
   std::unique_ptr<serve::QueryService> service;
   serve::ValueSource* source = nullptr;
   if (const std::string path = cli.str("db"); !path.empty()) {
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     source = service.get();
   } else {
     database = ra::build_database(game::AwariFamily{}, level);
-    dense = std::make_unique<serve::DenseSource>(database);
+    dense = std::make_unique<serve::DatabaseSource>(database);
     source = dense.get();
   }
   support::Xoshiro256 rng(static_cast<std::uint64_t>(cli.integer("seed")));

@@ -26,8 +26,9 @@
 //                u64 offset | u64 checksum) | u64 directory checksum |
 //                concatenated stored blocks
 //
-// load() accepts all three; save() writes RTRADB01 by default, RTRADB02
-// with SaveOptions{.pack = true} and RTRADB03 with .compress = true.
+// load() accepts all three; save() writes the version selected by
+// db::Format — RTRADB01 by default, RTRADB02 with Format{.version = 2}
+// and RTRADB03 with Format{.version = 3}.
 // scan()/read_level()/read_block() expose the level directory without
 // materialising payloads — the serving layer
 // (retra/serve/file_source.hpp) uses them for on-demand residency.
@@ -43,19 +44,19 @@
 
 namespace retra::db {
 
-struct SaveOptions {
-  /// Write the RTRADB02 bit-packed format instead of RTRADB01.
-  bool pack = false;
-  /// Write the RTRADB03 block-compressed format (implies packing).
-  bool compress = false;
+/// Which on-disk format save() writes.
+struct Format {
+  /// 1 = RTRADB01 raw, 2 = RTRADB02 bit-packed, 3 = RTRADB03
+  /// block-compressed.
+  int version = 1;
   /// RTRADB03 positions per block; must be even and at most
-  /// kMaxBlockPositions.
+  /// kMaxBlockPositions.  Ignored by versions 1 and 2.
   std::uint32_t block_positions = kDefaultBlockPositions;
 };
 
 /// Writes the database; aborts on I/O failure (callers are CLI tools).
 void save(const Database& database, const std::string& path,
-          const SaveOptions& options = {});
+          const Format& format = {});
 
 /// Result of load(): either a database or a diagnosis of why the file was
 /// rejected (missing, malformed, checksum mismatch).

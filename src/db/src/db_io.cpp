@@ -187,27 +187,30 @@ std::uint64_t FileIndex::total_decoded_bytes() const {
 }
 
 void save(const Database& database, const std::string& path,
-          const SaveOptions& options) {
-  RETRA_CHECK_MSG(options.block_positions >= 1 &&
-                      options.block_positions <= kMaxBlockPositions &&
-                      options.block_positions % 2 == 0,
+          const Format& format) {
+  RETRA_CHECK_MSG(format.version >= 1 && format.version <= 3,
+                  "unknown RTRADB format version");
+  RETRA_CHECK_MSG(format.block_positions >= 1 &&
+                      format.block_positions <= kMaxBlockPositions &&
+                      format.block_positions % 2 == 0,
                   "block_positions must be even and within kMaxBlockPositions");
   File file(std::fopen(path.c_str(), "wb"));
   RETRA_CHECK_MSG(file != nullptr, "cannot open for writing: " + path);
   std::FILE* f = file.get();
 
   const std::string_view magic =
-      options.compress ? kMagic03 : (options.pack ? kMagic02 : kMagic01);
+      format.version == 3 ? kMagic03
+                          : (format.version == 2 ? kMagic02 : kMagic01);
   write_bytes(f, magic.data(), kMagicBytes);
   write_pod(f, static_cast<std::uint32_t>(database.num_levels()));
 
   for (int l = 0; l < database.num_levels(); ++l) {
     const auto& values = database.level(l);
-    if (options.compress) {
-      save_compressed_level(f, values, options.block_positions);
+    if (format.version == 3) {
+      save_compressed_level(f, values, format.block_positions);
       continue;
     }
-    if (options.pack) {
+    if (format.version == 2) {
       const CompactLevel packed(values);
       write_pod(f, static_cast<std::uint64_t>(values.size()));
       write_pod(f, static_cast<std::uint8_t>(packed.bits()));

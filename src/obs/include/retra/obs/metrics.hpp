@@ -101,6 +101,15 @@ enum class Id : int {
   kEngineSeedSeconds,
   kEngineZeroFillSeconds,
   kEngineDrainSeconds,
+  // para.level_store — out-of-core level storage (published in bulk).
+  kEngineStoreLevelsSpilled,
+  kEngineStoreSpillBytes,
+  kEngineStoreFaults,
+  kEngineStoreFaultBytes,
+  kEngineStoreEvictions,
+  kEngineStoreQueueSpilledRecords,
+  kEngineStoreResidentBytes,
+  kEngineStorePeakResidentBytes,
   // para.exchange — shard replication (ablation A3).
   kExchangeRecordsBroadcast,
   // para.dist_db — lower-level database reads.
@@ -209,6 +218,26 @@ inline constexpr std::array<Desc, kMetricCount> kCatalog = {{
      "P1", "host wall time in zero-fill sweeps"},
     {"engine.drain.seconds", Kind::kTimer, "seconds", "para.rank_engine",
      "P1", "host wall time draining propagation queues"},
+    {"engine.store.levels_spilled", Kind::kCounter, "levels",
+     "para.level_store", "OC1",
+     "completed level shards written to scratch files"},
+    {"engine.store.spill_bytes", Kind::kCounter, "bytes", "para.level_store",
+     "OC1", "stored bytes written while spilling completed shards"},
+    {"engine.store.faults", Kind::kCounter, "blocks", "para.level_store",
+     "OC1", "blocks faulted back from scratch files on demand"},
+    {"engine.store.fault_bytes", Kind::kCounter, "bytes", "para.level_store",
+     "OC1", "decoded bytes faulted back from scratch files"},
+    {"engine.store.evictions", Kind::kCounter, "blocks", "para.level_store",
+     "OC1", "resident blocks dropped to respect the working-set budget"},
+    {"engine.store.queue_spilled_records", Kind::kCounter, "records",
+     "para.level_store", "OC1",
+     "drain-queue entries spilled to append-only run files"},
+    {"engine.store.resident_bytes", Kind::kGauge, "bytes",
+     "para.level_store", "OC1",
+     "decoded completed-level bytes resident on the busiest rank"},
+    {"engine.store.peak_resident_bytes", Kind::kGauge, "bytes",
+     "para.level_store", "OC1",
+     "peak decoded completed-level residency of the busiest rank"},
     {"exchange.records_broadcast", Kind::kCounter, "records",
      "para.shard_exchange", "A3",
      "shard records broadcast while replicating a solved level"},

@@ -51,7 +51,12 @@ struct CheckpointLoad {
 
 /// Loads a checkpoint directory; `ok == false` (with a diagnosis) for a
 /// missing, malformed, corrupted or internally inconsistent checkpoint.
-CheckpointLoad checkpoint_load(const std::string& directory);
+/// `store_config` selects the level-store backend of the loaded database:
+/// with a working-set budget set, every restored level spills straight to
+/// scratch, so resuming an out-of-core build never needs the whole
+/// database in RAM at once.
+CheckpointLoad checkpoint_load(const std::string& directory,
+                               const StoreConfig& store_config = {});
 
 /// True when the checkpoint's configuration matches, i.e. the loaded
 /// database can seamlessly continue a build with these parameters.  Only

@@ -63,6 +63,11 @@ struct ParallelConfig {
   /// Retry/backoff tuning of the reliability sublayer (used only when
   /// `fault_plan` is active).
   msg::ReliableConfig reliable;
+  /// Level-storage backend selection: a nonzero working-set budget turns
+  /// the build out-of-core (completed levels spill to store.scratch_dir
+  /// in RTRADB03 form and fault back on demand).  The produced database
+  /// is bit-identical either way.
+  StoreConfig store;
 };
 
 /// Statistics of one level build across all ranks.
@@ -76,6 +81,12 @@ struct LevelRunInfo {
   msg::WorkMeter work_total;             // summed abstract work
   std::vector<msg::WorkMeter> work_per_rank;
   std::vector<std::uint64_t> working_bytes;  // per-rank build working set
+  /// Level-store activity while building this level: counters are summed
+  /// over ranks, the residency gauges report the busiest rank (what the
+  /// per-rank working-set budget is compared against).  All zeros except
+  /// residency for an in-memory build.
+  StoreStats store_total;
+  std::vector<StoreStats> store_per_rank;
   /// Faults injected / reliability-protocol work while building this
   /// level, summed over ranks.  All zeros in a fault-free run.
   msg::FaultStats faults;
@@ -92,6 +103,9 @@ inline void finalize_level_info(LevelRunInfo& info) {
   for (const msg::WorkMeter& meter : info.work_per_rank) {
     info.work_total += meter;
   }
+  for (const StoreStats& stats : info.store_per_rank) {
+    info.store_total += stats;
+  }
   RETRA_OBS_ADD(obs::Id::kEngineUpdatesLocal, info.total.updates_local);
   RETRA_OBS_ADD(obs::Id::kEngineUpdatesRemote, info.total.updates_remote);
   RETRA_OBS_ADD(obs::Id::kEngineLookupsLocal, info.total.lookups_local);
@@ -101,6 +115,21 @@ inline void finalize_level_info(LevelRunInfo& info) {
   RETRA_OBS_ADD(obs::Id::kEngineZeroFilled, info.total.zero_filled);
   RETRA_OBS_ADD(obs::Id::kEngineMessagesSent, info.total.messages_sent);
   RETRA_OBS_ADD(obs::Id::kEnginePayloadBytes, info.total.payload_bytes);
+  // Store activity is published here in bulk, from the per-level deltas:
+  // the file backend itself makes no obs calls, so fault/evict ordering
+  // under T > 1 can never leak into the published counters.
+  RETRA_OBS_ADD(obs::Id::kEngineStoreLevelsSpilled,
+                info.store_total.levels_spilled);
+  RETRA_OBS_ADD(obs::Id::kEngineStoreSpillBytes, info.store_total.spill_bytes);
+  RETRA_OBS_ADD(obs::Id::kEngineStoreFaults, info.store_total.faults);
+  RETRA_OBS_ADD(obs::Id::kEngineStoreFaultBytes, info.store_total.fault_bytes);
+  RETRA_OBS_ADD(obs::Id::kEngineStoreEvictions, info.store_total.evictions);
+  RETRA_OBS_ADD(obs::Id::kEngineStoreQueueSpilledRecords,
+                info.store_total.queue_spilled_records);
+  RETRA_OBS_SET(obs::Id::kEngineStoreResidentBytes,
+                info.store_total.resident_bytes);
+  RETRA_OBS_SET(obs::Id::kEngineStorePeakResidentBytes,
+                info.store_total.peak_resident_bytes);
   RETRA_OBS_INC(obs::Id::kDriverLevelsBuilt);
   RETRA_OBS_ADD(obs::Id::kDriverPositions, info.size);
   RETRA_OBS_ADD(obs::Id::kDriverRounds, info.rounds);
@@ -142,7 +171,8 @@ ParallelResult build_parallel(const Family& family, int max_level,
   ParallelResult result;
   int first_level = 0;
   if (!config.checkpoint_dir.empty()) {
-    CheckpointLoad loaded = checkpoint_load(config.checkpoint_dir);
+    CheckpointLoad loaded = checkpoint_load(config.checkpoint_dir,
+                                            config.store);
     if (loaded.ok &&
         checkpoint_compatible(loaded.meta, config.ranks, config.scheme,
                               config.block_size, config.replicate_lower)) {
@@ -166,7 +196,7 @@ ParallelResult build_parallel(const Family& family, int max_level,
   if (!result.database) {
     result.database = std::make_unique<DistributedDatabase>(
         config.scheme, config.block_size, config.ranks,
-        config.replicate_lower);
+        config.replicate_lower, config.store);
   }
   DistributedDatabase& ddb = *result.database;
   msg::ThreadWorld world(config.ranks);
@@ -221,6 +251,11 @@ ParallelResult build_parallel(const Family& family, int max_level,
         reliability_before[i] = faults->reliable(rank).reliable_stats();
       }
     }
+    std::vector<StoreStats> store_before;
+    store_before.reserve(nranks);
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      store_before.push_back(ddb.store(rank).stats());
+    }
 
     LevelRunInfo info;
     info.level = level;
@@ -246,14 +281,11 @@ ParallelResult build_parallel(const Family& family, int max_level,
       return result;
     }
 
-    std::vector<std::vector<db::Value>> shards;
-    shards.reserve(nranks);
     for (std::size_t i = 0; i < nranks; ++i) {
       info.per_rank.push_back(engines[i]->stats());
       info.working_bytes.push_back(engines[i]->working_bytes());
-      shards.push_back(std::move(engines[i]->shard()));
     }
-    engines.clear();
+    engines.clear();  // the solved shards stay behind as the stores' builds
     for (int rank = 0; rank < config.ranks; ++rank) {
       msg::WorkMeter delta = endpoint(rank).meter();
       for (std::size_t k = 0; k < msg::kWorkKinds; ++k) {
@@ -263,15 +295,16 @@ ParallelResult build_parallel(const Family& family, int max_level,
     }
 
     if (config.replicate_lower) {
-      // Broadcast every shard so each rank holds a private full copy.
+      // Broadcast every shard so each rank holds a private full copy; the
+      // exchange reads straight out of the stores' still-active builds.
       std::vector<std::vector<db::Value>> full(nranks);
       std::vector<std::unique_ptr<ShardExchange>> exchange;
       exchange.reserve(nranks);
       for (int rank = 0; rank < config.ranks; ++rank) {
         const std::size_t i = support::to_size(rank);
         exchange.push_back(std::make_unique<ShardExchange>(
-            partition, endpoint(rank), shards[i], full[i],
-            config.combine_bytes));
+            partition, endpoint(rank), ddb.store(rank).build().values,
+            full[i], config.combine_bytes));
       }
       try {
         info.rounds += config.use_threads
@@ -288,7 +321,11 @@ ParallelResult build_parallel(const Family& family, int max_level,
       }
       ddb.push_level_full(level, std::move(full));
     } else {
-      ddb.push_level_shards(level, game.size(), std::move(shards));
+      ddb.seal_level_from_builds(level, game.size());
+    }
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      info.store_per_rank.push_back(ddb.store(rank).stats() -
+                                    store_before[support::to_size(rank)]);
     }
     if (faults) {
       for (int rank = 0; rank < config.ranks; ++rank) {

@@ -1,7 +1,12 @@
 // The per-rank distributed retrograde-analysis engine.
 //
-// One RankEngine owns one rank's shard of the level being solved and talks
-// to the other ranks exclusively through its msg::Comm endpoint.  The
+// One RankEngine builds one rank's shard of the level being solved and
+// talks to the other ranks exclusively through its msg::Comm endpoint.
+// The shard's storage is owned by the rank's para::LevelStore (the
+// engine's value/best/cnt arrays are the store's active BuildArrays, and
+// lower-level reads go through the store as well), so the same engine
+// code runs fully in-RAM or out-of-core depending on the store backend
+// the DistributedDatabase was configured with.  The
 // engine is written as bulk-synchronous supersteps (see
 // retra/para/drivers.hpp) so the identical code runs under real threads
 // and under the discrete-event cluster simulator.
@@ -51,6 +56,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "retra/db/database.hpp"
@@ -148,20 +155,29 @@ template <typename Game>
 class RankEngine {
  public:
   RankEngine(const Game& game, const Partition& partition, msg::Comm& comm,
-             const DistributedDatabase& lower, const EngineConfig& config)
+             DistributedDatabase& lower, const EngineConfig& config)
       : game_(game),
         partition_(partition),
         comm_(comm),
         lower_(lower),
         bound_(game.max_value()),
         threads_(config.threads_per_rank > 1 ? config.threads_per_rank : 1),
+        store_(lower.store(comm.rank())),
+        build_(store_.begin_build(partition.local_size(comm.rank()))),
+        values_(build_.values),
+        best_(build_.best),
+        cnt_(build_.cnt),
         lookup_combiner_(comm, kTagLookup, config.combine_bytes),
         reply_combiner_(comm, kTagReply, config.combine_bytes),
         update_combiner_(comm, kTagUpdate, config.combine_bytes) {
     const std::uint64_t local = partition_.local_size(comm_.rank());
-    values_.assign(local, db::kUnknown);
     best_.assign(local, ra::kNoOption);
-    cnt_.assign(local, 0);
+    const StoreConfig& store_config = lower_.store_config();
+    if (store_config.out_of_core()) {
+      queue_.enable(store_config.scratch_dir + "/rank" +
+                        std::to_string(comm_.rank()) + "_queue",
+                    store_config.queue_mem_entries, &store_);
+    }
     if (threads_ > 1) {
       pool_ = std::make_unique<exec::WorkerPool>(
           static_cast<unsigned>(threads_));
@@ -233,11 +249,6 @@ class RankEngine {
 
   bool done() const { return phase_ == Phase::kDone; }
 
-  /// The rank's solved shard (valid once done()).
-  std::vector<db::Value>& shard() {
-    support::check_owned(rank(), "engine.shard");
-    return values_;
-  }
   const EngineStats& stats() const { return stats_; }
 
   /// Value bytes this rank holds for the level under construction
@@ -312,7 +323,7 @@ class RankEngine {
       // Replaying through the live combiner reproduces the T = 1 flush
       // boundaries, message framing, and kRecordPack charges exactly.
       out.staged.replay_into(combiner);
-      for (const std::uint64_t local : out.seeded) queue_.push_back(local);
+      for (const std::uint64_t local : out.seeded) queue_.push(local);
       for (const LocalUpdate& u : out.applies) {
         apply_update(u.local, u.contribution, step);
       }
@@ -507,7 +518,7 @@ class RankEngine {
     support::check_mutable(rank(), "engine.assign");
     RETRA_DCHECK(values_[local] == db::kUnknown);
     values_[local] = value;
-    queue_.push_back(local);
+    queue_.push(local);
     ++stats_.assignments;
     ++step.work;
     comm_.meter().charge(msg::WorkKind::kAssign);
@@ -544,36 +555,44 @@ class RankEngine {
     // next wave.  Each position is popped exactly once, so the update
     // multiset (and every counter) matches a LIFO drain; the chunk-order
     // merge makes the record stream identical for every T.
+    //
+    // Out-of-core builds hand the wave over in bounded segments replayed
+    // from the queue's run files.  Segmentation cannot change the result:
+    // the merged record/apply sequence is wave-position order either way,
+    // generation reads only values_ of already-finalised wave members
+    // (which applies never touch — they assign only kUnknown positions,
+    // and those are never queued), and positions seeded during a segment's
+    // applies join the *next* wave exactly as before.
     while (!queue_.empty()) {
-      wave_.clear();
-      wave_.swap(queue_);
       std::vector<ChunkOut> outs;
-      run_chunked(
-          wave_.size(), outs,
-          [&](const exec::ChunkRange& range, ChunkOut& out) {
-            for (std::uint64_t i = range.begin; i < range.end; ++i) {
-              const std::uint64_t local = wave_[i];
-              const auto contribution =
-                  static_cast<db::Value>(-values_[local]);
-              const idx::Index global = partition_.to_global(rank(), local);
-              game_.visit_predecessors(global, [&](idx::Index pred) {
-                out.meter.charge(msg::WorkKind::kPredEdge);
-                const int owner = partition_.owner(pred);
-                if (owner == rank()) {
-                  ++out.stats.updates_local;
-                  out.applies.push_back(
-                      LocalUpdate{partition_.to_local(pred), contribution});
-                } else {
-                  ++out.stats.updates_remote;
-                  UpdateRecord record;
-                  record.target = pred;
-                  record.contribution = contribution;
-                  stage(out.staged, owner, record);
-                }
-              });
-            }
-          });
-      merge_chunks(outs, step, update_combiner_);
+      queue_.drain([&](std::span<const std::uint64_t> wave) {
+        run_chunked(
+            wave.size(), outs,
+            [&](const exec::ChunkRange& range, ChunkOut& out) {
+              for (std::uint64_t i = range.begin; i < range.end; ++i) {
+                const std::uint64_t local = wave[i];
+                const auto contribution =
+                    static_cast<db::Value>(-values_[local]);
+                const idx::Index global = partition_.to_global(rank(), local);
+                game_.visit_predecessors(global, [&](idx::Index pred) {
+                  out.meter.charge(msg::WorkKind::kPredEdge);
+                  const int owner = partition_.owner(pred);
+                  if (owner == rank()) {
+                    ++out.stats.updates_local;
+                    out.applies.push_back(
+                        LocalUpdate{partition_.to_local(pred), contribution});
+                  } else {
+                    ++out.stats.updates_remote;
+                    UpdateRecord record;
+                    record.target = pred;
+                    record.contribution = contribution;
+                    stage(out.staged, owner, record);
+                  }
+                });
+              }
+            });
+        merge_chunks(outs, step, update_combiner_);
+      });
     }
   }
 
@@ -640,6 +659,15 @@ class RankEngine {
   const int bound_;
   const int threads_;
 
+  // The rank's level storage and the active build inside it: values_/
+  // best_/cnt_ alias the store-owned BuildArrays (pinned in RAM for the
+  // duration of the build), so sealing the level is a move, not a copy.
+  LevelStore& store_;
+  BuildArrays& build_;
+  std::vector<db::Value>& values_;
+  std::vector<db::Value>& best_;
+  std::vector<std::uint16_t>& cnt_;
+
   Phase phase_ = Phase::kInit;
   bool scan_done_ = false;
   bool seeded_ = false;
@@ -647,11 +675,7 @@ class RankEngine {
   bool zero_filled_ = false;
   int magnitude_ = 0;
 
-  std::vector<db::Value> values_;
-  std::vector<db::Value> best_;
-  std::vector<std::uint16_t> cnt_;
-  std::vector<std::uint64_t> queue_;  // local offsets awaiting propagation
-  std::vector<std::uint64_t> wave_;   // drain snapshot, reused per wave
+  SpillQueue queue_;  // local offsets awaiting propagation
 
   std::unique_ptr<exec::WorkerPool> pool_;  // only when threads_ > 1
 

@@ -69,7 +69,7 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
   SimBuildResult result;
   result.database = std::make_unique<DistributedDatabase>(
       config.scheme, config.block_size, config.ranks,
-      config.replicate_lower);
+      config.replicate_lower, config.store);
   DistributedDatabase& ddb = *result.database;
   sim::SimWorld world(config.ranks);
 
@@ -98,6 +98,11 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
     for (int rank = 0; rank < config.ranks; ++rank) {
       meters_before.push_back(world.endpoint(rank).meter());
     }
+    std::vector<StoreStats> store_before;
+    store_before.reserve(nranks);
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      store_before.push_back(ddb.store(rank).stats());
+    }
 
     sim::SimRunResult timing =
         sim::run_bsp_simulated(engines, world, model, trace);
@@ -107,14 +112,11 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
     info.size = game.size();
     info.rounds = timing.rounds;
 
-    std::vector<std::vector<db::Value>> shards;
-    shards.reserve(nranks);
     for (std::size_t i = 0; i < nranks; ++i) {
       info.per_rank.push_back(engines[i]->stats());
       info.working_bytes.push_back(engines[i]->working_bytes());
-      shards.push_back(std::move(engines[i]->shard()));
     }
-    engines.clear();
+    engines.clear();  // the solved shards stay behind as the stores' builds
 
     if (config.replicate_lower) {
       std::vector<std::vector<db::Value>> full(nranks);
@@ -123,13 +125,13 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
       for (int rank = 0; rank < config.ranks; ++rank) {
         const std::size_t i = support::to_size(rank);
         exchange.push_back(std::make_unique<ShardExchange>(
-            partition, world.endpoint(rank), shards[i], full[i],
-            config.combine_bytes));
+            partition, world.endpoint(rank), ddb.store(rank).build().values,
+            full[i], config.combine_bytes));
       }
       timing.accumulate(sim::run_bsp_simulated(exchange, world, model));
       ddb.push_level_full(level, std::move(full));
     } else {
-      ddb.push_level_shards(level, game.size(), std::move(shards));
+      ddb.seal_level_from_builds(level, game.size());
     }
 
     for (int rank = 0; rank < config.ranks; ++rank) {
@@ -139,6 +141,22 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
       }
       info.work_per_rank.push_back(delta);
     }
+    // Price the level's spill/fault traffic on the model's disks: ranks
+    // overlap with each other but not with their own I/O, so the level
+    // stretches by the busiest rank's disk time (BSP supersteps already
+    // serialise compute against the barrier).
+    double io_max_s = 0.0;
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      const std::size_t i = support::to_size(rank);
+      const StoreStats delta = ddb.store(rank).stats() - store_before[i];
+      info.store_per_rank.push_back(delta);
+      const double io_s = model.machine.io_seconds(
+          delta.faults + delta.levels_spilled,
+          delta.fault_bytes + delta.spill_bytes);
+      if (i < timing.per_rank.size()) timing.per_rank[i].compute_s += io_s;
+      if (io_s > io_max_s) io_max_s = io_s;
+    }
+    timing.time_s += io_max_s;
     info.build_seconds = timing.time_s;  // virtual cluster time
     finalize_level_info(info);
 

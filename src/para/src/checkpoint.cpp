@@ -86,7 +86,10 @@ void checkpoint_save_level(const DistributedDatabase& ddb, int level,
     std::FILE* f = file.get();
     write_pod(f, kLevelMagic);
     write_pod(f, static_cast<std::uint32_t>(ddb.ranks()));
-    for (const auto& shard : ddb.rank_storage(level)) {
+    for (int rank = 0; rank < ddb.ranks(); ++rank) {
+      // One decoded shard at a time — an out-of-core checkpoint never
+      // materialises the whole level in RAM.
+      const std::vector<db::Value> shard = ddb.read_rank_shard(level, rank);
       write_pod(f, static_cast<std::uint64_t>(shard.size()));
       const std::size_t bytes = shard.size() * sizeof(db::Value);
       write_bytes(f, shard.data(), bytes);
@@ -111,7 +114,8 @@ void checkpoint_save_level(const DistributedDatabase& ddb, int level,
   RETRA_CHECK(std::fflush(manifest.get()) == 0);
 }
 
-CheckpointLoad checkpoint_load(const std::string& directory) {
+CheckpointLoad checkpoint_load(const std::string& directory,
+                               const StoreConfig& store_config) {
   CheckpointLoad result;
   RETRA_OBS_SCOPED_TIMER(load_timer, obs::Id::kCheckpointLoadSeconds);
   File manifest(
@@ -156,7 +160,7 @@ CheckpointLoad checkpoint_load(const std::string& directory) {
 
   auto database = std::make_unique<DistributedDatabase>(
       result.meta.scheme, std::max<std::uint64_t>(result.meta.block_size, 1),
-      result.meta.ranks, result.meta.replicated);
+      result.meta.ranks, result.meta.replicated, store_config);
 
   for (int level = 0; level < result.meta.levels; ++level) {
     const std::string path = level_path(directory, level);

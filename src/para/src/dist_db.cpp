@@ -19,7 +19,9 @@ void DistributedDatabase::push_level_shards(
     RETRA_CHECK(shards[to_size(r)].size() == partition.local_size(r));
   }
   partitions_.push_back(partition);
-  store_.push_back(std::move(shards));
+  for (int r = 0; r < ranks_; ++r) {
+    stores_[to_size(r)]->push_shard(std::move(shards[to_size(r)]));
+  }
 }
 
 void DistributedDatabase::push_level_full(
@@ -33,7 +35,28 @@ void DistributedDatabase::push_level_full(
     RETRA_CHECK_MSG(copy.size() == size, "replica size mismatch");
   }
   partitions_.push_back(make_partition(size));
-  store_.push_back(std::move(per_rank_full));
+  for (int r = 0; r < ranks_; ++r) {
+    LevelStore& store = *stores_[to_size(r)];
+    if (store.building()) store.discard_build();
+    store.push_shard(std::move(per_rank_full[to_size(r)]));
+  }
+}
+
+void DistributedDatabase::seal_level_from_builds(int level,
+                                                 std::uint64_t size) {
+  support::check_serial("dist_db.seal_level_from_builds", level);
+  RETRA_CHECK_MSG(!replicated_, "use push_level_full in replicated mode");
+  RETRA_CHECK(level == num_levels());
+  Partition partition = make_partition(size);
+  for (int r = 0; r < ranks_; ++r) {
+    RETRA_CHECK_MSG(
+        stores_[to_size(r)]->build().values.size() == partition.local_size(r),
+        "active build does not match the level partition");
+  }
+  partitions_.push_back(partition);
+  for (int r = 0; r < ranks_; ++r) {
+    stores_[to_size(r)]->seal_build();
+  }
 }
 
 db::Value DistributedDatabase::value_local(int rank, int level,
@@ -42,13 +65,13 @@ db::Value DistributedDatabase::value_local(int rank, int level,
   RETRA_CHECK(level >= 0 && level < num_levels());
   RETRA_OBS_INC(obs::Id::kDistDbLocalReads);
   if (replicated_) {
-    return store_[to_size(level)][to_size(rank)][global];
+    return stores_[to_size(rank)]->value(level, global);
   }
   const Partition& partition = partitions_[to_size(level)];
   const int owner_rank = partition.owner(global);
   RETRA_CHECK_MSG(owner_rank == rank,
                   "partitioned lower-level read from a non-owner rank");
-  return store_[to_size(level)][to_size(rank)][partition.to_local(global)];
+  return stores_[to_size(rank)]->value(level, partition.to_local(global));
 }
 
 db::Database DistributedDatabase::gather() const {
@@ -56,15 +79,21 @@ db::Database DistributedDatabase::gather() const {
   for (int level = 0; level < num_levels(); ++level) {
     const Partition& partition = partitions_[to_size(level)];
     if (replicated_) {
-      database.push_level(level, store_[to_size(level)][0]);
+      std::vector<db::Value> values;
+      stores_[0]->visit_shard(level, [&values](std::span<const db::Value> v) {
+        values.assign(v.begin(), v.end());
+      });
+      database.push_level(level, std::move(values));
       continue;
     }
     std::vector<db::Value> values(partition.size());
     for (int r = 0; r < ranks_; ++r) {
-      const auto& shard = store_[to_size(level)][to_size(r)];
-      for (std::uint64_t local = 0; local < shard.size(); ++local) {
-        values[partition.to_global(r, local)] = shard[local];
-      }
+      stores_[to_size(r)]->visit_shard(
+          level, [&](std::span<const db::Value> shard) {
+            for (std::uint64_t local = 0; local < shard.size(); ++local) {
+              values[partition.to_global(r, local)] = shard[local];
+            }
+          });
     }
     database.push_level(level, std::move(values));
   }
@@ -72,11 +101,17 @@ db::Database DistributedDatabase::gather() const {
 }
 
 std::uint64_t DistributedDatabase::bytes_on_rank(int rank) const {
-  std::uint64_t bytes = 0;
-  for (int level = 0; level < num_levels(); ++level) {
-    bytes += store_[to_size(level)][to_size(rank)].size() * sizeof(db::Value);
-  }
-  return bytes;
+  return stores_[to_size(rank)]->stored_bytes();
+}
+
+std::vector<db::Value> DistributedDatabase::read_rank_shard(int level,
+                                                            int rank) const {
+  std::vector<db::Value> values;
+  stores_[to_size(rank)]->visit_shard(
+      level, [&values](std::span<const db::Value> shard) {
+        values.assign(shard.begin(), shard.end());
+      });
+  return values;
 }
 
 }  // namespace retra::para

@@ -4,11 +4,12 @@
 // whose stone count is covered, report its game-theoretic value and rank
 // the moves by the value they guarantee.
 //
-// The oracle queries through serve::ValueSource, so the same code serves
-// from the dense in-memory Database, the bit-packed CompactDatabase, or
-// an on-disk RTRADB file behind a residency budget (serve::QueryService).
-// Successor lookups are batched per level through values().  Thin
-// overloads keep `const db::Database&` call sites compiling unchanged.
+// The oracle queries through serve::ValueSource — its single query
+// surface — so the same code serves from the dense in-memory Database
+// (wrap it in serve::DatabaseSource at the call site), the bit-packed
+// CompactDatabase, or an on-disk RTRADB file behind a residency budget
+// (serve::QueryService).  Successor lookups are batched per level
+// through values().
 #pragma once
 
 #include <string>
@@ -55,40 +56,5 @@ DtcTables compute_awari_dtc(serve::ValueSource& source);
 std::vector<MoveEval> evaluate_moves_shortest(serve::ValueSource& source,
                                               const DtcTables& dtc,
                                               const game::Board& board);
-
-// ---------------------------------------------------------------------------
-// Dense-database overloads: existing call sites keep compiling; each one
-// wraps the database in a stack DenseSource adapter.
-
-inline db::Value position_value(const db::Database& database,
-                                const game::Board& board) {
-  serve::DenseSource source(database);
-  return position_value(source, board);
-}
-
-inline std::vector<MoveEval> evaluate_moves(const db::Database& database,
-                                            const game::Board& board) {
-  serve::DenseSource source(database);
-  return evaluate_moves(source, board);
-}
-
-inline std::vector<std::string> optimal_line(const db::Database& database,
-                                             game::Board board,
-                                             int max_plies = 32) {
-  serve::DenseSource source(database);
-  return optimal_line(source, board, max_plies);
-}
-
-inline DtcTables compute_awari_dtc(const db::Database& database) {
-  serve::DenseSource source(database);
-  return compute_awari_dtc(source);
-}
-
-inline std::vector<MoveEval> evaluate_moves_shortest(
-    const db::Database& database, const DtcTables& dtc,
-    const game::Board& board) {
-  serve::DenseSource source(database);
-  return evaluate_moves_shortest(source, dtc, board);
-}
 
 }  // namespace retra::ra

@@ -49,10 +49,13 @@ class ValueSource {
   std::vector<Value> level_values(int level);
 };
 
-/// Adapter over the dense in-memory db::Database.
-class DenseSource final : public ValueSource {
+/// Adapter over the dense in-memory db::Database.  This is the ONLY way
+/// engine-side code reaches a Database's values for querying: ra::oracle
+/// takes ValueSource&, so wrap the database at the call site.
+class DatabaseSource final : public ValueSource {
  public:
-  explicit DenseSource(const db::Database& database) : database_(&database) {}
+  explicit DatabaseSource(const db::Database& database)
+      : database_(&database) {}
 
   int num_levels() const override { return database_->num_levels(); }
   std::uint64_t level_size(int level) const override {

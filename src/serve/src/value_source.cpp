@@ -34,7 +34,7 @@ std::vector<Value> ValueSource::level_values(int level) {
   return out;
 }
 
-void DenseSource::values(int level, std::span<const idx::Index> indices,
+void DatabaseSource::values(int level, std::span<const idx::Index> indices,
                          std::span<Value> out) {
   RETRA_CHECK(out.size() >= indices.size());
   const std::vector<Value>& stored = database_->level(level);

@@ -67,6 +67,19 @@ struct MachineModel {
            kind == msg::WorkKind::kPredEdge;
   }
 
+  /// Local-disk pricing for out-of-core builds: mid-90s SCSI drives
+  /// stream at a few MB/s and pay roughly a seek plus rotational latency
+  /// per discrete transfer.  Spill/fault traffic is sequential block I/O,
+  /// so it is priced as ops × overhead + bytes / bandwidth.
+  double disk_bytes_per_second = 5e6;
+  double disk_op_overhead_s = 0.012;
+
+  /// Seconds of disk time for `ops` discrete transfers moving `bytes`.
+  double io_seconds(std::uint64_t ops, std::uint64_t bytes) const {
+    return static_cast<double>(ops) * disk_op_overhead_s +
+           static_cast<double>(bytes) / disk_bytes_per_second;
+  }
+
   /// Seconds of CPU for a meter full of work.
   double cpu_seconds(const msg::WorkMeter& meter) const {
     const double threads = worker_threads > 1 ? worker_threads : 1;

@@ -139,9 +139,7 @@ TEST(DbIo, PackedRoundTripAllWidths) {
   database.push_level(2, {-100, 100, 0});
   database.push_level(3, {-3000, 3000, 12});
   const std::string path = temp_path("retra_packed.db");
-  SaveOptions options;
-  options.pack = true;
-  save(database, path, options);
+  save(database, path, Format{.version = 2});
 
   const FileIndex index = scan(path);
   ASSERT_TRUE(index.ok) << index.error;
@@ -163,9 +161,7 @@ TEST(DbIo, PackedDetectsCorruption) {
   Database database;
   database.push_level(0, {7, -7, 7, -7, 0, 3});
   const std::string path = temp_path("retra_packed_corrupt.db");
-  SaveOptions options;
-  options.pack = true;
-  save(database, path, options);
+  save(database, path, Format{.version = 2});
   const FileIndex index = scan(path);
   ASSERT_TRUE(index.ok) << index.error;
   {
@@ -191,9 +187,7 @@ TEST(DbIo, PackedRejectsTruncation) {
   Database database;
   database.push_level(0, {1, 2, 3, 4, 5, 6, 7, 8});
   const std::string path = temp_path("retra_packed_trunc.db");
-  SaveOptions options;
-  options.pack = true;
-  save(database, path, options);
+  save(database, path, Format{.version = 2});
   // Cut into the trailing checksum: the level's payload+checksum no
   // longer fit in the file, which scan() diagnoses structurally.
   std::filesystem::resize_file(path,
@@ -214,9 +208,9 @@ TEST(DbIo, ReadLevelExpandsEachLevel) {
   database.push_level(1, {9, -9, 0, 4});
   for (const bool pack : {false, true}) {
     const std::string path = temp_path("retra_readlevel.db");
-    SaveOptions options;
-    options.pack = pack;
-    save(database, path, options);
+    Format format;
+    format.version = pack ? 2 : 1;
+    save(database, path, format);
     std::FILE* file = std::fopen(path.c_str(), "rb");
     ASSERT_NE(file, nullptr);
     const FileIndex index = scan(file);
@@ -250,9 +244,7 @@ TEST(DbIo, CompressedRoundTripAllSchemes) {
   database.push_level(3, wide);  // 16-bit, high entropy: raw
 
   const std::string path = temp_path("retra_compressed.db");
-  SaveOptions options;
-  options.compress = true;
-  save(database, path, options);
+  save(database, path, Format{.version = 3});
 
   const FileIndex index = scan(path);
   ASSERT_TRUE(index.ok) << index.error;
@@ -292,10 +284,7 @@ TEST(DbIo, CompressedMixedBlocksWithinOneLevel) {
   database.push_level(0, values);
 
   const std::string path = temp_path("retra_mixed_blocks.db");
-  SaveOptions options;
-  options.compress = true;
-  options.block_positions = 200;
-  save(database, path, options);
+  save(database, path, Format{.version = 3, .block_positions = 200});
 
   const FileIndex index = scan(path);
   ASSERT_TRUE(index.ok) << index.error;
@@ -333,10 +322,7 @@ TEST(DbIo, CompressedDetectsPerBlockCorruption) {
   for (int i = 0; i < 600; ++i) values.push_back(i % 13 == 0 ? 4 : 0);
   database.push_level(0, values);
   const std::string path = temp_path("retra_compressed_corrupt.db");
-  SaveOptions options;
-  options.compress = true;
-  options.block_positions = 200;
-  save(database, path, options);
+  save(database, path, Format{.version = 3, .block_positions = 200});
   const FileIndex index = scan(path);
   ASSERT_TRUE(index.ok) << index.error;
   const LevelLocation& location = index.levels[0];
@@ -372,9 +358,7 @@ TEST(DbIo, CompressedRejectsDirectoryCorruption) {
   Database database;
   database.push_level(0, std::vector<Value>(500, 2));
   const std::string path = temp_path("retra_dir_corrupt.db");
-  SaveOptions options;
-  options.compress = true;
-  save(database, path, options);
+  save(database, path, Format{.version = 3});
   {
     // The directory starts right after the fixed level header:
     // magic(8) + count(4) + size(8) + bits(1) + offset(2) +
@@ -401,10 +385,7 @@ TEST(DbIo, CompressedRejectsTruncation) {
   for (int i = 0; i < 900; ++i) values.push_back(i % 7 == 0 ? 3 : -1);
   database.push_level(0, values);
   const std::string path = temp_path("retra_compressed_trunc.db");
-  SaveOptions options;
-  options.compress = true;
-  options.block_positions = 300;
-  save(database, path, options);
+  save(database, path, Format{.version = 3, .block_positions = 300});
   // Cut into the last block's stored bytes: the payload no longer fits.
   std::filesystem::resize_file(path, std::filesystem::file_size(path) - 2);
   const FileIndex index = scan(path);
@@ -417,9 +398,7 @@ TEST(DbIo, CompressedRejectsBadGeometry) {
   Database database;
   database.push_level(0, std::vector<Value>(100, 1));
   const std::string path = temp_path("retra_bad_geometry.db");
-  SaveOptions options;
-  options.compress = true;
-  save(database, path, options);
+  save(database, path, Format{.version = 3});
   {
     // block_positions lives at offset 8+4+8+1+2 = 23; make it odd.
     std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
@@ -438,12 +417,8 @@ TEST(DbIo, CompressedStrictlySmallerOnAwari) {
   const auto database = ra::build_database(game::AwariFamily{}, 5);
   const std::string packed_path = temp_path("retra_awari_packed_cmp.db");
   const std::string compressed_path = temp_path("retra_awari_compressed.db");
-  SaveOptions packed;
-  packed.pack = true;
-  save(database, packed_path, packed);
-  SaveOptions compressed;
-  compressed.compress = true;
-  save(database, compressed_path, compressed);
+  save(database, packed_path, Format{.version = 2});
+  save(database, compressed_path, Format{.version = 3});
   EXPECT_LT(std::filesystem::file_size(compressed_path),
             std::filesystem::file_size(packed_path));
   const LoadResult loaded = load(compressed_path);
@@ -456,9 +431,7 @@ TEST(DbIo, CompressedStrictlySmallerOnAwari) {
 TEST(DbIo, AwariDatabaseSurvivesPackedRoundTrip) {
   const auto database = ra::build_database(game::AwariFamily{}, 4);
   const std::string path = temp_path("retra_awari_packed.db");
-  SaveOptions options;
-  options.pack = true;
-  save(database, path, options);
+  save(database, path, Format{.version = 2});
   const LoadResult loaded = load(path);
   ASSERT_TRUE(loaded.ok) << loaded.error;
   EXPECT_EQ(loaded.database, database);

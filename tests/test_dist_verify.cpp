@@ -51,7 +51,10 @@ TEST(DistVerify, DetectsADoctoredValue) {
   DistributedDatabase doctored(ddb.scheme(), ddb.block_size(), ddb.ranks(),
                                ddb.replicated());
   for (int level = 0; level <= 5; ++level) {
-    auto storage = ddb.rank_storage(level);  // copy
+    std::vector<std::vector<db::Value>> storage;
+    for (int rank = 0; rank < ddb.ranks(); ++rank) {
+      storage.push_back(ddb.read_rank_shard(level, rank));
+    }
     if (level == 5) {
       // Find a nonempty shard and nudge a value out of range of truth.
       for (auto& shard : storage) {

@@ -151,7 +151,8 @@ TEST(AwariDtc, PlayoutMatchesPredictedDepth) {
   const int max_level = 6;
   const db::Database database =
       ra::build_database(game::AwariFamily{}, max_level);
-  const DtcTables tables = compute_awari_dtc(database);
+  serve::DatabaseSource source(database);
+  const DtcTables tables = compute_awari_dtc(source);
 
   for (int level = 1; level <= max_level; ++level) {
     idx::for_each_board(level, [&](const game::Board& start, idx::Index i) {
@@ -172,7 +173,7 @@ TEST(AwariDtc, PlayoutMatchesPredictedDepth) {
           break;
         }
         const auto evals =
-            evaluate_moves_shortest(database, tables, board);
+            evaluate_moves_shortest(source, tables, board);
         const auto& move = evals.front();
         if (move.captured > 0) {
           ASSERT_EQ(ply, predicted) << game::board_to_string(start);
@@ -186,11 +187,12 @@ TEST(AwariDtc, PlayoutMatchesPredictedDepth) {
 
 TEST(AwariDtc, ShortestOracleNeverSacrificesValue) {
   const db::Database database = ra::build_database(game::AwariFamily{}, 6);
-  const DtcTables tables = compute_awari_dtc(database);
+  serve::DatabaseSource source(database);
+  const DtcTables tables = compute_awari_dtc(source);
   idx::for_each_board(6, [&](const game::Board& board, idx::Index i) {
     if (game::is_terminal(board)) return;
-    const auto plain = evaluate_moves(database, board);
-    const auto shortest = evaluate_moves_shortest(database, tables, board);
+    const auto plain = evaluate_moves(source, board);
+    const auto shortest = evaluate_moves_shortest(source, tables, board);
     ASSERT_EQ(shortest.front().value, plain.front().value);
     ASSERT_EQ(shortest.front().value, database.value(6, i));
   });

@@ -16,6 +16,7 @@
 // CI runs this binary under TSan (tsan_net job): the Store's
 // shared-lock hot path and the worker/IO handoffs must be clean.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
@@ -41,17 +42,24 @@ const db::Database& solved() {
   return database;
 }
 
+/// Per-process scratch fixture, removed at exit.  ctest runs each case as
+/// its own process; a fixed shared path races one process's rewrite
+/// against a sibling's read.
+struct ScratchDb {
+  ScratchDb() {
+    path = (std::filesystem::temp_directory_path() /
+            ("retra_test_net_concurrency." + std::to_string(::getpid()) +
+             ".db"))
+               .string();
+    db::save(solved(), path, db::Format{.version = 2});
+  }
+  ~ScratchDb() { std::remove(path.c_str()); }
+  std::string path;
+};
+
 const std::string& fixture_path() {
-  static const std::string path = [] {
-    const std::string p = (std::filesystem::temp_directory_path() /
-                           "retra_test_net_concurrency.db")
-                              .string();
-    db::SaveOptions options;
-    options.pack = true;
-    db::save(solved(), p, options);
-    return p;
-  }();
-  return path;
+  static const ScratchDb fixture;
+  return fixture.path;
 }
 
 TEST(NetConcurrency, ManyThreadsPipelinedUnderTinyBudgetStayExact) {

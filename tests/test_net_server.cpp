@@ -9,6 +9,7 @@
 // against each other and against the number of positions actually
 // asked.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -35,33 +36,31 @@ const db::Database& solved() {
   return database;
 }
 
-/// Packs solved() to a scratch RTRADB02 file; built once, removed never
-/// (temp directory).
+/// Owns a fixture file for the lifetime of the process and removes it at
+/// exit.  The PID is baked into the name: ctest runs each test case as its
+/// own process, and a shared fixed path lets one process truncate the file
+/// mid-rewrite while a sibling is reading it.
+struct ScratchDb {
+  ScratchDb(const char* stem, int version) {
+    path = (std::filesystem::temp_directory_path() /
+            (std::string(stem) + "." + std::to_string(::getpid()) + ".db"))
+               .string();
+    db::save(solved(), path, db::Format{.version = version});
+  }
+  ~ScratchDb() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+/// Packs solved() to a per-process RTRADB02 scratch file; built once.
 const std::string& fixture_path() {
-  static const std::string path = [] {
-    const std::string p = (std::filesystem::temp_directory_path() /
-                           "retra_test_net_server.db")
-                              .string();
-    db::SaveOptions options;
-    options.pack = true;
-    db::save(solved(), p, options);
-    return p;
-  }();
-  return path;
+  static const ScratchDb fixture("retra_test_net_server", 2);
+  return fixture.path;
 }
 
-/// Compresses solved() to a scratch RTRADB03 file; built once.
+/// Compresses solved() to a per-process RTRADB03 scratch file; built once.
 const std::string& compressed_fixture_path() {
-  static const std::string path = [] {
-    const std::string p = (std::filesystem::temp_directory_path() /
-                           "retra_test_net_server_c.db")
-                              .string();
-    db::SaveOptions options;
-    options.compress = true;
-    db::save(solved(), p, options);
-    return p;
-  }();
-  return path;
+  static const ScratchDb fixture("retra_test_net_server_c", 3);
+  return fixture.path;
 }
 
 Server::OpenResult open_server(const ServerConfig& config = {}) {

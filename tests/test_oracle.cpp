@@ -11,23 +11,29 @@ class OracleTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     database_ = new db::Database(build_database(game::AwariFamily{}, 7));
+    source_ = new serve::DatabaseSource(*database_);
   }
   static void TearDownTestSuite() {
+    delete source_;
+    source_ = nullptr;
     delete database_;
     database_ = nullptr;
   }
   static const db::Database& database() { return *database_; }
+  static serve::DatabaseSource& source() { return *source_; }
 
  private:
   static db::Database* database_;
+  static serve::DatabaseSource* source_;
 };
 
 db::Database* OracleTest::database_ = nullptr;
+serve::DatabaseSource* OracleTest::source_ = nullptr;
 
 TEST_F(OracleTest, ValueMatchesDatabase) {
   const game::Board board =
       game::board_from_string("2 0 1 0 0 1  1 0 0 2 0 0");
-  EXPECT_EQ(position_value(database(), board),
+  EXPECT_EQ(position_value(source(), board),
             database().value(7, idx::rank(board)));
 }
 
@@ -38,7 +44,7 @@ TEST_F(OracleTest, BestMoveRealisesTheValue) {
   for (int level = 2; level <= 6; ++level) {
     idx::for_each_board(level, [&](const game::Board& board, idx::Index i) {
       if (game::is_terminal(board)) return;
-      const auto evals = evaluate_moves(database(), board);
+      const auto evals = evaluate_moves(source(), board);
       ASSERT_FALSE(evals.empty());
       ASSERT_EQ(evals.front().value, database().value(level, i))
           << game::board_to_string(board);
@@ -49,7 +55,7 @@ TEST_F(OracleTest, BestMoveRealisesTheValue) {
 TEST_F(OracleTest, MovesAreSortedBestFirst) {
   const game::Board board =
       game::board_from_string("1 1 1 0 0 1  1 0 1 1 0 0");
-  const auto evals = evaluate_moves(database(), board);
+  const auto evals = evaluate_moves(source(), board);
   for (std::size_t i = 1; i < evals.size(); ++i) {
     EXPECT_GE(evals[i - 1].value, evals[i].value);
   }
@@ -58,8 +64,8 @@ TEST_F(OracleTest, MovesAreSortedBestFirst) {
 TEST_F(OracleTest, TerminalPositionsHaveNoMoves) {
   const game::Board board =
       game::board_from_string("0 0 0 0 0 0  1 2 0 0 0 0");
-  EXPECT_TRUE(evaluate_moves(database(), board).empty());
-  EXPECT_EQ(position_value(database(), board), -3);
+  EXPECT_TRUE(evaluate_moves(source(), board).empty());
+  EXPECT_EQ(position_value(source(), board), -3);
 }
 
 TEST_F(OracleTest, OptimalLineEndsAtTerminalForDecisiveValues) {
@@ -69,7 +75,7 @@ TEST_F(OracleTest, OptimalLineEndsAtTerminalForDecisiveValues) {
   // nonempty.
   const game::Board board =
       game::board_from_string("2 0 1 0 0 1  1 0 0 2 0 0");
-  const auto line = optimal_line(database(), board, 32);
+  const auto line = optimal_line(source(), board, 32);
   ASSERT_FALSE(line.empty());
   EXPECT_NE(line.back().find("terminal"), std::string::npos);
 }
@@ -88,7 +94,7 @@ TEST_F(OracleTest, DrawPositionsCanCycleForever) {
     }
   });
   ASSERT_TRUE(found);
-  const auto line = optimal_line(database(), draw, 12);
+  const auto line = optimal_line(source(), draw, 12);
   EXPECT_EQ(line.size(), 12u);  // never terminal: both sides hold the draw
 }
 
@@ -103,7 +109,7 @@ TEST_F(OracleTest, ValueEquationHoldsEverywhere) {
         return;
       }
       db::Value best = INT16_MIN;
-      for (const auto& eval : evaluate_moves(database(), board)) {
+      for (const auto& eval : evaluate_moves(source(), board)) {
         best = std::max(best, eval.value);
       }
       ASSERT_EQ(best, database().value(level, i))

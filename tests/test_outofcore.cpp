@@ -1,0 +1,268 @@
+// The out-of-core contract: a build under any working-set budget — even
+// one so tight every completed level spills and thrashes — produces a
+// database bit-identical to the in-memory build, with identical
+// EngineStats, for every rank count and threads-per-rank; peak decoded
+// residency respects the budget; and a crashed out-of-core build resumes
+// from its checkpoint.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "retra/db/db_io.hpp"
+#include "retra/game/awari_level.hpp"
+#include "retra/para/checkpoint.hpp"
+#include "retra/para/parallel_solver.hpp"
+#include "retra/ra/builder.hpp"
+
+namespace retra::para {
+namespace {
+
+namespace fs = std::filesystem;
+
+class OutOfCoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("retra_oc_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// A fresh scratch directory under the test's root (builds must not
+  /// share scratch space).
+  std::string scratch(const std::string& tag) {
+    return dir_ + "/" + tag;
+  }
+
+  std::string dir_;
+};
+
+StoreConfig out_of_core(const std::string& scratch_dir,
+                        std::uint64_t budget_bytes) {
+  StoreConfig store;
+  store.working_set_bytes = budget_bytes;
+  store.scratch_dir = scratch_dir;
+  store.block_positions = 200;  // small blocks: realistic fault traffic
+  return store;
+}
+
+void expect_stats_eq(const EngineStats& a, const EngineStats& b) {
+  EXPECT_EQ(a.updates_remote, b.updates_remote);
+  EXPECT_EQ(a.updates_local, b.updates_local);
+  EXPECT_EQ(a.lookups_remote, b.lookups_remote);
+  EXPECT_EQ(a.lookups_local, b.lookups_local);
+  EXPECT_EQ(a.replies_sent, b.replies_sent);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.zero_filled, b.zero_filled);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.payload_bytes, b.payload_bytes);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+struct GridPoint {
+  int ranks;
+  int threads;
+  std::uint64_t budget_bytes;
+};
+
+class OutOfCoreGrid : public OutOfCoreTest,
+                      public ::testing::WithParamInterface<GridPoint> {};
+
+TEST_P(OutOfCoreGrid, MatchesInMemoryBitForBitWithIdenticalStats) {
+  const GridPoint point = GetParam();
+  constexpr int kLevel = 6;
+
+  ParallelConfig reference_config;
+  reference_config.ranks = point.ranks;
+  const ParallelResult reference =
+      build_parallel(game::AwariFamily{}, kLevel, reference_config);
+
+  ParallelConfig config = reference_config;
+  config.threads_per_rank = point.threads;
+  config.oversubscribe = point.threads > 1;
+  config.store = out_of_core(scratch("s"), point.budget_bytes);
+  const ParallelResult constrained =
+      build_parallel(game::AwariFamily{}, kLevel, config);
+
+  // The database and every per-level, per-rank statistic are identical.
+  EXPECT_EQ(constrained.database->gather(), reference.database->gather());
+  ASSERT_EQ(constrained.levels.size(), reference.levels.size());
+  for (std::size_t l = 0; l < reference.levels.size(); ++l) {
+    expect_stats_eq(constrained.levels[l].total, reference.levels[l].total);
+    ASSERT_EQ(constrained.levels[l].per_rank.size(),
+              reference.levels[l].per_rank.size());
+    for (std::size_t r = 0; r < reference.levels[l].per_rank.size(); ++r) {
+      expect_stats_eq(constrained.levels[l].per_rank[r],
+                      reference.levels[l].per_rank[r]);
+    }
+  }
+
+  // Every non-empty completed level spilled on every rank (empty shards
+  // — e.g. level 0's single position lands on one rank only — have
+  // nothing to write), and residency respected the budget (blocks of 200
+  // positions decode to at most 400 bytes, so every grid budget can hold
+  // at least one block).
+  for (int rank = 0; rank < config.ranks; ++rank) {
+    const LevelStore& store = constrained.database->store(rank);
+    std::uint64_t nonempty = 0;
+    for (int l = 0; l <= kLevel; ++l) {
+      if (store.shard_size(l) > 0) ++nonempty;
+    }
+    const StoreStats stats = store.stats();
+    EXPECT_EQ(stats.levels_spilled, nonempty);
+    EXPECT_LE(stats.peak_resident_bytes, point.budget_bytes);
+  }
+
+  // The persisted artifacts agree byte for byte.
+  const std::string ref_path = dir_ + "/ref.rtradb";
+  const std::string ooc_path = dir_ + "/ooc.rtradb";
+  db::save(reference.database->gather(), ref_path, db::Format{.version = 3});
+  db::save(constrained.database->gather(), ooc_path,
+           db::Format{.version = 3});
+  EXPECT_EQ(read_file(ref_path), read_file(ooc_path));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OutOfCoreGrid,
+    ::testing::Values(
+        GridPoint{2, 1, 1u << 20},  // everything fits once faulted
+        GridPoint{2, 1, 4096},      // steady eviction pressure
+        GridPoint{2, 1, 512},       // barely more than one block: thrash
+        GridPoint{2, 2, 4096},      // T > 1: concurrent fault-in
+        GridPoint{2, 2, 512},
+        GridPoint{4, 1, 4096},
+        GridPoint{4, 1, 512},
+        GridPoint{4, 2, 1024}));
+
+TEST_F(OutOfCoreTest, TightBudgetActuallyFaultsAndEvicts) {
+  ParallelConfig config;
+  config.ranks = 2;
+  // 128 bytes is smaller than one decoded 200-position block, so the
+  // cache can only ever hold the single most recent (oversized) block and
+  // every cross-block access evicts.
+  config.store = out_of_core(scratch("s"), 128);
+  const ParallelResult result =
+      build_parallel(game::AwariFamily{}, 6, config);
+  std::uint64_t faults = 0;
+  std::uint64_t evictions = 0;
+  for (const LevelRunInfo& info : result.levels) {
+    faults += info.store_total.faults;
+    evictions += info.store_total.evictions;
+  }
+  EXPECT_GT(faults, 0u);
+  EXPECT_GT(evictions, 0u);
+  EXPECT_GT(result.levels.back().store_total.spill_bytes, 0u);
+}
+
+TEST_F(OutOfCoreTest, ReplicatedModeSpillsFullCopies) {
+  ParallelConfig reference_config;
+  reference_config.ranks = 3;
+  reference_config.replicate_lower = true;
+  const ParallelResult reference =
+      build_parallel(game::AwariFamily{}, 5, reference_config);
+
+  ParallelConfig config = reference_config;
+  config.store = out_of_core(scratch("s"), 2048);
+  const ParallelResult constrained =
+      build_parallel(game::AwariFamily{}, 5, config);
+  EXPECT_EQ(constrained.database->gather(), reference.database->gather());
+  for (std::size_t l = 0; l < reference.levels.size(); ++l) {
+    expect_stats_eq(constrained.levels[l].total, reference.levels[l].total);
+  }
+}
+
+TEST_F(OutOfCoreTest, SpilledDrainQueueChangesNothing) {
+  ParallelConfig reference_config;
+  reference_config.ranks = 2;
+  const ParallelResult reference =
+      build_parallel(game::AwariFamily{}, 6, reference_config);
+
+  ParallelConfig config = reference_config;
+  config.store = out_of_core(scratch("s"), 4096);
+  config.store.queue_mem_entries = 4;  // force run-file spills constantly
+  const ParallelResult constrained =
+      build_parallel(game::AwariFamily{}, 6, config);
+
+  EXPECT_EQ(constrained.database->gather(), reference.database->gather());
+  for (std::size_t l = 0; l < reference.levels.size(); ++l) {
+    expect_stats_eq(constrained.levels[l].total, reference.levels[l].total);
+  }
+  std::uint64_t spilled_records = 0;
+  for (int rank = 0; rank < config.ranks; ++rank) {
+    spilled_records += constrained.database->store(rank)
+                           .stats()
+                           .queue_spilled_records;
+  }
+  EXPECT_GT(spilled_records, 0u);
+}
+
+TEST_F(OutOfCoreTest, CrashedSpilledBuildResumesFromCheckpoint) {
+  // Kill-and-resume drill: rank 1 dies while building level 4 of an
+  // out-of-core build; a follow-up run with a fresh scratch directory
+  // resumes from the checkpoint (re-spilling levels 0..3 on load) and
+  // finishes identically to the sequential solver.
+  ParallelConfig config;
+  config.ranks = 3;
+  config.checkpoint_dir = dir_ + "/ck";
+  config.store = out_of_core(scratch("s1"), 2048);
+  config.fault_plan.crash_rank = 1;
+  config.fault_plan.crash_level = 4;
+  const ParallelResult crashed =
+      build_parallel(game::AwariFamily{}, 6, config);
+  ASSERT_FALSE(crashed.completed());
+  EXPECT_EQ(crashed.aborted_level, 4);
+  EXPECT_EQ(crashed.crashed_rank, 1);
+
+  config.fault_plan = msg::FaultPlan{};
+  config.store = out_of_core(scratch("s2"), 2048);
+  const ParallelResult resumed =
+      build_parallel(game::AwariFamily{}, 6, config);
+  ASSERT_TRUE(resumed.completed());
+  ASSERT_FALSE(resumed.levels.empty());
+  EXPECT_EQ(resumed.levels.front().level, 4);  // levels 0..3 were resumed
+  EXPECT_EQ(resumed.database->gather(),
+            ra::build_database(game::AwariFamily{}, 6));
+  // The resumed store spilled every non-empty shard: the checkpointed
+  // levels 0..3 on load, then 4..6 as they completed.
+  for (int rank = 0; rank < config.ranks; ++rank) {
+    const LevelStore& store = resumed.database->store(rank);
+    std::uint64_t nonempty = 0;
+    for (int l = 0; l <= 6; ++l) {
+      if (store.shard_size(l) > 0) ++nonempty;
+    }
+    EXPECT_EQ(store.stats().levels_spilled, nonempty);
+  }
+}
+
+TEST_F(OutOfCoreTest, ThreadDriverAndAsyncDriverMatchUnderBudget) {
+  ParallelConfig reference_config;
+  reference_config.ranks = 3;
+  const ParallelResult reference =
+      build_parallel(game::AwariFamily{}, 5, reference_config);
+
+  for (const bool async : {false, true}) {
+    ParallelConfig config = reference_config;
+    config.use_threads = true;
+    config.async = async;
+    config.store =
+        out_of_core(scratch(async ? "async" : "bsp"), 2048);
+    const ParallelResult constrained =
+        build_parallel(game::AwariFamily{}, 5, config);
+    EXPECT_EQ(constrained.database->gather(), reference.database->gather())
+        << (async ? "async" : "bsp");
+  }
+}
+
+}  // namespace
+}  // namespace retra::para

@@ -250,6 +250,44 @@ TEST(WireFormat, MethodBodiesAreNotFields) {
 }
 
 // ------------------------------------------------------------------
+// db-level-residency
+
+TEST(DbLevelResidency, DatabaseLevelCallInEngineCodeFails) {
+  const auto findings = lint_file(
+      "src/para/src/x.cpp", "auto& v = database.level(3);\n");
+  EXPECT_TRUE(has_rule(findings, "db-level-residency"));
+}
+
+TEST(DbLevelResidency, PointerReceiverAndQualifiedNameFail) {
+  EXPECT_TRUE(has_rule(
+      lint_file("src/para/include/retra/para/x.hpp",
+                "#pragma once\nauto& v = lower_db->level(n);\n"),
+      "db-level-residency"));
+  EXPECT_TRUE(has_rule(
+      lint_file("src/para/src/x.cpp",
+                "using db::Database::level;\n"),
+      "db-level-residency"));
+}
+
+TEST(DbLevelResidency, GameFamilyLevelAccessorPasses) {
+  const auto findings = lint_file(
+      "src/para/src/x.cpp", "decltype(auto) game = family.level(n);\n");
+  EXPECT_FALSE(has_rule(findings, "db-level-residency"));
+}
+
+TEST(DbLevelResidency, OutsideEngineCodeIsOutOfScope) {
+  const auto findings = lint_file(
+      "src/serve/src/x.cpp", "auto& v = database.level(3);\n");
+  EXPECT_FALSE(has_rule(findings, "db-level-residency"));
+}
+
+TEST(DbLevelResidency, MentionInCommentIsIgnored) {
+  const auto findings = lint_file(
+      "src/para/src/x.cpp", "// database.level(3) would bypass the store\n");
+  EXPECT_FALSE(has_rule(findings, "db-level-residency"));
+}
+
+// ------------------------------------------------------------------
 // allow-comment escape
 
 TEST(AllowDirective, SameLineSuppresses) {

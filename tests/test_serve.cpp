@@ -36,9 +36,9 @@ const db::Database& solved() {
 /// Saves `solved()` to a scratch file in the requested format.
 std::string save_solved(const char* name, bool pack) {
   const std::string path = temp_path(name);
-  db::SaveOptions options;
-  options.pack = pack;
-  db::save(solved(), path, options);
+  db::Format format;
+  format.version = pack ? 2 : 1;
+  db::save(solved(), path, format);
   return path;
 }
 
@@ -46,10 +46,8 @@ std::string save_solved(const char* name, bool pack) {
 std::string save_solved_compressed(const char* name,
                                    std::uint32_t block_positions) {
   const std::string path = temp_path(name);
-  db::SaveOptions options;
-  options.compress = true;
-  options.block_positions = block_positions;
-  db::save(solved(), path, options);
+  db::save(solved(), path,
+           db::Format{.version = 3, .block_positions = block_positions});
   return path;
 }
 
@@ -64,7 +62,7 @@ void expect_full_agreement(ValueSource& source, const db::Database& oracle) {
 }
 
 TEST(ValueSource, DenseAdapterAgreesEverywhere) {
-  DenseSource source(solved());
+  DatabaseSource source(solved());
   expect_full_agreement(source, solved());
 }
 
@@ -156,7 +154,7 @@ TEST(ValueSource, BatchedMatchesSingleLookups) {
 }
 
 TEST(ValueSource, CoversMatchesStoredLevels) {
-  DenseSource source(solved());
+  DatabaseSource source(solved());
   EXPECT_TRUE(source.covers(0));
   EXPECT_TRUE(source.covers(6));
   EXPECT_FALSE(source.covers(7));

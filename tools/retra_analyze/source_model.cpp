@@ -9,8 +9,14 @@ namespace {
 
 bool skipped_dir(const std::filesystem::path& path) {
   const std::string name = path.filename().string();
+  // "scratch" directories are out-of-core spill space (--scratch-dir):
+  // RTRADB level files and drain-queue runs, never source.
+  const bool scratch =
+      name == "scratch" || name.rfind("retra_scratch", 0) == 0 ||
+      (name.size() > 8 &&
+       name.compare(name.size() - 8, 8, "_scratch") == 0);
   return name == "build" || name == ".git" ||
-         name.rfind("cmake-build", 0) == 0;
+         name.rfind("cmake-build", 0) == 0 || scratch;
 }
 
 }  // namespace

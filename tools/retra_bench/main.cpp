@@ -53,9 +53,7 @@ int run_q2_suite(const std::string& json_path) {
   const std::string scratch =
       (std::filesystem::temp_directory_path() / "retra_bench_q2.db")
           .string();
-  db::SaveOptions options;
-  options.pack = true;
-  db::save(database, scratch, options);
+  db::save(database, scratch, db::Format{.version = 2});
 
   net::ServerConfig config;
   config.workers = 2;

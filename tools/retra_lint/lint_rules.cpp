@@ -104,6 +104,7 @@ class Linter {
       check_determinism();
     }
     if (under(path_, "src")) check_raw_alloc();
+    if (under(path_, "src/para")) check_db_level_access();
     check_wire_structs();
     return std::move(findings_);
   }
@@ -216,6 +217,53 @@ class Linter {
         add(static_cast<int>(i) + 1, "raw-alloc",
             "raw '" + std::string(token) +
                 "' under src/; use containers or std::make_unique");
+      }
+    }
+  }
+
+  void check_db_level_access() {
+    // Engine code must go through para::LevelStore for completed-level
+    // values: a direct db::Database::level() call hands out the dense
+    // vector, bypassing the working-set budget (and the file-backed
+    // store has no such vector at all).  Heuristic: a `.level(` /
+    // `->level(` call whose receiver identifier names a database
+    // (contains "db" or "database"), or a qualified `Database::level`.
+    const auto names_database = [](std::string_view ident) {
+      std::string lower(ident);
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      return lower.find("db") != std::string::npos ||
+             lower.find("database") != std::string::npos;
+    };
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      const std::string_view line = lines_[i];
+      const int lineno = static_cast<int>(i) + 1;
+      if (line.find("Database::level") != std::string_view::npos) {
+        add(lineno, "db-level-residency",
+            "engine code must not use db::Database::level(); read values "
+            "through para::LevelStore");
+        continue;
+      }
+      for (std::size_t at = line.find("level("); at != std::string_view::npos;
+           at = line.find("level(", at + 1)) {
+        // Receiver: the identifier before the `.` or `->` that precedes
+        // this call.
+        std::size_t before = at;
+        if (before >= 1 && line[before - 1] == '.') {
+          before -= 1;
+        } else if (before >= 2 && line[before - 2] == '-' &&
+                   line[before - 1] == '>') {
+          before -= 2;
+        } else {
+          continue;  // free function or method definition, not a call
+        }
+        std::size_t begin = before;
+        while (begin > 0 && is_ident_char(line[begin - 1])) --begin;
+        if (begin == before) continue;  // e.g. `(*x).level(` — skip
+        if (!names_database(line.substr(begin, before - begin))) continue;
+        add(lineno, "db-level-residency",
+            "engine code must not call level() on a database; read "
+            "values through para::LevelStore");
       }
     }
   }

@@ -29,6 +29,14 @@ struct Finding {
 ///   wire-format      every struct with a `kWireSize` member has a
 ///                    `static_assert(std::is_trivially_copyable_v<...>)`
 ///                    and only fixed-width fields
+///   db-level-residency  engine code (src/para) must not reach into a
+///                    dense database's level storage via
+///                    `db::Database::level()` — para::LevelStore owns
+///                    completed-level residency (the out-of-core backend
+///                    has no dense vector to hand out); detected as a
+///                    `.level(`/`->level(` call on a receiver whose name
+///                    contains `db`/`database`, or a qualified
+///                    `Database::level` mention
 ///
 /// A finding on line N is suppressed by a `// retra-lint: allow(<rule>)`
 /// comment on line N or N-1.
