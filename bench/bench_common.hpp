@@ -58,14 +58,19 @@ inline para::SimBuildResult simulate_build(int level, int ranks,
                                            para::PartitionScheme scheme =
                                                para::PartitionScheme::kCyclic,
                                            bool replicate_lower = false,
-                                           int threads_per_rank = 1) {
+                                           int threads_per_rank = 1,
+                                           int threads_scan = 0,
+                                           int threads_drain = 0) {
   para::ParallelConfig config;
   config.ranks = ranks;
   config.combine_bytes = combine_bytes;
   config.scheme = scheme;
   config.replicate_lower = replicate_lower;
   config.threads_per_rank = threads_per_rank;
-  config.oversubscribe = threads_per_rank > 1;
+  config.threads_scan = threads_scan;
+  config.threads_drain = threads_drain;
+  config.oversubscribe =
+      threads_per_rank > 1 || threads_scan > 1 || threads_drain > 1;
   return para::build_parallel_simulated(game::AwariFamily{}, level, config,
                                         model);
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "retra/exec/simd.hpp"
 
 namespace {
 
@@ -53,18 +54,31 @@ int main(int argc, char** argv) {
   cli.flag("e2e-level", "8", "awari level of the end-to-end PxT panel");
   cli.flag("e2e-ranks", "4", "ranks of the end-to-end PxT panel");
   cli.flag("combine-bytes", "4096", "combining buffer size");
+  cli.flag("vector-lanes", "0",
+           "int16 lanes the modelled CPUs sweep per op (0 = this host's "
+           "active sweep-kernel width, keeping model vs host honest)");
   cli.parse(argc, argv);
   const int level = static_cast<int>(cli.integer("level"));
   const int e2e_level = static_cast<int>(cli.integer("e2e-level"));
   const int e2e_ranks = static_cast<int>(cli.integer("e2e-ranks"));
   const auto combine = static_cast<std::size_t>(cli.integer("combine-bytes"));
   sim::ClusterModel model = model_from(cli);
+  // The host build runs the exec::simd sweep kernels at their active
+  // width; pricing the model at the same width keeps the model-vs-host
+  // panels honest (override with --vector-lanes, e.g. 1 for the paper's
+  // scalar SPARCs).
+  const int lanes_flag = static_cast<int>(cli.integer("vector-lanes"));
+  model.machine.vector_lanes =
+      lanes_flag > 0 ? lanes_flag
+                     : static_cast<int>(exec::simd::active_lanes());
   const unsigned hw = std::thread::hardware_concurrency();
 
   std::printf(
       "P1: two-level parallelism — chunked scan throughput, awari level "
-      "%d, %u hardware thread(s) on this host\n",
-      level, hw);
+      "%d, %u hardware thread(s) on this host, %s sweep kernels "
+      "(%d lanes)\n",
+      level, hw, exec::simd::backend_name(exec::simd::active()),
+      model.machine.vector_lanes);
   print_model(model);
 
   const std::vector<int> thread_counts{1, 2, 4, 8};
@@ -111,9 +125,12 @@ int main(int argc, char** argv) {
       }
       return ops;
     };
-    const double scan_ops = kind_ops(msg::WorkKind::kScanPosition) +
-                            kind_ops(msg::WorkKind::kExitOption) +
-                            kind_ops(msg::WorkKind::kLevelEdge);
+    const double scan_ops =
+        kind_ops(msg::WorkKind::kScanPosition) +
+        kind_ops(msg::WorkKind::kExitOption) +
+        kind_ops(msg::WorkKind::kLevelEdge) +
+        kind_ops(msg::WorkKind::kSweepPosition) /
+            static_cast<double>(model.machine.vector_lanes);
     row.model_scan_s =
         scan_ops / model.machine.cpu_ops_per_second / threads;
     row.model_drain_s = kind_ops(msg::WorkKind::kPredEdge) /
@@ -202,6 +219,8 @@ int main(int argc, char** argv) {
     extra.begin_object();
     extra.kv("hw_concurrency", static_cast<std::uint64_t>(hw));
     extra.kv("level", level);
+    extra.kv("simd_backend", exec::simd::backend_name(exec::simd::active()));
+    extra.kv("vector_lanes", model.machine.vector_lanes);
     extra.key("scan").begin_array();
     for (const ScanRow& row : rows) {
       extra.begin_object();

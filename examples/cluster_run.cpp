@@ -95,6 +95,14 @@ int main(int argc, char** argv) {
   cli.flag("combine-bytes", "4096", "combining buffer size (1 = off)");
   cli.flag("threads-per-rank", "1",
            "worker threads inside each rank (two-level parallelism)");
+  cli.flag("threads-scan", "0",
+           "scan/seed/zero-fill worker threads per rank "
+           "(0 = --threads-per-rank)");
+  cli.flag("threads-drain", "0",
+           "drain-wave worker threads per rank (0 = --threads-per-rank)");
+  cli.flag("vector-lanes", "1",
+           "int16 lanes the modelled CPUs sweep per op (1 = the paper's "
+           "scalar SPARCs)");
   cli.flag("segments", "4", "bridged Ethernet segments");
   cli.flag("trace", "", "write a per-round CSV trace to this file");
   cli.flag("fault-seed", "0", "fault-plan seed (0 keeps the default)");
@@ -123,6 +131,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.integer("combine-bytes"));
   config.threads_per_rank =
       static_cast<int>(cli.integer("threads-per-rank"));
+  config.threads_scan = static_cast<int>(cli.integer("threads-scan"));
+  config.threads_drain = static_cast<int>(cli.integer("threads-drain"));
   config.checkpoint_dir = cli.str("checkpoint");
   config.store.working_set_bytes =
       static_cast<std::uint64_t>(cli.integer("working-set-kb")) * 1024;
@@ -161,6 +171,9 @@ int main(int argc, char** argv) {
   sim::ClusterModel model;
   model.net.segments = static_cast<int>(cli.integer("segments"));
   model.machine.worker_threads = config.threads_per_rank;
+  model.machine.scan_threads = config.threads_scan;
+  model.machine.drain_threads = config.threads_drain;
+  model.machine.vector_lanes = static_cast<int>(cli.integer("vector-lanes"));
 
   std::printf(
       "simulating %d workstations x %d worker thread(s) (%d Ethernet "

@@ -78,6 +78,8 @@ int run(const Family& family, const support::Cli& cli) {
     config.use_threads = true;
     config.threads_per_rank =
         static_cast<int>(cli.integer("threads-per-rank"));
+    config.threads_scan = static_cast<int>(cli.integer("threads-scan"));
+    config.threads_drain = static_cast<int>(cli.integer("threads-drain"));
     config.async = cli.boolean("async");
     config.checkpoint_dir = cli.str("checkpoint");
     config.store.working_set_bytes =
@@ -169,6 +171,11 @@ int main(int argc, char** argv) {
   cli.flag("ranks", "4", "ranks for the distributed build");
   cli.flag("threads-per-rank", "1",
            "worker threads inside each rank (two-level parallelism)");
+  cli.flag("threads-scan", "0",
+           "scan/seed/zero-fill worker threads per rank "
+           "(0 = --threads-per-rank)");
+  cli.flag("threads-drain", "0",
+           "drain-wave worker threads per rank (0 = --threads-per-rank)");
   cli.flag("sequential", "false", "use the sequential solver instead");
   cli.flag("verify", "true", "run the self-verifier on every level");
   cli.flag("async", "false", "barrier-free distributed driver");

@@ -36,6 +36,14 @@ class Combiner {
   /// would not fit.
   void append(int dest, const void* record, std::size_t record_size);
 
+  /// Appends `count` contiguous fixed-size records bound for `dest` —
+  /// exactly equivalent to `count` append() calls (same flush boundaries,
+  /// same message framing, same stats and meter charges) but memcpy'd in
+  /// buffer-sized blocks instead of record by record.  The bulk entry the
+  /// engines' per-destination staging banks drain through.
+  void append_run(int dest, const void* records, std::size_t count,
+                  std::size_t record_size);
+
   /// Sends any partial buffer for `dest`.
   void flush(int dest);
   /// Sends every partial buffer (superstep boundary).
@@ -54,40 +62,46 @@ class Combiner {
   Stats stats_;
 };
 
-/// Thread-private staging buffer for records that will later be fed to a
-/// shared Combiner.
+/// Lock-free per-destination staging bank for records that will later be
+/// fed to a shared Combiner.
 ///
 /// The rank engines' chunked phases run on worker threads that must not
 /// touch the rank's combiner (it owns comm-facing buffers and the work
-/// meter).  Each chunk stages its (dest, record) appends here in
-/// discovery order; after the fork-join the owning thread replays the
-/// stages *in chunk order* through Combiner::append.  Because the global
-/// replay sequence equals the order a single-threaded sweep would have
-/// produced, message framing, flush boundaries, stats, and meter charges
-/// are bit-identical to the T = 1 run.
-class CombinerStage {
+/// meter).  Each chunk owns one bank — no locks, no shared state — and
+/// appends its records into one fixed-stride slot buffer per destination
+/// rank, in discovery order.  After the fork-join the owning thread
+/// drains the banks in (chunk, destination) order through
+/// Combiner::append_run, one bulk call per non-empty destination.
+///
+/// Why this preserves the byte-identity guarantees the per-record replay
+/// gave: chunks partition the index range in ascending order, so
+/// concatenating the banks chunk-ascending yields, *per destination*,
+/// exactly the record sequence a single-threaded sweep would have
+/// produced — and a receiver only ever observes its own (source,
+/// destination) stream.  Flush boundaries and message framing depend
+/// only on that per-destination sequence, so grouping the replay by
+/// destination changes no message, no stat, and no meter count.
+class CombinerBank {
  public:
-  /// Stages one fixed-size record bound for `dest`.
-  void append(int dest, const void* record, std::size_t record_size);
+  /// Empties the bank and fixes its geometry: `dests` destination slots,
+  /// `record_size`-byte records.  Keeps slot capacity across reuse.
+  void reset(int dests, std::size_t record_size);
 
-  std::uint64_t records() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  /// Stages one record_size-byte record bound for `dest`.
+  void append(int dest, const void* record);
 
-  /// Replays every staged record, in staging order, through
-  /// combiner.append().  The stage keeps its contents; call clear() to
-  /// reuse it.
+  std::uint64_t records() const { return records_; }
+  bool empty() const { return records_ == 0; }
+
+  /// Drains every staged record into `combiner`: destinations in
+  /// ascending order, records in staging order within each destination,
+  /// via one append_run per non-empty destination.
   void replay_into(Combiner& combiner) const;
 
-  void clear();
-
  private:
-  struct Entry {
-    int dest;
-    std::uint32_t offset;
-    std::uint32_t size;
-  };
-  std::vector<Entry> entries_;
-  std::vector<std::byte> bytes_;
+  std::size_t record_size_ = 0;
+  std::vector<std::vector<std::byte>> slots_;  // one per destination
+  std::uint64_t records_ = 0;
 };
 
 }  // namespace retra::msg

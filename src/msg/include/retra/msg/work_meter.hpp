@@ -20,6 +20,9 @@ enum class WorkKind : int {
   kAssign,            // one position finalised
   kPredEdge,          // one predecessor edge generated (unmove)
   kUpdateApply,       // one contribution applied to an open position
+  kSweepPosition,     // one position examined by a seed/zero-fill value
+                      // sweep (the vectorizable compare/select kernels;
+                      // charged in bulk per chunk)
   kRecordPack,        // one record serialised into a combining buffer
   kRecordUnpack,      // one record decoded from an inbound message
   kCount

@@ -53,26 +53,56 @@ void Combiner::flush_all() {
   }
 }
 
-void CombinerStage::append(int dest, const void* record,
-                           std::size_t record_size) {
-  const std::size_t offset = bytes_.size();
-  RETRA_CHECK_MSG(offset + record_size <= UINT32_MAX,
-                  "combiner stage exceeds 4 GiB");
-  bytes_.resize(offset + record_size);
-  std::memcpy(bytes_.data() + offset, record, record_size);
-  entries_.push_back(Entry{dest, static_cast<std::uint32_t>(offset),
-                           static_cast<std::uint32_t>(record_size)});
-}
-
-void CombinerStage::replay_into(Combiner& combiner) const {
-  for (const Entry& entry : entries_) {
-    combiner.append(entry.dest, bytes_.data() + entry.offset, entry.size);
+void Combiner::append_run(int dest, const void* records, std::size_t count,
+                          std::size_t record_size) {
+  RETRA_DCHECK(dest >= 0 && dest < static_cast<int>(buffers_.size()));
+  const std::byte* src = static_cast<const std::byte*>(records);
+  auto& buffer = buffers_[support::to_size(dest)];
+  while (count > 0) {
+    if (!buffer.empty() && buffer.size() + record_size > flush_bytes_) {
+      flush(dest);
+    }
+    // Records that fit before the next flush boundary; append() lets an
+    // empty buffer take one record even when record_size > flush_bytes_,
+    // so the bulk path must too.
+    std::size_t fit = buffer.size() + record_size > flush_bytes_
+                          ? 1
+                          : (flush_bytes_ - buffer.size()) / record_size;
+    if (fit > count) fit = count;
+    const std::size_t offset = buffer.size();
+    buffer.resize(offset + fit * record_size);
+    std::memcpy(buffer.data() + offset, src, fit * record_size);
+    stats_.records += fit;
+    buffer_records_[support::to_size(dest)] += fit;
+    comm_.meter().charge(WorkKind::kRecordPack, fit);
+    src += fit * record_size;
+    count -= fit;
   }
 }
 
-void CombinerStage::clear() {
-  entries_.clear();
-  bytes_.clear();
+void CombinerBank::reset(int dests, std::size_t record_size) {
+  record_size_ = record_size;
+  records_ = 0;
+  slots_.resize(support::to_size(dests));
+  for (auto& slot : slots_) slot.clear();
+}
+
+void CombinerBank::append(int dest, const void* record) {
+  RETRA_DCHECK(dest >= 0 && dest < static_cast<int>(slots_.size()));
+  auto& slot = slots_[support::to_size(dest)];
+  const std::size_t offset = slot.size();
+  slot.resize(offset + record_size_);
+  std::memcpy(slot.data() + offset, record, record_size_);
+  ++records_;
+}
+
+void CombinerBank::replay_into(Combiner& combiner) const {
+  for (int dest = 0; dest < static_cast<int>(slots_.size()); ++dest) {
+    const auto& slot = slots_[support::to_size(dest)];
+    if (slot.empty()) continue;
+    combiner.append_run(dest, slot.data(), slot.size() / record_size_,
+                        record_size_);
+  }
 }
 
 }  // namespace retra::msg

@@ -16,6 +16,8 @@ const char* work_kind_name(WorkKind kind) {
       return "pred-edge";
     case WorkKind::kUpdateApply:
       return "update-apply";
+    case WorkKind::kSweepPosition:
+      return "sweep-position";
     case WorkKind::kRecordPack:
       return "record-pack";
     case WorkKind::kRecordUnpack:

@@ -101,6 +101,11 @@ enum class Id : int {
   kEngineSeedSeconds,
   kEngineZeroFillSeconds,
   kEngineDrainSeconds,
+  kEngineDrainThreads,
+  // para.engine — vectorized sweep kernels (P2).
+  kEngineKernelLanes,
+  kEngineKernelSweepPositions,
+  kEngineKernelSweepMatches,
   // para.level_store — out-of-core level storage (published in bulk).
   kEngineStoreLevelsSpilled,
   kEngineStoreSpillBytes,
@@ -209,7 +214,8 @@ inline constexpr std::array<Desc, kMetricCount> kCatalog = {{
     {"engine.scan.chunks", Kind::kCounter, "chunks", "para.rank_engine",
      "P1", "worker-pool chunks executed by parallel engine phases"},
     {"engine.scan.threads", Kind::kGauge, "threads", "para.rank_engine",
-     "P1", "threads per rank of the most recently constructed engine"},
+     "P1",
+     "scan-phase threads per rank of the most recently constructed engine"},
     {"engine.scan.seconds", Kind::kTimer, "seconds", "para.rank_engine",
      "P1", "host wall time in Init scans"},
     {"engine.seed.seconds", Kind::kTimer, "seconds", "para.rank_engine",
@@ -218,6 +224,17 @@ inline constexpr std::array<Desc, kMetricCount> kCatalog = {{
      "P1", "host wall time in zero-fill sweeps"},
     {"engine.drain.seconds", Kind::kTimer, "seconds", "para.rank_engine",
      "P1", "host wall time draining propagation queues"},
+    {"engine.drain.threads", Kind::kGauge, "threads", "para.rank_engine",
+     "P1",
+     "drain-phase threads per rank of the most recently constructed engine"},
+    {"engine.kernel.lanes", Kind::kGauge, "lanes", "para.rank_engine", "P2",
+     "int16 lanes of the active sweep-kernel backend (1 = scalar)"},
+    {"engine.kernel.sweep_positions", Kind::kCounter, "positions",
+     "para.rank_engine", "P2",
+     "positions examined by the vectorized seed/zero-fill sweep kernels"},
+    {"engine.kernel.sweep_matches", Kind::kCounter, "positions",
+     "para.rank_engine", "P2",
+     "positions the sweep kernels selected (seeds plus zero-fills)"},
     {"engine.store.levels_spilled", Kind::kCounter, "levels",
      "para.level_store", "OC1",
      "completed level shards written to scratch files"},

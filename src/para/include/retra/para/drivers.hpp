@@ -66,6 +66,18 @@ inline int effective_threads_per_rank(int requested, int ranks,
   return threads;
 }
 
+/// Resolves one per-phase thread knob (ParallelConfig::threads_scan /
+/// threads_drain).  0 inherits the already-resolved global
+/// threads_per_rank; an explicit request runs through the same
+/// hardware-concurrency cap as the global knob.
+inline int effective_phase_threads(int requested, int inherited, int ranks,
+                                   bool use_threads,
+                                   bool allow_oversubscribe) {
+  if (requested <= 0) return inherited;
+  return effective_threads_per_rank(requested, ranks, use_threads,
+                                    allow_oversubscribe);
+}
+
 // Crash semantics (fault injection): a scheduled rank crash surfaces as a
 // msg::RankCrash exception out of superstep().  The sequential driver lets
 // it propagate directly; the threaded drivers capture it, stop every other

@@ -43,6 +43,12 @@ struct ParallelConfig {
   /// clock changes.  Capped against the hardware concurrency (ranks ×
   /// threads must not silently oversubscribe) unless `oversubscribe`.
   int threads_per_rank = 1;
+  /// Per-phase overrides of threads_per_rank: the scan-side sweeps (Init
+  /// scan, seeding, zero-fill) and the drain waves saturate at different
+  /// widths, so each can run its own T.  0 inherits threads_per_rank.
+  /// Bit-identity holds across every combination, same as above.
+  int threads_scan = 0;
+  int threads_drain = 0;
   /// Skip the hardware-concurrency cap on threads_per_rank.  Correctness
   /// tests use this to force T > cores and T > chunk-count configurations.
   bool oversubscribe = false;
@@ -203,6 +209,12 @@ ParallelResult build_parallel(const Family& family, int max_level,
   const int threads_per_rank =
       effective_threads_per_rank(config.threads_per_rank, config.ranks,
                                  config.use_threads, config.oversubscribe);
+  const int threads_scan = effective_phase_threads(
+      config.threads_scan, threads_per_rank, config.ranks, config.use_threads,
+      config.oversubscribe);
+  const int threads_drain = effective_phase_threads(
+      config.threads_drain, threads_per_rank, config.ranks,
+      config.use_threads, config.oversubscribe);
 
   // With an active fault plan the engines run on FaultyComm + ReliableComm
   // stacks.  The stacks live for the whole build (not per level) so that
@@ -226,6 +238,8 @@ ParallelResult build_parallel(const Family& family, int max_level,
     EngineConfig engine_config;
     engine_config.combine_bytes = config.combine_bytes;
     engine_config.threads_per_rank = threads_per_rank;
+    engine_config.threads_scan = threads_scan;
+    engine_config.threads_drain = threads_drain;
 
     std::vector<std::unique_ptr<RankEngine<Game>>> engines;
     engines.reserve(nranks);

@@ -30,16 +30,26 @@
 //               initialisation.
 //   Zero-fill   surviving positions can cycle forever: value 0.
 //
-// Two-level parallelism: with threads_per_rank > 1 the embarrassingly
-// parallel phases — the Init scan, each magnitude's seeding sweep, and the
+// Two-level parallelism: with worker threads the embarrassingly parallel
+// phases — the Init scan, each magnitude's seeding sweep, and the
 // zero-fill — split the rank's local range into one contiguous chunk per
-// thread (exec::chunk_range) and run on a persistent exec::WorkerPool.
-// Chunks write only their own slice of values_/best_/cnt_; everything
-// with global order — outgoing records, queue pushes, stats, work-meter
-// charges — is staged per chunk and merged *in chunk order* after the
-// join.  Since the merged sequence equals what a single-threaded sweep
-// would have produced, the database bits, the message framing, and every
-// published count are independent of T.
+// thread (exec::chunk_range) and run on a persistent exec::WorkerPool;
+// the scan-side phases and the drain waves can use different widths
+// (EngineConfig::threads_scan / threads_drain) since they saturate
+// differently.  Chunks write only their own slice of values_/best_/cnt_;
+// everything with global order — outgoing records, queue pushes, stats,
+// work-meter charges — is staged per chunk (records in lock-free
+// per-destination CombinerBanks) and merged *in chunk order* after the
+// join.  Since the merged sequence equals, per destination, what a
+// single-threaded sweep would have produced, the database bits, the
+// message framing, and every published count are independent of every
+// thread-count choice.
+//
+// The seeding and zero-fill sweeps themselves run on the exec::simd
+// kernels — data-parallel compare/select over the packed std::int16_t
+// value words with a scalar tail — whose every backend returns the same
+// ascending match sequence, so vectorisation is invisible to all of the
+// identities above.
 //
 // The queue drain parallelises the same way in *waves*: the queue is
 // snapshotted, predecessor generation (the most expensive kernel) runs
@@ -54,6 +64,8 @@
 // gathered distributed database to be bit-identical to the sequential one.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -61,6 +73,7 @@
 #include <vector>
 
 #include "retra/db/database.hpp"
+#include "retra/exec/simd.hpp"
 #include "retra/exec/worker_pool.hpp"
 #include "retra/game/level_game.hpp"
 #include "retra/msg/combiner.hpp"
@@ -110,6 +123,14 @@ struct EngineConfig {
   /// Worker threads for the intra-rank parallel phases; 1 runs everything
   /// on the rank's own thread.  Results are bit-identical for every value.
   int threads_per_rank = 1;
+  /// Per-phase overrides: the scan-side sweeps (Init scan, magnitude
+  /// seeding, zero-fill) and the drain waves saturate at different
+  /// widths, so their chunk counts are tunable independently.  0 inherits
+  /// threads_per_rank; the pool is sized for the wider phase.  The
+  /// produced database and every published count are bit-identical for
+  /// every combination.
+  int threads_scan = 0;
+  int threads_drain = 0;
 };
 
 /// Per-engine cumulative statistics for the communication tables.
@@ -161,7 +182,10 @@ class RankEngine {
         comm_(comm),
         lower_(lower),
         bound_(game.max_value()),
-        threads_(config.threads_per_rank > 1 ? config.threads_per_rank : 1),
+        threads_scan_(phase_threads(config.threads_scan, config)),
+        threads_drain_(phase_threads(config.threads_drain, config)),
+        threads_(threads_scan_ > threads_drain_ ? threads_scan_
+                                                : threads_drain_),
         store_(lower.store(comm.rank())),
         build_(store_.begin_build(partition.local_size(comm.rank()))),
         values_(build_.values),
@@ -183,7 +207,11 @@ class RankEngine {
           static_cast<unsigned>(threads_));
     }
     RETRA_OBS_SET(obs::Id::kEngineScanThreads,
-                  static_cast<std::uint64_t>(threads_));
+                  static_cast<std::uint64_t>(threads_scan_));
+    RETRA_OBS_SET(obs::Id::kEngineDrainThreads,
+                  static_cast<std::uint64_t>(threads_drain_));
+    RETRA_OBS_SET(obs::Id::kEngineKernelLanes,
+                  static_cast<std::uint64_t>(exec::simd::active_lanes()));
   }
 
   /// One bulk-synchronous superstep; see the file comment for the phase
@@ -260,6 +288,18 @@ class RankEngine {
  private:
   enum class Phase { kInit, kMagnitude, kZeroFill, kDone };
 
+  /// Cacheline distance the drain wave and the apply merge prefetch
+  /// ahead: the wave's values_ reads and the applies' values_/cnt_ reads
+  /// are data-dependent random accesses the hardware prefetcher cannot
+  /// predict, while the upcoming *indices* sit in sequential arrays it
+  /// can.  Eight iterations ≈ the latency of one predecessor generation.
+  static constexpr std::uint64_t kPrefetchAhead = 8;
+
+  static int phase_threads(int requested, const EngineConfig& config) {
+    const int t = requested > 0 ? requested : config.threads_per_rank;
+    return t > 1 ? t : 1;
+  }
+
   int rank() const { return comm_.rank(); }
 
   // ------------------------------------------------------------------
@@ -279,22 +319,30 @@ class RankEngine {
   struct ChunkOut {
     EngineStats stats;
     msg::WorkMeter meter;
-    msg::CombinerStage staged;  // scan: lookups; drain: update records
+    /// Lock-free per-destination staging (scan: lookups; drain: update
+    /// records); drained destination-ascending after the join.
+    msg::CombinerBank staged;
     std::vector<std::uint64_t> seeded;  // locals assigned, ascending
     std::vector<LocalUpdate> applies;   // drain: local updates, edge order
     std::uint64_t work = 0;
   };
 
-  /// Runs body(range, out) for every chunk of [0, total).  One chunk per
-  /// thread; with threads_ == 1 the rank's own thread runs the single
-  /// chunk inline through the same code path.
+  /// Runs body(range, out) for every one of `chunks` chunks of
+  /// [0, total) — the scan-side phases use threads_scan_ chunks, the
+  /// drain waves threads_drain_.  The pool is sized for the wider phase;
+  /// surplus slots return immediately.  With one chunk the rank's own
+  /// thread runs it inline through the same code path.  Each chunk's
+  /// staging bank is reset here for `record_size`-byte records.
   template <typename Body>
-  void run_chunked(std::uint64_t total, std::vector<ChunkOut>& outs,
+  void run_chunked(std::uint64_t total, int phase_chunks,
+                   std::size_t record_size, std::vector<ChunkOut>& outs,
                    Body&& body) {
-    const auto chunks = static_cast<unsigned>(threads_);
+    const auto chunks = static_cast<unsigned>(phase_chunks);
     outs.clear();
     outs.resize(chunks);
+    for (ChunkOut& out : outs) out.staged.reset(comm_.size(), record_size);
     auto run_one = [&](unsigned c) {
+      if (c >= chunks) return;  // pool slot beyond this phase's width
       // Worker threads act on behalf of this rank and own exactly their
       // chunk's local slice; both tags make the access checker enforce it.
       const support::ScopedActor actor(rank());
@@ -302,7 +350,7 @@ class RankEngine {
       const support::ScopedChunk chunk(range.begin, range.end);
       body(range, outs[c]);
     };
-    if (pool_) {
+    if (pool_ && chunks > 1) {
       pool_->run(run_one);
     } else {
       run_one(0);
@@ -311,7 +359,7 @@ class RankEngine {
   }
 
   /// Deterministic merge — chunk order, never completion order.  Staged
-  /// records replay into `combiner` (lookups for the scan, updates for the
+  /// records drain into `combiner` (lookups for the scan, updates for the
   /// drain); staged local updates are applied here, on the rank's thread.
   void merge_chunks(std::vector<ChunkOut>& outs, StepReport& step,
                     msg::Combiner& combiner) {
@@ -320,12 +368,21 @@ class RankEngine {
       comm_.meter() += out.meter;
       step.work += out.work;
       step.records_sent += out.staged.records();
-      // Replaying through the live combiner reproduces the T = 1 flush
-      // boundaries, message framing, and kRecordPack charges exactly.
+      // Draining per destination reproduces the T = 1 per-destination
+      // record streams — and with them every flush boundary, message
+      // frame, and kRecordPack charge — in one bulk append per
+      // destination instead of a per-record replay (see CombinerBank).
       out.staged.replay_into(combiner);
       for (const std::uint64_t local : out.seeded) queue_.push(local);
-      for (const LocalUpdate& u : out.applies) {
-        apply_update(u.local, u.contribution, step);
+      const std::size_t applies = out.applies.size();
+      for (std::size_t i = 0; i < applies; ++i) {
+        if (i + kPrefetchAhead < applies) {
+          const std::uint64_t ahead = out.applies[i + kPrefetchAhead].local;
+          exec::prefetch_read(values_.data() + ahead);
+          exec::prefetch_read(cnt_.data() + ahead);
+        }
+        apply_update(out.applies[i].local, out.applies[i].contribution,
+                     step);
       }
     }
   }
@@ -339,7 +396,7 @@ class RankEngine {
     const std::uint64_t local_size = partition_.local_size(rank());
     std::vector<ChunkOut> outs;
     run_chunked(
-        local_size, outs,
+        local_size, threads_scan_, LookupRecord::kWireSize, outs,
         [&](const exec::ChunkRange& range, ChunkOut& out) {
           // The cursor walks boards incrementally: to_global is monotonic
           // in `local` under every partition scheme, so successive seeks
@@ -480,25 +537,52 @@ class RankEngine {
     const auto mag = static_cast<db::Value>(magnitude_);
     const bool finalize_init = finalize_init_;
     std::vector<ChunkOut> outs;
-    run_chunked(values_.size(), outs,
-                [&](const exec::ChunkRange& range, ChunkOut& out) {
-                  for (std::uint64_t local = range.begin; local < range.end;
-                       ++local) {
-                    if (values_[local] != db::kUnknown) continue;
-                    if (finalize_init && cnt_[local] == 0) {
-                      // All options were exits; the position is exact
-                      // already.
-                      RETRA_CHECK(best_[local] != ra::kNoOption);
-                      chunk_assign(local, best_[local], out);
-                      continue;
-                    }
-                    RETRA_DCHECK(best_[local] <= mag);
-                    if (best_[local] == mag) chunk_assign(local, mag, out);
-                  }
-                });
+    // The sweep runs on the exec::simd kernels: each tile's matching
+    // positions (unknown value, seedable best/cnt) come back as ascending
+    // indices, so the assignment sequence — and through the chunk-order
+    // merge the queue and the record stream — is exactly the scalar
+    // sweep's, for every backend.  kSweepPosition is charged in bulk per
+    // chunk so the meter, too, is backend- and T-invariant.
+    run_chunked(
+        values_.size(), threads_scan_, LookupRecord::kWireSize, outs,
+        [&](const exec::ChunkRange& range, ChunkOut& out) {
+          out.meter.charge(msg::WorkKind::kSweepPosition, range.size());
+          std::array<std::uint32_t, exec::simd::kSweepTile> hits;
+          for (std::uint64_t base = range.begin; base < range.end;
+               base += hits.size()) {
+            const std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(hits.size(), range.end - base));
+            std::size_t found;
+            if (finalize_init) {
+              found = exec::simd::collect_seed_candidates(
+                  values_.data() + base, db::kUnknown, cnt_.data() + base,
+                  best_.data() + base, mag, n, hits.data());
+            } else {
+              found = exec::simd::collect_eq2(values_.data() + base,
+                                              db::kUnknown,
+                                              best_.data() + base, mag, n,
+                                              hits.data());
+            }
+            for (std::size_t h = 0; h < found; ++h) {
+              const std::uint64_t local = base + hits[h];
+              if (finalize_init && cnt_[local] == 0) {
+                // All options were exits; the position is exact already.
+                RETRA_CHECK(best_[local] != ra::kNoOption);
+                chunk_assign(local, best_[local], out);
+                continue;
+              }
+              RETRA_DCHECK(best_[local] == mag);
+              chunk_assign(local, mag, out);
+            }
+          }
+        });
     // Chunks stage their assignments in ascending local order and merge in
     // chunk order, so the queue matches the sequential sweep exactly.
     merge_chunks(outs, step, lookup_combiner_);
+    std::uint64_t seeds = 0;
+    for (const ChunkOut& out : outs) seeds += out.seeded.size();
+    RETRA_OBS_ADD(obs::Id::kEngineKernelSweepPositions, values_.size());
+    RETRA_OBS_ADD(obs::Id::kEngineKernelSweepMatches, seeds);
     finalize_init_ = false;
   }
 
@@ -567,9 +651,16 @@ class RankEngine {
       std::vector<ChunkOut> outs;
       queue_.drain([&](std::span<const std::uint64_t> wave) {
         run_chunked(
-            wave.size(), outs,
+            wave.size(), threads_drain_, UpdateRecord::kWireSize, outs,
             [&](const exec::ChunkRange& range, ChunkOut& out) {
               for (std::uint64_t i = range.begin; i < range.end; ++i) {
+                // The wave array is sequential but the values_ it indexes
+                // are not; fetch the cacheline of the position a few
+                // iterations ahead while this one's predecessors generate.
+                if (i + kPrefetchAhead < range.end) {
+                  exec::prefetch_read(values_.data() +
+                                      wave[i + kPrefetchAhead]);
+                }
                 const std::uint64_t local = wave[i];
                 const auto contribution =
                     static_cast<db::Value>(-values_[local]);
@@ -600,20 +691,27 @@ class RankEngine {
     support::check_mutable(rank(), "engine.zero_fill");
     RETRA_OBS_SCOPED_TIMER(timer, obs::Id::kEngineZeroFillSeconds);
     std::vector<ChunkOut> outs;
-    run_chunked(values_.size(), outs,
-                [&](const exec::ChunkRange& range, ChunkOut& out) {
-                  for (std::uint64_t local = range.begin; local < range.end;
-                       ++local) {
-                    if (values_[local] == db::kUnknown) {
-                      support::check_chunk(local, "engine.zero_fill_chunk");
-                      values_[local] = 0;
-                      ++out.stats.zero_filled;
-                      ++out.work;
-                      out.meter.charge(msg::WorkKind::kAssign);
-                    }
-                  }
-                });
+    // One replace_matching kernel call per chunk: every surviving
+    // kUnknown becomes 0 and the count feeds the stats/meter in bulk —
+    // all writes are the same value, so no per-position order exists to
+    // preserve.  The chunk-boundary check_chunk calls pin the whole
+    // written range to the chunk's slice.
+    run_chunked(
+        values_.size(), threads_scan_, LookupRecord::kWireSize, outs,
+        [&](const exec::ChunkRange& range, ChunkOut& out) {
+          if (range.empty()) return;
+          support::check_chunk(range.begin, "engine.zero_fill_chunk");
+          support::check_chunk(range.end - 1, "engine.zero_fill_chunk");
+          out.meter.charge(msg::WorkKind::kSweepPosition, range.size());
+          const std::uint64_t filled = exec::simd::replace_matching(
+              values_.data() + range.begin, range.size(), db::kUnknown, 0);
+          out.stats.zero_filled += filled;
+          out.work += filled;
+          out.meter.charge(msg::WorkKind::kAssign, filled);
+        });
     merge_chunks(outs, step, lookup_combiner_);
+    RETRA_OBS_ADD(obs::Id::kEngineKernelSweepPositions, values_.size());
+    RETRA_OBS_ADD(obs::Id::kEngineKernelSweepMatches, stats_.zero_filled);
   }
 
   // ------------------------------------------------------------------
@@ -629,15 +727,17 @@ class RankEngine {
     ++step.records_sent;
   }
 
-  /// Stages a record into a chunk's CombinerStage (worker-thread safe: the
-  /// stage is chunk-private and replayed later on the rank's own thread).
+  /// Stages a record into a chunk's CombinerBank (worker-thread safe: the
+  /// bank is chunk-private — lock-free by ownership — and drained later
+  /// on the rank's own thread).  The bank was reset by run_chunked for
+  /// exactly this record size.
   template <typename Record>
-  static void stage(msg::CombinerStage& staged, int dest,
+  static void stage(msg::CombinerBank& staged, int dest,
                     const Record& record) {
     std::byte buffer[32];
     static_assert(Record::kWireSize <= sizeof(buffer));
     record.encode(buffer);
-    staged.append(dest, buffer, Record::kWireSize);
+    staged.append(dest, buffer);
   }
 
   void flush_combiners() {
@@ -657,7 +757,9 @@ class RankEngine {
   msg::Comm& comm_;
   const DistributedDatabase& lower_;
   const int bound_;
-  const int threads_;
+  const int threads_scan_;   // chunks for Init scan / seeding / zero-fill
+  const int threads_drain_;  // chunks for the drain waves
+  const int threads_;        // pool width: max of the phase widths
 
   // The rank's level storage and the active build inside it: values_/
   // best_/cnt_ alias the store-owned BuildArrays (pinned in RAM for the

@@ -48,6 +48,7 @@ inline sim::LevelProfile profile_of(const LevelRunInfo& info) {
   profile.edges_pp = meter_count(msg::WorkKind::kLevelEdge) / positions;
   profile.preds_pp = meter_count(msg::WorkKind::kPredEdge) / positions;
   profile.updates_pp = meter_count(msg::WorkKind::kUpdateApply) / positions;
+  profile.sweeps_pp = meter_count(msg::WorkKind::kSweepPosition) / positions;
   profile.assigns_pp =
       static_cast<double>(info.total.assignments) / positions;
   profile.lookups_pp =
@@ -85,6 +86,12 @@ SimBuildResult build_parallel_simulated(const Family& family, int max_level,
     engine_config.threads_per_rank = effective_threads_per_rank(
         config.threads_per_rank, config.ranks, /*use_threads=*/false,
         config.oversubscribe);
+    engine_config.threads_scan = effective_phase_threads(
+        config.threads_scan, engine_config.threads_per_rank, config.ranks,
+        /*use_threads=*/false, config.oversubscribe);
+    engine_config.threads_drain = effective_phase_threads(
+        config.threads_drain, engine_config.threads_per_rank, config.ranks,
+        /*use_threads=*/false, config.oversubscribe);
 
     std::vector<std::unique_ptr<RankEngine<Game>>> engines;
     engines.reserve(nranks);

@@ -35,6 +35,10 @@ struct MachineModel {
     cost[static_cast<std::size_t>(msg::WorkKind::kAssign)] = 80;
     cost[static_cast<std::size_t>(msg::WorkKind::kPredEdge)] = 800;
     cost[static_cast<std::size_t>(msg::WorkKind::kUpdateApply)] = 60;
+    // One load + compare + (rare) branch per position examined by the
+    // seed/zero-fill value sweeps; the cheapest kind, and the only one
+    // the vector-width term divides.
+    cost[static_cast<std::size_t>(msg::WorkKind::kSweepPosition)] = 15;
     cost[static_cast<std::size_t>(msg::WorkKind::kRecordPack)] = 30;
     cost[static_cast<std::size_t>(msg::WorkKind::kRecordUnpack)] = 30;
     return cost;
@@ -48,22 +52,49 @@ struct MachineModel {
 
   /// Worker threads inside each rank (two-level parallelism, P×T).  The
   /// engines' chunk-parallel phases — the Init scan with its option
-  /// pricing — divide across the workers; queue propagation, predecessor
-  /// generation and message handling stay on the rank thread, exactly as
-  /// in para::RankEngine.  1 models the paper's single-threaded nodes.
+  /// pricing — divide across the workers; queue propagation, update
+  /// application and message handling stay on the rank thread, exactly
+  /// as in para::RankEngine.  1 models the paper's single-threaded
+  /// nodes.
   int worker_threads = 1;
 
-  /// Work kinds charged by the chunk-parallel phases — the Init scan with
-  /// its option pricing and the drain waves' predecessor generation —
-  /// divided by `worker_threads` when pricing.  kAssign is excluded even
-  /// though the seeding sweep is chunked too: most assignments happen
-  /// while applying staged updates on the rank thread and the meter does
-  /// not distinguish them.  kUpdateApply and record pack/unpack stay
-  /// serial, exactly as in para::RankEngine.
+  /// Per-phase overrides mirroring EngineConfig::threads_scan /
+  /// threads_drain: the scan-side sweeps and the drain waves saturate at
+  /// different widths, so their kinds can be priced with different
+  /// divisors.  0 inherits worker_threads.
+  int scan_threads = 0;
+  int drain_threads = 0;
+
+  /// std::int16_t lanes the sweep kernels process per operation (the
+  /// exec::simd backend width).  Only kSweepPosition divides by it: the
+  /// seed/zero-fill sweeps are the data-parallel compare/select loops;
+  /// everything else is per-edge work with game callbacks.  1 models the
+  /// paper's scalar SPARCs; benches set the host's width for the
+  /// model-vs-host panels.
+  int vector_lanes = 1;
+
+  int threads_scan() const {
+    const int t = scan_threads > 0 ? scan_threads : worker_threads;
+    return t > 1 ? t : 1;
+  }
+  int threads_drain() const {
+    const int t = drain_threads > 0 ? drain_threads : worker_threads;
+    return t > 1 ? t : 1;
+  }
+
+  /// Work kinds charged by the chunk-parallel phases, each divided by its
+  /// phase's thread count when pricing: the Init scan's kinds (and the
+  /// sweeps' kSweepPosition) by threads_scan(), the drain waves'
+  /// kPredEdge by threads_drain().  kAssign is excluded even though the
+  /// seeding sweep is chunked too: most assignments happen while
+  /// applying staged updates on the rank thread and the meter does not
+  /// distinguish them.  kUpdateApply and record pack/unpack stay serial,
+  /// exactly as in para::RankEngine.
   static constexpr bool chunk_parallel_kind(msg::WorkKind kind) {
     return kind == msg::WorkKind::kScanPosition ||
            kind == msg::WorkKind::kExitOption ||
            kind == msg::WorkKind::kLevelEdge ||
+           kind == msg::WorkKind::kSweepPosition ||
            kind == msg::WorkKind::kPredEdge;
   }
 
@@ -82,12 +113,16 @@ struct MachineModel {
 
   /// Seconds of CPU for a meter full of work.
   double cpu_seconds(const msg::WorkMeter& meter) const {
-    const double threads = worker_threads > 1 ? worker_threads : 1;
     double ops = 0.0;
     for (std::size_t k = 0; k < msg::kWorkKinds; ++k) {
+      const auto kind = static_cast<msg::WorkKind>(k);
       double cost = op_cost[k] * static_cast<double>(meter.counts[k]);
-      if (chunk_parallel_kind(static_cast<msg::WorkKind>(k))) {
-        cost /= threads;
+      if (chunk_parallel_kind(kind)) {
+        cost /= kind == msg::WorkKind::kPredEdge ? threads_drain()
+                                                 : threads_scan();
+      }
+      if (kind == msg::WorkKind::kSweepPosition && vector_lanes > 1) {
+        cost /= vector_lanes;
       }
       ops += cost;
     }

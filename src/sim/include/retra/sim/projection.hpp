@@ -28,6 +28,8 @@ struct LevelProfile {
   double assigns_pp = 0;  // finalisations per position (<= 1)
   double updates_pp = 0;  // contributions applied per position
   double lookups_pp = 0;  // capture exits needing a lower-level value
+  double sweeps_pp = 0;   // seed/zero-fill sweep visits per position
+                          // (≈ seeding magnitudes + 1)
   /// BSP rounds of the measured run (propagation depth × magnitudes).
   std::uint64_t rounds = 0;
 
@@ -82,21 +84,26 @@ inline Projection project_level(const LevelProfile& profile, int ranks,
 
   // Compute: every position is scanned, its options priced, its
   // predecessors generated on finalisation; remote records additionally
-  // pay pack+unpack.  The scan and predecessor-generation terms divide
-  // across each rank's worker threads (two-level parallelism); update
-  // application and record handling stay on the rank thread, as in the
-  // engine.
-  const double T =
-      model.machine.worker_threads > 1 ? model.machine.worker_threads : 1;
-  double parallel_ops = 0;
-  parallel_ops += positions * cost(msg::WorkKind::kScanPosition);
-  parallel_ops +=
+  // pay pack+unpack.  The scan and sweep terms divide across each rank's
+  // scan-phase workers, predecessor generation across the drain-phase
+  // workers (two-level parallelism, per-phase widths); the sweeps also
+  // divide by the vector width.  Update application and record handling
+  // stay on the rank thread, as in the engine.
+  const double scan_t = model.machine.threads_scan();
+  const double drain_t = model.machine.threads_drain();
+  const double lanes =
+      model.machine.vector_lanes > 1 ? model.machine.vector_lanes : 1;
+  double scan_ops = 0;
+  scan_ops += positions * cost(msg::WorkKind::kScanPosition);
+  scan_ops +=
       positions * profile.exits_pp * cost(msg::WorkKind::kExitOption);
-  parallel_ops +=
+  scan_ops +=
       positions * profile.edges_pp * cost(msg::WorkKind::kLevelEdge);
-  parallel_ops +=
-      positions * profile.preds_pp * cost(msg::WorkKind::kPredEdge);
-  double ops = parallel_ops / T;
+  scan_ops += positions * profile.sweeps_pp *
+              cost(msg::WorkKind::kSweepPosition) / lanes;
+  double ops = scan_ops / scan_t;
+  ops += positions * profile.preds_pp * cost(msg::WorkKind::kPredEdge) /
+         drain_t;
   ops += positions * profile.assigns_pp * cost(msg::WorkKind::kAssign);
   ops += positions * profile.updates_pp * cost(msg::WorkKind::kUpdateApply);
   ops += remote_records * (cost(msg::WorkKind::kRecordPack) +

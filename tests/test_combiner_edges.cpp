@@ -1,15 +1,26 @@
 // Combiner edge cases: records larger than the flush threshold, the
 // combining-off setting (flush_bytes = 1), exactness of the statistics,
-// and flushing with nothing buffered.
+// flushing with nothing buffered, and the bulk staging paths
+// (Combiner::append_run, CombinerBank) that must be byte-for-byte
+// equivalent to per-record appends.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
 #include "retra/msg/combiner.hpp"
 #include "retra/msg/thread_comm.hpp"
 
 namespace retra::msg {
 namespace {
+
+/// Every message payload queued at `endpoint`, in arrival order.
+std::vector<std::vector<std::byte>> drain(Comm& endpoint) {
+  std::vector<std::vector<std::byte>> payloads;
+  Message m;
+  while (endpoint.try_recv(m)) payloads.push_back(m.payload);
+  return payloads;
+}
 
 TEST(CombinerEdges, RecordLargerThanFlushBytesTravelsAlone) {
   ThreadWorld world(2);
@@ -113,6 +124,103 @@ TEST(CombinerEdges, ZeroFlushBytesBehavesAsCombiningOff) {
     ++messages;
   }
   EXPECT_EQ(messages, 2);
+}
+
+// ------------------------------------------------------------------
+// Bulk staging: append_run and CombinerBank must be byte-for-byte
+// equivalent to per-record appends — the lock-free per-chunk staging of
+// the rank engines rests on exactly this equivalence.
+
+TEST(AppendRun, MatchesPerRecordAppendsExactly) {
+  // For several flush thresholds and run lengths, the message stream,
+  // stats, and meter charges of append_run must equal those of the same
+  // records appended one at a time.
+  for (const std::size_t flush_bytes : {std::size_t{1}, std::size_t{4},
+                                        std::size_t{10}, std::size_t{64}}) {
+    ThreadWorld per_record_world(2);
+    ThreadWorld run_world(2);
+    Combiner per_record(per_record_world.endpoint(0), 5, flush_bytes);
+    Combiner runs(run_world.endpoint(0), 5, flush_bytes);
+
+    std::vector<std::uint32_t> records(23);
+    for (std::uint32_t i = 0; i < records.size(); ++i) records[i] = i;
+    for (const std::uint32_t r : records) per_record.append(1, &r, 4);
+    // The same sequence as runs of 1, 5, and the rest.
+    runs.append_run(1, records.data(), 1, 4);
+    runs.append_run(1, records.data() + 1, 5, 4);
+    runs.append_run(1, records.data() + 6, records.size() - 6, 4);
+    per_record.flush_all();
+    runs.flush_all();
+
+    EXPECT_EQ(drain(run_world.endpoint(1)),
+              drain(per_record_world.endpoint(1)))
+        << "flush_bytes=" << flush_bytes;
+    EXPECT_EQ(runs.stats().records, per_record.stats().records);
+    EXPECT_EQ(runs.stats().messages, per_record.stats().messages);
+    EXPECT_EQ(runs.stats().payload_bytes, per_record.stats().payload_bytes);
+    EXPECT_EQ(run_world.endpoint(0).meter().count(WorkKind::kRecordPack),
+              per_record_world.endpoint(0).meter().count(
+                  WorkKind::kRecordPack))
+        << "flush_bytes=" << flush_bytes;
+  }
+}
+
+TEST(AppendRun, OversizeRecordsTravelAloneLikeAppend) {
+  ThreadWorld world(2);
+  Combiner combiner(world.endpoint(0), 5, /*flush_bytes=*/4);
+  const std::uint64_t records[3] = {1, 2, 3};
+  combiner.append_run(1, records, 3, 8);
+  combiner.flush_all();
+  const auto payloads = drain(world.endpoint(1));
+  ASSERT_EQ(payloads.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(payloads[i].size(), 8u);
+  EXPECT_EQ(combiner.stats().messages, 3u);
+  EXPECT_EQ(combiner.stats().records, 3u);
+}
+
+TEST(CombinerBank, ReplayEqualsInterleavedAppendsGroupedByDestination) {
+  // The bank groups its records per destination; replay_into must
+  // reproduce exactly the stream of appending each destination's records
+  // in order — the per-destination order is all a receiver can observe.
+  ThreadWorld direct_world(3);
+  ThreadWorld bank_world(3);
+  Combiner direct(direct_world.endpoint(0), 5, /*flush_bytes=*/10);
+  Combiner banked(bank_world.endpoint(0), 5, /*flush_bytes=*/10);
+
+  CombinerBank bank;
+  bank.reset(/*dests=*/3, /*record_size=*/4);
+  EXPECT_TRUE(bank.empty());
+  std::uint32_t next[3] = {0, 100, 200};
+  // Interleave destinations while staging; append destination-grouped
+  // when producing the reference stream.
+  for (int i = 0; i < 9; ++i) {
+    const int dest = 1 + (i % 2);
+    bank.append(dest, &next[dest]);
+    ++next[dest];
+  }
+  for (int dest = 1; dest <= 2; ++dest) {
+    for (std::uint32_t r = dest == 1 ? 100u : 200u; r < next[dest]; ++r) {
+      direct.append(dest, &r, 4);
+    }
+  }
+  EXPECT_EQ(bank.records(), 9u);
+  EXPECT_FALSE(bank.empty());
+  bank.replay_into(banked);
+  direct.flush_all();
+  banked.flush_all();
+
+  for (int rank = 1; rank <= 2; ++rank) {
+    EXPECT_EQ(drain(bank_world.endpoint(rank)),
+              drain(direct_world.endpoint(rank)))
+        << "rank " << rank;
+  }
+  EXPECT_EQ(banked.stats().records, direct.stats().records);
+  EXPECT_EQ(banked.stats().messages, direct.stats().messages);
+  EXPECT_EQ(banked.stats().payload_bytes, direct.stats().payload_bytes);
+
+  bank.reset(3, 4);
+  EXPECT_TRUE(bank.empty());
+  EXPECT_EQ(bank.records(), 0u);
 }
 
 }  // namespace

@@ -288,6 +288,58 @@ TEST(DbLevelResidency, MentionInCommentIsIgnored) {
 }
 
 // ------------------------------------------------------------------
+// simd-containment
+
+TEST(SimdContainment, IntrinsicCallOutsideExecFails) {
+  const auto findings = lint_file(
+      "src/para/src/x.cpp",
+      "__m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));\n");
+  EXPECT_TRUE(has_rule(findings, "simd-containment"));
+}
+
+TEST(SimdContainment, BuiltinIa32OutsideExecFails) {
+  const auto findings = lint_file(
+      "src/msg/src/x.cpp", "__builtin_ia32_pause();\n");
+  EXPECT_TRUE(has_rule(findings, "simd-containment"));
+}
+
+TEST(SimdContainment, IntrinsicsHeaderOutsideExecFails) {
+  EXPECT_TRUE(has_rule(
+      lint_file("src/db/src/x.cpp", "#include <immintrin.h>\n"),
+      "simd-containment"));
+  EXPECT_TRUE(has_rule(
+      lint_file("bench/bench_x.cpp", "#include <emmintrin.h>\n"),
+      "simd-containment"));
+  EXPECT_TRUE(has_rule(
+      lint_file("tools/x/main.cpp", "#include <arm_neon.h>\n"),
+      "simd-containment"));
+}
+
+TEST(SimdContainment, InsideExecIsOutOfScope) {
+  const auto findings = lint_file(
+      "src/exec/src/simd.cpp",
+      "#include <immintrin.h>\n__m256i v = _mm256_set1_epi16(3);\n");
+  EXPECT_FALSE(has_rule(findings, "simd-containment"));
+}
+
+TEST(SimdContainment, WrapperCallsAndMentionsInCommentsPass) {
+  const auto findings = lint_file(
+      "src/para/include/retra/para/x.hpp",
+      "#pragma once\n"
+      "#include \"retra/exec/simd.hpp\"\n"
+      "// _mm256_blendv_epi8 would be banned here\n"
+      "auto n = retra::exec::simd::replace_matching(p, len, m, r);\n");
+  EXPECT_FALSE(has_rule(findings, "simd-containment"));
+}
+
+TEST(SimdContainment, AllowDirectiveSuppresses) {
+  const auto findings = lint_file(
+      "src/support/src/x.cpp",
+      "// retra-lint: allow(simd-containment)\n__builtin_ia32_pause();\n");
+  EXPECT_FALSE(has_rule(findings, "simd-containment"));
+}
+
+// ------------------------------------------------------------------
 // allow-comment escape
 
 TEST(AllowDirective, SameLineSuppresses) {

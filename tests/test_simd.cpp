@@ -1,0 +1,301 @@
+// exec::simd kernel contract: every backend (scalar, SSE2, AVX2 — as far
+// as this build and host support) returns bit-identical results to the
+// scalar reference, for any alignment, any length (vector body + scalar
+// tail), and the packed-word edge values the engines actually store
+// (db::kUnknown = INT16_MIN, negative magnitudes).  The references here
+// are written independently of src/exec/src/simd.cpp.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "retra/db/database.hpp"
+#include "retra/exec/simd.hpp"
+#include "retra/support/rng.hpp"
+
+namespace retra::exec::simd {
+namespace {
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> backends{Backend::kScalar};
+  for (const Backend wide : {Backend::kSse2, Backend::kAvx2}) {
+    if (static_cast<int>(widest_available()) >= static_cast<int>(wide)) {
+      backends.push_back(wide);
+    }
+  }
+  return backends;
+}
+
+/// Pins `backend` for one scope; restores the previous one on exit.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend backend) : previous_(active()) {
+    EXPECT_EQ(set_active(backend), backend);
+  }
+  ~ScopedBackend() { set_active(previous_); }
+
+ private:
+  Backend previous_;
+};
+
+// Independent scalar references.
+
+std::uint64_t ref_replace(std::int16_t* data, std::size_t n,
+                          std::int16_t match, std::int16_t replacement) {
+  std::uint64_t replaced = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (data[i] == match) {
+      data[i] = replacement;
+      ++replaced;
+    }
+  }
+  return replaced;
+}
+
+std::vector<std::uint32_t> ref_eq2(const std::int16_t* a, std::int16_t va,
+                                   const std::int16_t* b, std::int16_t vb,
+                                   std::size_t n) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == va && b[i] == vb) out.push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> ref_seed(const std::int16_t* values,
+                                    std::int16_t unknown,
+                                    const std::uint16_t* cnt,
+                                    const std::int16_t* best,
+                                    std::int16_t mag, std::size_t n) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (values[i] == unknown && (cnt[i] == 0 || best[i] == mag)) {
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+struct Fixture {
+  std::vector<std::int16_t> values;
+  std::vector<std::int16_t> best;
+  std::vector<std::uint16_t> cnt;
+};
+
+/// A shard-like random fixture: a dense mix of kUnknown, magnitudes the
+/// sweeps look for, and bystanders, so every vector word holds matches
+/// and non-matches.
+Fixture random_fixture(std::size_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  Fixture f;
+  f.values.resize(n);
+  f.best.resize(n);
+  f.cnt.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = rng();
+    f.values[i] = r % 3 == 0 ? db::kUnknown
+                             : static_cast<std::int16_t>(
+                                   static_cast<int>(r % 11) - 5);
+    f.best[i] =
+        static_cast<std::int16_t>(static_cast<int>((r >> 8) % 9) - 4);
+    f.cnt[i] = static_cast<std::uint16_t>((r >> 16) % 3);
+  }
+  return f;
+}
+
+// The lengths cover: empty, below one SSE2 word, below one AVX2 word,
+// exact word multiples, and off-by-one around them.
+const std::size_t kLengths[] = {0,  1,  7,  8,  9,   15,  16, 17,
+                                31, 32, 33, 63, 100, 1023};
+
+TEST(Backends, WidestIsOrderedAndLanesMatch) {
+  EXPECT_EQ(lanes(Backend::kScalar), 1);
+  EXPECT_EQ(lanes(Backend::kSse2), 8);
+  EXPECT_EQ(lanes(Backend::kAvx2), 16);
+  EXPECT_EQ(set_active(active()), active());
+  // Requesting wider than the host supports clamps instead of crashing.
+  const Backend previous = active();
+  EXPECT_LE(static_cast<int>(set_active(Backend::kAvx2)),
+            static_cast<int>(widest_available()));
+  set_active(previous);
+}
+
+TEST(ReplaceMatching, MatchesReferenceOnRandomData) {
+  for (const Backend backend : available_backends()) {
+    ScopedBackend scoped(backend);
+    for (const std::size_t n : kLengths) {
+      Fixture f = random_fixture(n, 0x5eed + n);
+      std::vector<std::int16_t> expect = f.values;
+      const std::uint64_t expect_count =
+          ref_replace(expect.data(), n, db::kUnknown, 0);
+      const std::uint64_t got =
+          replace_matching(f.values.data(), n, db::kUnknown, 0);
+      EXPECT_EQ(got, expect_count)
+          << backend_name(backend) << " n=" << n;
+      EXPECT_EQ(f.values, expect) << backend_name(backend) << " n=" << n;
+    }
+  }
+}
+
+TEST(ReplaceMatching, AllAndNoneMatch) {
+  for (const Backend backend : available_backends()) {
+    ScopedBackend scoped(backend);
+    std::vector<std::int16_t> all(100, db::kUnknown);
+    EXPECT_EQ(replace_matching(all.data(), all.size(), db::kUnknown, -7),
+              100u);
+    EXPECT_EQ(all, std::vector<std::int16_t>(100, -7));
+    EXPECT_EQ(replace_matching(all.data(), all.size(), db::kUnknown, 0), 0u);
+    EXPECT_EQ(all, std::vector<std::int16_t>(100, -7));
+  }
+}
+
+TEST(CollectEq2, MatchesReferenceOnRandomData) {
+  for (const Backend backend : available_backends()) {
+    ScopedBackend scoped(backend);
+    for (const std::size_t n : kLengths) {
+      const Fixture f = random_fixture(n, 0xbeef + n);
+      for (const std::int16_t mag :
+           {std::int16_t{-3}, std::int16_t{0}, std::int16_t{2}}) {
+        const std::vector<std::uint32_t> expect =
+            ref_eq2(f.values.data(), db::kUnknown, f.best.data(), mag, n);
+        std::vector<std::uint32_t> got(n + 1, 0xdeadu);
+        const std::size_t count = collect_eq2(
+            f.values.data(), db::kUnknown, f.best.data(), mag, n, got.data());
+        ASSERT_EQ(count, expect.size())
+            << backend_name(backend) << " n=" << n << " mag=" << mag;
+        got.resize(count);
+        EXPECT_EQ(got, expect)
+            << backend_name(backend) << " n=" << n << " mag=" << mag;
+      }
+    }
+  }
+}
+
+TEST(CollectSeedCandidates, MatchesReferenceOnRandomData) {
+  for (const Backend backend : available_backends()) {
+    ScopedBackend scoped(backend);
+    for (const std::size_t n : kLengths) {
+      const Fixture f = random_fixture(n, 0xcafe + n);
+      for (const std::int16_t mag : {std::int16_t{-2}, std::int16_t{1}}) {
+        const std::vector<std::uint32_t> expect =
+            ref_seed(f.values.data(), db::kUnknown, f.cnt.data(),
+                     f.best.data(), mag, n);
+        std::vector<std::uint32_t> got(n + 1, 0xdeadu);
+        const std::size_t count = collect_seed_candidates(
+            f.values.data(), db::kUnknown, f.cnt.data(), f.best.data(), mag,
+            n, got.data());
+        ASSERT_EQ(count, expect.size())
+            << backend_name(backend) << " n=" << n << " mag=" << mag;
+        got.resize(count);
+        EXPECT_EQ(got, expect)
+            << backend_name(backend) << " n=" << n << " mag=" << mag;
+      }
+    }
+  }
+}
+
+TEST(Alignment, UnalignedHeadAndTailAreExact) {
+  // The engines hand the kernels interior shard pointers with no
+  // alignment guarantee: offset every array by 1..word-1 elements and the
+  // results must not change.
+  constexpr std::size_t kN = 256;
+  const Fixture f = random_fixture(kN + 32, 0xa11a);
+  for (const Backend backend : available_backends()) {
+    ScopedBackend scoped(backend);
+    for (const std::size_t offset : {1u, 3u, 15u, 17u}) {
+      const std::int16_t* values = f.values.data() + offset;
+      const std::int16_t* best = f.best.data() + offset;
+      const std::uint16_t* cnt = f.cnt.data() + offset;
+
+      const std::vector<std::uint32_t> expect_eq2 =
+          ref_eq2(values, db::kUnknown, best, 2, kN);
+      std::vector<std::uint32_t> got(kN, 0);
+      ASSERT_EQ(collect_eq2(values, db::kUnknown, best, 2, kN, got.data()),
+                expect_eq2.size())
+          << backend_name(backend) << " offset=" << offset;
+      got.resize(expect_eq2.size());
+      EXPECT_EQ(got, expect_eq2);
+
+      const std::vector<std::uint32_t> expect_seed =
+          ref_seed(values, db::kUnknown, cnt, best, 2, kN);
+      got.assign(kN, 0);
+      ASSERT_EQ(collect_seed_candidates(values, db::kUnknown, cnt, best, 2,
+                                        kN, got.data()),
+                expect_seed.size())
+          << backend_name(backend) << " offset=" << offset;
+      got.resize(expect_seed.size());
+      EXPECT_EQ(got, expect_seed);
+
+      std::vector<std::int16_t> mutate(f.values);
+      std::vector<std::int16_t> expect_data(f.values);
+      const std::uint64_t expect_count =
+          ref_replace(expect_data.data() + offset, kN, db::kUnknown, 0);
+      EXPECT_EQ(replace_matching(mutate.data() + offset, kN, db::kUnknown, 0),
+                expect_count)
+          << backend_name(backend) << " offset=" << offset;
+      EXPECT_EQ(mutate, expect_data);
+    }
+  }
+}
+
+TEST(PackedWords, SentinelAndExtremeValues) {
+  // INT16_MIN (db::kUnknown itself), INT16_MAX, and -1 (all bits set)
+  // must compare exactly — a saturating or sign-confused comparison
+  // would corrupt these first.
+  const std::vector<std::int16_t> tricky = {
+      INT16_MIN, INT16_MAX, -1, 0, 1, INT16_MIN, -1, INT16_MAX,
+      INT16_MIN, 0,         -1, 1, 0, 1,         -1, INT16_MIN,
+      INT16_MIN};
+  for (const Backend backend : available_backends()) {
+    ScopedBackend scoped(backend);
+    for (const std::int16_t needle :
+         {std::int16_t{INT16_MIN}, std::int16_t{INT16_MAX},
+          std::int16_t{-1}}) {
+      const std::vector<std::uint32_t> expect =
+          ref_eq2(tricky.data(), needle, tricky.data(), needle,
+                  tricky.size());
+      std::vector<std::uint32_t> got(tricky.size(), 0);
+      ASSERT_EQ(collect_eq2(tricky.data(), needle, tricky.data(), needle,
+                            tricky.size(), got.data()),
+                expect.size())
+          << backend_name(backend) << " needle=" << needle;
+      got.resize(expect.size());
+      EXPECT_EQ(got, expect);
+
+      std::vector<std::int16_t> mutate = tricky;
+      std::vector<std::int16_t> expect_data = tricky;
+      const std::uint64_t count =
+          ref_replace(expect_data.data(), expect_data.size(), needle, 7);
+      EXPECT_EQ(replace_matching(mutate.data(), mutate.size(), needle, 7),
+                count)
+          << backend_name(backend) << " needle=" << needle;
+      EXPECT_EQ(mutate, expect_data);
+    }
+  }
+}
+
+TEST(PackedWords, CntZeroOrBestDisjunction) {
+  // collect_seed_candidates: both sides of the || must fire, separately
+  // and together, and unknown positions failing both must not.
+  const std::vector<std::int16_t> values(32, db::kUnknown);
+  std::vector<std::uint16_t> cnt(32, 1);
+  std::vector<std::int16_t> best(32, 0);
+  cnt[3] = 0;               // cnt side only
+  best[7] = 2;              // best side only
+  cnt[11] = 0; best[11] = 2;  // both
+  for (const Backend backend : available_backends()) {
+    ScopedBackend scoped(backend);
+    std::vector<std::uint32_t> got(32, 0);
+    const std::size_t count = collect_seed_candidates(
+        values.data(), db::kUnknown, cnt.data(), best.data(), 2, 32,
+        got.data());
+    ASSERT_EQ(count, 3u) << backend_name(backend);
+    EXPECT_EQ(got[0], 3u);
+    EXPECT_EQ(got[1], 7u);
+    EXPECT_EQ(got[2], 11u);
+  }
+}
+
+}  // namespace
+}  // namespace retra::exec::simd

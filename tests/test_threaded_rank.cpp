@@ -4,16 +4,20 @@
 // solver's, and the per-rank EngineStats and work meters must be
 // *identical* across T — the chunked phases stage their records, queue
 // pushes, and counters per chunk and merge in chunk order, so T only ever
-// changes wall clock.
+// changes wall clock.  The same holds for per-phase splits
+// (threads_scan != threads_drain) and for the exec::simd sweep-kernel
+// backend: scalar and vector builds are bit-identical too.
 #include <cstddef>
 #include <cstdint>
 #include <tuple>
 
 #include <gtest/gtest.h>
 
+#include "retra/exec/simd.hpp"
 #include "retra/game/awari_level.hpp"
 #include "retra/game/graph_game.hpp"
 #include "retra/game/kalah_level.hpp"
+#include "retra/obs/metrics.hpp"
 #include "retra/para/parallel_solver.hpp"
 #include "retra/ra/builder.hpp"
 
@@ -199,6 +203,91 @@ TEST(ThreadedRank, StatsAndMetersIdenticalAcrossThreadCounts) {
       }
     }
   }
+}
+
+// ------------------------------------------------------------------
+// Per-phase thread splits and sweep-kernel backends.
+
+void expect_same_run(const ParallelResult& got,
+                     const ParallelResult& expect) {
+  EXPECT_EQ(got.database->gather(), expect.database->gather());
+  ASSERT_EQ(got.levels.size(), expect.levels.size());
+  for (std::size_t l = 0; l < expect.levels.size(); ++l) {
+    EXPECT_EQ(got.levels[l].rounds, expect.levels[l].rounds);
+    ASSERT_EQ(got.levels[l].per_rank.size(),
+              expect.levels[l].per_rank.size());
+    for (std::size_t r = 0; r < expect.levels[l].per_rank.size(); ++r) {
+      expect_same_stats(got.levels[l].per_rank[r],
+                        expect.levels[l].per_rank[r],
+                        expect.levels[l].level, static_cast<int>(r));
+      for (std::size_t k = 0; k < msg::kWorkKinds; ++k) {
+        EXPECT_EQ(got.levels[l].work_per_rank[r].counts[k],
+                  expect.levels[l].work_per_rank[r].counts[k])
+            << "level " << expect.levels[l].level << " rank " << r
+            << " kind " << k;
+      }
+    }
+  }
+}
+
+class PhaseSplit
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PhaseSplit, BitAndStatsIdenticalToUniformThreads) {
+  const auto [ranks, threads_scan, threads_drain] = GetParam();
+  const ParallelResult reference =
+      build_parallel(game::AwariFamily{}, 6, with_threads(ranks, 1));
+  ParallelConfig config = with_threads(ranks, 1);
+  config.threads_scan = threads_scan;
+  config.threads_drain = threads_drain;
+  const ParallelResult result =
+      build_parallel(game::AwariFamily{}, 6, config);
+  expect_same_run(result, reference);
+  EXPECT_EQ(result.database->gather(),
+            ra::build_database(game::AwariFamily{}, 6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PhaseSplit,
+                         ::testing::Values(std::make_tuple(1, 4, 1),
+                                           std::make_tuple(1, 1, 4),
+                                           std::make_tuple(2, 3, 2),
+                                           std::make_tuple(2, 8, 3),
+                                           std::make_tuple(3, 2, 5)));
+
+TEST(SimdBackends, BuildsBitIdenticalAcrossBackendsAndSplits) {
+  // The engines must not observe which sweep-kernel backend ran: for a
+  // P×T grid cell, the database, stats, and meters of a scalar-pinned
+  // build equal the widest backend's exactly.
+  const exec::simd::Backend previous = exec::simd::active();
+  exec::simd::set_active(exec::simd::Backend::kScalar);
+  ParallelConfig config = with_threads(2, 2);
+  config.threads_scan = 3;
+  config.threads_drain = 2;
+  const ParallelResult scalar =
+      build_parallel(game::AwariFamily{}, 6, config);
+  exec::simd::set_active(exec::simd::widest_available());
+  const ParallelResult vector =
+      build_parallel(game::AwariFamily{}, 6, config);
+  exec::simd::set_active(previous);
+  expect_same_run(vector, scalar);
+}
+
+TEST(PhaseThreads, BookkeepingFollowsEachPhaseNotOneGlobalT) {
+  // The engine used to publish a single thread gauge; with per-phase
+  // widths the scan and drain gauges must report their own phase's T (0
+  // inheriting the global knob), whatever the pool width is.
+  ParallelConfig config = with_threads(1, 2);
+  config.threads_scan = 5;
+  config.threads_drain = 3;
+  (void)build_parallel(game::AwariFamily{}, 3, config);
+  obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap[obs::Id::kEngineScanThreads].value, 5u);
+  EXPECT_EQ(snap[obs::Id::kEngineDrainThreads].value, 3u);
+
+  (void)build_parallel(game::AwariFamily{}, 3, with_threads(1, 4));
+  snap = obs::snapshot();
+  EXPECT_EQ(snap[obs::Id::kEngineScanThreads].value, 4u);
+  EXPECT_EQ(snap[obs::Id::kEngineDrainThreads].value, 4u);
 }
 
 }  // namespace

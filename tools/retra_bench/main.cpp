@@ -29,6 +29,11 @@ struct Suite {
   int ranks;
   std::size_t combine_bytes;
   int worker_threads;
+  // Per-phase thread splits and the modelled sweep width (P2); zeros
+  // inherit worker_threads, 1 lane models the paper's scalar nodes.
+  int scan_threads = 0;
+  int drain_threads = 0;
+  int vector_lanes = 1;
 };
 
 constexpr Suite kSuites[] = {
@@ -38,6 +43,10 @@ constexpr Suite kSuites[] = {
      4096, 1},
     {"p1", "the P1 end-to-end configuration (level 8, 4 ranks x 2 workers)",
      8, 4, 4096, 2},
+    {"p2",
+     "the P2 kernel configuration (level 8, 4 ranks, 2/1 phase split, "
+     "16-lane sweeps)",
+     8, 4, 4096, 1, 2, 1, 16},
 };
 
 /// The "q2" suite is not a simulated build: it packs a small database,
@@ -174,6 +183,9 @@ int main(int argc, char** argv) {
   }
   sim::ClusterModel model = model_from(cli);
   model.machine.worker_threads = suite->worker_threads;
+  model.machine.scan_threads = suite->scan_threads;
+  model.machine.drain_threads = suite->drain_threads;
+  model.machine.vector_lanes = suite->vector_lanes;
   std::string path = cli.str("json");
   if (path.empty()) path = "BENCH_" + suite_name + ".json";
 
@@ -188,7 +200,9 @@ int main(int argc, char** argv) {
                                   suite->combine_bytes, model,
                                   para::PartitionScheme::kCyclic,
                                   /*replicate_lower=*/false,
-                                  suite->worker_threads);
+                                  suite->worker_threads,
+                                  suite->scan_threads,
+                                  suite->drain_threads);
   const obs::Snapshot delta = obs::snapshot() - before;
 
   BenchRunMeta meta;

@@ -105,6 +105,7 @@ class Linter {
     }
     if (under(path_, "src")) check_raw_alloc();
     if (under(path_, "src/para")) check_db_level_access();
+    if (!under(path_, "src/exec")) check_simd_containment();
     check_wire_structs();
     return std::move(findings_);
   }
@@ -265,6 +266,46 @@ class Linter {
             "engine code must not call level() on a database; read "
             "values through para::LevelStore");
       }
+    }
+  }
+
+  void check_simd_containment() {
+    // Raw vector intrinsics are confined to src/exec, where exec::simd
+    // wraps them behind the bit-identical kernel contract with a scalar
+    // fallback.  Anywhere else they couple the code to one ISA and
+    // bypass the RETRA_SIMD=OFF build.
+    const auto is_intrinsic = [](std::string_view token) {
+      return starts_with(token, "_mm") || starts_with(token, "__m128") ||
+             starts_with(token, "__m256") || starts_with(token, "__m512") ||
+             starts_with(token, "__builtin_ia32");
+    };
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      for (const std::string_view token : ident_tokens(lines_[i])) {
+        if (!is_intrinsic(token)) continue;
+        add(static_cast<int>(i) + 1, "simd-containment",
+            "raw intrinsic '" + std::string(token) +
+                "' outside src/exec; use the exec::simd kernels");
+      }
+    }
+    // Includes on raw lines: the stripping pass blanks quoted paths, and
+    // angle-bracket targets are not identifier tokens.
+    for (std::size_t i = 0; i < raw_lines_.size(); ++i) {
+      const std::string_view line = trim(raw_lines_[i]);
+      if (!starts_with(line, "#include")) continue;
+      const std::size_t open = line.find_first_of("<\"", 8);
+      if (open == std::string_view::npos) continue;
+      const char close = line[open] == '<' ? '>' : '"';
+      const std::size_t end = line.find(close, open + 1);
+      if (end == std::string_view::npos) continue;
+      const std::string_view target = line.substr(open + 1, end - open - 1);
+      const bool intrinsics_header =
+          (target.size() > 8 &&
+           target.substr(target.size() - 8) == "intrin.h") ||
+          target == "arm_neon.h";
+      if (!intrinsics_header) continue;
+      add(static_cast<int>(i) + 1, "simd-containment",
+          "intrinsics header <" + std::string(target) +
+              "> outside src/exec; use the exec::simd kernels");
     }
   }
 

@@ -37,6 +37,13 @@ struct Finding {
 ///                    `.level(`/`->level(` call on a receiver whose name
 ///                    contains `db`/`database`, or a qualified
 ///                    `Database::level` mention
+///   simd-containment raw vector intrinsics stay inside src/exec — an
+///                    `_mm*` / `__m128`-family identifier, a
+///                    `__builtin_ia32_*` builtin, or an intrinsics
+///                    header include (`<immintrin.h>`, `<x86intrin.h>`,
+///                    `<arm_neon.h>`, ...) anywhere else couples that
+///                    code to one ISA and bypasses the exec::simd
+///                    scalar fallback and its bit-identity contract
 ///
 /// A finding on line N is suppressed by a `// retra-lint: allow(<rule>)`
 /// comment on line N or N-1.
